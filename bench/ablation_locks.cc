@@ -1,0 +1,90 @@
+// §4.1 ablation — blocking vs Kendo-style polling deterministic locks.
+//
+// The paper claims the first *blocking* implementation of a deterministic
+// mutex_lock(), against Kendo's polling design, criticizing polling on two
+// counts: (1) the clock increment to add while polling needs program-specific
+// tuning, and (2) the repeated GMIC re-checks add needless latency. This
+// bench quantifies both: a contended-lock program under the blocking lock and
+// under polling locks across a sweep of poll increments.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/harness/harness.h"
+
+using namespace csq;           // NOLINT
+using namespace csq::harness;  // NOLINT
+
+namespace {
+
+rt::WorkloadFn ContendedProgram(u32 workers, u64 cs_work, u64 local_work) {
+  return [=](rt::ThreadApi& api) {
+    const rt::MutexId m = api.CreateMutex();
+    const u64 c = api.SharedAlloc(8);
+    std::vector<rt::ThreadHandle> hs;
+    for (u32 w = 0; w < workers; ++w) {
+      hs.push_back(api.SpawnThread([=](rt::ThreadApi& t) {
+        for (int i = 0; i < 40; ++i) {
+          t.Work(local_work);
+          t.Lock(m);
+          t.Work(cs_work);
+          t.Store<u64>(c, t.Load<u64>(c) + 1);
+          t.Unlock(m);
+        }
+      }));
+    }
+    for (auto h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(c);
+  };
+}
+
+u64 Run(const rt::RuntimeConfig& cfg, const rt::WorkloadFn& fn) {
+  const rt::RunResult r = rt::MakeRuntime(rt::Backend::kConsequenceIC, cfg)->Run(fn);
+  return r.vtime;
+}
+
+}  // namespace
+
+int main() {
+  constexpr u32 kThreads = 8;
+  std::printf("Blocking vs polling deterministic locks (virtual kcycles, %u threads)\n\n",
+              kThreads);
+  struct Scenario {
+    const char* name;
+    u64 cs_work;
+    u64 local_work;
+  };
+  const Scenario scenarios[] = {
+      {"short-cs/short-local", 50, 500},
+      {"long-cs/short-local", 8000, 500},
+      {"short-cs/long-local", 50, 20000},
+  };
+  const u64 increments[] = {100, 1000, 5000, 20000, 100000};
+  std::vector<std::string> headers = {"scenario", "blocking"};
+  for (u64 inc : increments) {
+    headers.push_back("poll+" + std::to_string(inc));
+  }
+  TablePrinter tp(headers);
+  for (const Scenario& s : scenarios) {
+    const rt::WorkloadFn fn = ContendedProgram(kThreads, s.cs_work, s.local_work);
+    rt::RuntimeConfig cfg = DefaultConfig(kThreads);
+    cfg.adaptive_coarsening = false;  // isolate the lock mechanism
+    std::vector<std::string> row = {s.name};
+    row.push_back(TablePrinter::Fmt(static_cast<double>(Run(cfg, fn)) / 1000.0));
+    for (u64 inc : increments) {
+      cfg.kendo_polling_locks = true;
+      cfg.kendo_poll_increment = inc;
+      row.push_back(TablePrinter::Fmt(static_cast<double>(Run(cfg, fn)) / 1000.0));
+    }
+    tp.AddRow(std::move(row));
+  }
+  tp.Print(std::cout);
+  std::printf(
+      "\nExpected shape (§4.1): the blocking lock is competitive everywhere with no\n"
+      "tuning, while the best polling increment varies per scenario (too small =\n"
+      "many wasted polls; too large = the poller overshoots and waits out its own\n"
+      "inflated clock) — the \"program-specific tuning\" the paper eliminates.\n");
+  return 0;
+}

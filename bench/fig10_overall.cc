@@ -1,0 +1,104 @@
+// Figure 10 — the paper's main result.
+//
+// For each of the 19 benchmarks and each library (DThreads, DWC,
+// Consequence-RR, Consequence-IC), run with 2..32 threads, keep the best
+// runtime, and report it normalized to the best pthreads runtime.
+//
+// Paper headline numbers to compare against:
+//   * Consequence-IC worst-case slowdown 3.9x vs pthreads;
+//   * 14 of 19 programs at or below 2.5x;
+//   * 2.8x / 2.2x average improvement over DThreads / DWC on the five most
+//     challenging programs.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "src/harness/harness.h"
+
+using namespace csq;            // NOLINT
+using namespace csq::harness;   // NOLINT
+
+namespace {
+
+struct Headline {
+  double worst_ic = 0.0;
+  u32 at_or_below_25 = 0;
+  double vs_dthreads = 0.0;
+  double vs_dwc = 0.0;
+};
+
+// Runs the whole Fig 10 sweep over `threads`; prints the per-benchmark table
+// when `print_table` is set, and returns the headline aggregates.
+Headline Sweep(const std::vector<u32>& threads, bool print_table) {
+  TablePrinter tp({"benchmark", "suite", "dthreads", "dwc", "cons-rr", "cons-ic", "best@thr"});
+  Headline h;
+  // "Five most challenging" = the five programs with the largest max slowdown
+  // across all libraries (matches the paper's framing).
+  struct Challenge {
+    double max_slowdown;
+    double dthreads, dwc, ic;
+  };
+  std::vector<Challenge> challenges;
+
+  for (const wl::WorkloadInfo& w : wl::AllWorkloads()) {
+    const BestResult pt = BestOverThreads(w, rt::Backend::kPthreads, threads);
+    const BestResult dt = BestOverThreads(w, rt::Backend::kDThreads, threads);
+    const BestResult dwc = BestOverThreads(w, rt::Backend::kDwc, threads);
+    const BestResult rr = BestOverThreads(w, rt::Backend::kConsequenceRR, threads);
+    const BestResult ic = BestOverThreads(w, rt::Backend::kConsequenceIC, threads);
+    const double s_dt = Slowdown(dt.vtime, pt.vtime);
+    const double s_dwc = Slowdown(dwc.vtime, pt.vtime);
+    const double s_rr = Slowdown(rr.vtime, pt.vtime);
+    const double s_ic = Slowdown(ic.vtime, pt.vtime);
+    h.worst_ic = std::max(h.worst_ic, s_ic);
+    h.at_or_below_25 += (s_ic <= 2.5) ? 1 : 0;
+    challenges.push_back({std::max({s_dt, s_dwc, s_rr, s_ic}), s_dt, s_dwc, s_ic});
+    tp.AddRow({std::string(w.name), std::string(w.suite), TablePrinter::Fmt(s_dt),
+               TablePrinter::Fmt(s_dwc), TablePrinter::Fmt(s_rr), TablePrinter::Fmt(s_ic),
+               std::to_string(ic.at_threads)});
+  }
+  if (print_table) {
+    tp.Print(std::cout);
+  }
+  std::sort(challenges.begin(), challenges.end(),
+            [](const Challenge& a, const Challenge& b) { return a.max_slowdown > b.max_slowdown; });
+  std::vector<double> vs_dt, vs_dwc;
+  for (usize i = 0; i < 5 && i < challenges.size(); ++i) {
+    vs_dt.push_back(challenges[i].dthreads / challenges[i].ic);
+    vs_dwc.push_back(challenges[i].dwc / challenges[i].ic);
+  }
+  h.vs_dthreads = GeoMean(vs_dt);
+  h.vs_dwc = GeoMean(vs_dwc);
+  return h;
+}
+
+void PrintHeadline(const char* label, const Headline& h) {
+  std::printf("\nHeadline comparisons %s (paper values in brackets):\n", label);
+  std::printf("  Consequence-IC worst-case slowdown vs pthreads: %.2fx  [paper: 3.9x]\n",
+              h.worst_ic);
+  std::printf("  programs at or below 2.5x: %u / 19                [paper: 14 / 19]\n",
+              h.at_or_below_25);
+  std::printf("  improvement over DThreads on 5 hardest: %.2fx     [paper: 2.8x]\n",
+              h.vs_dthreads);
+  std::printf("  improvement over DWC on 5 hardest: %.2fx          [paper: 2.2x]\n",
+              h.vs_dwc);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<u32> threads = ThreadCounts();
+  std::printf("Fig 10: best-over-{2..%u}-thread runtime normalized to pthreads\n\n",
+              threads.back());
+  const Headline full = Sweep(threads, /*print_table=*/true);
+  PrintHeadline("(full thread sweep)", full);
+  if (threads.back() > 8) {
+    // Our simulated pthreads baseline has no cache-coherence or memory-system
+    // friction, so it keeps scaling linearly at 16-32 threads where the real
+    // testbed's baseline saturates; the <=8-thread sweep is the closer
+    // apples-to-apples comparison with the paper (see EXPERIMENTS.md).
+    const Headline le8 = Sweep({2, 4, 8}, /*print_table=*/false);
+    PrintHeadline("(sweep capped at 8 threads — paper-comparable)", le8);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 15 — where does the time go?
+//
+// Per-benchmark breakdown of virtual time into the paper's categories
+// (chunks / determ wait / barrier wait / conversion commit / page faults /
+// library overhead / gc) for pthreads, DWC and Consequence-IC at 8 threads.
+// ferret's first pipeline stage (ferret_1) is reported separately from the
+// remaining threads (ferret_n), as in the paper.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/harness/harness.h"
+
+using namespace csq;           // NOLINT
+using namespace csq::harness;  // NOLINT
+
+namespace {
+
+constexpr u32 kThreads = 8;
+
+const char* kBenches[] = {"string_match", "ocean_cp", "lu_cb",   "lu_ncb",
+                          "canneal",      "water_nsquared", "water_spatial",
+                          "kmeans",       "ferret",   "dedup",   "reverse_index"};
+
+struct Row {
+  std::string label;
+  std::array<u64, sim::kNumTimeCats> cats{};
+};
+
+// Sums categories over a thread range [from, to).
+Row SumThreads(const rt::RunResult& r, const std::string& label, usize from, usize to) {
+  Row row;
+  row.label = label;
+  for (usize t = from; t < to && t < r.cat_by_thread.size(); ++t) {
+    for (usize c = 0; c < sim::kNumTimeCats; ++c) {
+      row.cats[c] += r.cat_by_thread[t][c];
+    }
+  }
+  return row;
+}
+
+void PrintRows(TablePrinter& tp, const std::string& bench, rt::Backend b,
+               const rt::RunResult& r, bool split_ferret) {
+  std::vector<Row> rows;
+  if (split_ferret) {
+    // Thread 0 = main, thread 1 = the ferret loader stage (ferret_1).
+    rows.push_back(SumThreads(r, bench + "_1", 1, 2));
+    rows.push_back(SumThreads(r, bench + "_n", 2, r.cat_by_thread.size()));
+  } else {
+    rows.push_back(SumThreads(r, bench, 1, r.cat_by_thread.size()));
+  }
+  for (const Row& row : rows) {
+    u64 total = 0;
+    for (u64 v : row.cats) {
+      total += v;
+    }
+    if (total == 0) {
+      total = 1;
+    }
+    std::vector<std::string> cells = {row.label, std::string(rt::BackendName(b))};
+    for (usize c = 0; c < sim::kNumTimeCats; ++c) {
+      cells.push_back(TablePrinter::Fmt(100.0 * static_cast<double>(row.cats[c]) /
+                                        static_cast<double>(total), 1));
+    }
+    cells.push_back(std::to_string(total / 1000));
+    tp.AddRow(std::move(cells));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 15: per-category virtual-time breakdown (%% of thread time, %u threads)\n\n",
+              kThreads);
+  std::vector<std::string> headers = {"benchmark", "library"};
+  for (usize c = 0; c < sim::kNumTimeCats; ++c) {
+    headers.push_back(std::string(sim::TimeCatName(static_cast<sim::TimeCat>(c))) + "%");
+  }
+  headers.push_back("total(k)");
+  TablePrinter tp(headers);
+  for (const char* name : kBenches) {
+    const wl::WorkloadInfo* w = wl::FindWorkload(name);
+    const bool split = std::string(name) == "ferret";
+    for (rt::Backend b :
+         {rt::Backend::kPthreads, rt::Backend::kDwc, rt::Backend::kConsequenceIC}) {
+      const rt::RunResult r = RunOne(*w, b, kThreads);
+      PrintRows(tp, name, b, r, split);
+    }
+  }
+  tp.Print(std::cout);
+  std::printf(
+      "\nExpected shapes (paper): barrier-heavy programs (ocean_cp, lu_*, canneal, water_*)\n"
+      "spend most DWC time waiting, which Consequence-IC's parallel barrier commit removes;\n"
+      "ferret_1 is lock-dominated library overhead; string_match is pure chunk time.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 16 — memory propagation under TSO vs an LRC-based model.
+//
+// Runs each qualifying benchmark (>= 10K page updates in the paper) under
+// Consequence-IC with the happens-before tracker attached and reports the
+// pages actually propagated under TSO next to the pages an LRC system would
+// have shipped along happens-before edges. The paper finds LRC saves only
+// ~21% on average, because deterministic synchronization still requires
+// global coordination and barrier-heavy programs propagate globally anyway.
+#include <cstdio>
+#include <iostream>
+
+#include "src/harness/harness.h"
+#include "src/lrc/lrc_model.h"
+
+using namespace csq;           // NOLINT
+using namespace csq::harness;  // NOLINT
+
+int main() {
+  constexpr u32 kThreads = 8;
+  std::printf("Fig 16: pages propagated, TSO (Consequence) vs LRC estimate (%u threads)\n\n",
+              kThreads);
+  TablePrinter tp({"benchmark", "tso_pages", "lrc_pages", "lrc/tso"});
+  std::vector<double> ratios;
+  for (const wl::WorkloadInfo& w : wl::AllWorkloads()) {
+    if (!w.fig16) {
+      continue;
+    }
+    lrc::LrcModel model;
+    rt::RuntimeConfig cfg = DefaultConfig(kThreads);
+    cfg.observer = &model;
+    const rt::RunResult r = RunOne(w, rt::Backend::kConsequenceIC, kThreads, &cfg);
+    const double tso = static_cast<double>(r.pages_propagated);
+    const double lrcp = static_cast<double>(model.PagesPropagated());
+    const double ratio = tso > 0 ? lrcp / tso : 0.0;
+    if (tso > 0) {
+      ratios.push_back(ratio);
+    }
+    tp.AddRow({std::string(w.name), TablePrinter::Fmt(r.pages_propagated),
+               TablePrinter::Fmt(model.PagesPropagated()), TablePrinter::Fmt(ratio)});
+  }
+  tp.Print(std::cout);
+  double mean = 0.0;
+  for (double r : ratios) {
+    mean += r;
+  }
+  mean /= ratios.empty() ? 1.0 : static_cast<double>(ratios.size());
+  std::printf(
+      "\nLRC/TSO propagation ratio: mean %.2f, geomean %.2f"
+      "  [paper: ~0.79, i.e. a 21%% reduction]\n"
+      "Expected shape: LRC saves little on barrier-heavy programs (~1.0: barriers\n"
+      "propagate globally under any model) and much more on lock-partitioned sharing\n"
+      "(water_nsquared, dedup, ferret) — our suite skews further toward the latter,\n"
+      "so the aggregate saving is larger than the paper's (see EXPERIMENTS.md).\n",
+      mean, GeoMean(ratios));
+  return 0;
+}

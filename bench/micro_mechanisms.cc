@@ -1,0 +1,172 @@
+// Mechanism microbenchmarks — the paper's illustrative figures as numbers.
+//
+//   Fig 1  — mismatched synchronization rates: round-robin vs instruction-
+//            count ordering when one thread syncs 10x more often.
+//   Fig 3  — synchronous (DThreads) vs asynchronous (Conversion) commits when
+//            threads do not want to commit simultaneously.
+//   Fig 5  — critical sections under different locks run concurrently; only
+//            the lock/unlock coordination serializes.
+//   Fig 6  — effect of coarsening on a hot lock (coordination folded away).
+#include <cstdio>
+#include <vector>
+
+#include "src/rt/api.h"
+
+using namespace csq;      // NOLINT
+using namespace csq::rt;  // NOLINT
+
+namespace {
+
+RuntimeConfig Cfg(u32 n) {
+  RuntimeConfig cfg;
+  cfg.nthreads = n;
+  cfg.segment.size_bytes = 4 << 20;
+  return cfg;
+}
+
+u64 Run(Backend b, const RuntimeConfig& cfg, const WorkloadFn& fn) {
+  return MakeRuntime(b, cfg)->Run(fn).vtime;
+}
+
+// Fig 1: thread A syncs every 2k work units, thread B every 20k.
+u64 MismatchedRates(ThreadApi& api) {
+  const MutexId ma = api.CreateMutex();
+  const MutexId mb = api.CreateMutex();
+  std::vector<ThreadHandle> hs;
+  hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+    for (int i = 0; i < 100; ++i) {
+      t.Work(2000);
+      t.Lock(ma);
+      t.Work(50);
+      t.Unlock(ma);
+    }
+  }));
+  hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+    for (int i = 0; i < 10; ++i) {
+      t.Work(20000);
+      t.Lock(mb);
+      t.Work(50);
+      t.Unlock(mb);
+    }
+  }));
+  for (auto h : hs) {
+    api.JoinThread(h);
+  }
+  return 1;
+}
+
+// Fig 3: four threads commit at staggered times (no natural rendezvous).
+u64 StaggeredCommits(ThreadApi& api) {
+  const MutexId m = api.CreateMutex();
+  const u64 data = api.SharedAlloc(64 * 4096, 4096);
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < 4; ++w) {
+    hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+      for (int i = 0; i < 20; ++i) {
+        t.Work(3000 + 2500 * t.Tid());  // staggered chunk lengths
+        for (u64 p = 0; p < 4; ++p) {
+          const u64 a = data + 4096 * ((t.Tid() * 7 + p) % 64);
+          t.Store<u64>(a, t.Load<u64>(a) + 1);
+        }
+        t.Lock(m);
+        t.Unlock(m);
+      }
+    }));
+  }
+  for (auto h : hs) {
+    api.JoinThread(h);
+  }
+  return 1;
+}
+
+// Fig 5: critical sections under distinct locks (local work) vs one lock.
+u64 DistinctLocks(ThreadApi& api, bool single_lock) {
+  std::vector<MutexId> ms;
+  for (int i = 0; i < 4; ++i) {
+    ms.push_back(api.CreateMutex());
+  }
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < 4; ++w) {
+    hs.push_back(api.SpawnThread([=, &ms](ThreadApi& t) {
+      const MutexId m = single_lock ? ms[0] : ms[(t.Tid() - 1) % 4];
+      for (int i = 0; i < 25; ++i) {
+        t.Lock(m);
+        t.Work(8000);  // long critical section
+        t.Unlock(m);
+        t.Work(500);
+      }
+    }));
+  }
+  for (auto h : hs) {
+    api.JoinThread(h);
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Mechanism microbenchmarks (virtual kcycles, lower is better)\n\n");
+
+  // Fig 1: RR vs IC under mismatched sync rates.
+  {
+    const u64 rr = Run(Backend::kConsequenceRR, Cfg(2), MismatchedRates);
+    const u64 ic = Run(Backend::kConsequenceIC, Cfg(2), MismatchedRates);
+    std::printf("Fig 1  mismatched sync rates:   cons-rr=%lluk  cons-ic=%lluk  (IC should win:\n"
+                "       the frequent synchronizer no longer waits for the rare one's turn)\n\n",
+                (unsigned long long)rr / 1000, (unsigned long long)ic / 1000);
+  }
+
+  // Fig 3: synchronous vs asynchronous commits.
+  {
+    const u64 sync = Run(Backend::kDThreads, Cfg(4), StaggeredCommits);
+    const u64 async = Run(Backend::kDwc, Cfg(4), StaggeredCommits);
+    std::printf("Fig 3  staggered commits:       dthreads(sync)=%lluk  dwc(async)=%lluk\n"
+                "       (asynchronous Conversion commits avoid the rendezvous)\n\n",
+                (unsigned long long)sync / 1000, (unsigned long long)async / 1000);
+  }
+
+  // Fig 5: distinct locks vs one global lock under Consequence.
+  {
+    const u64 distinct = Run(Backend::kConsequenceIC, Cfg(4),
+                             [](ThreadApi& a) { return DistinctLocks(a, false); });
+    const u64 single = Run(Backend::kConsequenceIC, Cfg(4),
+                           [](ThreadApi& a) { return DistinctLocks(a, true); });
+    std::printf("Fig 5  4 locks vs 1 lock:       distinct=%lluk  single=%lluk\n"
+                "       (critical sections under different locks overlap under Consequence)\n\n",
+                (unsigned long long)distinct / 1000, (unsigned long long)single / 1000);
+  }
+
+  // Fig 6: coarsening on a hot lock.
+  {
+    RuntimeConfig on = Cfg(4);
+    RuntimeConfig off = Cfg(4);
+    off.adaptive_coarsening = false;
+    const WorkloadFn hot = [](ThreadApi& api) {
+      const MutexId m = api.CreateMutex();
+      const u64 c = api.SharedAlloc(8);
+      std::vector<ThreadHandle> hs;
+      for (u32 w = 0; w < 4; ++w) {
+        hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+          for (int i = 0; i < 200; ++i) {
+            t.Work(300);
+            t.Lock(m);
+            t.Store<u64>(c, t.Load<u64>(c) + 1);
+            t.Unlock(m);
+          }
+        }));
+      }
+      for (auto h : hs) {
+        api.JoinThread(h);
+      }
+      return api.Load<u64>(c);
+    };
+    const u64 with = Run(Backend::kConsequenceIC, on, hot);
+    const u64 without = Run(Backend::kConsequenceIC, off, hot);
+    std::printf("Fig 6  hot fine-grained lock:   coarsening=%lluk  no-coarsening=%lluk\n"
+                "       (coarsening folds coordination phases: %0.1fx)\n",
+                (unsigned long long)with / 1000, (unsigned long long)without / 1000,
+                (double)without / (double)with);
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Wall-clock microbenchmarks (google-benchmark) for the substrate hot paths:
+// page diff/merge, workspace load/store, commit/update, token handoff, and
+// whole-simulation throughput. These measure the reproduction's own
+// implementation speed (host CPU time), unlike the fig* binaries which report
+// simulated virtual time.
+#include <benchmark/benchmark.h>
+
+#include "src/clock/det_clock.h"
+#include "src/conv/segment.h"
+#include "src/conv/workspace.h"
+#include "src/rt/api.h"
+#include "src/sim/engine.h"
+#include "src/util/rng.h"
+
+namespace csq {
+namespace {
+
+void BM_PageMerge(benchmark::State& state) {
+  conv::PageBuf base(4096), mine(4096), twin(4096);
+  DetRng rng(1);
+  for (usize i = 0; i < 4096; ++i) {
+    twin[i] = static_cast<u8>(rng.Next());
+    mine[i] = (i % 16 == 0) ? static_cast<u8>(rng.Next()) : twin[i];
+    base[i] = static_cast<u8>(rng.Next());
+  }
+  for (auto _ : state) {
+    conv::PageBuf b = base;
+    benchmark::DoNotOptimize(conv::MergeInto(b, mine, twin));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_PageMerge);
+
+void BM_WorkspaceStoreLoad(benchmark::State& state) {
+  sim::Engine eng;
+  conv::Segment seg(eng, {});
+  u64 total = 0;
+  eng.Spawn([&] {
+    conv::Workspace ws(seg, 0);
+    DetRng rng(2);
+    // Run the benchmark loop inside the simulation (single fiber, no yields).
+    for (auto _ : state) {
+      const u64 addr = rng.Below(1 << 20) & ~7ULL;
+      ws.Store<u64>(addr, total);
+      total += ws.Load<u64>(addr);
+    }
+  });
+  eng.Run();
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_WorkspaceStoreLoad);
+
+void BM_CommitUpdateCycle(benchmark::State& state) {
+  const i64 pages = state.range(0);
+  sim::Engine eng;
+  conv::Segment seg(eng, {});
+  eng.Spawn([&] {
+    conv::Workspace ws(seg, 0);
+    for (auto _ : state) {
+      for (i64 p = 0; p < pages; ++p) {
+        ws.Store<u64>(static_cast<u64>(p) * 4096, static_cast<u64>(p));
+      }
+      ws.CommitAndUpdate();
+    }
+  });
+  eng.Run();
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_CommitUpdateCycle)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_TokenHandoff(benchmark::State& state) {
+  // Two simulated threads ping-ponging the deterministic token.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine eng;
+    clk::DetClock clock(eng, clk::ClockConfig{});
+    state.ResumeTiming();
+    for (u32 tid : {0u, 1u}) {
+      eng.Spawn([&, tid] {
+        if (tid == 0) {
+          clock.RegisterThread(0, 0);
+          clock.RegisterThread(1, 0);
+        }
+        for (int i = 0; i < 500; ++i) {
+          clock.AdvanceWork(tid, 100);
+          clock.WaitToken(tid);
+          clock.ReleaseToken(tid);
+        }
+        clock.FinishThread(tid);
+      });
+    }
+    eng.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TokenHandoff);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  // Round-trip context switches through the scheduler.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine eng;
+    state.ResumeTiming();
+    for (int t = 0; t < 2; ++t) {
+      eng.Spawn([&] {
+        for (int i = 0; i < 1000; ++i) {
+          eng.AdvanceRaw(1, sim::TimeCat::kChunk);
+          eng.YieldRunnable();
+        }
+      });
+    }
+    eng.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_EndToEndLockedCounter(benchmark::State& state) {
+  // Whole-stack throughput: a locked-counter program on Consequence-IC.
+  for (auto _ : state) {
+    rt::RuntimeConfig cfg;
+    cfg.nthreads = 4;
+    cfg.segment.size_bytes = 1 << 20;
+    auto runtime = rt::MakeRuntime(rt::Backend::kConsequenceIC, cfg);
+    const rt::RunResult r = runtime->Run([](rt::ThreadApi& api) {
+      const u64 c = api.SharedAlloc(8);
+      const rt::MutexId m = api.CreateMutex();
+      std::vector<rt::ThreadHandle> hs;
+      for (u32 w = 0; w < 4; ++w) {
+        hs.push_back(api.SpawnThread([=](rt::ThreadApi& t) {
+          for (int i = 0; i < 50; ++i) {
+            t.Work(500);
+            t.Lock(m);
+            t.Store<u64>(c, t.Load<u64>(c) + 1);
+            t.Unlock(m);
+          }
+        }));
+      }
+      for (auto h : hs) {
+        api.JoinThread(h);
+      }
+      return api.Load<u64>(c);
+    });
+    benchmark::DoNotOptimize(r.checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_EndToEndLockedCounter);
+
+}  // namespace
+}  // namespace csq
+
+BENCHMARK_MAIN();

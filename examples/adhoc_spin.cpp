@@ -1,0 +1,65 @@
+// Ad-hoc synchronization under determinism (paper §2.7).
+//
+//   $ ./adhoc_spin
+//
+// A thread spins on a flag that another thread sets without any explicit
+// synchronization. Under commit-at-sync-op determinism the spinner's isolated
+// view never refreshes, so the program cannot terminate — unless a per-chunk
+// instruction limit forces periodic commit+update. This example shows the
+// limit working, and the latency/overhead trade-off of choosing it.
+#include <cstdio>
+#include <vector>
+
+#include "src/rt/api.h"
+
+using namespace csq;      // NOLINT
+using namespace csq::rt;  // NOLINT
+
+namespace {
+
+u64 SpinFlagProgram(ThreadApi& api) {
+  const u64 flag = api.SharedAlloc(8);
+  const u64 data = api.SharedAlloc(8);
+  const u64 spins = api.SharedAlloc(8);
+  const ThreadHandle setter = api.SpawnThread([=](ThreadApi& t) {
+    t.Work(80000);  // long computation before the ad-hoc "release"
+    t.Store<u64>(data, 4242);
+    t.Store<u64>(flag, 1);  // ad-hoc release: a plain store, no sync op
+    t.Work(40000);
+  });
+  const ThreadHandle spinner = api.SpawnThread([=](ThreadApi& t) {
+    u64 n = 0;
+    while (t.Load<u64>(flag) == 0) {  // ad-hoc acquire: spin on the flag
+      t.Work(1000);
+      ++n;
+    }
+    t.Store<u64>(spins, n);
+  });
+  api.JoinThread(setter);
+  api.JoinThread(spinner);
+  return api.Load<u64>(data) + (api.Load<u64>(spins) << 32);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Spin-flag program under Consequence-IC with varying chunk limits.\n");
+  std::printf("(With no limit the spinner would never see the flag — we don't try that.)\n\n");
+  std::printf("%-12s %-14s %-10s %-8s\n", "chunk_limit", "vtime", "data", "spin-iters");
+  for (u64 limit : {5000ULL, 20000ULL, 100000ULL, 1000000ULL}) {
+    RuntimeConfig cfg;
+    cfg.nthreads = 2;
+    cfg.segment.size_bytes = 1 << 20;
+    cfg.chunk_limit = limit;
+    const RunResult r = MakeRuntime(Backend::kConsequenceIC, cfg)->Run(SpinFlagProgram);
+    std::printf("%-12llu %-14llu %-10llu %-8llu\n", (unsigned long long)limit,
+                (unsigned long long)r.vtime, (unsigned long long)(r.checksum & 0xffffffff),
+                (unsigned long long)(r.checksum >> 32));
+  }
+  std::printf(
+      "\nSmaller limits see the flag sooner (fewer wasted spin iterations) but commit\n"
+      "more often; the paper reports some programs need limits of ~1e9 instructions to\n"
+      "avoid slowdowns, which is why its evaluation leaves the mechanism disabled and\n"
+      "leaves efficient ad-hoc synchronization as future work (Section 2.7).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// benchmark_runner — run any of the 19 evaluation workloads on any backend.
+//
+//   $ ./benchmark_runner                          # list workloads/backends
+//   $ ./benchmark_runner ferret cons-ic 8         # one run, full stats
+//   $ ./benchmark_runner ocean_cp all 4           # compare all backends
+//
+// The domain-specific example: a downstream user's entry point for exploring
+// how a particular synchronization pattern behaves under each runtime.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "src/harness/harness.h"
+
+using namespace csq;           // NOLINT
+using namespace csq::harness;  // NOLINT
+
+namespace {
+
+std::optional<rt::Backend> ParseBackend(const char* s) {
+  for (rt::Backend b : FigureBackends()) {
+    if (rt::BackendName(b) == s) {
+      return b;
+    }
+  }
+  return std::nullopt;
+}
+
+void PrintOne(const wl::WorkloadInfo& w, rt::Backend b, u32 threads) {
+  const rt::RunResult r = RunOne(w, b, threads);
+  std::printf("%-10s vtime=%-12llu checksum=%016llx commits=%-7llu tokens=%-7llu "
+              "propagated=%-7llu peakMem=%.2fMiB\n",
+              rt::BackendName(b).data(), (unsigned long long)r.vtime,
+              (unsigned long long)r.checksum, (unsigned long long)r.commits,
+              (unsigned long long)r.token_acquires, (unsigned long long)r.pages_propagated,
+              static_cast<double>(r.peak_mem_bytes) / (1024.0 * 1024.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::printf("usage: %s <workload|all> <backend|all> [threads=8]\n\nworkloads:\n", argv[0]);
+    for (const auto& w : wl::AllWorkloads()) {
+      std::printf("  %-18s (%s)%s%s\n", w.name.data(), w.suite.data(),
+                  w.racy ? " [racy]" : "", w.hard ? " [hard]" : "");
+    }
+    std::printf("backends: pthreads dthreads dwc cons-rr cons-ic all\n");
+    return argc == 1 ? 0 : 1;
+  }
+  const u32 threads = argc > 3 ? static_cast<u32>(std::atoi(argv[3])) : 8;
+  if (threads == 0 || threads > 64) {
+    std::fprintf(stderr, "bad thread count\n");
+    return 1;
+  }
+
+  std::vector<const wl::WorkloadInfo*> workloads;
+  if (std::strcmp(argv[1], "all") == 0) {
+    for (const auto& w : wl::AllWorkloads()) {
+      workloads.push_back(&w);
+    }
+  } else if (const wl::WorkloadInfo* w = wl::FindWorkload(argv[1])) {
+    workloads.push_back(w);
+  } else {
+    std::fprintf(stderr, "unknown workload '%s' (run with no args for the list)\n", argv[1]);
+    return 1;
+  }
+
+  std::vector<rt::Backend> backends;
+  if (std::strcmp(argv[2], "all") == 0) {
+    backends = FigureBackends();
+  } else if (auto b = ParseBackend(argv[2])) {
+    backends.push_back(*b);
+  } else {
+    std::fprintf(stderr, "unknown backend '%s'\n", argv[2]);
+    return 1;
+  }
+
+  for (const wl::WorkloadInfo* w : workloads) {
+    std::printf("== %s @ %u threads ==\n", w->name.data(), threads);
+    for (rt::Backend b : backends) {
+      PrintOne(*w, b, threads);
+    }
+  }
+  return 0;
+}

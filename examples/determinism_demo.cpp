@@ -1,0 +1,90 @@
+// Determinism under timing perturbation — the paper's core property, live.
+//
+//   $ ./determinism_demo
+//
+// Runs an order-dependent program (workers append their ids to a shared log
+// under a mutex) under five different timing-jitter seeds (±20% on every cost)
+// on the nondeterministic pthreads baseline and on every deterministic
+// backend. pthreads produces different outputs across seeds; DThreads, DWC
+// and both Consequence variants produce bit-identical outputs and schedules.
+#include <cstdio>
+#include <vector>
+
+#include "src/rt/api.h"
+
+using namespace csq;      // NOLINT
+using namespace csq::rt;  // NOLINT
+
+namespace {
+
+u64 OrderLog(ThreadApi& api) {
+  const u32 workers = 4;
+  const u32 iters = 16;
+  const u64 log_len = api.SharedAlloc(8);
+  const u64 log = api.SharedAlloc(8 * workers * iters);
+  const MutexId m = api.CreateMutex();
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < workers; ++w) {
+    hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+      for (u32 i = 0; i < iters; ++i) {
+        t.Work(200 + 37 * t.Tid());
+        t.Lock(m);
+        const u64 len = t.Load<u64>(log_len);
+        t.Store<u64>(log + 8 * len, t.Tid());
+        t.Store<u64>(log_len, len + 1);
+        t.Unlock(m);
+      }
+    }));
+  }
+  for (ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+  // Order-sensitive digest of the log.
+  u64 d = 1469598103934665603ULL;
+  const u64 n = api.Load<u64>(log_len);
+  for (u64 i = 0; i < n; ++i) {
+    d = (d ^ api.Load<u64>(log + 8 * i)) * 1099511628211ULL;
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  const u64 seeds[] = {1, 2, 3, 4, 5};
+  std::printf("Order-dependent program, +-20%% timing jitter, 5 seeds per backend.\n");
+  std::printf("Each cell is the output digest — identical cells = deterministic.\n\n");
+  std::printf("%-10s", "backend");
+  for (u64 s : seeds) {
+    std::printf("  seed%llu           ", (unsigned long long)s);
+  }
+  std::printf("\n");
+  for (Backend b : {Backend::kPthreads, Backend::kDThreads, Backend::kDwc,
+                    Backend::kConsequenceRR, Backend::kConsequenceIC}) {
+    std::printf("%-10s", BackendName(b).data());
+    u64 first = 0;
+    bool all_same = true;
+    for (u64 s : seeds) {
+      RuntimeConfig cfg;
+      cfg.nthreads = 4;
+      cfg.segment.size_bytes = 1 << 20;
+      cfg.costs.jitter_bp = 2000;  // +-20%
+      cfg.costs.jitter_seed = s;
+      const RunResult r = MakeRuntime(b, cfg)->Run(OrderLog);
+      std::printf("  %016llx", (unsigned long long)r.checksum);
+      if (s == seeds[0]) {
+        first = r.checksum;
+      } else {
+        all_same &= (r.checksum == first);
+      }
+    }
+    std::printf("   %s\n", b == Backend::kPthreads
+                               ? (all_same ? "(happened to agree)" : "<- varies with timing")
+                               : (all_same ? "deterministic" : "!! BUG"));
+  }
+  std::printf(
+      "\nThe deterministic runtimes produce the same log order under any timing —\n"
+      "the schedule is a function of the program alone, which is what makes\n"
+      "debugging, testing and record/replay tractable (paper, Section 1).\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// A deterministic in-memory key-value store — the "downstream adoption" demo.
+//
+//   $ ./kv_store
+//
+// Combines the library's building blocks the way an application would:
+//   * SharedHeap   — deterministic dynamic allocation of value buffers,
+//   * RwLock       — many concurrent readers, exclusive writers,
+//   * ScheduleRecorder — capture the schedule; diff two runs to prove they
+//     were identical (or find the first divergence if not).
+//
+// Eight threads hammer the store with a mixed get/put workload; the final
+// store contents, the allocation addresses, and the entire synchronization
+// schedule are bit-identical on every run.
+#include <cstdio>
+#include <vector>
+
+#include "src/rt/api.h"
+#include "src/rt/rw_lock.h"
+#include "src/rt/schedule_recorder.h"
+#include "src/rt/shared_heap.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+using namespace csq;      // NOLINT
+using namespace csq::rt;  // NOLINT
+
+namespace {
+
+constexpr u32 kBuckets = 64;
+constexpr u32 kWorkers = 8;
+constexpr u32 kOpsPerWorker = 60;
+
+// An open-addressing-free, bucket-chained map in shared memory.
+// Entry layout (heap-allocated): [key u64][value u64][next u64].
+struct KvStore {
+  KvStore(ThreadApi& api, SharedHeap* h)
+      : heap(h), buckets(api.SharedAlloc(kBuckets * 8, 4096)), lock(api) {}
+
+  void Put(ThreadApi& t, u64 key, u64 value) {
+    lock.WriteLock(t);
+    const u64 head = buckets + 8 * (key % kBuckets);
+    // Update in place if present.
+    for (u64 e = t.Load<u64>(head); e != 0; e = t.Load<u64>(e + 16)) {
+      if (t.Load<u64>(e) == key) {
+        t.Store<u64>(e + 8, value);
+        lock.WriteUnlock(t);
+        return;
+      }
+    }
+    const u64 e = heap->Malloc(t, 24);
+    t.Store<u64>(e, key);
+    t.Store<u64>(e + 8, value);
+    t.Store<u64>(e + 16, t.Load<u64>(head));
+    t.Store<u64>(head, e);
+    lock.WriteUnlock(t);
+  }
+
+  u64 Get(ThreadApi& t, u64 key) {
+    lock.ReadLock(t);
+    u64 result = 0;
+    for (u64 e = t.Load<u64>(buckets + 8 * (key % kBuckets)); e != 0; e = t.Load<u64>(e + 16)) {
+      if (t.Load<u64>(e) == key) {
+        result = t.Load<u64>(e + 8);
+        break;
+      }
+    }
+    lock.ReadUnlock(t);
+    return result;
+  }
+
+  SharedHeap* heap;
+  u64 buckets;
+  RwLock lock;
+};
+
+u64 KvWorkload(ThreadApi& api) {
+  SharedHeap heap(api, 2 << 20);
+  KvStore kv(api, &heap);
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < kWorkers; ++w) {
+    hs.push_back(api.SpawnThread([&](ThreadApi& t) {
+      DetRng rng(0x4b5 + t.Tid());
+      u64 acc = 0;
+      for (u32 i = 0; i < kOpsPerWorker; ++i) {
+        t.Work(400);  // request parsing / hashing
+        const u64 key = rng.Below(200);
+        if (rng.Below(100) < 30) {
+          kv.Put(t, key, t.Tid() * 100000 + i);
+        } else {
+          acc += kv.Get(t, key);
+        }
+      }
+      (void)acc;
+    }));
+  }
+  for (auto h : hs) {
+    api.JoinThread(h);
+  }
+  // Digest the full store contents.
+  Fnv1a digest;
+  for (u32 b = 0; b < kBuckets; ++b) {
+    for (u64 e = api.Load<u64>(kv.buckets + 8 * b); e != 0; e = api.Load<u64>(e + 16)) {
+      digest.Mix(api.Load<u64>(e));
+      digest.Mix(api.Load<u64>(e + 8));
+    }
+  }
+  return digest.Digest();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Deterministic KV store: %u workers x %u mixed get/put ops.\n\n", kWorkers,
+              kOpsPerWorker);
+  ScheduleRecorder rec1, rec2;
+  RuntimeConfig cfg;
+  cfg.nthreads = kWorkers;
+  cfg.segment.size_bytes = 8 << 20;
+
+  cfg.observer = &rec1;
+  cfg.costs.jitter_seed = 1;
+  cfg.costs.jitter_bp = 1500;
+  const RunResult r1 = MakeRuntime(Backend::kConsequenceIC, cfg)->Run(KvWorkload);
+
+  cfg.observer = &rec2;
+  cfg.costs.jitter_seed = 999;  // completely different timing
+  const RunResult r2 = MakeRuntime(Backend::kConsequenceIC, cfg)->Run(KvWorkload);
+
+  std::printf("run 1: store digest=%016llx  sync events=%zu\n",
+              (unsigned long long)r1.checksum, rec1.Events().size());
+  std::printf("run 2: store digest=%016llx  sync events=%zu  (timing jittered +-15%%)\n",
+              (unsigned long long)r2.checksum, rec2.Events().size());
+
+  const auto div = FirstDivergence(rec1.Events(), rec2.Events());
+  if (!div && r1.checksum == r2.checksum) {
+    std::printf("\nSchedules and contents are bit-identical: every Malloc address, every\n"
+                "rwlock grant, every commit happened in the same order despite the jitter.\n");
+    return 0;
+  }
+  if (div) {
+    std::printf("\n!! schedules diverge at event %zu:\n  run1: %s\n  run2: %s\n", div->index,
+                div->left.c_str(), div->right.c_str());
+  }
+  return 1;
+}

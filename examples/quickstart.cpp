@@ -1,0 +1,71 @@
+// Quickstart: run a small multithreaded program deterministically.
+//
+//   $ ./quickstart
+//
+// Builds a 4-thread locked-counter program against the backend-neutral
+// ThreadApi, runs it under Consequence-IC (the paper's main system), and shows
+// that repeated runs are bit-identical — output checksum, schedule fingerprint
+// and even the virtual completion time.
+#include <cstdio>
+#include <vector>
+
+#include "src/rt/api.h"
+
+using namespace csq;      // NOLINT
+using namespace csq::rt;  // NOLINT
+
+namespace {
+
+// An ordinary pthreads-style program: 4 workers increment a shared counter
+// 100 times each under a mutex, then main reads the total.
+u64 CounterProgram(ThreadApi& api) {
+  const u64 counter = api.SharedAlloc(8);
+  const MutexId mu = api.CreateMutex();
+  std::vector<ThreadHandle> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.push_back(api.SpawnThread([=](ThreadApi& t) {
+      for (int i = 0; i < 100; ++i) {
+        t.Work(500);  // some local computation
+        t.Lock(mu);
+        t.Store<u64>(counter, t.Load<u64>(counter) + 1);
+        t.Unlock(mu);
+      }
+    }));
+  }
+  for (ThreadHandle h : workers) {
+    api.JoinThread(h);
+  }
+  return api.Load<u64>(counter);
+}
+
+}  // namespace
+
+int main() {
+  RuntimeConfig cfg;
+  cfg.nthreads = 4;
+  cfg.segment.size_bytes = 1 << 20;
+
+  std::printf("Running a 4-thread locked counter under Consequence-IC, 3 times:\n\n");
+  u64 first_checksum = 0;
+  u64 first_trace = 0;
+  for (int run = 1; run <= 3; ++run) {
+    auto runtime = MakeRuntime(Backend::kConsequenceIC, cfg);
+    const RunResult r = runtime->Run(CounterProgram);
+    std::printf("  run %d: counter=%llu  vtime=%llu  schedule=%016llx\n", run,
+                (unsigned long long)r.checksum, (unsigned long long)r.vtime,
+                (unsigned long long)r.trace_digest);
+    if (run == 1) {
+      first_checksum = r.checksum;
+      first_trace = r.trace_digest;
+    } else if (r.checksum != first_checksum || r.trace_digest != first_trace) {
+      std::printf("  !! nondeterminism detected — this should never happen\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nEvery run executed the same deterministic schedule. The same program under\n"
+      "the pthreads baseline would still compute 400, but its lock-acquisition\n"
+      "order — and therefore any order-dependent output — would vary with timing\n"
+      "(see determinism_demo for exactly that experiment).\n");
+  return 0;
+}

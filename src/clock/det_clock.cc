@@ -1,0 +1,261 @@
+#include "src/clock/det_clock.h"
+
+#include <algorithm>
+
+namespace csq::clk {
+
+using sim::TimeCat;
+
+namespace {
+// Trace tags mixed into the engine's schedule digest.
+constexpr u64 kTraceTokenGrant = 0x10;
+constexpr u64 kTraceTokenRelease = 0x11;
+}  // namespace
+
+DetClock::DetClock(sim::Engine& eng, ClockConfig cfg) : eng_(eng), cfg_(cfg) {}
+
+void DetClock::RegisterThread(u32 tid, u64 initial_count) {
+  while (threads_.size() <= tid) {
+    threads_.emplace_back();
+  }
+  ThreadClock& tc = threads_[tid];
+  CSQ_CHECK(!tc.registered);
+  tc.registered = true;
+  tc.participating = true;
+  tc.count = initial_count;
+  tc.published = initial_count;
+  tc.overflow_period = cfg_.adaptive_overflow ? cfg_.base_overflow_period
+                                              : cfg_.fixed_overflow_period;
+  tc.next_overflow = initial_count + tc.overflow_period;
+  if (rr_turn_ == sim::kInvalidThread) {
+    rr_turn_ = tid;
+  }
+}
+
+void DetClock::FinishThread(u32 tid) {
+  ThreadClock& tc = Tc(tid);
+  CSQ_CHECK_MSG(holder_ != tid, "thread finished while holding the token");
+  tc.participating = false;
+  tc.finished = true;
+  if (rr_turn_ == tid) {
+    AdvanceRrTurn();
+  }
+  eng_.NotifyAll(token_ch_);
+}
+
+void DetClock::AdvanceWork(u32 tid, u64 n) {
+  ThreadClock& tc = Tc(tid);
+  CSQ_CHECK_MSG(!tc.paused, "AdvanceWork while clock paused");
+  const u64 unit = eng_.Costs().work_unit;
+  while (n > 0) {
+    u64 step = n;
+    if (tc.next_overflow > tc.count) {
+      step = std::min(step, tc.next_overflow - tc.count);
+    }
+    eng_.Charge(step * unit, TimeCat::kChunk);
+    tc.count += step;
+    n -= step;
+    if (tc.count >= tc.next_overflow) {
+      // Counter overflow "interrupt".
+      Publish(tid, /*interrupt=*/true);
+      AdaptOverflow(tid);
+    }
+  }
+}
+
+void DetClock::Tick(u32 tid, u64 n) {
+  ThreadClock& tc = Tc(tid);
+  if (tc.paused) {
+    return;  // library-internal memory ops are not user instructions
+  }
+  tc.count += n;
+  if (tc.count >= tc.next_overflow) {
+    Publish(tid, /*interrupt=*/true);
+    AdaptOverflow(tid);
+  }
+}
+
+void DetClock::ForceAdvance(u32 tid, u64 n) {
+  ThreadClock& tc = Tc(tid);
+  eng_.GateShared();
+  tc.count += n;
+  tc.published = tc.count;
+  tc.next_overflow = tc.count + tc.overflow_period;
+  eng_.NotifyAll(token_ch_);
+}
+
+void DetClock::Pause(u32 tid) {
+  ThreadClock& tc = Tc(tid);
+  CSQ_CHECK(!tc.paused);
+  tc.paused = true;
+  Publish(tid, /*interrupt=*/false);  // reads its own counter, no interrupt
+}
+
+void DetClock::Resume(u32 tid) {
+  ThreadClock& tc = Tc(tid);
+  CSQ_CHECK(tc.paused);
+  tc.paused = false;
+}
+
+void DetClock::ChunkBegin(u32 tid) {
+  ThreadClock& tc = Tc(tid);
+  tc.overflow_period = cfg_.adaptive_overflow ? cfg_.base_overflow_period
+                                              : cfg_.fixed_overflow_period;
+  tc.next_overflow = tc.count + tc.overflow_period;
+  if (cfg_.adaptive_overflow) {
+    AdaptOverflow(tid);  // §3.2 rule 2 also applies at chunk begin
+  }
+}
+
+void DetClock::Publish(u32 tid, bool interrupt) {
+  ThreadClock& tc = Tc(tid);
+  if (interrupt) {
+    ++stats_.overflows;
+    // The interrupt handler runs whether or not anyone is waiting — exactly
+    // why the paper's adaptive policy (§3.2) doubles the period when there is
+    // nobody to notify.
+    eng_.Charge(eng_.Costs().overflow_interrupt, TimeCat::kLibrary);
+  }
+  if (token_ch_.Empty()) {
+    tc.published = tc.count;
+    return;
+  }
+  eng_.GateShared();
+  tc.published = tc.count;
+  eng_.NotifyAll(token_ch_);
+}
+
+void DetClock::AdaptOverflow(u32 tid) {
+  ThreadClock& tc = Tc(tid);
+  if (!cfg_.adaptive_overflow) {
+    tc.next_overflow = tc.count + cfg_.fixed_overflow_period;
+    return;
+  }
+  // Rule 2: if we are the GMIC and the next-lowest clock is waiting to become
+  // the GMIC, overflow exactly when our clock passes theirs.
+  if (IsGmicByPublished(tid)) {
+    u64 next_waiter = std::numeric_limits<u64>::max();
+    bool found = false;
+    for (u32 u = 0; u < threads_.size(); ++u) {
+      const ThreadClock& o = threads_[u];
+      if (u == tid || !o.participating || !o.waiting_for_token) {
+        continue;
+      }
+      if (o.count >= tc.count && o.count < next_waiter) {
+        next_waiter = o.count;
+        found = true;
+      }
+    }
+    if (found) {
+      tc.next_overflow = next_waiter + 1;
+      return;
+    }
+  }
+  // Rule 3: nobody to notify — double the period.
+  tc.overflow_period *= 2;
+  tc.next_overflow = tc.count + tc.overflow_period;
+}
+
+bool DetClock::IsGmicByPublished(u32 tid) const {
+  const ThreadClock& me = threads_[tid];
+  for (u32 u = 0; u < threads_.size(); ++u) {
+    const ThreadClock& o = threads_[u];
+    if (u == tid || !o.participating) {
+      continue;
+    }
+    if (o.published < me.count || (o.published == me.count && u < tid)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DetClock::Eligible(u32 tid) const {
+  switch (cfg_.policy) {
+    case OrderPolicy::kRoundRobin:
+      return rr_turn_ == tid;
+    case OrderPolicy::kInstructionCount:
+      return IsGmicByPublished(tid);
+  }
+  return false;
+}
+
+void DetClock::WaitToken(u32 tid) {
+  ThreadClock& tc = Tc(tid);
+  CSQ_CHECK_MSG(tc.participating, "WaitToken by a departed thread");
+  eng_.GateShared();
+  tc.published = tc.count;  // arriving at a sync op publishes the exact count
+  eng_.NotifyAll(token_ch_);  // a higher published count can make others GMIC
+  tc.waiting_for_token = true;
+  while (holder_ != sim::kInvalidThread || !Eligible(tid)) {
+    eng_.Wait(token_ch_, TimeCat::kDetermWait);
+    eng_.GateShared();
+  }
+  tc.waiting_for_token = false;
+  holder_ = tid;
+  ++stats_.token_acquires;
+  eng_.Charge(eng_.Costs().token_acquire, TimeCat::kLibrary);
+  eng_.Trace(kTraceTokenGrant, tid, tc.count, grant_seq_++);
+}
+
+void DetClock::ReleaseToken(u32 tid) {
+  CSQ_CHECK_MSG(holder_ == tid, "release of a token not held");
+  eng_.GateShared();
+  holder_ = sim::kInvalidThread;
+  last_release_count_ = Tc(tid).count;
+  if (cfg_.policy == OrderPolicy::kRoundRobin && rr_turn_ == tid) {
+    AdvanceRrTurn();
+  }
+  eng_.Charge(eng_.Costs().token_release, TimeCat::kLibrary);
+  eng_.Trace(kTraceTokenRelease, tid, last_release_count_, grant_seq_);
+  eng_.NotifyAll(token_ch_);
+}
+
+void DetClock::Depart(u32 tid) {
+  ThreadClock& tc = Tc(tid);
+  CSQ_CHECK(tc.participating);
+  eng_.GateShared();
+  tc.participating = false;
+  ++stats_.departs;
+  if (rr_turn_ == tid) {
+    AdvanceRrTurn();
+  }
+  eng_.NotifyAll(token_ch_);
+}
+
+void DetClock::ArriveAt(u32 tid, u64 ff_count) {
+  ThreadClock& tc = Tc(tid);
+  CSQ_CHECK(!tc.participating && !tc.finished);
+  eng_.GateShared();
+  tc.participating = true;
+  if (cfg_.fast_forward && ff_count > tc.count) {
+    tc.count = ff_count;
+    tc.published = tc.count;
+    tc.next_overflow = tc.count + tc.overflow_period;
+    ++stats_.fast_forwards;
+  } else {
+    tc.published = tc.count;
+  }
+  if (rr_turn_ == sim::kInvalidThread) {
+    rr_turn_ = tid;
+  }
+}
+
+void DetClock::AdvanceRrTurn() {
+  const u32 n = static_cast<u32>(threads_.size());
+  if (n == 0) {
+    rr_turn_ = sim::kInvalidThread;
+    return;
+  }
+  const u32 start = (rr_turn_ == sim::kInvalidThread) ? 0 : rr_turn_;
+  for (u32 step = 1; step <= n; ++step) {
+    const u32 cand = (start + step) % n;
+    if (threads_[cand].registered && threads_[cand].participating) {
+      rr_turn_ = cand;
+      return;
+    }
+  }
+  rr_turn_ = sim::kInvalidThread;
+}
+
+}  // namespace csq::clk

@@ -1,0 +1,157 @@
+// Deterministic logical clock and global-token manager (§2.1, §3.2, §3.5).
+//
+// Each participating thread has a logical clock counting the user instructions
+// it has retired (here: workload work units + workspace memory operations; the
+// paper's hardware counters are replaced by deterministic software counting,
+// which the paper notes is an equally sound clock source).
+//
+// A single *global token* serializes all deterministic events. Two ordering
+// policies are provided:
+//
+//   * kInstructionCount (Kendo/GMIC, used by Consequence-IC): the token may be
+//     acquired only by the thread with the global minimum (count, tid) among
+//     participating threads.
+//   * kRoundRobin (used by DThreads, DWC and Consequence-RR): the token rotates
+//     over participating threads in tid order, one sync operation per turn.
+//
+// Clock skew machinery:
+//   * Pause/Resume — runtime-library code is not counted (§2.1).
+//   * Depart/Arrive — a thread blocking on a lock or condition variable leaves
+//     GMIC consideration so it cannot stall others (§4.1's clockDepart()).
+//   * Fast-forward — a woken thread's clock jumps to the last token releaser's
+//     clock if larger (§3.5).
+//
+// Counter overflow model (§3.2): other threads observe a thread's clock only
+// at *publication points* (the moments a real perf counter overflows and
+// interrupts). Publication frequency affects only how quickly waiters notice
+// they have become the GMIC — never the deterministic order, because a
+// published count never exceeds the true count. The adaptive policy is the
+// paper's: reset to a 5,000-instruction base each chunk; if we are the GMIC
+// and the next-lowest clock is waiting, overflow exactly when our clock passes
+// theirs; otherwise double the period.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/util/types.h"
+
+namespace csq::clk {
+
+enum class OrderPolicy : u8 {
+  kRoundRobin,
+  kInstructionCount,
+};
+
+struct ClockConfig {
+  OrderPolicy policy = OrderPolicy::kInstructionCount;
+  bool adaptive_overflow = true;
+  u64 base_overflow_period = 5000;
+  // Fixed period used when adaptive_overflow is off.
+  u64 fixed_overflow_period = 5000;
+  bool fast_forward = true;
+};
+
+struct ClockStats {
+  u64 token_acquires = 0;
+  u64 overflows = 0;
+  u64 fast_forwards = 0;
+  u64 departs = 0;
+};
+
+class DetClock {
+ public:
+  DetClock(sim::Engine& eng, ClockConfig cfg);
+
+  // ---- Thread lifecycle (call under deterministic order) -------------------
+  // Registers simulated thread `tid`; its clock starts at `initial_count`
+  // (spawners pass their own count so children do not instantly become GMIC).
+  void RegisterThread(u32 tid, u64 initial_count);
+  void FinishThread(u32 tid);
+
+  // ---- Instruction counting -------------------------------------------------
+  // Advances the clock by `n` user instructions AND charges n * work_unit of
+  // virtual time, splitting at publication boundaries so waiters are woken at
+  // accurate virtual times.
+  void AdvanceWork(u32 tid, u64 n);
+
+  // Advances the clock by `n` without charging time (callers that charge
+  // elsewhere, e.g. workspace memory ops). Publication boundaries still fire.
+  void Tick(u32 tid, u64 n);
+
+  void Pause(u32 tid);
+  void Resume(u32 tid);
+
+  // Kendo-style deterministic clock bump (§4.1's polling-lock discussion): a
+  // GMIC thread that failed to acquire a lock adds `n` to its clock so it
+  // stops being the global minimum, then retries. Works while paused; the new
+  // count is published immediately (the polling thread must stop gating
+  // everyone else).
+  void ForceAdvance(u32 tid, u64 n);
+  bool Paused(u32 tid) const { return threads_[tid].paused; }
+
+  // Marks the start of a new chunk (resets the adaptive overflow period).
+  void ChunkBegin(u32 tid);
+
+  u64 Count(u32 tid) const { return threads_[tid].count; }
+
+  // ---- GMIC / token ---------------------------------------------------------
+  // Blocks until `tid` may deterministically acquire the token, then acquires.
+  void WaitToken(u32 tid);
+  void ReleaseToken(u32 tid);
+  bool TokenHeldBy(u32 tid) const { return holder_ == tid; }
+  bool TokenHeld() const { return holder_ != sim::kInvalidThread; }
+
+  // Removes `tid` from GMIC consideration (about to block on a lock/cv).
+  void Depart(u32 tid);
+
+  // Rejoins `tid` (typically called by the waker while it holds the token, so
+  // rejoin order is deterministic — the paper's footnote-4 token handoff).
+  // Fast-forwards the thread's clock to `ff_count` if enabled and larger
+  // (§3.5); pass a deterministic value such as the waker's own count.
+  void ArriveAt(u32 tid, u64 ff_count);
+
+  // Convenience: ArriveAt with the last token-release count.
+  void Arrive(u32 tid) { ArriveAt(tid, last_release_count_); }
+
+  // The count the most recent ReleaseToken() happened at (fast-forward base).
+  u64 LastReleaseCount() const { return last_release_count_; }
+
+  const ClockStats& Stats() const { return stats_; }
+
+ private:
+  struct ThreadClock {
+    bool registered = false;
+    bool participating = false;  // in GMIC consideration
+    bool finished = false;
+    bool paused = false;
+    bool waiting_for_token = false;
+    u64 count = 0;
+    u64 published = 0;
+    u64 next_overflow = 0;
+    u64 overflow_period = 5000;
+  };
+
+  bool Eligible(u32 tid) const;
+  bool IsGmicByPublished(u32 tid) const;
+  void Publish(u32 tid, bool interrupt);
+  void AdaptOverflow(u32 tid);
+  void AdvanceRrTurn();
+  ThreadClock& Tc(u32 tid) { return threads_[tid]; }
+
+  sim::Engine& eng_;
+  ClockConfig cfg_;
+  // deque: threads register mid-run while others hold ThreadClock references
+  // across yields — element addresses must be stable under growth.
+  std::deque<ThreadClock> threads_;
+  u32 holder_ = sim::kInvalidThread;
+  u32 rr_turn_ = sim::kInvalidThread;
+  u64 last_release_count_ = 0;
+  u64 grant_seq_ = 0;
+  sim::WaitChannel token_ch_;
+  ClockStats stats_;
+};
+
+}  // namespace csq::clk

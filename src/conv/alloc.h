@@ -1,0 +1,44 @@
+// Deterministic bump allocator for laying out shared data in a flat address
+// space (a Conversion segment, or the pthreads baseline's flat array).
+//
+// Workloads allocate their shared structures through this before spawning
+// workers, so every backend sees an identical memory layout — a precondition
+// for comparing page-propagation counts across runtimes.
+#pragma once
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace csq::conv {
+
+class BumpAllocator {
+ public:
+  explicit BumpAllocator(usize capacity, u64 base = 0) : base_(base), capacity_(capacity) {}
+
+  // Returns the address of `n` zero-initialized bytes aligned to `align`.
+  u64 Alloc(usize n, usize align = 8) {
+    CSQ_CHECK_MSG((align & (align - 1)) == 0, "alignment must be a power of 2");
+    u64 p = next_;
+    p = (p + align - 1) & ~(static_cast<u64>(align) - 1);
+    CSQ_CHECK_MSG(p + n <= base_ + capacity_,
+                  "segment allocator out of space: want " << n << " at " << p << ", capacity "
+                                                          << capacity_);
+    next_ = p + n;
+    return p;
+  }
+
+  // Aligns the next allocation to a page boundary — used to give per-thread
+  // data structures private pages (false-sharing control, as real benchmarks
+  // do with padding).
+  u64 AllocPageAligned(usize n, usize page_size) { return Alloc(n, page_size); }
+
+  void Reset() { next_ = base_; }
+  u64 Used() const { return next_ - base_; }
+
+ private:
+  u64 base_;
+  usize capacity_;
+  u64 next_ = base_;
+};
+
+}  // namespace csq::conv

@@ -1,0 +1,46 @@
+// Pages and byte-granularity merging.
+//
+// Conversion versions memory at page granularity and resolves page-level
+// conflicts by byte-granularity, last-writer-wins merging (§2.4/§2.5 of the
+// paper). A page's bytes are immutable once published as a committed revision
+// (shared_ptr<const PageBuf>); workspaces hold private writable copies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace csq::conv {
+
+using PageBuf = std::vector<u8>;
+using PageRef = std::shared_ptr<const PageBuf>;
+
+// Copies `src` into a fresh writable page buffer.
+inline std::unique_ptr<PageBuf> CopyPage(const PageBuf& src) {
+  return std::make_unique<PageBuf>(src);
+}
+
+// Applies the byte-granularity diff (mine vs twin) onto `base`, in place:
+// every byte the committer changed relative to its twin wins over `base`
+// (last-writer-wins). Returns the number of bytes applied.
+inline usize MergeInto(PageBuf& base, const PageBuf& mine, const PageBuf& twin) {
+  CSQ_CHECK(base.size() == mine.size() && mine.size() == twin.size());
+  usize applied = 0;
+  for (usize i = 0; i < mine.size(); ++i) {
+    if (mine[i] != twin[i]) {
+      base[i] = mine[i];
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+// Returns true if any byte differs.
+inline bool PagesDiffer(const PageBuf& a, const PageBuf& b) {
+  CSQ_CHECK(a.size() == b.size());
+  return a != b;
+}
+
+}  // namespace csq::conv

@@ -1,0 +1,211 @@
+#include "src/conv/segment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/conv/workspace.h"
+
+namespace csq::conv {
+
+namespace {
+
+struct CountedDeleter {
+  Segment* seg;
+  void operator()(const PageBuf* p) const {
+    seg->NotePageFree();
+    delete p;
+  }
+};
+
+}  // namespace
+
+Segment::Segment(sim::Engine& eng, SegmentConfig cfg)
+    : eng_(eng), cfg_(cfg), page_count_(static_cast<u32>(cfg.size_bytes / cfg.page_size)) {
+  CSQ_CHECK_MSG((cfg.page_size & (cfg.page_size - 1)) == 0, "page size must be a power of 2");
+  CSQ_CHECK(cfg.size_bytes % cfg.page_size == 0);
+  chains_.resize(page_count_);
+  page_reserved_tail_.resize(page_count_, 0);
+  NotePageAlloc();
+  zero_page_ = PageRef(new PageBuf(cfg_.page_size, 0), CountedDeleter{this});
+}
+
+Segment::~Segment() = default;
+
+PageRef Segment::Fetch(u32 page, u64 version) const {
+  CSQ_CHECK_MSG(page < page_count_, "page " << page << " out of range");
+  const auto& chain = chains_[page];
+  // Last revision with rev.version <= version.
+  auto it = std::upper_bound(chain.begin(), chain.end(), version,
+                             [](u64 v, const PageRev& r) { return v < r.version; });
+  if (it == chain.begin()) {
+    return nullptr;
+  }
+  return std::prev(it)->data;
+}
+
+PageRev Segment::FetchRev(u32 page, u64 version) const {
+  CSQ_CHECK_MSG(page < page_count_, "page " << page << " out of range");
+  const auto& chain = chains_[page];
+  auto it = std::upper_bound(chain.begin(), chain.end(), version,
+                             [](u64 v, const PageRev& r) { return v < r.version; });
+  if (it == chain.begin()) {
+    return PageRev{0, nullptr};
+  }
+  return *std::prev(it);
+}
+
+u64 Segment::LatestVersionOf(u32 page) const {
+  const auto& chain = chains_[page];
+  return chain.empty() ? 0 : chain.back().version;
+}
+
+PreparedCommit Segment::PrepareCommit(u32 tid, std::vector<u32> pages) {
+  eng_.GateShared();
+  PreparedCommit pc;
+  pc.version = ++next_reserved_version_;
+  pc.tid = tid;
+  pc.pages = std::move(pages);
+  pc.prev_versions.reserve(pc.pages.size());
+  for (u32 page : pc.pages) {
+    pc.prev_versions.push_back(page_reserved_tail_[page]);
+    page_reserved_tail_[page] = pc.version;
+  }
+  return pc;
+}
+
+void Segment::FinishCommit(
+    const PreparedCommit& pc,
+    const std::function<std::unique_ptr<PageBuf>(u32 page, const PageRef& prev)>& resolve) {
+  // Phase two (parallel in virtual time): per page, wait for the predecessor
+  // recorded in phase one to install, merge onto it, install. Commits to
+  // disjoint pages proceed completely independently — only same-page merges
+  // serialize, exactly the Conversion paper's parallel commit.
+  for (usize i = 0; i < pc.pages.size(); ++i) {
+    const u32 page = pc.pages[i];
+    const u64 prev = pc.prev_versions[i];
+    eng_.GateShared();
+    while (LatestVersionOf(page) != prev) {
+      eng_.Wait(install_order_, sim::TimeCat::kCommit);
+      eng_.GateShared();
+    }
+    auto buf = resolve(page, Fetch(page, prev));
+    InstallRev(page, pc.version, PageRef(buf.release(), CountedDeleter{this}));
+    eng_.NotifyAll(install_order_);
+  }
+  // Mark this version complete and advance the contiguous-prefix watermark.
+  eng_.GateShared();
+  while (pages_by_version_.size() <= pc.version) {
+    pages_by_version_.emplace_back();
+  }
+  pages_by_version_[pc.version] = pc.pages;
+  installed_ahead_.insert(pc.version);
+  while (!installed_ahead_.empty() && *installed_ahead_.begin() == installed_upto_ + 1) {
+    ++installed_upto_;
+    installed_ahead_.erase(installed_ahead_.begin());
+  }
+  ++stats_.commits;
+  stats_.pages_committed += pc.pages.size();
+  eng_.NotifyAll(install_order_);
+  if (observer_) {
+    CommitRecord rec;
+    rec.version = pc.version;
+    rec.tid = pc.tid;
+    rec.pages = pc.pages;
+    observer_(rec);
+  }
+}
+
+void Segment::InstallRev(u32 page, u64 version, PageRef data) {
+  auto& chain = chains_[page];
+  CSQ_CHECK(chain.empty() || chain.back().version < version);
+  if (chain.empty()) {
+    ++populated_pages_;
+  }
+  chain.push_back(PageRev{version, std::move(data)});
+  stats_.live_page_bytes += cfg_.page_size;
+}
+
+usize Segment::DistinctPagesChanged(u64 from, u64 to) const {
+  std::unordered_set<u32> pages;
+  for (u64 v = from + 1; v <= to && v < pages_by_version_.size(); ++v) {
+    pages.insert(pages_by_version_[v].begin(), pages_by_version_[v].end());
+  }
+  return pages.size();
+}
+
+void Segment::WaitInstalled(u64 version) {
+  eng_.GateShared();
+  while (installed_upto_ < version) {
+    eng_.Wait(install_order_, sim::TimeCat::kCommit);
+    eng_.GateShared();
+  }
+}
+
+usize Segment::Gc(u32 nthreads_for_amortization) {
+  if (cfg_.gc_budget_per_call == 0 && !cfg_.multithreaded_gc) {
+    return 0;
+  }
+  eng_.GateShared();
+  const u64 watermark = MinSnapshotVersion();
+  const usize budget =
+      cfg_.multithreaded_gc ? static_cast<usize>(-1) : cfg_.gc_budget_per_call;
+  usize reclaimed = 0;
+  const u32 n = page_count_;
+  for (u32 i = 0; i < n && reclaimed < budget; ++i) {
+    const u32 page = (gc_cursor_ + i) % n;
+    auto& chain = chains_[page];
+    if (chain.size() < 2) {
+      continue;
+    }
+    // Keep the newest revision with version <= watermark (it is somebody's
+    // base) and everything newer; drop older revisions.
+    usize keep_from = 0;
+    for (usize k = 0; k + 1 < chain.size(); ++k) {
+      if (chain[k + 1].version <= watermark) {
+        keep_from = k + 1;
+      }
+    }
+    if (keep_from > 0) {
+      const usize drop = std::min(keep_from, budget - reclaimed);
+      chain.erase(chain.begin(), chain.begin() + static_cast<i64>(drop));
+      reclaimed += drop;
+      stats_.live_page_bytes -= drop * cfg_.page_size;
+    }
+  }
+  gc_cursor_ = (gc_cursor_ + 1) % n;
+  stats_.gc_reclaimed_pages += reclaimed;
+  if (reclaimed > 0) {
+    const u64 cost = eng_.Costs().gc_per_page * reclaimed /
+                     std::max<u32>(1, cfg_.multithreaded_gc ? nthreads_for_amortization : 1);
+    eng_.Charge(cost, sim::TimeCat::kGc);
+  }
+  return reclaimed;
+}
+
+void Segment::RegisterWorkspace(Workspace* ws) { workspaces_.push_back(ws); }
+
+void Segment::UnregisterWorkspace(Workspace* ws) {
+  workspaces_.erase(std::remove(workspaces_.begin(), workspaces_.end(), ws), workspaces_.end());
+}
+
+u64 Segment::MinSnapshotVersion() const {
+  u64 min_v = installed_upto_;
+  for (const Workspace* ws : workspaces_) {
+    if (!ws->GcExempt()) {
+      min_v = std::min(min_v, ws->SnapshotVersion());
+    }
+  }
+  return min_v;
+}
+
+void Segment::NotePageAlloc() {
+  stats_.cur_total_page_bytes += cfg_.page_size;
+  stats_.peak_page_bytes = std::max(stats_.peak_page_bytes, stats_.cur_total_page_bytes);
+}
+
+void Segment::NotePageFree() {
+  CSQ_CHECK(stats_.cur_total_page_bytes >= cfg_.page_size);
+  stats_.cur_total_page_bytes -= cfg_.page_size;
+}
+
+}  // namespace csq::conv

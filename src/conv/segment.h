@@ -1,0 +1,196 @@
+// Conversion: multi-version concurrency control for a main-memory segment.
+//
+// This is a user-space reimplementation of the authors' EuroSys'13 kernel
+// system [23], which Consequence uses for thread isolation (§2.5):
+//
+//   * The segment's committed state is a version log: per page, an append-only
+//     chain of (version, immutable page buffer) revisions.
+//   * Threads operate on private Workspaces (see workspace.h): snapshot version
+//     + copy-on-write local pages.
+//   * Commits install new revisions in a global total order (callers hold the
+//     deterministic token, so version numbers are deterministic).
+//   * Two-phase parallel commit (§4.2): phase one (serial) reserves a version
+//     and the per-page merge order; phase two (parallel in virtual time)
+//     performs the page merges and installs them in version order.
+//   * A budget-limited garbage collector reclaims revisions no workspace can
+//     reach. The budget models the paper's single-threaded collector that
+//     "cannot keep up" on canneal/lu_ncb (Fig 12); an unlimited budget models
+//     the proposed multi-threaded collector.
+//
+// All operations that mutate or scan shared chains gate on the simulation's
+// virtual-time order; read-only fetches at a workspace's snapshot never gate
+// (append-only chains make them interference-free).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <memory>
+#include <vector>
+
+#include "src/conv/page.h"
+#include "src/sim/engine.h"
+#include "src/util/types.h"
+
+namespace csq::conv {
+
+class Workspace;
+
+struct SegmentConfig {
+  usize size_bytes = 16 * 1024 * 1024;
+  u32 page_size = 4096;
+  // Max page revisions reclaimed per Gc() call (the single-threaded collector's
+  // per-opportunity budget). 0 disables collection entirely.
+  u32 gc_budget_per_call = 8;
+  // Models the paper's proposed multi-threaded collector: unlimited budget and
+  // the reclamation cost amortized across threads.
+  bool multithreaded_gc = false;
+};
+
+// One committed revision of one page.
+struct PageRev {
+  u64 version = 0;
+  PageRef data;
+};
+
+// A commit that has completed phase one of the two-phase protocol but not yet
+// installed its pages. Phase one records, per page, the predecessor version
+// this commit must merge onto — the per-page merge order of the Conversion
+// paper's parallel commit: pages of different commits install independently;
+// only same-page merges serialize.
+struct PreparedCommit {
+  u64 version = 0;
+  u32 tid = 0;
+  std::vector<u32> pages;
+  std::vector<u64> prev_versions;  // per page: version to merge onto
+};
+
+// Everything the LRC what-if tracker (and stats) needs to know about a commit.
+struct CommitRecord {
+  u64 version = 0;
+  u32 tid = 0;
+  std::vector<u32> pages;
+};
+
+struct SegmentStats {
+  u64 commits = 0;
+  u64 pages_committed = 0;
+  u64 pages_merged = 0;       // page-level conflicts resolved by byte merge
+  u64 bytes_merged = 0;
+  u64 gc_reclaimed_pages = 0;
+  u64 live_page_bytes = 0;    // committed revisions currently alive
+  u64 peak_page_bytes = 0;    // including workspace-local copies (see NotePageAlloc)
+  u64 cur_total_page_bytes = 0;
+};
+
+class Segment {
+ public:
+  Segment(sim::Engine& eng, SegmentConfig cfg = {});
+  ~Segment();
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  sim::Engine& Eng() { return eng_; }
+  const SegmentConfig& Config() const { return cfg_; }
+  u32 PageSize() const { return cfg_.page_size; }
+  u32 PageCount() const { return page_count_; }
+  usize SizeBytes() const { return cfg_.size_bytes; }
+
+  // The fully installed committed version (all versions <= this are visible).
+  u64 CommittedVersion() const { return installed_upto_; }
+
+  // The highest version reserved by phase one so far. At any token-held
+  // point this is deterministic (all phase ones run under the token), which
+  // makes it the correct deterministic target for updates.
+  u64 ReservedVersion() const { return next_reserved_version_; }
+
+  // Blocks until every version <= `version` has installed.
+  void WaitInstalled(u64 version);
+
+  // Number of DISTINCT pages with at least one new revision in versions
+  // (from, to] — what an update propagates into a thread's view (Fig 16).
+  usize DistinctPagesChanged(u64 from, u64 to) const;
+
+  // Number of pages that have at least one committed revision (the child
+  // page-table population that makes fork expensive, §3.3).
+  u32 PopulatedPageCount() const { return populated_pages_; }
+
+  // Latest revision of `page` visible at `version` (nullptr = all-zero page).
+  // Safe without gating: chains are append-only and `version` is a snapshot.
+  PageRef Fetch(u32 page, u64 version) const;
+
+  // Like Fetch but also reports which version the returned revision was
+  // committed at ({0, nullptr} for a never-written page).
+  PageRev FetchRev(u32 page, u64 version) const;
+
+  // Latest committed version that touched `page`, or 0 if never written.
+  u64 LatestVersionOf(u32 page) const;
+
+  // --- Two-phase commit (§4.2) ----------------------------------------------
+  //
+  // Every commit goes through the two-phase protocol; the ordinary sync-op
+  // path simply performs both phases back-to-back while holding the token,
+  // whereas the deterministic barrier releases the token between the phases
+  // so other threads' phase ones can proceed (the "parallel barrier commit"
+  // optimization).
+  PreparedCommit PrepareCommit(u32 tid, std::vector<u32> pages);
+  // Performs the (virtually parallel) merge+install of a prepared commit.
+  // `resolve` maps a page index to its final bytes given the immediately
+  // preceding revision of that page. Blocks until all earlier prepared
+  // versions have installed (installation is version-ordered; the expensive
+  // merge work overlaps).
+  void FinishCommit(const PreparedCommit& pc,
+                    const std::function<std::unique_ptr<PageBuf>(u32 page, const PageRef& prev)>&
+                        resolve);
+
+  // --- Garbage collection ---------------------------------------------------
+  // Reclaims revisions older than the minimum workspace snapshot. Returns
+  // pages reclaimed. Charged to the caller under TimeCat::kGc.
+  usize Gc(u32 nthreads_for_amortization = 1);
+
+  // --- Workspace registry (GC watermark) ------------------------------------
+  void RegisterWorkspace(Workspace* ws);
+  void UnregisterWorkspace(Workspace* ws);
+  u64 MinSnapshotVersion() const;
+
+  // --- Observers / stats -----------------------------------------------------
+  using CommitObserver = std::function<void(const CommitRecord&)>;
+  void SetCommitObserver(CommitObserver obs) { observer_ = std::move(obs); }
+
+  const SegmentStats& Stats() const { return stats_; }
+
+  // Memory accounting hooks (also called by workspaces for their local pages).
+  void NotePageAlloc();
+  void NotePageFree();
+
+  // Conflict-merge accounting (called by workspaces when they byte-merge).
+  void NoteMerge(usize bytes) {
+    ++stats_.pages_merged;
+    stats_.bytes_merged += bytes;
+  }
+
+  // Zero page shared by all never-written pages.
+  const PageRef& ZeroPage() const { return zero_page_; }
+
+ private:
+  void InstallRev(u32 page, u64 version, PageRef data);
+
+  sim::Engine& eng_;
+  SegmentConfig cfg_;
+  u32 page_count_;
+  u64 next_reserved_version_ = 0;   // grows in phase one
+  u64 installed_upto_ = 0;          // all versions <= this are fully installed
+  std::set<u64> installed_ahead_;   // out-of-order completions > installed_upto_
+  u32 gc_cursor_ = 0;
+  u32 populated_pages_ = 0;
+  std::vector<u64> page_reserved_tail_;  // per page: last reserved version
+  std::vector<std::vector<PageRev>> chains_;
+  std::vector<std::vector<u32>> pages_by_version_;  // index: version number
+  std::vector<Workspace*> workspaces_;
+  PageRef zero_page_;
+  CommitObserver observer_;
+  SegmentStats stats_;
+  sim::WaitChannel install_order_;  // FinishCommit version-ordering
+};
+
+}  // namespace csq::conv

@@ -1,0 +1,227 @@
+#include "src/conv/workspace.h"
+
+#include <algorithm>
+
+namespace csq::conv {
+
+using sim::TimeCat;
+
+Workspace::Workspace(Segment& seg, u32 tid)
+    : seg_(seg), eng_(seg.Eng()), tid_(tid), snapshot_(seg.CommittedVersion()) {
+  seg_.RegisterWorkspace(this);
+}
+
+Workspace::~Workspace() {
+  Discard();
+  seg_.UnregisterWorkspace(this);
+}
+
+Workspace::LocalPage& Workspace::TouchPage(u32 page) {
+  auto it = pages_.find(page);
+  if (it != pages_.end()) {
+    return it->second;
+  }
+  LocalPage lp;
+  const PageRev rev = seg_.FetchRev(page, snapshot_);
+  if (rev.data) {
+    lp.twin = rev.data;
+    lp.base_version = rev.version;
+  } else {
+    lp.twin = seg_.ZeroPage();
+    lp.base_version = 0;
+  }
+  eng_.Charge(eng_.Costs().page_fetch, TimeCat::kFault);
+  ++stats_.pages_fetched;
+  return pages_.emplace(page, std::move(lp)).first->second;
+}
+
+PageBuf& Workspace::WritablePage(u32 page) {
+  LocalPage& lp = TouchPage(page);
+  if (!lp.local) {
+    seg_.NotePageAlloc();
+    lp.local = CopyPage(*lp.twin);
+    eng_.Charge(eng_.Costs().page_fault, TimeCat::kFault);
+    ++stats_.cow_faults;
+    dirty_.push_back(page);
+  }
+  return *lp.local;
+}
+
+void Workspace::LoadBytes(u64 addr, void* out, usize n) {
+  CSQ_CHECK_MSG(addr + n <= seg_.SizeBytes(), "load out of segment bounds");
+  const u32 ps = seg_.PageSize();
+  eng_.Charge(std::max<u64>(1, n / 8) * eng_.Costs().mem_op, TimeCat::kChunk);
+  auto* dst = static_cast<u8*>(out);
+  while (n > 0) {
+    const u32 page = static_cast<u32>(addr / ps);
+    const u32 off = static_cast<u32>(addr % ps);
+    const usize chunk = std::min<usize>(n, ps - off);
+    const LocalPage& lp = TouchPage(page);
+    const PageBuf& src = lp.local ? *lp.local : *lp.twin;
+    std::copy_n(src.data() + off, chunk, dst);
+    dst += chunk;
+    addr += chunk;
+    n -= chunk;
+  }
+  ++stats_.loads;
+}
+
+void Workspace::StoreBytes(u64 addr, const void* in, usize n) {
+  CSQ_CHECK_MSG(addr + n <= seg_.SizeBytes(), "store out of segment bounds");
+  const u32 ps = seg_.PageSize();
+  eng_.Charge(std::max<u64>(1, n / 8) * eng_.Costs().mem_op, TimeCat::kChunk);
+  const auto* src = static_cast<const u8*>(in);
+  while (n > 0) {
+    const u32 page = static_cast<u32>(addr / ps);
+    const u32 off = static_cast<u32>(addr % ps);
+    const usize chunk = std::min<usize>(n, ps - off);
+    PageBuf& dst = WritablePage(page);
+    std::copy_n(src, chunk, dst.data() + off);
+    src += chunk;
+    addr += chunk;
+    n -= chunk;
+  }
+  ++stats_.stores;
+}
+
+std::unique_ptr<PageBuf> Workspace::ResolvePage(u32 page, const PageRef& prev) {
+  const LocalPage& lp = pages_.at(page);
+  CSQ_CHECK_MSG(lp.local != nullptr, "resolving a non-dirty page");
+  seg_.NotePageAlloc();
+  if ((prev == nullptr && lp.base_version == 0) ||
+      (prev != nullptr && prev.get() == lp.twin.get())) {
+    // Fast path: nobody committed this page since our twin; publish our copy.
+    eng_.Charge(eng_.Costs().commit_per_page, TimeCat::kCommit);
+    return CopyPage(*lp.local);
+  }
+  // Conflict: byte-merge our changes (vs. twin) onto the previous revision.
+  auto merged = CopyPage(prev ? *prev : *seg_.ZeroPage());
+  const usize bytes = MergeInto(*merged, *lp.local, *lp.twin);
+  eng_.Charge(eng_.Costs().page_diff + eng_.Costs().page_merge + eng_.Costs().commit_per_page,
+              TimeCat::kCommit);
+  ++stats_.pages_merged;
+  seg_.NoteMerge(bytes);
+  return merged;
+}
+
+PreparedCommit Workspace::PrepareTwoPhase() {
+  eng_.Charge(eng_.Costs().commit_fixed, TimeCat::kCommit);
+  if (dirty_.empty()) {
+    // Nothing to publish: elide the version entirely (a read-only critical
+    // section creates no memory-log churn). version == 0 marks the no-op.
+    return PreparedCommit{};
+  }
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  return seg_.PrepareCommit(tid_, dirty_);
+}
+
+void Workspace::FinishTwoPhase(const PreparedCommit& pc) {
+  if (pc.version == 0) {
+    last_commit_pages_.clear();
+    return;
+  }
+  seg_.FinishCommit(pc, [this](u32 page, const PageRef& prev) { return ResolvePage(page, prev); });
+  AfterCommitRefresh(pc);
+  ++stats_.commits;
+  stats_.pages_committed += pc.pages.size();
+  last_commit_pages_ = pc.pages;
+  dirty_.clear();
+}
+
+void Workspace::AfterCommitRefresh(const PreparedCommit& pc) {
+  for (u32 page : pc.pages) {
+    LocalPage& lp = pages_.at(page);
+    if (lp.local) {
+      seg_.NotePageFree();
+      lp.local.reset();
+    }
+    const PageRev rev = seg_.FetchRev(page, pc.version);
+    CSQ_CHECK(rev.data != nullptr && rev.version == pc.version);
+    lp.twin = rev.data;
+    lp.base_version = rev.version;
+  }
+}
+
+u64 Workspace::Commit() {
+  const PreparedCommit pc = PrepareTwoPhase();
+  FinishTwoPhase(pc);
+  return pc.version;
+}
+
+u64 Workspace::Update() {
+  eng_.GateShared();
+  return UpdateTo(seg_.ReservedVersion());
+}
+
+u64 Workspace::UpdateTo(u64 target) {
+  seg_.WaitInstalled(target);
+  eng_.Charge(eng_.Costs().update_fixed, TimeCat::kCommit);
+  if (target > snapshot_) {
+    // Conversion updates the thread's whole mapping: every page with a newer
+    // revision than the snapshot is propagated into this thread's view.
+    stats_.pages_propagated += seg_.DistinctPagesChanged(snapshot_, target);
+  }
+  if (discard_on_update_) {
+    // mprotect-style fence: drop the whole cached working set (refetch lazily).
+    CSQ_CHECK_MSG(dirty_.empty(), "DThreads update with uncommitted dirty pages");
+    Discard();
+    snapshot_ = target;
+    ++stats_.updates;
+    return target;
+  }
+  for (u32 page : SortedCachedPages()) {
+    LocalPage& lp = pages_.at(page);
+    const PageRev rev = seg_.FetchRev(page, target);
+    if (rev.version <= lp.base_version) {
+      continue;
+    }
+    CSQ_CHECK(rev.data != nullptr);
+    if (lp.local) {
+      // Rebase: remote bytes come in underneath, our pending stores stay on
+      // top (TSO store-buffer semantics).
+      seg_.NotePageAlloc();
+      auto rebased = CopyPage(*rev.data);
+      MergeInto(*rebased, *lp.local, *lp.twin);
+      seg_.NotePageFree();
+      lp.local = std::move(rebased);
+      eng_.Charge(eng_.Costs().page_fetch + eng_.Costs().page_diff + eng_.Costs().page_merge,
+                  TimeCat::kCommit);
+      ++stats_.pages_merged;
+    } else {
+      eng_.Charge(eng_.Costs().page_fetch, TimeCat::kCommit);
+    }
+    lp.twin = rev.data;
+    lp.base_version = rev.version;
+  }
+  snapshot_ = target;
+  ++stats_.updates;
+  return target;
+}
+
+u64 Workspace::CommitAndUpdate() {
+  Commit();
+  return Update();
+}
+
+void Workspace::Discard() {
+  for (auto& [page, lp] : pages_) {
+    if (lp.local) {
+      seg_.NotePageFree();
+    }
+  }
+  pages_.clear();
+  dirty_.clear();
+}
+
+std::vector<u32> Workspace::SortedCachedPages() const {
+  std::vector<u32> keys;
+  keys.reserve(pages_.size());
+  for (const auto& [page, lp] : pages_) {
+    keys.push_back(page);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace csq::conv

@@ -1,0 +1,140 @@
+// A thread's isolated view of a Conversion segment (§2.5).
+//
+// A workspace holds a snapshot version plus a cache of local pages. Reads hit
+// the local cache (fetching the committed revision at the snapshot on first
+// touch); the first write to a page takes a copy-on-write "fault" that clones
+// the page. Commit publishes the dirty pages as one new version (byte-merging
+// against any concurrently committed revisions, last-writer-wins); update
+// advances the snapshot to the latest committed version, rebasing dirty pages
+// so the thread's own pending stores stay visible (TSO store-buffer
+// semantics).
+//
+// Cost charging: every access charges mem_op; first-touch fetches, CoW faults,
+// diffs, merges and commit/update work charge their cost-model entries, so the
+// virtual-time figures reflect Conversion overheads the way the paper's
+// Figure 15 breakdown does.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/conv/page.h"
+#include "src/conv/segment.h"
+#include "src/util/types.h"
+
+namespace csq::conv {
+
+struct WorkspaceStats {
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 cow_faults = 0;
+  u64 pages_fetched = 0;     // first-touch fetches at the snapshot
+  u64 pages_propagated = 0;  // pages refreshed/rebased by Update (TSO propagation, Fig 16)
+  u64 commits = 0;
+  u64 updates = 0;
+  u64 pages_committed = 0;
+  u64 pages_merged = 0;      // conflicts this workspace had to byte-merge
+};
+
+class Workspace {
+ public:
+  Workspace(Segment& seg, u32 tid);
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  u32 Tid() const { return tid_; }
+  u64 SnapshotVersion() const { return snapshot_; }
+
+  // A workspace whose thread is blocked and guaranteed to Update() before its
+  // next shared-memory access does not pin the GC watermark: its cached twins
+  // are kept alive by their own references, and trimmed chain prefixes can
+  // only be observed through fetches at the (soon-refreshed) snapshot.
+  bool GcExempt() const { return gc_exempt_; }
+  void SetGcExempt(bool v) { gc_exempt_ = v; }
+  usize DirtyPageCount() const { return dirty_.size(); }
+  usize CachedPageCount() const { return pages_.size(); }
+  const WorkspaceStats& Stats() const { return stats_; }
+
+  // Pages published by the most recent commit (for happens-before observers).
+  const std::vector<u32>& LastCommitPages() const { return last_commit_pages_; }
+
+  // ---- Typed access --------------------------------------------------------
+  template <typename T>
+  T Load(u64 addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    LoadBytes(addr, &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void Store(u64 addr, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    StoreBytes(addr, &v, sizeof(T));
+  }
+
+  void LoadBytes(u64 addr, void* out, usize n);
+  void StoreBytes(u64 addr, const void* in, usize n);
+
+  // ---- Consistency operations ---------------------------------------------
+  // All three must be called while the caller holds the deterministic token
+  // (the runtime layer's responsibility).
+
+  // Publishes dirty pages as one new version. Returns the version (or the
+  // current committed version if nothing was dirty).
+  u64 Commit();
+
+  // Advances the snapshot to the deterministic latest version (the highest
+  // reserved version — deterministic at any token-held point), waiting for any
+  // in-flight installs.
+  u64 Update();
+
+  // Advances the snapshot to exactly `target` (used after barriers, where the
+  // deterministic target is recorded during phase one).
+  u64 UpdateTo(u64 target);
+
+  u64 CommitAndUpdate();
+
+  // DThreads mode: its mprotect-based isolation resets page protections on
+  // every fence, so an update invalidates the whole cached working set and
+  // every page refaults on next touch — the key inefficiency Conversion (DWC)
+  // removes. When set, UpdateTo discards all cached pages instead of
+  // incrementally refreshing changed ones.
+  void SetDiscardOnUpdate(bool v) { discard_on_update_ = v; }
+
+  // Two-phase variant for the deterministic barrier: phase one (serial, token
+  // held) reserves the version; phase two (token released) merges + installs.
+  PreparedCommit PrepareTwoPhase();
+  void FinishTwoPhase(const PreparedCommit& pc);
+
+  // Drops all local pages (thread exit / pool reuse).
+  void Discard();
+
+ private:
+  struct LocalPage {
+    PageRef twin;                    // content this thread based its copy on
+    std::unique_ptr<PageBuf> local;  // writable copy; null until first store
+    u64 base_version = 0;            // committed version the twin came from
+  };
+
+  LocalPage& TouchPage(u32 page);
+  PageBuf& WritablePage(u32 page);
+  std::unique_ptr<PageBuf> ResolvePage(u32 page, const PageRef& prev);
+  void AfterCommitRefresh(const PreparedCommit& pc);
+  std::vector<u32> SortedCachedPages() const;
+
+  Segment& seg_;
+  sim::Engine& eng_;
+  u32 tid_;
+  bool discard_on_update_ = false;
+  bool gc_exempt_ = false;
+  u64 snapshot_ = 0;
+  std::unordered_map<u32, LocalPage> pages_;
+  std::vector<u32> dirty_;  // unsorted; sorted & deduped at commit
+  std::vector<u32> last_commit_pages_;
+  WorkspaceStats stats_;
+};
+
+}  // namespace csq::conv

@@ -1,0 +1,73 @@
+#include "src/harness/harness.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace csq::harness {
+
+std::vector<u32> ThreadCounts() {
+  const char* quick = std::getenv("CSQ_QUICK");
+  if (quick != nullptr && quick[0] == '1') {
+    return {2, 4, 8};
+  }
+  return {2, 4, 8, 16, 32};
+}
+
+rt::RuntimeConfig DefaultConfig(u32 nthreads) {
+  rt::RuntimeConfig cfg;
+  cfg.nthreads = nthreads;
+  cfg.segment.size_bytes = 16 << 20;
+  return cfg;
+}
+
+rt::RunResult RunOne(const wl::WorkloadInfo& w, rt::Backend b, u32 nthreads,
+                     const rt::RuntimeConfig* base) {
+  rt::RuntimeConfig cfg = base != nullptr ? *base : DefaultConfig(nthreads);
+  cfg.nthreads = nthreads;
+  wl::WlParams p;
+  p.workers = nthreads;
+  return rt::MakeRuntime(b, cfg)->Run(wl::Bind(w, p));
+}
+
+BestResult BestOverThreads(const wl::WorkloadInfo& w, rt::Backend b,
+                           const std::vector<u32>& threads, const rt::RuntimeConfig* base) {
+  BestResult best;
+  for (u32 t : threads) {
+    const rt::RunResult r = RunOne(w, b, t, base);
+    if (r.vtime < best.vtime) {
+      best.vtime = r.vtime;
+      best.at_threads = t;
+      best.result = r;
+    }
+  }
+  CSQ_CHECK(best.at_threads != 0);
+  return best;
+}
+
+double Slowdown(u64 v, u64 base_v) {
+  CSQ_CHECK(base_v > 0);
+  return static_cast<double>(v) / static_cast<double>(base_v);
+}
+
+const std::vector<rt::Backend>& FigureBackends() {
+  static const std::vector<rt::Backend> kBackends = {
+      rt::Backend::kPthreads, rt::Backend::kDThreads, rt::Backend::kDwc,
+      rt::Backend::kConsequenceRR, rt::Backend::kConsequenceIC,
+  };
+  return kBackends;
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace csq::harness

@@ -1,0 +1,50 @@
+// Experiment harness shared by the bench/ figure reproductions.
+//
+// Conventions mirror the paper's §5 methodology:
+//   * every (workload, backend) pair is run over a set of thread counts and
+//     the best (lowest virtual-time) result is kept — Fig 10's
+//     "best library runtime / best pthreads runtime";
+//   * runtimes are reported normalized to pthreads;
+//   * the thread-count sweep is {2,4,8,16,32} by default and can be shrunk
+//     with the CSQ_QUICK=1 environment variable for smoke runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/rt/api.h"
+#include "src/util/table.h"
+#include "src/wl/workloads.h"
+
+namespace csq::harness {
+
+// Thread counts to sweep (honours CSQ_QUICK).
+std::vector<u32> ThreadCounts();
+
+// Default runtime config for experiments (larger segment than unit tests).
+rt::RuntimeConfig DefaultConfig(u32 nthreads);
+
+// One workload run on one backend at one thread count.
+rt::RunResult RunOne(const wl::WorkloadInfo& w, rt::Backend b, u32 nthreads,
+                     const rt::RuntimeConfig* base = nullptr);
+
+// Best-over-thread-counts virtual runtime (Fig 10 methodology).
+struct BestResult {
+  u64 vtime = ~0ULL;
+  u32 at_threads = 0;
+  rt::RunResult result;
+};
+BestResult BestOverThreads(const wl::WorkloadInfo& w, rt::Backend b,
+                           const std::vector<u32>& threads,
+                           const rt::RuntimeConfig* base = nullptr);
+
+// Normalization helper: slowdown of `v` relative to baseline `base_v`.
+double Slowdown(u64 v, u64 base_v);
+
+// The backends in the paper's figure legends.
+const std::vector<rt::Backend>& FigureBackends();  // pthreads..cons-ic
+
+// Geometric mean of a vector of ratios.
+double GeoMean(const std::vector<double>& xs);
+
+}  // namespace csq::harness

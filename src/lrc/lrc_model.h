@@ -1,0 +1,114 @@
+// Lazy-release-consistency what-if model (§5.3, Figure 16).
+//
+// The paper asks: how much less memory would an LRC-based deterministic system
+// (like RFDet [19]) propagate between threads than Consequence's TSO? To answer
+// it without building RFDet, Consequence was instrumented with vector clocks on
+// threads, synchronization objects and committed pages; at each acquire
+// operation, the pages that would have to travel along happens-before edges
+// were counted. This class is that instrumentation.
+//
+// Implementation: the vector-clock component for thread T counts T's commits.
+//   * OnCommit(T, pages):   T's clock ticks; the commit (and its page set) is
+//                           appended to T's commit log.
+//   * OnRelease(T, O):      O.vc = join(O.vc, T.vc).
+//   * OnAcquire(T, O):      T.vc' = join(T.vc, O.vc); every commit that just
+//                           became happens-before-visible contributes its pages
+//                           (deduplicated within the acquire — LRC ships one
+//                           copy of a page per acquire, like TreadMarks).
+//
+// The resulting total is compared against the TSO system's actual page
+// propagation count (RunResult::pages_propagated).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/rt/api.h"
+#include "src/util/types.h"
+
+namespace csq::lrc {
+
+class LrcModel : public rt::SyncObserver {
+ public:
+  LrcModel() = default;
+
+  void OnCommit(u32 tid, const std::vector<u32>& pages) override {
+    Grow(tid);
+    commit_log_[tid].push_back(pages);
+    if (threads_[tid].size() <= tid) {
+      threads_[tid].resize(tid + 1, 0);
+    }
+    threads_[tid][tid] = commit_log_[tid].size();
+  }
+
+  void OnRelease(u32 tid, u64 object) override {
+    Grow(tid);
+    Join(objects_[object], threads_[tid]);
+  }
+
+  void OnAcquire(u32 tid, u64 object) override {
+    Grow(tid);
+    auto it = objects_.find(object);
+    if (it == objects_.end()) {
+      return;  // nothing was ever released through this object
+    }
+    std::vector<u64>& mine = threads_[tid];
+    const bool is_thread_obj =
+        (object >> 32) == static_cast<u64>(rt::SyncObjKind::kThread);
+    if (is_thread_obj && mine.empty() && commit_log_[tid].empty()) {
+      // A brand-new thread's first acquire is its birth edge: fork copies the
+      // parent's mapping wholesale, so nothing travels as page propagation
+      // under either consistency model. Inherit visibility without counting.
+      Join(mine, it->second);
+      ++acquires_;
+      return;
+    }
+    const std::vector<u64>& ovc = it->second;
+    // Pages from commits that just became visible, deduplicated per acquire.
+    std::unordered_set<u32> fresh;
+    for (usize t = 0; t < ovc.size(); ++t) {
+      const u64 upto = ovc[t];
+      const u64 from = (t < mine.size()) ? mine[t] : 0;
+      if (t == tid || upto <= from) {
+        continue;
+      }
+      const auto& log = commit_log_[static_cast<u32>(t)];
+      for (u64 i = from; i < upto && i < log.size(); ++i) {
+        fresh.insert(log[i].begin(), log[i].end());
+      }
+    }
+    pages_propagated_ += fresh.size();
+    ++acquires_;
+    Join(mine, ovc);
+  }
+
+  // Total pages an LRC system would have shipped along happens-before edges.
+  u64 PagesPropagated() const { return pages_propagated_; }
+  u64 Acquires() const { return acquires_; }
+
+ private:
+  void Grow(u32 tid) {
+    if (threads_.size() <= tid) {
+      threads_.resize(tid + 1);
+      commit_log_.resize(tid + 1);
+    }
+  }
+
+  static void Join(std::vector<u64>& into, const std::vector<u64>& from) {
+    if (into.size() < from.size()) {
+      into.resize(from.size(), 0);
+    }
+    for (usize i = 0; i < from.size(); ++i) {
+      into[i] = std::max(into[i], from[i]);
+    }
+  }
+
+  std::vector<std::vector<u64>> threads_;                 // per-thread vector clocks
+  std::vector<std::vector<std::vector<u32>>> commit_log_; // per-thread commit page sets
+  std::unordered_map<u64, std::vector<u64>> objects_;     // per-sync-object vector clocks
+  u64 pages_propagated_ = 0;
+  u64 acquires_ = 0;
+};
+
+}  // namespace csq::lrc

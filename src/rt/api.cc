@@ -1,0 +1,32 @@
+#include "src/rt/api.h"
+
+#include "src/rt/det_runtime.h"
+#include "src/rt/pthreads_rt.h"
+#include "src/util/check.h"
+
+namespace csq::rt {
+
+std::string_view BackendName(Backend b) {
+  switch (b) {
+    case Backend::kPthreads:
+      return "pthreads";
+    case Backend::kDThreads:
+      return "dthreads";
+    case Backend::kDwc:
+      return "dwc";
+    case Backend::kConsequenceRR:
+      return "cons-rr";
+    case Backend::kConsequenceIC:
+      return "cons-ic";
+  }
+  return "?";
+}
+
+std::unique_ptr<Runtime> MakeRuntime(Backend b, const RuntimeConfig& cfg) {
+  if (b == Backend::kPthreads) {
+    return std::make_unique<PthreadsRuntime>(cfg);
+  }
+  return std::make_unique<DetRuntime>(b, cfg);
+}
+
+}  // namespace csq::rt

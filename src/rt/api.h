@@ -1,0 +1,217 @@
+// The public threading API every runtime implements and every workload uses.
+//
+// A workload is written once against ThreadApi (the pthreads-shaped surface:
+// shared memory, mutexes, condition variables, barriers, thread create/join)
+// and can then be executed by any backend:
+//
+//   kPthreads      — nondeterministic baseline (direct shared memory, plain
+//                    lock semantics); the normalization denominator.
+//   kDThreads      — DThreads [21]: round-robin ordering, commits at sync ops,
+//                    mprotect-style discard-everything fences, one global lock.
+//   kDwc           — DThreads-with-Conversion [23]: round-robin ordering +
+//                    Conversion's asynchronous, incremental commits.
+//   kConsequenceRR — Consequence with round-robin ordering (§5's CONS-RR).
+//   kConsequenceIC — the paper's main system: GMIC ordering + all §3
+//                    optimizations (adaptive coarsening, adaptive overflow,
+//                    thread reuse, user-space counter reads, fast-forward,
+//                    parallel barrier commit).
+//
+// Run() executes the workload on a fresh deterministic simulation and returns
+// virtual runtime, the workload's result checksum, the schedule fingerprint,
+// memory peaks and per-category time breakdowns.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/clock/det_clock.h"
+#include "src/conv/segment.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/time_category.h"
+#include "src/util/types.h"
+
+namespace csq::rt {
+
+using MutexId = u32;
+using CondId = u32;
+using BarrierId = u32;
+using ThreadHandle = u32;
+
+enum class RmwOp : u8 {
+  kAdd,       // returns old value, stores old + operand
+  kExchange,  // returns old value, stores operand
+  kMax,       // returns old value, stores max(old, operand)
+};
+
+class ThreadApi {
+ public:
+  virtual ~ThreadApi() = default;
+
+  // Logical thread id (0 = the workload's main thread).
+  virtual u32 Tid() const = 0;
+
+  // The configured worker-count hint (RuntimeConfig::nthreads).
+  virtual u32 NumThreads() const = 0;
+
+  // Performs `units` of pure computation (advances the logical clock and
+  // virtual time; models the program's own instructions).
+  virtual void Work(u64 units) = 0;
+
+  // ---- Shared memory --------------------------------------------------------
+  virtual void LoadBytes(u64 addr, void* out, usize n) = 0;
+  virtual void StoreBytes(u64 addr, const void* in, usize n) = 0;
+
+  template <typename T>
+  T Load(u64 addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    LoadBytes(addr, &v, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void Store(u64 addr, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    StoreBytes(addr, &v, sizeof(T));
+  }
+
+  // Deterministic atomic read-modify-write (§2.7's proposed token+op+commit
+  // treatment of atomic instructions). Returns the old value.
+  virtual u64 AtomicRmw(u64 addr, RmwOp op, u64 operand) = 0;
+
+  // Allocates zeroed shared memory; deterministic layout across backends.
+  virtual u64 SharedAlloc(usize n, usize align = 8) = 0;
+
+  // ---- Synchronization ------------------------------------------------------
+  virtual MutexId CreateMutex() = 0;
+  virtual CondId CreateCond() = 0;
+  virtual BarrierId CreateBarrier(u32 parties) = 0;
+
+  virtual void Lock(MutexId m) = 0;
+  virtual void Unlock(MutexId m) = 0;
+  virtual void CondWait(CondId c, MutexId m) = 0;
+  virtual void CondSignal(CondId c) = 0;
+  virtual void CondBroadcast(CondId c) = 0;
+  virtual void BarrierWait(BarrierId b) = 0;
+
+  // ---- Threads --------------------------------------------------------------
+  virtual ThreadHandle SpawnThread(std::function<void(ThreadApi&)> fn) = 0;
+  virtual void JoinThread(ThreadHandle h) = 0;
+};
+
+// Observer for deterministic synchronization events, used by the LRC what-if
+// model (§5.3). Object ids are namespaced: mutex / condvar / barrier / thread.
+enum class SyncObjKind : u8 { kMutex, kCond, kBarrier, kThread };
+
+inline u64 SyncObjId(SyncObjKind k, u64 id) {
+  return (static_cast<u64>(k) << 32) | id;
+}
+
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+  // Acquire/release edges in happens-before order (called at token-held,
+  // deterministic points, program-ordered per thread).
+  virtual void OnAcquire(u32 tid, u64 object) = 0;
+  virtual void OnRelease(u32 tid, u64 object) = 0;
+  // A commit by `tid` covering `pages` (called before the matching release).
+  virtual void OnCommit(u32 tid, const std::vector<u32>& pages) = 0;
+};
+
+enum class Backend : u8 {
+  kPthreads,
+  kDThreads,
+  kDwc,
+  kConsequenceRR,
+  kConsequenceIC,
+};
+
+std::string_view BackendName(Backend b);
+
+struct RuntimeConfig {
+  u32 nthreads = 8;
+
+  sim::CostModel costs;
+  conv::SegmentConfig segment;
+
+  // Clock knobs (policy is forced per backend; overflow knobs apply to
+  // Consequence only).
+  bool adaptive_overflow = true;
+  u64 fixed_overflow_period = 5000;
+  bool fast_forward = true;
+
+  // Consequence optimizations (§3). Each can be ablated for Fig 13.
+  bool adaptive_coarsening = true;
+  u32 static_coarsen_level = 0;   // used when adaptive_coarsening == false; 0 = no coarsening
+  u64 max_coarsen_chunk = 32768;  // upper bound for the adaptive max-chunk length
+  bool thread_reuse = true;
+  bool user_space_reads = true;
+  bool parallel_barrier_commit = true;
+
+  // §2.7 ad-hoc synchronization support: force a commit+update after this many
+  // chunk instructions (0 = disabled; the paper's evaluation disables it too).
+  u64 chunk_limit = 0;
+
+  // §4.1 ablation: use Kendo-style *polling* lock acquisition instead of the
+  // paper's novel blocking mutexLock(). A GMIC thread that finds the lock held
+  // bumps its own clock by `kendo_poll_increment` and retries — the design the
+  // paper improves upon ("the choice of a sensible value to add to the clock
+  // while polling requires program-specific tuning").
+  bool kendo_polling_locks = false;
+  u64 kendo_poll_increment = 2000;
+
+  // §6 future work, implemented: asynchronous mutex commits. The token is
+  // held only for phase one of the two-phase commit (version + merge-order
+  // reservation); the page merges and installs of phase two proceed after the
+  // token is released, overlapping other threads' coordination — the same
+  // trick the deterministic barrier already plays (§4.2). TSO is preserved
+  // because commits still install in reserved-version order and every update
+  // targets a version reserved under the token.
+  bool async_lock_commit = false;
+
+  // Optional happens-before observer (not owned; must outlive the Run).
+  SyncObserver* observer = nullptr;
+};
+
+struct RunResult {
+  Backend backend{};
+  u32 nthreads = 0;
+  u64 vtime = 0;          // virtual completion time of the program
+  u64 checksum = 0;       // workload-computed output digest
+  u64 trace_digest = 0;   // deterministic-schedule fingerprint
+  u64 trace_events = 0;
+
+  u64 peak_mem_bytes = 0;
+  u64 pages_propagated = 0;  // TSO inter-thread page propagation (Fig 16)
+  u64 commits = 0;
+  u64 pages_committed = 0;
+  u64 pages_merged = 0;
+  u64 token_acquires = 0;
+  u64 fast_forwards = 0;
+  u64 overflows = 0;
+  u64 cow_faults = 0;
+
+  // Per-category virtual time, summed over threads and per thread (Fig 15).
+  std::array<u64, sim::kNumTimeCats> cat_totals{};
+  std::vector<std::array<u64, sim::kNumTimeCats>> cat_by_thread;
+};
+
+// A workload entry point: runs on the main logical thread, may spawn workers,
+// and returns the program's output checksum.
+using WorkloadFn = std::function<u64(ThreadApi&)>;
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  // Executes `fn` to completion on a fresh deterministic simulation.
+  virtual RunResult Run(const WorkloadFn& fn) = 0;
+};
+
+// Factory for all five backends.
+std::unique_ptr<Runtime> MakeRuntime(Backend b, const RuntimeConfig& cfg);
+
+}  // namespace csq::rt

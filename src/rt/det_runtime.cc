@@ -1,0 +1,930 @@
+#include "src/rt/det_runtime.h"
+
+#include <deque>
+#include <memory>
+
+#include "src/conv/alloc.h"
+#include "src/conv/workspace.h"
+#include "src/util/check.h"
+
+namespace csq::rt {
+
+DetFlavor FlavorFor(Backend b) {
+  DetFlavor f;
+  switch (b) {
+    case Backend::kDThreads:
+      f.policy = clk::OrderPolicy::kRoundRobin;
+      f.discard_update = true;
+      f.single_global_lock = true;
+      break;
+    case Backend::kDwc:
+      f.policy = clk::OrderPolicy::kRoundRobin;
+      f.single_global_lock = true;
+      break;
+    case Backend::kConsequenceRR:
+      f.policy = clk::OrderPolicy::kRoundRobin;
+      f.allow_coarsening = true;
+      f.allow_parallel_barrier = true;
+      f.allow_thread_reuse = true;
+      f.fast_forward = true;
+      break;
+    case Backend::kConsequenceIC:
+      f.policy = clk::OrderPolicy::kInstructionCount;
+      f.allow_coarsening = true;
+      f.counter_read_costs = true;
+      f.allow_parallel_barrier = true;
+      f.allow_thread_reuse = true;
+      f.adaptive_overflow = true;
+      f.fast_forward = true;
+      break;
+    case Backend::kPthreads:
+      CSQ_CHECK_MSG(false, "pthreads is not a deterministic flavor");
+  }
+  return f;
+}
+
+namespace {
+
+using sim::TimeCat;
+using sim::WaitChannel;
+
+constexpr u64 kTraceLockAcq = 0x30;
+constexpr u64 kTraceCvWait = 0x31;
+constexpr u64 kTraceBarrierRel = 0x32;
+constexpr u64 kTraceSpawn = 0x33;
+constexpr u64 kTraceExit = 0x34;
+constexpr u64 kTraceAtomic = 0x35;
+
+// Coarsening max-chunk adaptation bounds (§3.1's multiplicative policy). The
+// floor must sit above typical fine-grained chunk estimates or alternating
+// coordinations would permanently disable coarsening for exactly the programs
+// it exists for (reverse_index, water_nsquared).
+constexpr u64 kInitialMaxChunk = 8192;
+constexpr u64 kMinMaxChunk = 2048;
+
+struct DetMutex {
+  bool locked = false;
+  u32 owner = sim::kInvalidThread;
+  u64 acquire_count = 0;  // owner's logical clock at acquisition
+  u64 cs_ewma = 0;        // per-lock critical-section estimate (§3.1)
+  u64 last_commit_version = 0;  // version knowledge carried by this lock (§6 mode)
+  WaitChannel waiters;    // FIFO: queue order == wake order
+};
+
+struct DetCond {
+  WaitChannel waiters;
+};
+
+struct DetBarrier {
+  u32 parties = 0;
+  u32 arrived = 0;  // phase-one arrivals in the current generation
+  u32 reached = 0;  // internal-barrier arrivals
+  u64 generation = 0;
+  u64 max_count = 0;        // max participant clock (deterministic FF target)
+  u64 gen_max_version = 0;  // accumulated commit/knowledge versions this generation
+  u64 release_version = 0;  // version all parties update to
+  u64 release_count = 0;
+  WaitChannel ch;
+};
+
+class DApi;
+
+struct ThreadRec {
+  std::unique_ptr<conv::Workspace> ws;
+  std::unique_ptr<DApi> api;
+  bool done = false;
+  bool start_deferred = false;  // RR epoch semantics: runs at parent's next block
+  WaitChannel start_ch;
+  WaitChannel done_ch;
+
+  // Chunk accounting (coarsening estimates + §2.7 chunk limit).
+  u64 chunk_begin_count = 0;
+  u64 last_commit_count = 0;
+  u64 thread_chunk_ewma = 0;  // post-unlock chunk estimate (§3.1)
+  u64 max_chunk = kInitialMaxChunk;
+  bool coarsen_active = false;
+  u64 coarsen_total = 0;
+  u32 coarsen_ops = 0;
+  // Lamport-style "version knowledge" (§6 async mode): the highest committed
+  // version this thread has produced or synchronized with. Releases publish
+  // it into the sync object; acquires fold the object's value back in.
+  u64 version_knowledge = 0;
+};
+
+struct State {
+  State(const RuntimeConfig& c, const DetFlavor& f)
+      : cfg(c),
+        fl(f),
+        eng(sim::SimConfig{c.costs}),
+        seg(eng, c.segment),
+        clock(eng, MakeClockConfig(c, f)),
+        alloc(c.segment.size_bytes) {}
+
+  static clk::ClockConfig MakeClockConfig(const RuntimeConfig& c, const DetFlavor& f) {
+    clk::ClockConfig cc;
+    cc.policy = f.policy;
+    cc.adaptive_overflow = f.adaptive_overflow && c.adaptive_overflow;
+    cc.fixed_overflow_period = c.fixed_overflow_period;
+    cc.fast_forward = f.fast_forward && c.fast_forward;
+    return cc;
+  }
+
+  RuntimeConfig cfg;
+  DetFlavor fl;
+  sim::Engine eng;
+  conv::Segment seg;
+  clk::DetClock clock;
+  conv::BumpAllocator alloc;
+  std::deque<ThreadRec> threads;
+  std::deque<DetMutex> mutexes;
+  std::deque<DetCond> conds;
+  std::deque<DetBarrier> barriers;
+  u32 last_coord_tid = sim::kInvalidThread;  // §3.1 MIMD adaptation state
+  u32 pool_available = 0;                    // §3.3 thread-reuse pool
+  u64 lock_seq = 0;
+  std::deque<std::vector<u32>> deferred;     // per-parent children awaiting release
+};
+
+class DApi final : public ThreadApi {
+ public:
+  DApi(State& st, u32 tid) : st_(st), tid_(tid) {}
+
+  u32 Tid() const override { return tid_; }
+  u32 NumThreads() const override { return st_.cfg.nthreads; }
+
+  void Work(u64 units) override {
+    // A coarsened chunk whose *actual* length overruns the max-chunk budget is
+    // terminated mid-chunk (commit + token release), bounding how long other
+    // threads can be blocked when the §3.1 length estimate was wrong. The
+    // counter-overflow machinery gives the runtime exactly this interception
+    // point in the real system.
+    if (Rec().coarsen_active && st_.cfg.adaptive_coarsening) {
+      const u64 so_far =
+          Rec().coarsen_total + (st_.clock.Count(tid_) - Rec().chunk_begin_count);
+      const u64 budget = Rec().max_chunk > so_far ? Rec().max_chunk - so_far : 0;
+      if (units > budget) {
+        st_.clock.AdvanceWork(tid_, budget);
+        EnterLib();
+        EndCoarsenCommitRelease();
+        // The length estimate was wrong (the chunk overran the budget);
+        // shrink the budget so the next decision is more conservative.
+        Rec().max_chunk = std::max(Rec().max_chunk / 2, kMinMaxChunk);
+        ExitLib();
+        units -= budget;
+      }
+    }
+    if (st_.cfg.chunk_limit == 0) {
+      st_.clock.AdvanceWork(tid_, units);
+      return;
+    }
+    // §2.7: bound chunk length so ad-hoc (spin-flag) synchronization makes
+    // progress — every chunk_limit instructions force a commit+update.
+    while (units > 0) {
+      const u64 used = st_.clock.Count(tid_) - Rec().last_commit_count;
+      if (used >= st_.cfg.chunk_limit) {
+        ForcedCommit();
+        continue;
+      }
+      const u64 step = std::min(units, st_.cfg.chunk_limit - used);
+      st_.clock.AdvanceWork(tid_, step);
+      units -= step;
+    }
+  }
+
+  void LoadBytes(u64 addr, void* out, usize n) override {
+    Ws().LoadBytes(addr, out, n);
+    st_.clock.Tick(tid_, std::max<u64>(1, n / 8));
+    ChunkLimitCheck();
+  }
+
+  void StoreBytes(u64 addr, const void* in, usize n) override {
+    Ws().StoreBytes(addr, in, n);
+    st_.clock.Tick(tid_, std::max<u64>(1, n / 8));
+    ChunkLimitCheck();
+  }
+
+  // §2.7's proposed treatment of atomic instructions: token + op + commit.
+  // Inside a coarsened chunk the token is already held, so the operation is
+  // trivially atomic and the commit is deferred to the chunk's end.
+  u64 AtomicRmw(u64 addr, RmwOp op, u64 operand) override {
+    ReleaseDeferredChildren();
+    EnterLib();
+    const bool had_token = Rec().coarsen_active;
+    if (!had_token) {
+      st_.clock.WaitToken(tid_);
+      Ws().Update();
+    }
+    const u64 old = Ws().Load<u64>(addr);
+    u64 next = old;
+    switch (op) {
+      case RmwOp::kAdd:
+        next = old + operand;
+        break;
+      case RmwOp::kExchange:
+        next = operand;
+        break;
+      case RmwOp::kMax:
+        next = std::max(old, operand);
+        break;
+    }
+    Ws().Store<u64>(addr, next);
+    st_.eng.Trace(kTraceAtomic, tid_, addr, old);
+    if (!had_token) {
+      CommitUpdateGc();
+      st_.clock.ReleaseToken(tid_);
+    }
+    ExitLib();
+    return old;
+  }
+
+  u64 SharedAlloc(usize n, usize align) override {
+    st_.eng.GateShared();
+    return st_.alloc.Alloc(n, align);
+  }
+
+  // Sync-object creation must happen at deterministic points (before workers
+  // are spawned, or inside a critical section) — the usual pthreads pattern.
+  MutexId CreateMutex() override {
+    st_.eng.GateShared();
+    st_.mutexes.emplace_back();
+    return static_cast<MutexId>(st_.mutexes.size() - 1);
+  }
+
+  CondId CreateCond() override {
+    st_.eng.GateShared();
+    st_.conds.emplace_back();
+    return static_cast<CondId>(st_.conds.size() - 1);
+  }
+
+  BarrierId CreateBarrier(u32 parties) override {
+    st_.eng.GateShared();
+    st_.barriers.emplace_back();
+    st_.barriers.back().parties = parties;
+    return static_cast<BarrierId>(st_.barriers.size() - 1);
+  }
+
+  // mutexLock(), Figure 7 — plus the coarsened fast path (§3.1).
+  void Lock(MutexId m) override {
+    const MutexId mid = MapLock(m);
+    ReleaseDeferredChildren();
+    EnterLib();
+    ThreadRec& r = Rec();
+    DetMutex& mu = st_.mutexes[mid];
+    // The chunk that just ended updates the thread-local estimate.
+    const u64 chunk = st_.clock.Count(tid_) - r.chunk_begin_count;
+    Ewma(r.thread_chunk_ewma, chunk);
+    if (r.coarsen_active) {
+      r.coarsen_total += chunk;
+      if (!mu.locked && CoarsenFits(mu.cs_ewma)) {
+        AcquireLocked(mu, mid);
+        if (st_.cfg.observer) {
+          st_.cfg.observer->OnAcquire(tid_, SyncObjId(SyncObjKind::kMutex, mid));
+        }
+        ++r.coarsen_ops;
+        ExitLib();
+        return;
+      }
+      EndCoarsenCommitRelease();
+    }
+    LockFig7Acquire(mu, mid);
+    // Coarsening a lock operation: keep the token through the critical
+    // section if the per-lock estimate fits.
+    if (CoarseningOn() && StartFits(mu.cs_ewma)) {
+      CommitUpdateGc();
+      EmitAcquire(mid);
+      StartCoarsen();
+    } else {
+      CommitUpdateGcReleaseToken(mu, /*acquire=*/true, [&] { EmitAcquire(mid); });
+    }
+    ExitLib();
+  }
+
+  // mutexUnlock(), Figure 9 — plus the coarsened fast path.
+  void Unlock(MutexId m) override {
+    const MutexId mid = MapLock(m);
+    ReleaseDeferredChildren();
+    EnterLib();
+    ThreadRec& r = Rec();
+    DetMutex& mu = st_.mutexes[mid];
+    CSQ_CHECK_MSG(mu.locked && mu.owner == tid_, "unlock of a mutex not held");
+    const u64 cs_len = st_.clock.Count(tid_) - mu.acquire_count;
+    if (r.coarsen_active) {
+      Ewma(mu.cs_ewma, cs_len);  // token held: deterministic shared write
+      r.coarsen_total += cs_len;
+      // The coarsened chunk's eventual commit covers this unlock; conservatively
+      // carry knowledge through the lock at end-of-coarsen time instead.
+      ReleaseLockWake(mu);
+      if (st_.cfg.observer) {
+        st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kMutex, mid));
+      }
+      if (CoarsenFits(r.thread_chunk_ewma)) {
+        ++r.coarsen_ops;
+        ExitLib();
+        return;
+      }
+      EndCoarsenCommitRelease();
+      ExitLib();
+      return;
+    }
+    st_.clock.WaitToken(tid_);
+    NoteCoordination();
+    Ewma(mu.cs_ewma, cs_len);
+    ReleaseLockWake(mu);
+    // Coarsening an unlock operation: keep the token through the next chunk
+    // if the thread-local estimate fits.
+    if (CoarseningOn() && StartFits(r.thread_chunk_ewma)) {
+      CommitUpdateGc();
+      mu.last_commit_version = std::max(mu.last_commit_version, r.version_knowledge);
+      EmitRelease(mid);
+      StartCoarsen();
+    } else {
+      CommitUpdateGcReleaseToken(mu, /*acquire=*/false, [&] { EmitRelease(mid); });
+    }
+    ExitLib();
+  }
+
+  void CondWait(CondId c, MutexId m) override {
+    const MutexId mid = MapLock(m);
+    ReleaseDeferredChildren();
+    EnterLib();
+    MaybeEndCoarsen();  // §3.1: coarsening stops at condition-variable ops
+    DetMutex& mu = st_.mutexes[mid];
+    DetCond& cv = st_.conds[c];
+    CSQ_CHECK_MSG(mu.locked && mu.owner == tid_, "CondWait without holding the mutex");
+    st_.clock.WaitToken(tid_);
+    ReleaseLockWake(mu);
+    CommitUpdateGc();
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kMutex, mid));
+      st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kCond, c));
+    }
+    st_.eng.Trace(kTraceCvWait, tid_, c, st_.clock.Count(tid_));
+    st_.clock.Depart(tid_);
+    st_.clock.ReleaseToken(tid_);
+    Ws().SetGcExempt(true);
+    st_.eng.Wait(cv.waiters, TimeCat::kDetermWait);
+    Ws().SetGcExempt(false);
+    // The signaler re-admitted us (ArriveAt) while holding the token.
+    // Re-acquire the mutex through the ordinary deterministic path.
+    LockFig7Acquire(mu, mid);
+    CommitUpdateGcReleaseToken(mu, /*acquire=*/true, [&] {
+      EmitAcquire(mid);
+      if (st_.cfg.observer) {
+        st_.cfg.observer->OnAcquire(tid_, SyncObjId(SyncObjKind::kCond, c));
+      }
+    });
+    ExitLib();
+  }
+
+  void CondSignal(CondId c) override {
+    ReleaseDeferredChildren();
+    EnterLib();
+    MaybeEndCoarsen();
+    DetCond& cv = st_.conds[c];
+    st_.clock.WaitToken(tid_);
+    CommitUpdateGc();  // release semantics: the waiter must see our state
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kCond, c));
+    }
+    if (!cv.waiters.Empty()) {
+      WakeFirst(cv.waiters);
+    }
+    st_.clock.ReleaseToken(tid_);
+    ExitLib();
+  }
+
+  void CondBroadcast(CondId c) override {
+    ReleaseDeferredChildren();
+    EnterLib();
+    MaybeEndCoarsen();
+    DetCond& cv = st_.conds[c];
+    st_.clock.WaitToken(tid_);
+    CommitUpdateGc();
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kCond, c));
+    }
+    while (!cv.waiters.Empty()) {
+      WakeFirst(cv.waiters);
+    }
+    st_.clock.ReleaseToken(tid_);
+    ExitLib();
+  }
+
+  // Deterministic barrier (§4.2): two-phase commit with the token held only
+  // during phase one, a non-deterministic internal barrier, then a
+  // deterministic update to the recorded release version.
+  void BarrierWait(BarrierId bid) override {
+    ReleaseDeferredChildren();
+    EnterLib();
+    MaybeEndCoarsen();
+    DetBarrier& b = st_.barriers[bid];
+    st_.clock.WaitToken(tid_);
+    b.max_count = std::max(b.max_count, st_.clock.Count(tid_));
+    // Trace the deterministic phase-one arrival order (post-release execution
+    // order is intentionally nondeterministic, like the paper's internal
+    // pthreads barrier).
+    st_.eng.Trace(kTraceBarrierRel, tid_, bid, b.generation);
+    ++b.arrived;
+    const bool last = b.arrived == b.parties;
+    const bool parallel = st_.fl.allow_parallel_barrier && st_.cfg.parallel_barrier_commit;
+    if (parallel) {
+      const conv::PreparedCommit pc = Ws().PrepareTwoPhase();  // phase one (serial)
+      if (st_.cfg.observer) {
+        st_.cfg.observer->OnCommit(tid_, pc.pages);
+        st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kBarrier, bid));
+      }
+      b.gen_max_version = std::max({b.gen_max_version, pc.version, Rec().version_knowledge});
+      if (last) {
+        b.release_version = b.gen_max_version;
+        b.release_count = b.max_count;
+        b.arrived = 0;
+        b.gen_max_version = 0;
+      }
+      st_.clock.Depart(tid_);
+      st_.clock.ReleaseToken(tid_);
+      Ws().FinishTwoPhase(pc);  // phase two (parallel in virtual time)
+    } else {
+      const u64 v = Ws().Commit();  // both phases serialized under the token
+      if (st_.cfg.observer) {
+        st_.cfg.observer->OnCommit(tid_, Ws().LastCommitPages());
+        st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kBarrier, bid));
+      }
+      b.gen_max_version = std::max({b.gen_max_version, v, Rec().version_knowledge});
+      if (last) {
+        b.release_version = b.gen_max_version;
+        b.release_count = b.max_count;
+        b.arrived = 0;
+        b.gen_max_version = 0;
+      }
+      st_.clock.Depart(tid_);
+      st_.clock.ReleaseToken(tid_);
+    }
+    Rec().last_commit_count = st_.clock.Count(tid_);
+    // Internal (non-deterministic, pthreads-style) barrier.
+    Ws().SetGcExempt(true);
+    st_.eng.GateShared();
+    ++b.reached;
+    if (b.reached == b.parties) {
+      b.reached = 0;
+      ++b.generation;
+      st_.eng.NotifyAll(b.ch);
+    } else {
+      const u64 gen = b.generation;
+      while (gen == b.generation) {
+        st_.eng.Wait(b.ch, TimeCat::kBarrierWait);
+        st_.eng.GateShared();
+      }
+    }
+    Ws().SetGcExempt(false);
+    st_.clock.ArriveAt(tid_, b.release_count);
+    Ws().UpdateTo(b.release_version);
+    Rec().version_knowledge = std::max(Rec().version_knowledge, b.release_version);
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnAcquire(tid_, SyncObjId(SyncObjKind::kBarrier, bid));
+    }
+    st_.seg.Gc(st_.cfg.nthreads);
+    ExitLib();
+  }
+
+  ThreadHandle SpawnThread(std::function<void(ThreadApi&)> fn) override {
+    EnterLib();
+    MaybeEndCoarsen();
+    st_.clock.WaitToken(tid_);
+    CommitUpdateGc();  // the child must observe everything we wrote
+    const u32 child = static_cast<u32>(st_.threads.size());
+    const bool reuse = st_.fl.allow_thread_reuse && st_.cfg.thread_reuse;
+    if (reuse && st_.pool_available > 0) {
+      --st_.pool_available;
+      st_.eng.Charge(st_.eng.Costs().spawn_reuse_fixed, TimeCat::kLibrary);
+    } else {
+      // Forking a Conversion process copies every populated page-table entry
+      // into the child (§3.3).
+      st_.eng.Charge(st_.eng.Costs().spawn_fork_fixed +
+                         st_.eng.Costs().spawn_fork_per_page * st_.seg.PopulatedPageCount(),
+                     TimeCat::kLibrary);
+    }
+    st_.clock.RegisterThread(child, st_.clock.Count(tid_));
+    st_.threads.emplace_back();
+    ThreadRec& rec = st_.threads[child];
+    rec.ws = std::make_unique<conv::Workspace>(st_.seg, child);
+    rec.ws->SetDiscardOnUpdate(st_.fl.discard_update);
+    rec.api = std::make_unique<DApi>(st_, child);
+    rec.chunk_begin_count = st_.clock.Count(tid_);
+    rec.last_commit_count = rec.chunk_begin_count;
+    rec.version_knowledge = Rec().version_knowledge;
+    if (st_.fl.policy == clk::OrderPolicy::kRoundRobin) {
+      // Round-robin (DThreads-style epoch) semantics: children join the token
+      // rotation when the parent next reaches a blocking synchronization
+      // point, so a spawn loop does not serialize against compute-only
+      // workers. Consequence-IC's GMIC ordering never waits on threads that
+      // are not requesting the token, so its children start eagerly.
+      rec.start_deferred = true;
+      while (st_.deferred.size() <= tid_) {
+        st_.deferred.emplace_back();
+      }
+      st_.deferred[tid_].push_back(child);
+      st_.clock.Depart(child);  // out of rotation until released
+    }
+    State* st = &st_;
+    const u32 spawned = st_.eng.Spawn([st, child, fn = std::move(fn)] {
+      if (st->threads[child].start_deferred) {
+        st->eng.Wait(st->threads[child].start_ch, TimeCat::kDetermWait);
+      }
+      if (st->cfg.observer) {
+        st->cfg.observer->OnAcquire(child, SyncObjId(SyncObjKind::kThread, child));
+      }
+      fn(*st->threads[child].api);
+      st->threads[child].api->ExitProtocol();
+    });
+    CSQ_CHECK(spawned == child);
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kThread, child));
+    }
+    st_.eng.Trace(kTraceSpawn, tid_, child, st_.clock.Count(tid_));
+    st_.clock.ReleaseToken(tid_);
+    ExitLib();
+    return child;
+  }
+
+  void JoinThread(ThreadHandle h) override {
+    ReleaseDeferredChildren();
+    EnterLib();
+    MaybeEndCoarsen();
+    ThreadRec& target = st_.threads[h];
+    for (;;) {
+      st_.clock.WaitToken(tid_);
+      Ws().Update();  // join is an acquire: see the child's final commit
+      if (target.done) {
+        break;
+      }
+      st_.clock.Depart(tid_);
+      st_.clock.ReleaseToken(tid_);
+      Ws().SetGcExempt(true);
+      st_.eng.Wait(target.done_ch, TimeCat::kDetermWait);
+      Ws().SetGcExempt(false);
+      // The exiting child re-admitted us under its token.
+    }
+    st_.eng.Charge(st_.eng.Costs().join_fixed, TimeCat::kLibrary);
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnAcquire(tid_, SyncObjId(SyncObjKind::kThread, h));
+    }
+    st_.clock.ReleaseToken(tid_);
+    ExitLib();
+  }
+
+  // Deterministic thread teardown: commit final writes, wake joiners, enter
+  // the reuse pool, leave GMIC consideration. Public so the spawn wrapper and
+  // the runtime's main-thread epilogue can call it.
+  void ExitProtocol() {
+    ReleaseDeferredChildren();
+    st_.clock.Pause(tid_);
+    ThreadRec& rec = Rec();
+    if (!rec.coarsen_active) {
+      st_.clock.WaitToken(tid_);
+    }
+    rec.coarsen_active = false;
+    Ws().Commit();
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnCommit(tid_, Ws().LastCommitPages());
+      st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kThread, tid_));
+    }
+    rec.done = true;
+    while (!rec.done_ch.Empty()) {
+      WakeFirst(rec.done_ch);
+    }
+    if (st_.fl.allow_thread_reuse && st_.cfg.thread_reuse) {
+      ++st_.pool_available;
+    }
+    st_.eng.Trace(kTraceExit, tid_, st_.clock.Count(tid_), 0);
+    st_.clock.ReleaseToken(tid_);
+    st_.clock.FinishThread(tid_);
+    Ws().Discard();
+  }
+
+ private:
+  ThreadRec& Rec() { return st_.threads[tid_]; }
+  conv::Workspace& Ws() { return *Rec().ws; }
+
+  MutexId MapLock(MutexId m) const {
+    // DThreads and DWC turn every mutex into one global lock (§2.6).
+    return st_.fl.single_global_lock ? 0 : m;
+  }
+
+  static void Ewma(u64& e, u64 x) { e = (e == 0) ? x : (3 * e + x) / 4; }
+
+  // Releases children whose start was deferred by RR epoch semantics. Called
+  // from every potentially blocking operation (a deterministic, logical
+  // trigger — the parent's own next synchronization point).
+  void ReleaseDeferredChildren() {
+    if (st_.deferred.size() <= tid_ || st_.deferred[tid_].empty()) {
+      return;
+    }
+    st_.eng.GateShared();
+    for (const u32 child : st_.deferred[tid_]) {
+      ThreadRec& rec = st_.threads[child];
+      rec.start_deferred = false;
+      st_.clock.ArriveAt(child, st_.clock.Count(tid_));
+      st_.eng.NotifyAll(rec.start_ch);
+    }
+    st_.deferred[tid_].clear();
+  }
+
+  void EnterLib() {
+    st_.clock.Pause(tid_);
+    if (st_.fl.counter_read_costs) {
+      // End-of-chunk counter read (§3.4): a syscall normally; a cheap
+      // user-space read while executing a coarsened chunk.
+      const bool user = st_.cfg.user_space_reads && Rec().coarsen_active;
+      st_.eng.Charge(user ? st_.eng.Costs().counter_read_user
+                          : st_.eng.Costs().counter_read_kernel,
+                     TimeCat::kLibrary);
+    }
+  }
+
+  void ExitLib() {
+    st_.clock.ChunkBegin(tid_);
+    Rec().chunk_begin_count = st_.clock.Count(tid_);
+    st_.clock.Resume(tid_);
+  }
+
+  void ChunkLimitCheck() {
+    if (st_.cfg.chunk_limit == 0 || st_.clock.Paused(tid_)) {
+      return;
+    }
+    if (st_.clock.Count(tid_) - Rec().last_commit_count >= st_.cfg.chunk_limit) {
+      ForcedCommit();
+    }
+  }
+
+  void ForcedCommit() {
+    ReleaseDeferredChildren();
+    EnterLib();
+    if (Rec().coarsen_active) {
+      EndCoarsenCommitRelease();
+    } else {
+      st_.clock.WaitToken(tid_);
+      CommitUpdateGc();
+      st_.clock.ReleaseToken(tid_);
+    }
+    ExitLib();
+  }
+
+  void CommitUpdateGc() {
+    const u64 target = Ws().CommitAndUpdate();
+    ThreadRec& r = Rec();
+    r.version_knowledge = std::max(r.version_knowledge, target);
+    r.last_commit_count = st_.clock.Count(tid_);
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnCommit(tid_, Ws().LastCommitPages());
+    }
+    st_.seg.Gc(st_.cfg.nthreads);
+  }
+
+  // Commit + update around a mutex operation, then release the token. With
+  // async_lock_commit (§6 future work), only phase one happens under the
+  // token; the merge/install and the update to our own reserved version run
+  // token-free, overlapped with other threads' coordination.
+  // Commit around a mutex operation, then release the token.
+  //
+  // Asynchronous mode (§6 future work): only phase one runs under the token.
+  // Visibility then follows scalar "version knowledge" K instead of
+  // update-to-global-latest: a release publishes K into the lock; an acquire
+  // updates to max(own K, lock's K, own fresh commit) — a deterministic
+  // *prefix* of the global commit order, so TSO is preserved, but an acquirer
+  // of an uncontended lock no longer waits for unrelated in-flight commits.
+  void CommitUpdateGcReleaseToken(DetMutex& mu, bool acquire,
+                                  const std::function<void()>& under_token) {
+    if (!st_.cfg.async_lock_commit) {
+      CommitUpdateGc();
+      mu.last_commit_version = std::max(mu.last_commit_version, Rec().version_knowledge);
+      if (under_token) {
+        under_token();
+      }
+      st_.clock.ReleaseToken(tid_);
+      return;
+    }
+    ThreadRec& r = Rec();
+    const conv::PreparedCommit pc = Ws().PrepareTwoPhase();  // token held
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnCommit(tid_, pc.pages);
+    }
+    r.version_knowledge = std::max(r.version_knowledge, pc.version);
+    u64 target = r.version_knowledge;
+    if (acquire) {
+      target = std::max(target, mu.last_commit_version);  // fold the lock's K
+    } else {
+      mu.last_commit_version = std::max(mu.last_commit_version, r.version_knowledge);
+    }
+    if (under_token) {
+      under_token();  // observer edges stay deterministically ordered
+    }
+    st_.clock.ReleaseToken(tid_);
+    Ws().FinishTwoPhase(pc);  // parallel in virtual time
+    Ws().UpdateTo(target);    // deterministic prefix target
+    r.version_knowledge = std::max(r.version_knowledge, target);
+    r.last_commit_count = st_.clock.Count(tid_);
+    st_.seg.Gc(st_.cfg.nthreads);
+  }
+
+  // ---- Coarsening (§3.1) ----------------------------------------------------
+
+  bool CoarseningOn() const {
+    return st_.fl.allow_coarsening &&
+           (st_.cfg.adaptive_coarsening || st_.cfg.static_coarsen_level > 0);
+  }
+
+  bool CoarsenFits(u64 next_estimate) {
+    if (st_.cfg.adaptive_coarsening) {
+      return Rec().coarsen_total + next_estimate <= Rec().max_chunk;
+    }
+    return Rec().coarsen_ops < st_.cfg.static_coarsen_level;
+  }
+
+  bool StartFits(u64 next_estimate) {
+    if (!CoarseningOn()) {
+      return false;
+    }
+    if (st_.cfg.adaptive_coarsening) {
+      return next_estimate <= Rec().max_chunk;
+    }
+    return st_.cfg.static_coarsen_level > 0;
+  }
+
+  void StartCoarsen() {
+    ThreadRec& r = Rec();
+    r.coarsen_active = true;
+    r.coarsen_total = 0;
+    r.coarsen_ops = 0;
+  }
+
+  // Ends a coarsened chunk: one commit covering everything, then the token is
+  // finally released. Caller must hold the token (coarsen_active).
+  void EndCoarsenCommitRelease() {
+    CSQ_CHECK(Rec().coarsen_active);
+    CommitUpdateGc();
+    st_.clock.ReleaseToken(tid_);
+    Rec().coarsen_active = false;
+  }
+
+  void MaybeEndCoarsen() {
+    if (Rec().coarsen_active) {
+      EndCoarsenCommitRelease();
+    }
+  }
+
+  // §3.1's multiplicative-increase/decrease adaptation of the max coarsened
+  // chunk length: consecutive coordinations by the same thread double it,
+  // alternation halves it. Called while holding the token.
+  void NoteCoordination() {
+    if (!st_.cfg.adaptive_coarsening) {
+      return;
+    }
+    ThreadRec& r = Rec();
+    if (st_.last_coord_tid == tid_) {
+      r.max_chunk = std::min(r.max_chunk * 2, st_.cfg.max_coarsen_chunk);
+    } else {
+      r.max_chunk = std::max(r.max_chunk / 2, kMinMaxChunk);
+    }
+    st_.last_coord_tid = tid_;
+  }
+
+  // ---- Lock internals --------------------------------------------------------
+
+  void AcquireLocked(DetMutex& mu, MutexId mid) {
+    mu.locked = true;
+    mu.owner = tid_;
+    mu.acquire_count = st_.clock.Count(tid_);
+    st_.eng.Trace(kTraceLockAcq, tid_, mid, st_.lock_seq++);
+  }
+
+  void EmitAcquire(MutexId mid) {
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnAcquire(tid_, SyncObjId(SyncObjKind::kMutex, mid));
+    }
+  }
+
+  void EmitRelease(MutexId mid) {
+    if (st_.cfg.observer) {
+      st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kMutex, mid));
+    }
+  }
+
+  // The Figure-7 loop without the commit: returns holding the token with the
+  // lock acquired. Callers commit (synchronously or asynchronously, §6) and
+  // decide whether to keep the token. With kendo_polling_locks set, the
+  // failure path is Kendo's original polling design instead of the paper's
+  // blocking one: bump the clock past the GMIC, release the token, retry.
+  void LockFig7Acquire(DetMutex& mu, MutexId mid) {
+    for (;;) {
+      st_.clock.WaitToken(tid_);
+      NoteCoordination();
+      if (!mu.locked) {
+        AcquireLocked(mu, mid);
+        return;
+      }
+      if (st_.cfg.kendo_polling_locks) {
+        st_.clock.ReleaseToken(tid_);
+        st_.clock.ForceAdvance(tid_, st_.cfg.kendo_poll_increment);
+        // Each poll costs a real retry through the deterministic order —
+        // "many polling requests to check whether there is a new GMIC thread
+        // to notify adds needless latency" (§4.1).
+        st_.eng.Charge(st_.eng.Costs().token_acquire, TimeCat::kDetermWait);
+        continue;
+      }
+      st_.clock.Depart(tid_);
+      st_.clock.ReleaseToken(tid_);
+      Ws().SetGcExempt(true);
+      st_.eng.Wait(mu.waiters, TimeCat::kDetermWait);
+      Ws().SetGcExempt(false);
+      // mutexUnlock re-admitted us (footnote 4) before waking us.
+    }
+  }
+
+  void ReleaseLockWake(DetMutex& mu) {
+    mu.locked = false;
+    mu.owner = sim::kInvalidThread;
+    if (!mu.waiters.Empty()) {
+      WakeFirst(mu.waiters);
+    }
+  }
+
+  // Deterministically wakes the first waiter of `ch`: re-admit it to GMIC
+  // consideration (fast-forwarded to our clock) before the actual wake, while
+  // we hold the token — the paper's footnote-4 discipline.
+  void WakeFirst(WaitChannel& ch) {
+    CSQ_CHECK(!ch.Empty());
+    const u32 w = ch.waiters.front();
+    st_.clock.ArriveAt(w, st_.clock.Count(tid_));
+    st_.eng.NotifyOne(ch);
+  }
+
+  State& st_;
+  u32 tid_;
+};
+
+}  // namespace
+
+DetRuntime::DetRuntime(Backend b, RuntimeConfig cfg)
+    : backend_(b), cfg_(std::move(cfg)), flavor_(FlavorFor(b)) {
+  if (flavor_.discard_update) {
+    // DThreads' mprotect-based isolation: every fence re-protects the whole
+    // working set, commits diff against twin pages in user space, and every
+    // first touch after a fence takes a hard protection fault. Conversion's
+    // kernel versioning (DWC and Consequence) avoids most of this — the
+    // motivating result of the Conversion paper [23].
+    cfg_.costs.commit_fixed *= 2;
+    cfg_.costs.commit_per_page *= 3;
+    cfg_.costs.page_fault *= 2;
+    cfg_.costs.page_fetch *= 2;
+    cfg_.costs.update_fixed *= 2;
+  }
+}
+
+RunResult DetRuntime::Run(const WorkloadFn& fn) {
+  State st(cfg_, flavor_);
+  st.clock.RegisterThread(0, 0);
+  st.threads.emplace_back();
+  ThreadRec& main_rec = st.threads[0];
+  main_rec.ws = std::make_unique<conv::Workspace>(st.seg, 0);
+  main_rec.ws->SetDiscardOnUpdate(flavor_.discard_update);
+  main_rec.api = std::make_unique<DApi>(st, 0);
+  u64 checksum = 0;
+  const u32 main_tid = st.eng.Spawn([&] {
+    checksum = fn(*st.threads[0].api);
+    st.threads[0].api->ExitProtocol();
+  });
+  CSQ_CHECK(main_tid == 0);
+  st.eng.Run();
+
+  RunResult res;
+  res.backend = backend_;
+  res.nthreads = cfg_.nthreads;
+  res.vtime = st.eng.CompletionVtime();
+  res.checksum = checksum;
+  res.trace_digest = st.eng.TraceDigest();
+  res.trace_events = st.eng.TraceEvents();
+  res.peak_mem_bytes = st.seg.Stats().peak_page_bytes;
+  res.commits = st.seg.Stats().commits;
+  res.pages_committed = st.seg.Stats().pages_committed;
+  res.pages_merged = st.seg.Stats().pages_merged;
+  res.token_acquires = st.clock.Stats().token_acquires;
+  res.fast_forwards = st.clock.Stats().fast_forwards;
+  res.overflows = st.clock.Stats().overflows;
+  for (const auto& t : st.threads) {
+    if (t.ws) {
+      res.pages_propagated += t.ws->Stats().pages_propagated;
+      res.cow_faults += t.ws->Stats().cow_faults;
+    }
+  }
+  res.cat_by_thread.resize(st.eng.ThreadCount());
+  for (u32 t = 0; t < st.eng.ThreadCount(); ++t) {
+    for (usize c = 0; c < sim::kNumTimeCats; ++c) {
+      const u64 v = st.eng.CatTotal(t, static_cast<TimeCat>(c));
+      res.cat_by_thread[t][c] = v;
+      res.cat_totals[c] += v;
+    }
+  }
+  return res;
+}
+
+}  // namespace csq::rt

@@ -1,0 +1,64 @@
+// The deterministic runtime family.
+//
+// One parameterized implementation covers all four deterministic backends; the
+// DetFlavor flags select which mechanisms are active:
+//
+//                     ordering   update-on-fence   locks        coarsening etc.
+//   DThreads          RR         discard-all       one global   none
+//   DWC               RR         incremental       one global   none
+//   Consequence-RR    RR         incremental       per-object   all §3 opts
+//   Consequence-IC    GMIC       incremental       per-object   all §3 opts
+//
+// The synchronization algorithms follow the paper exactly:
+//   * mutexLock / mutexUnlock per Figures 7-9, including clockDepart() for
+//     blocking waiters and the footnote-4 deterministic wake (the unlocker
+//     re-admits the woken thread to GMIC consideration while it still holds
+//     the token).
+//   * condition variables via the same depart/commit/wake machinery.
+//   * barriers via Conversion's two-phase commit: phase one (version + merge
+//     order reservation) under the token, phase two (page merges + installs)
+//     token-free and parallel in virtual time, then a non-deterministic
+//     internal barrier and a deterministic update to the recorded release
+//     version (§4.2).
+//   * adaptive coarsening (§3.1): per-lock EWMA estimates for coarsening lock
+//     operations, a thread-local EWMA for coarsening unlock operations, and a
+//     multiplicative-increase/decrease max-chunk-length adaptation driven by
+//     whether the same thread performed consecutive global coordinations.
+//   * thread reuse pool (§3.3), user-space counter reads (§3.4), fast-forward
+//     (§3.5), adaptive counter overflow (§3.2) and the §2.7 chunk-limit
+//     mechanism for ad-hoc synchronization.
+#pragma once
+
+#include "src/rt/api.h"
+
+namespace csq::rt {
+
+struct DetFlavor {
+  clk::OrderPolicy policy = clk::OrderPolicy::kInstructionCount;
+  bool discard_update = false;      // DThreads mprotect-style fences
+  bool single_global_lock = false;  // DThreads/DWC lock treatment
+  bool allow_coarsening = false;
+  bool counter_read_costs = false;  // IC ordering pays for counter reads
+  bool allow_parallel_barrier = false;
+  bool allow_thread_reuse = false;
+  bool adaptive_overflow = false;
+  bool fast_forward = false;
+};
+
+// Flavor presets per backend (Consequence presets still honour the per-
+// optimization switches in RuntimeConfig, for the Fig 13/14 ablations).
+DetFlavor FlavorFor(Backend b);
+
+class DetRuntime : public Runtime {
+ public:
+  DetRuntime(Backend b, RuntimeConfig cfg);
+
+  RunResult Run(const WorkloadFn& fn) override;
+
+ private:
+  Backend backend_;
+  RuntimeConfig cfg_;
+  DetFlavor flavor_;
+};
+
+}  // namespace csq::rt

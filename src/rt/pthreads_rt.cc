@@ -1,0 +1,259 @@
+#include "src/rt/pthreads_rt.h"
+
+#include <cstring>
+#include <deque>
+#include <memory>
+
+#include "src/conv/alloc.h"
+#include "src/sim/engine.h"
+#include "src/util/check.h"
+
+namespace csq::rt {
+namespace {
+
+using sim::Engine;
+using sim::TimeCat;
+using sim::WaitChannel;
+
+constexpr u64 kTraceLock = 0x20;
+constexpr u64 kTraceBarrier = 0x21;
+
+struct PtMutex {
+  bool locked = false;
+  WaitChannel ch;
+};
+
+struct PtCond {
+  WaitChannel ch;
+};
+
+struct PtBarrier {
+  u32 parties = 0;
+  u32 reached = 0;
+  u64 generation = 0;
+  WaitChannel ch;
+};
+
+struct PtThread {
+  bool done = false;
+  WaitChannel done_ch;
+};
+
+struct State {
+  explicit State(const RuntimeConfig& cfg)
+      : eng(sim::SimConfig{cfg.costs}),
+        flat(cfg.segment.size_bytes, 0),
+        alloc(cfg.segment.size_bytes) {}
+
+  Engine eng;
+  std::vector<u8> flat;
+  conv::BumpAllocator alloc;
+  std::deque<PtMutex> mutexes;
+  std::deque<PtCond> conds;
+  std::deque<PtBarrier> barriers;
+  std::deque<PtThread> threads;
+  std::deque<std::unique_ptr<ThreadApi>> apis;  // stable per-thread API handles
+  u64 lock_seq = 0;
+};
+
+class PtApi final : public ThreadApi {
+ public:
+  PtApi(State& st, const RuntimeConfig& cfg, u32 tid) : st_(st), cfg_(cfg), tid_(tid) {}
+
+  u32 Tid() const override { return tid_; }
+  u32 NumThreads() const override { return cfg_.nthreads; }
+
+  void Work(u64 units) override {
+    st_.eng.Charge(units * st_.eng.Costs().work_unit, TimeCat::kChunk);
+  }
+
+  // Direct, un-isolated shared memory: racy accesses observe whatever the
+  // (jitter-dependent) interleaving produced.
+  void LoadBytes(u64 addr, void* out, usize n) override {
+    CSQ_CHECK(addr + n <= st_.flat.size());
+    st_.eng.Charge(std::max<u64>(1, n / 8) * st_.eng.Costs().mem_op, TimeCat::kChunk);
+    std::memcpy(out, st_.flat.data() + addr, n);
+  }
+
+  void StoreBytes(u64 addr, const void* in, usize n) override {
+    CSQ_CHECK(addr + n <= st_.flat.size());
+    st_.eng.Charge(std::max<u64>(1, n / 8) * st_.eng.Costs().mem_op, TimeCat::kChunk);
+    std::memcpy(st_.flat.data() + addr, in, n);
+  }
+
+  u64 AtomicRmw(u64 addr, RmwOp op, u64 operand) override {
+    st_.eng.GateShared();  // hardware atomics serialize in (virtual) time order
+    st_.eng.Charge(st_.eng.Costs().pthread_lock_op, TimeCat::kLibrary);
+    u64 old = 0;
+    std::memcpy(&old, st_.flat.data() + addr, sizeof(old));
+    u64 next = old;
+    switch (op) {
+      case RmwOp::kAdd:
+        next = old + operand;
+        break;
+      case RmwOp::kExchange:
+        next = operand;
+        break;
+      case RmwOp::kMax:
+        next = std::max(old, operand);
+        break;
+    }
+    std::memcpy(st_.flat.data() + addr, &next, sizeof(next));
+    return old;
+  }
+
+  u64 SharedAlloc(usize n, usize align) override {
+    st_.eng.GateShared();
+    return st_.alloc.Alloc(n, align);
+  }
+
+  MutexId CreateMutex() override {
+    st_.eng.GateShared();
+    st_.mutexes.emplace_back();
+    return static_cast<MutexId>(st_.mutexes.size() - 1);
+  }
+
+  CondId CreateCond() override {
+    st_.eng.GateShared();
+    st_.conds.emplace_back();
+    return static_cast<CondId>(st_.conds.size() - 1);
+  }
+
+  BarrierId CreateBarrier(u32 parties) override {
+    st_.eng.GateShared();
+    st_.barriers.emplace_back();
+    st_.barriers.back().parties = parties;
+    return static_cast<BarrierId>(st_.barriers.size() - 1);
+  }
+
+  void Lock(MutexId m) override {
+    st_.eng.GateShared();
+    st_.eng.Charge(st_.eng.Costs().pthread_lock_op, TimeCat::kLibrary);
+    PtMutex& mu = st_.mutexes[m];
+    while (mu.locked) {
+      st_.eng.Wait(mu.ch, TimeCat::kLockWait);
+      st_.eng.GateShared();
+    }
+    mu.locked = true;
+    st_.eng.Trace(kTraceLock, tid_, m, st_.lock_seq++);
+  }
+
+  void Unlock(MutexId m) override {
+    st_.eng.GateShared();
+    st_.eng.Charge(st_.eng.Costs().pthread_lock_op, TimeCat::kLibrary);
+    PtMutex& mu = st_.mutexes[m];
+    CSQ_CHECK_MSG(mu.locked, "unlock of unlocked pthreads mutex");
+    mu.locked = false;
+    st_.eng.NotifyOne(mu.ch);
+  }
+
+  void CondWait(CondId c, MutexId m) override {
+    st_.eng.GateShared();
+    st_.eng.Charge(st_.eng.Costs().pthread_cv_op, TimeCat::kLibrary);
+    PtMutex& mu = st_.mutexes[m];
+    CSQ_CHECK(mu.locked);
+    mu.locked = false;
+    st_.eng.NotifyOne(mu.ch);
+    st_.eng.Wait(st_.conds[c].ch, TimeCat::kLockWait);
+    Lock(m);
+  }
+
+  void CondSignal(CondId c) override {
+    st_.eng.GateShared();
+    st_.eng.Charge(st_.eng.Costs().pthread_cv_op, TimeCat::kLibrary);
+    st_.eng.NotifyOne(st_.conds[c].ch);
+  }
+
+  void CondBroadcast(CondId c) override {
+    st_.eng.GateShared();
+    st_.eng.Charge(st_.eng.Costs().pthread_cv_op, TimeCat::kLibrary);
+    st_.eng.NotifyAll(st_.conds[c].ch);
+  }
+
+  void BarrierWait(BarrierId b) override {
+    st_.eng.GateShared();
+    st_.eng.Charge(st_.eng.Costs().pthread_barrier_op, TimeCat::kLibrary);
+    PtBarrier& bar = st_.barriers[b];
+    ++bar.reached;
+    if (bar.reached == bar.parties) {
+      bar.reached = 0;
+      ++bar.generation;
+      st_.eng.Trace(kTraceBarrier, tid_, b, bar.generation);
+      st_.eng.NotifyAll(bar.ch);
+      return;
+    }
+    const u64 gen = bar.generation;
+    while (gen == bar.generation) {
+      st_.eng.Wait(bar.ch, TimeCat::kBarrierWait);
+      st_.eng.GateShared();
+    }
+  }
+
+  ThreadHandle SpawnThread(std::function<void(ThreadApi&)> fn) override;
+  void JoinThread(ThreadHandle h) override;
+
+ private:
+  State& st_;
+  const RuntimeConfig& cfg_;
+  u32 tid_;
+};
+
+ThreadHandle PtApi::SpawnThread(std::function<void(ThreadApi&)> fn) {
+  st_.eng.GateShared();
+  st_.eng.Charge(st_.eng.Costs().pthread_spawn, TimeCat::kLibrary);
+  st_.threads.emplace_back();
+  const u32 child = static_cast<u32>(st_.apis.size());
+  st_.apis.push_back(std::make_unique<PtApi>(st_, cfg_, child));
+  ThreadApi* api = st_.apis.back().get();
+  State* st = &st_;
+  const u32 spawned = st_.eng.Spawn([st, api, child, fn = std::move(fn)] {
+    fn(*api);
+    st->eng.GateShared();
+    st->threads[child].done = true;
+    st->eng.NotifyAll(st->threads[child].done_ch);
+  });
+  CSQ_CHECK(spawned == child);
+  return child;
+}
+
+void PtApi::JoinThread(ThreadHandle h) {
+  st_.eng.GateShared();
+  st_.eng.Charge(st_.eng.Costs().pthread_join, TimeCat::kLibrary);
+  while (!st_.threads[h].done) {
+    st_.eng.Wait(st_.threads[h].done_ch, TimeCat::kLockWait);
+    st_.eng.GateShared();
+  }
+}
+
+}  // namespace
+
+RunResult PthreadsRuntime::Run(const WorkloadFn& fn) {
+  State st(cfg_);
+  st.threads.emplace_back();  // main thread record
+  st.apis.push_back(std::make_unique<PtApi>(st, cfg_, 0));
+  u64 checksum = 0;
+  ThreadApi* main_api = st.apis.front().get();
+  const u32 main_tid = st.eng.Spawn([&, main_api] { checksum = fn(*main_api); });
+  CSQ_CHECK(main_tid == 0);
+  st.eng.Run();
+
+  RunResult res;
+  res.backend = Backend::kPthreads;
+  res.nthreads = cfg_.nthreads;
+  res.vtime = st.eng.CompletionVtime();
+  res.checksum = checksum;
+  res.trace_digest = st.eng.TraceDigest();
+  res.trace_events = st.eng.TraceEvents();
+  res.peak_mem_bytes = st.alloc.Used();
+  res.cat_by_thread.resize(st.eng.ThreadCount());
+  for (u32 t = 0; t < st.eng.ThreadCount(); ++t) {
+    for (usize c = 0; c < sim::kNumTimeCats; ++c) {
+      const u64 v = st.eng.CatTotal(t, static_cast<TimeCat>(c));
+      res.cat_by_thread[t][c] = v;
+      res.cat_totals[c] += v;
+    }
+  }
+  return res;
+}
+
+}  // namespace csq::rt

@@ -1,0 +1,24 @@
+// Nondeterministic pthreads baseline.
+//
+// Threads share one flat memory array with no isolation; locks, condition
+// variables and barriers are granted in virtual-time arrival order. Under
+// cost-model jitter the arrival order changes, so racy programs produce
+// different results across jitter seeds — the control for the determinism
+// experiments, and the normalization denominator for every figure.
+#pragma once
+
+#include "src/rt/api.h"
+
+namespace csq::rt {
+
+class PthreadsRuntime : public Runtime {
+ public:
+  explicit PthreadsRuntime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {}
+
+  RunResult Run(const WorkloadFn& fn) override;
+
+ private:
+  RuntimeConfig cfg_;
+};
+
+}  // namespace csq::rt

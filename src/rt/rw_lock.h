@@ -1,0 +1,76 @@
+// A deterministic reader-writer lock built from the public ThreadApi.
+//
+// pthreads programs use pthread_rwlock_t; a DMT runtime must either intercept
+// it or (as DThreads and Consequence do for anything beyond the core
+// primitives) provide it as a library over the deterministic mutex/condvar.
+// This is the classic writer-preference rwlock: shared state (reader count,
+// writer flag, waiting-writer count) lives in the shared segment, so the
+// whole construction is deterministic on every backend.
+#pragma once
+
+#include "src/rt/api.h"
+
+namespace csq::rt {
+
+class RwLock {
+ public:
+  explicit RwLock(ThreadApi& api)
+      : state_(api.SharedAlloc(24)),
+        m_(api.CreateMutex()),
+        readers_cv_(api.CreateCond()),
+        writers_cv_(api.CreateCond()) {}
+
+  void ReadLock(ThreadApi& t) {
+    t.Lock(m_);
+    // Writer preference: readers yield to waiting writers.
+    while (t.Load<u64>(Writer()) != 0 || t.Load<u64>(WaitingWriters()) != 0) {
+      t.CondWait(readers_cv_, m_);
+    }
+    t.Store<u64>(Readers(), t.Load<u64>(Readers()) + 1);
+    t.Unlock(m_);
+  }
+
+  void ReadUnlock(ThreadApi& t) {
+    t.Lock(m_);
+    const u64 r = t.Load<u64>(Readers());
+    t.Store<u64>(Readers(), r - 1);
+    if (r == 1 && t.Load<u64>(WaitingWriters()) != 0) {
+      t.CondSignal(writers_cv_);
+    }
+    t.Unlock(m_);
+  }
+
+  void WriteLock(ThreadApi& t) {
+    t.Lock(m_);
+    t.Store<u64>(WaitingWriters(), t.Load<u64>(WaitingWriters()) + 1);
+    while (t.Load<u64>(Writer()) != 0 || t.Load<u64>(Readers()) != 0) {
+      t.CondWait(writers_cv_, m_);
+    }
+    t.Store<u64>(WaitingWriters(), t.Load<u64>(WaitingWriters()) - 1);
+    t.Store<u64>(Writer(), 1);
+    t.Unlock(m_);
+  }
+
+  void WriteUnlock(ThreadApi& t) {
+    t.Lock(m_);
+    t.Store<u64>(Writer(), 0);
+    if (t.Load<u64>(WaitingWriters()) != 0) {
+      t.CondSignal(writers_cv_);
+    } else {
+      t.CondBroadcast(readers_cv_);
+    }
+    t.Unlock(m_);
+  }
+
+ private:
+  u64 Readers() const { return state_; }
+  u64 Writer() const { return state_ + 8; }
+  u64 WaitingWriters() const { return state_ + 16; }
+
+  u64 state_;
+  MutexId m_;
+  CondId readers_cv_;
+  CondId writers_cv_;
+};
+
+}  // namespace csq::rt

@@ -1,0 +1,99 @@
+// Schedule recording and diffing.
+//
+// Deterministic execution makes record/replay trivial — the schedule IS a
+// function of the program — so the useful tool is the inverse: when two runs
+// that should be identical are not (a runtime bug, an unintended
+// nondeterminism source, a config drift), find the first point where their
+// schedules diverge. ScheduleRecorder captures the full ordered stream of
+// synchronization events (the same stream the LRC tracker consumes);
+// FirstDivergence reports where two recordings part ways.
+//
+// This is also how this repository's own determinism bugs were found.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/rt/api.h"
+
+namespace csq::rt {
+
+struct SchedEvent {
+  enum class Kind : u8 { kAcquire, kRelease, kCommit };
+  Kind kind{};
+  u32 tid = 0;
+  u64 object = 0;       // sync object id, or page count for commits
+  u64 first_page = 0;   // commits: first page index (0 if none)
+
+  bool operator==(const SchedEvent&) const = default;
+
+  std::string ToString() const {
+    std::ostringstream oss;
+    switch (kind) {
+      case Kind::kAcquire:
+        oss << "acquire";
+        break;
+      case Kind::kRelease:
+        oss << "release";
+        break;
+      case Kind::kCommit:
+        oss << "commit";
+        break;
+    }
+    oss << " tid=" << tid;
+    if (kind == Kind::kCommit) {
+      oss << " pages=" << object << " first=" << first_page;
+    } else {
+      static constexpr const char* kKinds[] = {"mutex", "cond", "barrier", "thread"};
+      const u64 ns = object >> 32;
+      oss << " obj=" << (ns < 4 ? kKinds[ns] : "?") << ":" << (object & 0xffffffff);
+    }
+    return oss.str();
+  }
+};
+
+class ScheduleRecorder : public SyncObserver {
+ public:
+  void OnAcquire(u32 tid, u64 object) override {
+    events_.push_back({SchedEvent::Kind::kAcquire, tid, object, 0});
+  }
+  void OnRelease(u32 tid, u64 object) override {
+    events_.push_back({SchedEvent::Kind::kRelease, tid, object, 0});
+  }
+  void OnCommit(u32 tid, const std::vector<u32>& pages) override {
+    events_.push_back({SchedEvent::Kind::kCommit, tid, pages.size(),
+                       pages.empty() ? 0 : pages.front()});
+  }
+
+  const std::vector<SchedEvent>& Events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<SchedEvent> events_;
+};
+
+struct Divergence {
+  usize index = 0;
+  std::string left;   // "<end>" when one stream is a prefix of the other
+  std::string right;
+};
+
+// First index at which two recorded schedules differ, or nullopt if equal.
+inline std::optional<Divergence> FirstDivergence(const std::vector<SchedEvent>& a,
+                                                 const std::vector<SchedEvent>& b) {
+  const usize n = std::min(a.size(), b.size());
+  for (usize i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) {
+      return Divergence{i, a[i].ToString(), b[i].ToString()};
+    }
+  }
+  if (a.size() != b.size()) {
+    return Divergence{n, n < a.size() ? a[n].ToString() : "<end>",
+                      n < b.size() ? b[n].ToString() : "<end>"};
+  }
+  return std::nullopt;
+}
+
+}  // namespace csq::rt

@@ -1,0 +1,105 @@
+// A deterministic dynamic allocator for shared memory.
+//
+// Runtime-managed DMT systems need deterministic malloc/free for shared data
+// (DThreads ships one; Conversion segments need one for programs that
+// allocate after their threads start). This is a segregated free-list
+// allocator whose metadata lives IN the shared segment itself and whose
+// operations are ordinary ThreadApi loads/stores under a deterministic mutex
+// — so allocation addresses are a deterministic function of the allocation
+// sequence, on every backend.
+//
+// Layout (all offsets relative to the region this heap manages):
+//   [0,            8*kBins)   free-list heads, one u64 per size class
+//   [8*kBins,      +8)        bump pointer for never-freed space
+//   [...,          end)       blocks: 8-byte header (size class) + payload
+//
+// Size classes are powers of two from 16 bytes to 64 KiB. Free blocks are
+// chained through their payload's first word. No coalescing (classes are
+// exact), which keeps every operation O(1) and — more importantly here —
+// deterministic and cheap under isolation (every op touches at most two
+// cache pages: the class head and the block header).
+#pragma once
+
+#include "src/rt/api.h"
+#include "src/util/check.h"
+
+namespace csq::rt {
+
+class SharedHeap {
+ public:
+  static constexpr u32 kMinShift = 4;   // 16 B
+  static constexpr u32 kMaxShift = 16;  // 64 KiB
+  static constexpr u32 kBins = kMaxShift - kMinShift + 1;
+
+  // Carves a heap out of `capacity` bytes of shared memory. Call from one
+  // thread (typically main, before spawning) — creation itself allocates the
+  // region and initializes metadata.
+  SharedHeap(ThreadApi& api, usize capacity)
+      : base_(api.SharedAlloc(capacity, 4096)),
+        capacity_(capacity),
+        lock_(api.CreateMutex()) {
+    CSQ_CHECK_MSG(capacity >= 4096, "heap too small");
+    api.Store<u64>(base_ + 8 * kBins, DataStart());  // bump pointer
+  }
+
+  // Allocates `n` bytes (rounded up to the size class); returns the payload
+  // address. CHECK-fails when out of memory (deterministically!).
+  u64 Malloc(ThreadApi& t, usize n) {
+    const u32 cls = ClassFor(n);
+    const u64 head = base_ + 8 * cls;
+    t.Lock(lock_);
+    u64 block = t.Load<u64>(head);
+    if (block != 0) {
+      // Pop the free list.
+      t.Store<u64>(head, t.Load<u64>(block + 8));
+    } else {
+      // Carve fresh space.
+      const u64 bump = t.Load<u64>(base_ + 8 * kBins);
+      const u64 size = 8 + (1ULL << (cls + kMinShift));
+      CSQ_CHECK_MSG(bump + size <= base_ + capacity_, "SharedHeap out of memory");
+      block = bump;
+      t.Store<u64>(base_ + 8 * kBins, bump + size);
+      t.Store<u64>(block, cls);
+    }
+    t.Unlock(lock_);
+    return block + 8;
+  }
+
+  // Returns `addr` (a Malloc result) to its size-class free list.
+  void Free(ThreadApi& t, u64 addr) {
+    const u64 block = addr - 8;
+    t.Lock(lock_);
+    const u64 cls = t.Load<u64>(block);
+    CSQ_CHECK_MSG(cls < kBins, "SharedHeap::Free of a non-heap or corrupted address");
+    const u64 head = base_ + 8 * cls;
+    t.Store<u64>(block + 8, t.Load<u64>(head));
+    t.Store<u64>(head, block);
+    t.Unlock(lock_);
+  }
+
+  // Bytes of payload the given request actually occupies.
+  static usize UsableSize(usize n) { return 1ULL << (ClassFor(n) + kMinShift); }
+
+  u64 Base() const { return base_; }
+
+ private:
+  static u32 ClassFor(usize n) {
+    u32 cls = 0;
+    while ((1ULL << (cls + kMinShift)) < n) {
+      ++cls;
+    }
+    CSQ_CHECK_MSG(cls < kBins, "allocation of " << n << " bytes exceeds the 64 KiB class cap");
+    return cls;
+  }
+
+  u64 DataStart() const {
+    // Metadata, rounded up to 16 bytes.
+    return base_ + ((8 * (kBins + 1) + 15) & ~15ULL);
+  }
+
+  u64 base_;
+  usize capacity_;
+  MutexId lock_;
+};
+
+}  // namespace csq::rt

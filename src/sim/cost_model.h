@@ -1,0 +1,73 @@
+// Virtual-time cost model for the simulated multicore.
+//
+// The original Consequence evaluation ran on a 32-core Xeon; this reproduction
+// runs the same runtime algorithms on a deterministic simulator whose clock is
+// advanced by the charges below (in abstract "cycles"). Absolute values are a
+// calibration, not a claim — what matters for reproducing the paper's figures
+// is the *ratios*: a commit costs thousands of work units, a page fault costs
+// hundreds, a token handoff is cheap, a fork is very expensive, etc.
+//
+// `jitter_bp` (basis points, 100 bp = 1%) models nondeterministic hardware
+// timing: every charge is scaled by a random factor in [1-j, 1+j] drawn from a
+// per-thread deterministic stream. Deterministic runtimes must produce
+// bit-identical program results under any jitter seed; the pthreads baseline
+// need not (and does not, for racy programs).
+#pragma once
+
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace csq::sim {
+
+struct CostModel {
+  // Computation.
+  u64 work_unit = 1;        // one unit of workload "work" (≈ one instruction)
+  u64 mem_op = 1;           // one workspace load/store (local, isolated)
+
+  // Conversion (versioned memory).
+  u64 page_fault = 1000;    // first write to a clean page: trap + copy-on-write
+  u64 page_fetch = 350;     // update() pulling one committed page into the snapshot
+  u64 page_diff = 600;      // diffing one dirty page against its twin
+  u64 page_merge = 1200;    // byte-granularity merge of one conflicting page
+  u64 commit_fixed = 1200;  // fixed cost of a commit (version-log bookkeeping)
+  u64 commit_per_page = 250;  // publishing one dirty page
+  u64 update_fixed = 600;  // fixed cost of an update (version scan)
+  u64 gc_per_page = 120;    // collector reclaiming one dead page version
+
+  // Deterministic clock / token.
+  u64 token_acquire = 120;
+  u64 token_release = 60;
+  u64 counter_read_kernel = 300;  // syscall to read the perf counter (§3.4)
+  u64 counter_read_user = 25;     // user-space counter read (§3.4)
+  u64 overflow_interrupt = 700;   // handling one counter-overflow interrupt (§3.2)
+  u64 wake_latency = 400;         // kernel wakeup of a blocked thread
+
+  // Thread lifecycle (§3.3).
+  u64 spawn_fork_fixed = 9000;   // forking a Conversion process
+  u64 spawn_fork_per_page = 120;  // copying one populated page-table entry
+  u64 spawn_reuse_fixed = 1200;   // reusing a pooled thread
+  u64 join_fixed = 500;
+
+  // Nondeterministic pthreads baseline.
+  u64 pthread_lock_op = 60;
+  u64 pthread_barrier_op = 400;
+  u64 pthread_cv_op = 80;
+  u64 pthread_spawn = 3000;
+  u64 pthread_join = 300;
+
+  // Timing perturbation.
+  u32 jitter_bp = 0;   // ± jitter in basis points (100 bp = 1%)
+  u64 jitter_seed = 0;
+
+  // Applies jitter to `cost` using the given per-thread stream.
+  u64 Jitter(DetRng& rng, u64 cost) const {
+    if (jitter_bp == 0 || cost == 0) {
+      return cost;
+    }
+    const u64 span = 2ULL * jitter_bp + 1;
+    const u64 factor = 10000ULL - jitter_bp + rng.Below(span);
+    return cost * factor / 10000ULL;
+  }
+};
+
+}  // namespace csq::sim

@@ -1,0 +1,161 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+namespace csq::sim {
+
+Engine::Engine(SimConfig cfg) : cfg_(cfg) {}
+
+Engine::~Engine() = default;
+
+ThreadId Engine::Spawn(std::function<void()> fn) {
+  auto t = std::make_unique<SimThread>();
+  t->id = static_cast<ThreadId>(threads_.size());
+  t->state = SimThreadState::kRunnable;
+  t->vtime = (current_ != kInvalidThread) ? threads_[current_]->vtime : 0;
+  t->jitter.Seed(cfg_.costs.jitter_seed * 0x9e3779b97f4a7c15ULL + t->id + 1);
+  t->fiber = std::make_unique<Fiber>(cfg_.stack_size);
+  SimThread* raw = t.get();
+  t->fiber->Prepare(std::move(fn), [this, raw] {
+    raw->state = SimThreadState::kFinished;
+    raw->finish_vtime = raw->vtime;
+    raw->fiber->SwitchOutTo(&main_ctx_);
+  });
+  threads_.push_back(std::move(t));
+  return raw->id;
+}
+
+void Engine::Run() {
+  CSQ_CHECK(!running_);
+  running_ = true;
+  for (;;) {
+    const ThreadId next = PickNext();
+    if (next == kInvalidThread) {
+      break;
+    }
+    current_ = next;
+    threads_[next]->state = SimThreadState::kRunning;
+    threads_[next]->fiber->SwitchInto(&main_ctx_);
+    current_ = kInvalidThread;
+  }
+  for (const auto& t : threads_) {
+    CSQ_CHECK_MSG(t->state == SimThreadState::kFinished,
+                  "simulation deadlock: thread " << t->id << " stuck in state "
+                                                 << static_cast<int>(t->state) << " at vtime "
+                                                 << t->vtime);
+  }
+  running_ = false;
+}
+
+ThreadId Engine::Self() const {
+  CSQ_CHECK_MSG(current_ != kInvalidThread, "in-fiber API called outside a fiber");
+  return current_;
+}
+
+void Engine::AdvanceRaw(u64 cycles, TimeCat cat) {
+  SimThread& t = Cur();
+  t.vtime += cycles;
+  t.cat[static_cast<usize>(cat)] += cycles;
+}
+
+u64 Engine::Charge(u64 cost, TimeCat cat) {
+  SimThread& t = Cur();
+  const u64 jittered = cfg_.costs.Jitter(t.jitter, cost);
+  AdvanceRaw(jittered, cat);
+  return jittered;
+}
+
+bool Engine::IsMinRunnable(ThreadId me) const {
+  const SimThread& m = *threads_[me];
+  for (const auto& t : threads_) {
+    if (t->id == me || t->state != SimThreadState::kRunnable) {
+      continue;
+    }
+    if (t->vtime < m.vtime || (t->vtime == m.vtime && t->id < m.id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ThreadId Engine::PickNext() const {
+  ThreadId best = kInvalidThread;
+  for (const auto& t : threads_) {
+    if (t->state != SimThreadState::kRunnable) {
+      continue;
+    }
+    if (best == kInvalidThread || t->vtime < threads_[best]->vtime ||
+        (t->vtime == threads_[best]->vtime && t->id < best)) {
+      best = t->id;
+    }
+  }
+  return best;
+}
+
+void Engine::SwitchToScheduler() {
+  Cur().fiber->SwitchOutTo(&main_ctx_);
+}
+
+void Engine::GateShared() {
+  while (!IsMinRunnable(Self())) {
+    YieldRunnable();
+  }
+}
+
+void Engine::YieldRunnable() {
+  SimThread& t = Cur();
+  t.state = SimThreadState::kRunnable;
+  SwitchToScheduler();
+}
+
+u64 Engine::Wait(WaitChannel& ch, TimeCat cat) {
+  SimThread& t = Cur();
+  ch.waiters.push_back(t.id);
+  t.state = SimThreadState::kBlocked;
+  t.wait_cat = cat;
+  SwitchToScheduler();
+  // Woken: the notifier already advanced our vtime and attributed the wait.
+  return t.vtime;
+}
+
+usize Engine::NotifyOne(WaitChannel& ch) {
+  if (ch.waiters.empty()) {
+    return 0;
+  }
+  const ThreadId w = ch.waiters.front();
+  ch.waiters.erase(ch.waiters.begin());
+  SimThread& t = *threads_[w];
+  CSQ_CHECK_MSG(t.state == SimThreadState::kBlocked, "notify of non-blocked thread " << w);
+  const u64 wake_vt =
+      std::max(t.vtime, Now() + cfg_.costs.Jitter(t.jitter, cfg_.costs.wake_latency));
+  t.cat[static_cast<usize>(t.wait_cat)] += wake_vt - t.vtime;
+  t.vtime = wake_vt;
+  t.state = SimThreadState::kRunnable;
+  return 1;
+}
+
+usize Engine::NotifyAll(WaitChannel& ch) {
+  usize n = 0;
+  while (NotifyOne(ch) != 0) {
+    ++n;
+  }
+  return n;
+}
+
+u64 Engine::CatTotalAll(TimeCat cat) const {
+  u64 sum = 0;
+  for (const auto& t : threads_) {
+    sum += t->cat[static_cast<usize>(cat)];
+  }
+  return sum;
+}
+
+u64 Engine::CompletionVtime() const {
+  u64 max_vt = 0;
+  for (const auto& t : threads_) {
+    max_vt = std::max(max_vt, t->finish_vtime);
+  }
+  return max_vt;
+}
+
+}  // namespace csq::sim

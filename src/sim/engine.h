@@ -1,0 +1,165 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine runs N simulated threads (fibers) on one host thread and gives
+// each a virtual-time clock. The single ordering rule that makes the whole
+// simulation deterministic AND faithful to a real multicore is:
+//
+//   A simulated thread may touch shared simulation state only while it is the
+//   minimum-(vtime, tid) *runnable* thread (GateShared()).
+//
+// Purely local computation (the vast majority of a workload: its own arithmetic
+// plus loads/stores to its isolated Conversion workspace) never yields, so the
+// simulation is fast; shared operations (token handoffs, commits, lock grants)
+// execute in global virtual-time order, exactly as they would interleave on a
+// real machine with one core per thread — the configuration the paper's 32-core
+// testbed provides.
+//
+// Blocked threads are excluded from the gate: any operation that could wake
+// them must itself be a shared operation, so it executes at a vtime >= every
+// pending shared operation, and the woken thread resumes no earlier than its
+// waker. This gives exact conservative discrete-event semantics without a
+// lookahead horizon.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/fiber.h"
+#include "src/sim/time_category.h"
+#include "src/util/check.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace csq::sim {
+
+using ThreadId = u32;
+inline constexpr ThreadId kInvalidThread = 0xffffffffu;
+
+// A deterministic FIFO wait queue. Engine::Wait enqueues the calling thread;
+// Engine::NotifyOne/NotifyAll dequeue and wake.
+struct WaitChannel {
+  std::vector<ThreadId> waiters;
+
+  bool Empty() const { return waiters.empty(); }
+};
+
+struct SimConfig {
+  CostModel costs;
+  usize stack_size = 256 * 1024;
+};
+
+enum class SimThreadState : u8 {
+  kRunnable,
+  kRunning,
+  kBlocked,
+  kFinished,
+};
+
+class Engine {
+ public:
+  explicit Engine(SimConfig cfg = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- Host-side API -------------------------------------------------------
+
+  // Creates a simulated thread. May be called before Run() (initial threads,
+  // vtime 0) or from inside a running fiber (vtime = spawner's Now()).
+  ThreadId Spawn(std::function<void()> fn);
+
+  // Runs the simulation until every thread has finished. CHECK-fails on
+  // deadlock (all remaining threads blocked).
+  void Run();
+
+  // ---- In-fiber API --------------------------------------------------------
+
+  ThreadId Self() const;
+
+  // Current thread's virtual time.
+  u64 Now() const { return threads_[Self()]->vtime; }
+
+  // Advances the current thread's clock by a pre-jittered amount.
+  void AdvanceRaw(u64 cycles, TimeCat cat);
+
+  // Applies cost-model jitter to `cost`, advances the clock, returns the
+  // jittered amount.
+  u64 Charge(u64 cost, TimeCat cat);
+
+  // Blocks until the current thread is the minimum-(vtime, tid) runnable
+  // thread. All shared-state operations (in the engine and in the layers above)
+  // must be performed under this gate.
+  void GateShared();
+
+  // Cooperative yield (stays runnable). Rarely needed outside GateShared.
+  void YieldRunnable();
+
+  // Blocks on `ch`; wait time is attributed to `cat`. Returns the vtime at
+  // which the thread was woken.
+  u64 Wait(WaitChannel& ch, TimeCat cat);
+
+  // Wakes the first / all waiter(s) at max(waiter vtime, Now() + wake_latency).
+  // Returns the number of threads woken.
+  usize NotifyOne(WaitChannel& ch);
+  usize NotifyAll(WaitChannel& ch);
+
+  // ---- Introspection -------------------------------------------------------
+
+  const CostModel& Costs() const { return cfg_.costs; }
+  usize ThreadCount() const { return threads_.size(); }
+  SimThreadState StateOf(ThreadId t) const { return threads_[t]->state; }
+  u64 VtimeOf(ThreadId t) const { return threads_[t]->vtime; }
+  u64 CatTotal(ThreadId t, TimeCat cat) const {
+    return threads_[t]->cat[static_cast<usize>(cat)];
+  }
+  u64 CatTotalAll(TimeCat cat) const;
+
+  // Virtual completion time of the whole program: max finish vtime.
+  u64 CompletionVtime() const;
+
+  // Deterministic schedule fingerprinting. Layers above mix every ordering
+  // decision (sync op grants, commit order, ...) into this digest; determinism
+  // tests assert it is identical across runs/jitter seeds.
+  void Trace(u64 tag, u64 a, u64 b, u64 c) {
+    trace_.Mix(tag);
+    trace_.Mix(a);
+    trace_.Mix(b);
+    trace_.Mix(c);
+    ++trace_events_;
+  }
+  u64 TraceDigest() const { return trace_.Digest(); }
+  u64 TraceEvents() const { return trace_events_; }
+
+ private:
+  struct SimThread {
+    ThreadId id = kInvalidThread;
+    SimThreadState state = SimThreadState::kRunnable;
+    u64 vtime = 0;
+    u64 finish_vtime = 0;
+    TimeCat wait_cat = TimeCat::kChunk;
+    DetRng jitter;
+    std::array<u64, kNumTimeCats> cat{};
+    std::unique_ptr<Fiber> fiber;
+  };
+
+  bool IsMinRunnable(ThreadId t) const;
+  ThreadId PickNext() const;
+  void SwitchToScheduler();
+  SimThread& Cur() { return *threads_[Self()]; }
+
+  SimConfig cfg_;
+  std::deque<std::unique_ptr<SimThread>> threads_;
+  ThreadId current_ = kInvalidThread;
+  bool running_ = false;
+  ucontext_t main_ctx_{};
+  Fnv1a trace_;
+  u64 trace_events_ = 0;
+};
+
+}  // namespace csq::sim

@@ -1,0 +1,43 @@
+#include "src/sim/fiber.h"
+
+#include "src/util/check.h"
+
+namespace csq::sim {
+
+Fiber::Fiber(usize stack_size) : stack_(stack_size) {}
+
+Fiber::~Fiber() = default;
+
+void Fiber::Prepare(Fn fn, Fn on_exit) {
+  fn_ = std::move(fn);
+  on_exit_ = std::move(on_exit);
+  CSQ_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_.data();
+  ctx_.uc_stack.ss_size = stack_.size();
+  ctx_.uc_link = nullptr;  // fibers never fall off the end; on_exit_ switches away
+  const auto ptr = reinterpret_cast<uintptr_t>(this);
+  const auto hi = static_cast<unsigned>(ptr >> 32);
+  const auto lo = static_cast<unsigned>(ptr & 0xffffffffu);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 2, hi, lo);
+}
+
+void Fiber::SwitchInto(ucontext_t* from) {
+  CSQ_CHECK(swapcontext(from, &ctx_) == 0);
+}
+
+void Fiber::SwitchOutTo(ucontext_t* to) {
+  CSQ_CHECK(swapcontext(&ctx_, to) == 0);
+}
+
+void Fiber::Trampoline(unsigned hi, unsigned lo) {
+  const uintptr_t ptr = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(ptr)->Body();
+}
+
+void Fiber::Body() {
+  fn_();
+  on_exit_();
+  CSQ_CHECK_MSG(false, "fiber on_exit returned");
+}
+
+}  // namespace csq::sim

@@ -1,0 +1,49 @@
+// Cooperative fibers on top of ucontext.
+//
+// The simulation engine runs every simulated thread's code on one host thread,
+// switching between fibers explicitly. ucontext is deprecated-but-stable on
+// glibc and is by far the simplest way to get real C++ code (the workloads)
+// running on swappable stacks without compiler plugins.
+#pragma once
+
+#include <ucontext.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace csq::sim {
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  explicit Fiber(usize stack_size);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Prepares the fiber to run `fn` on its next SwitchInto. `on_exit` is invoked
+  // on the fiber's stack after `fn` returns and must switch away (it may not
+  // return).
+  void Prepare(Fn fn, Fn on_exit);
+
+  // Saves the current context into `from` and resumes this fiber.
+  void SwitchInto(ucontext_t* from);
+
+  // Saves this fiber's context and resumes `to`. Must be called on this fiber.
+  void SwitchOutTo(ucontext_t* to);
+
+ private:
+  static void Trampoline(unsigned hi, unsigned lo);
+  void Body();
+
+  Fn fn_;
+  Fn on_exit_;
+  std::vector<u8> stack_;
+  ucontext_t ctx_;
+};
+
+}  // namespace csq::sim

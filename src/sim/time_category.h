@@ -1,0 +1,38 @@
+// Virtual-time attribution categories.
+//
+// Every cycle of simulated time a thread spends is attributed to one of these
+// buckets; the Figure-15 harness prints the resulting breakdown (the paper's
+// "chunks / determ wait / barrier wait / conversion / page faults / library"
+// stacked bars).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "src/util/types.h"
+
+namespace csq::sim {
+
+enum class TimeCat : u8 {
+  kChunk = 0,     // useful local work (the program's own instructions)
+  kDetermWait,    // waiting for the deterministic token / GMIC
+  kBarrierWait,   // waiting at a barrier (det or not)
+  kLockWait,      // waiting for a lock (pthreads baseline; det lock waits are determ)
+  kCommit,        // Conversion commit + update work
+  kFault,         // copy-on-write page faults
+  kLibrary,       // fixed runtime-library overhead (clock reads, token ops, ...)
+  kGc,            // version garbage collection
+  kCount,
+};
+
+inline constexpr usize kNumTimeCats = static_cast<usize>(TimeCat::kCount);
+
+inline constexpr std::array<std::string_view, kNumTimeCats> kTimeCatNames = {
+    "chunk", "determ_wait", "barrier_wait", "lock_wait", "commit", "fault", "library", "gc",
+};
+
+inline std::string_view TimeCatName(TimeCat c) {
+  return kTimeCatNames[static_cast<usize>(c)];
+}
+
+}  // namespace csq::sim

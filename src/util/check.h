@@ -1,0 +1,52 @@
+// Always-on assertion macros.
+//
+// CSQ_CHECK(cond)        — aborts with file:line and the failed expression.
+// CSQ_CHECK_MSG(cond, m) — same, with an extra streamed message.
+// CSQ_DCHECK(cond)       — compiled out in NDEBUG builds.
+//
+// A deterministic-execution runtime cannot tolerate "impossible" states silently:
+// every broken invariant is a potential nondeterminism bug, so checks stay on in
+// release builds (they are off the hot paths).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace csq {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "CSQ_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace csq
+
+#define CSQ_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::csq::CheckFailed(__FILE__, __LINE__, #cond, "");       \
+    }                                                          \
+  } while (0)
+
+#define CSQ_CHECK_MSG(cond, msg)                               \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::ostringstream csq_check_oss_;                       \
+      csq_check_oss_ << msg;                                   \
+      ::csq::CheckFailed(__FILE__, __LINE__, #cond,            \
+                         csq_check_oss_.str());                \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define CSQ_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define CSQ_DCHECK(cond) CSQ_CHECK(cond)
+#endif

@@ -1,0 +1,54 @@
+// Incremental FNV-1a hashing.
+//
+// Used for two purposes:
+//   1. workload result checksums (the "program output" whose bit-identity across
+//      runs is the determinism property under test), and
+//   2. sync-op trace hashes (the internal schedule fingerprint).
+#pragma once
+
+#include <cstring>
+#include <string_view>
+
+#include "src/util/types.h"
+
+namespace csq {
+
+class Fnv1a {
+ public:
+  static constexpr u64 kOffset = 0xcbf29ce484222325ULL;
+  static constexpr u64 kPrime = 0x100000001b3ULL;
+
+  Fnv1a() = default;
+
+  void MixBytes(const void* data, usize n) {
+    const auto* p = static_cast<const u8*>(data);
+    for (usize i = 0; i < n; ++i) {
+      h_ = (h_ ^ p[i]) * kPrime;
+    }
+  }
+
+  void Mix(u64 v) { MixBytes(&v, sizeof(v)); }
+  void Mix(double v) { MixBytes(&v, sizeof(v)); }
+  void Mix(std::string_view s) { MixBytes(s.data(), s.size()); }
+
+  u64 Digest() const { return h_; }
+
+ private:
+  u64 h_ = kOffset;
+};
+
+inline u64 HashBytes(const void* data, usize n) {
+  Fnv1a h;
+  h.MixBytes(data, n);
+  return h.Digest();
+}
+
+// Mixes two hashes into one (order-sensitive).
+inline u64 HashCombine(u64 a, u64 b) {
+  Fnv1a h;
+  h.Mix(a);
+  h.Mix(b);
+  return h.Digest();
+}
+
+}  // namespace csq

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generators.
+//
+// Everything in this repository that needs randomness — workload input
+// generation, cost-model jitter, canneal's annealing moves — must be
+// reproducible from a seed, so std::random_device and the global C rand()
+// are banned. DetRng is splitmix64-seeded xoshiro256**, which is fast,
+// high-quality, and has a trivially portable implementation.
+#pragma once
+
+#include "src/util/types.h"
+
+namespace csq {
+
+// splitmix64: used to expand a single u64 seed into xoshiro state.
+inline u64 SplitMix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class DetRng {
+ public:
+  explicit DetRng(u64 seed = 0x5eed) { Seed(seed); }
+
+  void Seed(u64 seed) {
+    u64 sm = seed;
+    for (auto& w : s_) {
+      w = SplitMix64(sm);
+    }
+  }
+
+  // Uniform u64.
+  u64 Next() {
+    const u64 result = Rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  u64 Below(u64 bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Multiply-shift reduction; bias is negligible for our bounds (<2^32).
+    return static_cast<u64>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  u64 Range(u64 lo, u64 hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 s_[4];
+};
+
+}  // namespace csq

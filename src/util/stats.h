@@ -1,0 +1,109 @@
+// Small statistics accumulators used by the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace csq {
+
+// Running min/max/mean/stddev over double samples.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    if (n_ == 1) {
+      min_ = max_ = x;
+      mean_ = x;
+      m2_ = 0.0;
+      return;
+    }
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  u64 Count() const { return n_; }
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double Stddev() const { return std::sqrt(Variance()); }
+  // Mean absolute deviation from the mean requires the samples; see SampleSet.
+
+ private:
+  u64 n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Keeps all samples; supports percentiles and mean deviation (the dispersion
+// metric the paper reports: "mean deviation was within 20%").
+class SampleSet {
+ public:
+  void Add(double x) { xs_.push_back(x); }
+
+  usize Count() const { return xs_.size(); }
+
+  double Mean() const {
+    if (xs_.empty()) {
+      return 0.0;
+    }
+    double s = 0.0;
+    for (double x : xs_) {
+      s += x;
+    }
+    return s / static_cast<double>(xs_.size());
+  }
+
+  double Min() const {
+    CSQ_CHECK(!xs_.empty());
+    return *std::min_element(xs_.begin(), xs_.end());
+  }
+
+  double Max() const {
+    CSQ_CHECK(!xs_.empty());
+    return *std::max_element(xs_.begin(), xs_.end());
+  }
+
+  // Mean absolute deviation from the mean, as a fraction of the mean.
+  double MeanDeviationFrac() const {
+    if (xs_.empty()) {
+      return 0.0;
+    }
+    const double m = Mean();
+    if (m == 0.0) {
+      return 0.0;
+    }
+    double s = 0.0;
+    for (double x : xs_) {
+      s += std::abs(x - m);
+    }
+    return (s / static_cast<double>(xs_.size())) / m;
+  }
+
+  double Percentile(double p) const {
+    CSQ_CHECK(!xs_.empty());
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const usize lo = static_cast<usize>(rank);
+    const usize hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  const std::vector<double>& Samples() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace csq

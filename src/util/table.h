@@ -1,0 +1,70 @@
+// Plain-text table printer for the figure-reproduction harnesses.
+//
+// The bench binaries print the same rows/series the paper's figures plot;
+// TablePrinter keeps the output aligned and machine-greppable
+// (columns separated by two spaces, one header row, '-' rule).
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace csq {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (usize i = 0; i < headers_.size(); ++i) {
+      widths_[i] = headers_[i].size();
+    }
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    CSQ_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected " << headers_.size());
+    for (usize i = 0; i < cells.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::ostream& os) const {
+    PrintRow(os, headers_);
+    usize total = 0;
+    for (usize w : widths_) {
+      total += w + 2;
+    }
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) {
+      PrintRow(os, row);
+    }
+  }
+
+  static std::string Fmt(double v, int precision = 2) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+  }
+
+  static std::string Fmt(u64 v) { return std::to_string(v); }
+
+ private:
+  void PrintRow(std::ostream& os, const std::vector<std::string>& row) const {
+    for (usize i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths_[i]) + 2) << row[i];
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<usize> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csq

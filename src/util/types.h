@@ -1,0 +1,19 @@
+// Basic integer aliases used throughout the Consequence reproduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace csq {
+
+using u8 = uint8_t;
+using u16 = uint16_t;
+using u32 = uint32_t;
+using u64 = uint64_t;
+using i8 = int8_t;
+using i16 = int16_t;
+using i32 = int32_t;
+using i64 = int64_t;
+using usize = size_t;
+
+}  // namespace csq

@@ -1,0 +1,89 @@
+// Shared helpers for the benchmark workloads.
+//
+// Each workload reimplements one program from the paper's evaluation at a
+// small scale, against the backend-neutral ThreadApi. The *algorithm* is real
+// (real histograms, real LU factorization, real k-means iterations, ...), and
+// more importantly the *interaction pattern* — sync-op rate, critical-section
+// length, pages written per chunk, barrier frequency — matches the original
+// benchmark's, because that is what the paper's evaluation measures.
+//
+// Conventions:
+//   * Shared data lives in the segment and is accessed via api.Load/Store.
+//   * Thread-private data lives in ordinary C++ locals (a real benchmark's
+//     stack/private heap), accompanied by api.Work() to account for the
+//     instructions it represents.
+//   * All inputs are generated from fixed DetRng seeds — runs are reproducible
+//     by construction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/rt/api.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace csq::wl {
+
+struct WlParams {
+  u32 workers = 4;
+  // Input-size multiplier (1 = bench default; tests may use smaller inputs by
+  // passing 1 with small worker counts — sizes already modest).
+  u32 scale = 1;
+};
+
+// Spawns `workers` threads running body(worker_api, worker_index), then joins.
+inline void ParallelFor(rt::ThreadApi& api, u32 workers,
+                        const std::function<void(rt::ThreadApi&, u32)>& body) {
+  std::vector<rt::ThreadHandle> hs;
+  hs.reserve(workers);
+  for (u32 w = 0; w < workers; ++w) {
+    hs.push_back(api.SpawnThread([w, &body](rt::ThreadApi& t) { body(t, w); }));
+  }
+  for (rt::ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+}
+
+// [begin, end) stripe of `n` items for worker `w` of `workers`.
+struct Stripe {
+  u64 begin;
+  u64 end;
+};
+
+inline Stripe StripeOf(u64 n, u32 workers, u32 w) {
+  const u64 per = n / workers;
+  const u64 rem = n % workers;
+  const u64 begin = static_cast<u64>(w) * per + std::min<u64>(w, rem);
+  return Stripe{begin, begin + per + (w < rem ? 1 : 0)};
+}
+
+// Hashes a shared u64 array into a checksum.
+inline u64 HashSharedU64(rt::ThreadApi& api, u64 addr, u64 count) {
+  Fnv1a h;
+  for (u64 i = 0; i < count; ++i) {
+    h.Mix(api.Load<u64>(addr + 8 * i));
+  }
+  return h.Digest();
+}
+
+inline u64 HashSharedF64(rt::ThreadApi& api, u64 addr, u64 count) {
+  Fnv1a h;
+  for (u64 i = 0; i < count; ++i) {
+    // Quantize to tolerate benign summation-order differences in racy code.
+    h.Mix(static_cast<u64>(static_cast<i64>(api.Load<double>(addr + 8 * i) * 1024.0)));
+  }
+  return h.Digest();
+}
+
+// Fills a shared region with deterministic pseudo-random u64s.
+inline void FillSharedU64(rt::ThreadApi& api, u64 addr, u64 count, u64 seed, u64 modulo = 0) {
+  DetRng rng(seed);
+  for (u64 i = 0; i < count; ++i) {
+    const u64 v = modulo ? rng.Below(modulo) : rng.Next();
+    api.Store<u64>(addr + 8 * i, v);
+  }
+}
+
+}  // namespace csq::wl

@@ -1,0 +1,288 @@
+// PARSEC suite workloads.
+//
+//   canneal — simulated-annealing placement: barrier-synchronized temperature
+//     steps; workers swap random element positions in a large shared array
+//     (intentionally racy, like the original's lock-free swaps), producing
+//     heavy page sharing and byte-granularity merges.
+//   dedup — a pipelined deduplicating compressor: bounded queues between
+//     stages (mutex+condvar) plus a striped-lock hash table of chunk digests.
+//   ferret — a four-stage similarity-search pipeline whose first stage is a
+//     fast producer issuing many short lock operations (the paper's ferret_1),
+//     while later stages alternate long compute chunks with condvar waits.
+#include "src/wl/workloads.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace csq::wl {
+
+u64 Canneal(rt::ThreadApi& api, const WlParams& p) {
+  const u64 nelem = 8192 * p.scale;  // element positions, 16 pages
+  const u32 steps = 6;
+  const u64 swaps_per_step = 384;
+  const u64 pos = api.SharedAlloc(nelem * 8, 4096);
+  FillSharedU64(api, pos, nelem, 0xca41, 1 << 20);
+  const u64 accepted = api.SharedAlloc(8);
+  const rt::MutexId merge = api.CreateMutex();
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    DetRng rng(0xca41u ^ (w * 0x9e37u));
+    u64 local_accept = 0;
+    for (u32 step = 0; step < steps; ++step) {
+      const u64 temp = 1000 >> step;  // cooling schedule
+      for (u64 sw = 0; sw < swaps_per_step; ++sw) {
+        const u64 i = rng.Below(nelem);
+        const u64 j = rng.Below(nelem);
+        const u64 vi = t.Load<u64>(pos + 8 * i);
+        const u64 vj = t.Load<u64>(pos + 8 * j);
+        // Routing-cost delta in the original; a deterministic surrogate here.
+        const u64 cost_before = (vi ^ i) % 4096 + (vj ^ j) % 4096;
+        const u64 cost_after = (vj ^ i) % 4096 + (vi ^ j) % 4096;
+        t.Work(700);  // netlist cost evaluation
+        if (cost_after < cost_before + temp) {
+          // Racy swap, like the original's lock-free pointer exchange: under
+          // the deterministic backends the byte-merge makes it reproducible.
+          t.Store<u64>(pos + 8 * i, vj);
+          t.Store<u64>(pos + 8 * j, vi);
+          ++local_accept;
+        }
+      }
+      t.BarrierWait(bar);  // temperature step boundary
+    }
+    t.Lock(merge);
+    t.Store<u64>(accepted, t.Load<u64>(accepted) + local_accept);
+    t.Unlock(merge);
+  });
+  Fnv1a h;
+  h.Mix(api.Load<u64>(accepted));
+  h.Mix(HashSharedU64(api, pos, std::min<u64>(nelem, 512)));
+  return h.Digest();
+}
+
+namespace {
+
+// A bounded MPMC queue in shared memory, built from the public API the way a
+// pthreads program would build one.
+class SharedQueue {
+ public:
+  SharedQueue(rt::ThreadApi& api, u64 capacity)
+      : cap_(capacity),
+        buf_(api.SharedAlloc(capacity * 8)),
+        head_(api.SharedAlloc(8)),
+        tail_(api.SharedAlloc(8)),
+        closed_(api.SharedAlloc(8)),
+        wait_empty_(api.SharedAlloc(8)),
+        wait_full_(api.SharedAlloc(8)),
+        m_(api.CreateMutex()),
+        not_empty_(api.CreateCond()),
+        not_full_(api.CreateCond()) {}
+
+  void Push(rt::ThreadApi& t, u64 v) {
+    t.Lock(m_);
+    while (t.Load<u64>(tail_) - t.Load<u64>(head_) == cap_) {
+      t.Store<u64>(wait_full_, t.Load<u64>(wait_full_) + 1);
+      t.CondWait(not_full_, m_);
+      t.Store<u64>(wait_full_, t.Load<u64>(wait_full_) - 1);
+    }
+    const u64 pos = t.Load<u64>(tail_);
+    t.Store<u64>(buf_ + 8 * (pos % cap_), v);
+    t.Store<u64>(tail_, pos + 1);
+    if (t.Load<u64>(wait_empty_) != 0) {
+      t.CondSignal(not_empty_);  // signal only when a consumer can be waiting
+    }
+    t.Unlock(m_);
+  }
+
+  // Returns false when the queue is closed and drained.
+  bool Pop(rt::ThreadApi& t, u64* out) {
+    t.Lock(m_);
+    while (t.Load<u64>(tail_) == t.Load<u64>(head_) && t.Load<u64>(closed_) == 0) {
+      t.Store<u64>(wait_empty_, t.Load<u64>(wait_empty_) + 1);
+      t.CondWait(not_empty_, m_);
+      t.Store<u64>(wait_empty_, t.Load<u64>(wait_empty_) - 1);
+    }
+    if (t.Load<u64>(tail_) == t.Load<u64>(head_)) {
+      t.Unlock(m_);
+      return false;
+    }
+    const u64 pos = t.Load<u64>(head_);
+    *out = t.Load<u64>(buf_ + 8 * (pos % cap_));
+    t.Store<u64>(head_, pos + 1);
+    if (t.Load<u64>(wait_full_) != 0) {
+      t.CondSignal(not_full_);  // signal only when a producer can be waiting
+    }
+    t.Unlock(m_);
+    return true;
+  }
+
+  void Close(rt::ThreadApi& t) {
+    t.Lock(m_);
+    t.Store<u64>(closed_, 1);
+    t.CondBroadcast(not_empty_);
+    t.Unlock(m_);
+  }
+
+ private:
+  u64 cap_;
+  u64 buf_;
+  u64 head_;
+  u64 tail_;
+  u64 closed_;
+  u64 wait_empty_;
+  u64 wait_full_;
+  rt::MutexId m_;
+  rt::CondId not_empty_;
+  rt::CondId not_full_;
+};
+
+}  // namespace
+
+u64 Dedup(rt::ThreadApi& api, const WlParams& p) {
+  // Stage split: 1 chunker, (w-2) hashers, 1 "writer"; minimum 3 threads.
+  const u32 hashers = p.workers > 2 ? p.workers - 2 : 1;
+  const u64 nchunks = 1024 * p.scale;
+  const u64 nbuckets = 128;
+  const u64 table = api.SharedAlloc(nbuckets * 8);   // first-seen digest per bucket count
+  const u64 uniq = api.SharedAlloc(8);
+  const u64 outsum = api.SharedAlloc(8);
+  std::vector<rt::MutexId> bucket_locks;
+  for (u64 b = 0; b < nbuckets; ++b) {
+    bucket_locks.push_back(api.CreateMutex());
+  }
+  const rt::MutexId out_lock = api.CreateMutex();
+  SharedQueue q1(api, 32);  // chunker -> hashers
+  SharedQueue q2(api, 32);  // hashers -> writer
+
+  std::vector<rt::ThreadHandle> hs;
+  // Chunker.
+  hs.push_back(api.SpawnThread([&, nchunks](rt::ThreadApi& t) {
+    DetRng rng(0xdedu);
+    for (u64 i = 0; i < nchunks; ++i) {
+      t.Work(25000);  // content-defined chunking
+      q1.Push(t, rng.Below(1 << 12));  // chunk digest (collisions intended)
+    }
+    q1.Close(t);
+  }));
+  // Hashers: dedup against the shared table (striped locks), forward unique.
+  for (u32 hsh = 0; hsh < hashers; ++hsh) {
+    hs.push_back(api.SpawnThread([&](rt::ThreadApi& t) {
+      u64 digest = 0;
+      while (q1.Pop(t, &digest)) {
+        t.Work(50000);  // SHA of the chunk
+        const u64 b = digest % nbuckets;
+        bool fresh = false;
+        t.Lock(bucket_locks[b]);
+        const u64 seen_mask_addr = table + 8 * b;
+        const u64 mask = t.Load<u64>(seen_mask_addr);
+        const u64 bit = 1ULL << (digest / nbuckets % 64);
+        if ((mask & bit) == 0) {
+          t.Store<u64>(seen_mask_addr, mask | bit);
+          fresh = true;
+        }
+        t.Unlock(bucket_locks[b]);
+        if (fresh) {
+          t.Work(120000);  // compress the unique chunk
+          q2.Push(t, digest);
+        }
+      }
+      // Each hasher signals completion by pushing a sentinel.
+      q2.Push(t, ~0ULL);
+    }));
+  }
+  // Writer: consumes until all hashers' sentinels arrive.
+  hs.push_back(api.SpawnThread([&, hashers](rt::ThreadApi& t) {
+    u32 sentinels = 0;
+    u64 v = 0;
+    u64 count = 0, sum = 0;
+    while (sentinels < hashers && q2.Pop(t, &v)) {
+      if (v == ~0ULL) {
+        ++sentinels;
+        continue;
+      }
+      ++count;
+      sum += v;
+      t.Work(15000);  // write out
+    }
+    t.Lock(out_lock);
+    t.Store<u64>(uniq, t.Load<u64>(uniq) + count);
+    t.Store<u64>(outsum, t.Load<u64>(outsum) + sum);
+    t.Unlock(out_lock);
+  }));
+  for (auto h : hs) {
+    api.JoinThread(h);
+  }
+  Fnv1a h;
+  h.Mix(api.Load<u64>(uniq));
+  h.Mix(api.Load<u64>(outsum));
+  return h.Digest();
+}
+
+u64 Ferret(rt::ThreadApi& api, const WlParams& p) {
+  // Stage split: 1 loader (ferret_1), remaining workers split between
+  // extract/query and rank.
+  const u32 extractors = p.workers > 2 ? (p.workers - 2) : 1;
+  const u64 nimages = 512 * p.scale;
+  const u64 dbsize = 4096;
+  const u64 db = api.SharedAlloc(dbsize * 8);
+  FillSharedU64(api, db, dbsize, 0xfe22e7, 1 << 16);
+  const u64 ranks = api.SharedAlloc(16 * 8);
+  const rt::MutexId rank_lock = api.CreateMutex();
+  SharedQueue q_load(api, 16);  // loader -> extractors (short, hot queue)
+  SharedQueue q_rank(api, 16);  // extractors -> ranker
+
+  std::vector<rt::ThreadHandle> hs;
+  // Stage 1 (ferret_1): fast producer — many short lock ops, tiny chunks.
+  hs.push_back(api.SpawnThread([&, nimages](rt::ThreadApi& t) {
+    DetRng rng(0xfe22);
+    for (u64 i = 0; i < nimages; ++i) {
+      t.Work(900);  // read one image descriptor (short chunk)
+      q_load.Push(t, rng.Below(1 << 16));
+    }
+    q_load.Close(t);
+  }));
+  // Stage 2+3: feature extraction + index query — long chunks.
+  for (u32 e = 0; e < extractors; ++e) {
+    hs.push_back(api.SpawnThread([&](rt::ThreadApi& t) {
+      u64 img = 0;
+      while (q_load.Pop(t, &img)) {
+        t.Work(30000);  // feature extraction
+        // Query: scan a slice of the shared database.
+        u64 best = ~0ULL;
+        u64 best_idx = 0;
+        const u64 start = img % (dbsize - 256);
+        for (u64 d = start; d < start + 256; ++d) {
+          const u64 cand = t.Load<u64>(db + 8 * d);
+          const u64 dist = (cand > img) ? cand - img : img - cand;
+          if (dist < best) {
+            best = dist;
+            best_idx = d;
+          }
+        }
+        q_rank.Push(t, best_idx);
+      }
+      q_rank.Push(t, ~0ULL);  // sentinel
+    }));
+  }
+  // Stage 4: rank aggregation.
+  hs.push_back(api.SpawnThread([&, extractors](rt::ThreadApi& t) {
+    u32 sentinels = 0;
+    u64 v = 0;
+    while (sentinels < extractors && q_rank.Pop(t, &v)) {
+      if (v == ~0ULL) {
+        ++sentinels;
+        continue;
+      }
+      t.Work(3500);
+      t.Lock(rank_lock);
+      const u64 slot = ranks + 8 * (v % 16);
+      t.Store<u64>(slot, t.Load<u64>(slot) + 1);
+      t.Unlock(rank_lock);
+    }
+  }));
+  for (auto h : hs) {
+    api.JoinThread(h);
+  }
+  return HashSharedU64(api, ranks, 16);
+}
+
+}  // namespace csq::wl

@@ -1,0 +1,348 @@
+// Phoenix suite workloads (map-reduce style shared-memory kernels).
+//
+// Pattern summary (what matters for the paper's evaluation):
+//   histogram / linear_regression / string_match / matrix_multiply — almost
+//     embarrassingly parallel: long chunks, one merge lock at the end.
+//   word_count — local counting + striped-lock reduction.
+//   kmeans — iterative: reduction locks + barriers every iteration.
+//   pca — two barrier-separated phases writing disjoint shared rows.
+//   reverse_index — many very short critical sections on per-bucket locks
+//     (the fine-grained-locking stress test; Fig 14's coarsening study).
+#include "src/wl/workloads.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace csq::wl {
+
+namespace {
+// All reductions use integer (fixed-point) arithmetic so results are exactly
+// order-independent; workloads are then bit-comparable across backends.
+constexpr u64 kFx = 1024;  // fixed-point scale
+}  // namespace
+
+u64 Histogram(rt::ThreadApi& api, const WlParams& p) {
+  const u64 n_words = 6144 * p.scale;  // 8 pixels per word
+  const u64 input = api.SharedAlloc(n_words * 8);
+  FillSharedU64(api, input, n_words, /*seed=*/0x1157);
+  const u64 hist = api.SharedAlloc(256 * 8);
+  const rt::MutexId merge = api.CreateMutex();
+
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(n_words, p.workers, w);
+    std::vector<u64> local(256, 0);
+    for (u64 i = s.begin; i < s.end; ++i) {
+      const u64 v = t.Load<u64>(input + 8 * i);
+      for (int b = 0; b < 8; ++b) {
+        ++local[(v >> (8 * b)) & 0xff];
+      }
+      t.Work(400);
+    }
+    t.Lock(merge);
+    for (u32 b = 0; b < 256; ++b) {
+      if (local[b] != 0) {
+        t.Store<u64>(hist + 8 * b, t.Load<u64>(hist + 8 * b) + local[b]);
+      }
+    }
+    t.Unlock(merge);
+  });
+  return HashSharedU64(api, hist, 256);
+}
+
+u64 LinearRegression(rt::ThreadApi& api, const WlParams& p) {
+  // Small and fast by design — the paper notes its runtimes are under 500 ms
+  // and dominated by fixed overheads.
+  const u64 n = 4096 * p.scale;
+  const u64 pts = api.SharedAlloc(n * 16);  // (x, y) pairs
+  {
+    DetRng rng(0x11e6);
+    for (u64 i = 0; i < n; ++i) {
+      const u64 x = rng.Below(1000);
+      const u64 y = 3 * x + 17 + rng.Below(25);
+      api.Store<u64>(pts + 16 * i, x);
+      api.Store<u64>(pts + 16 * i + 8, y);
+    }
+  }
+  const u64 sums = api.SharedAlloc(4 * 8);  // SX, SY, SXX, SXY
+  const rt::MutexId merge = api.CreateMutex();
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(n, p.workers, w);
+    u64 sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (u64 i = s.begin; i < s.end; ++i) {
+      const u64 x = t.Load<u64>(pts + 16 * i);
+      const u64 y = t.Load<u64>(pts + 16 * i + 8);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      t.Work(150);
+    }
+    t.Lock(merge);
+    t.Store<u64>(sums + 0, t.Load<u64>(sums + 0) + sx);
+    t.Store<u64>(sums + 8, t.Load<u64>(sums + 8) + sy);
+    t.Store<u64>(sums + 16, t.Load<u64>(sums + 16) + sxx);
+    t.Store<u64>(sums + 24, t.Load<u64>(sums + 24) + sxy);
+    t.Unlock(merge);
+  });
+  // Slope/intercept in fixed point.
+  const u64 sx = api.Load<u64>(sums), sy = api.Load<u64>(sums + 8);
+  const u64 sxx = api.Load<u64>(sums + 16), sxy = api.Load<u64>(sums + 24);
+  const i64 num = static_cast<i64>(n * sxy - sx * sy);
+  const i64 den = static_cast<i64>(n * sxx - sx * sx);
+  const i64 slope_fx = den == 0 ? 0 : num * static_cast<i64>(kFx) / den;
+  Fnv1a h;
+  h.Mix(static_cast<u64>(slope_fx));
+  h.Mix(sx + sy);
+  return h.Digest();
+}
+
+u64 StringMatch(rt::ThreadApi& api, const WlParams& p) {
+  const u64 n = 10240 * p.scale;
+  const u64 words = api.SharedAlloc(n * 8);
+  FillSharedU64(api, words, n, 0x57a7, /*modulo=*/1 << 14);
+  const u64 keys[4] = {101, 2048, 9999, 12345};
+  const u64 found = api.SharedAlloc(4 * 8);
+  const rt::MutexId merge = api.CreateMutex();
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(n, p.workers, w);
+    u64 local[4] = {0, 0, 0, 0};
+    for (u64 i = s.begin; i < s.end; ++i) {
+      const u64 v = t.Load<u64>(words + 8 * i);
+      for (int k = 0; k < 4; ++k) {
+        // "Encrypt" then compare, like the original benchmark.
+        if (((v * 2654435761u) ^ v) % (1 << 14) == ((keys[k] * 2654435761u) ^ keys[k]) % (1 << 14)) {
+          ++local[k];
+        }
+      }
+      t.Work(520);
+    }
+    t.Lock(merge);
+    for (int k = 0; k < 4; ++k) {
+      t.Store<u64>(found + 8 * k, t.Load<u64>(found + 8 * k) + local[k]);
+    }
+    t.Unlock(merge);
+  });
+  return HashSharedU64(api, found, 4);
+}
+
+u64 MatrixMultiply(rt::ThreadApi& api, const WlParams& p) {
+  const u64 n = 56;  // n^3 multiply; inputs in fixed point
+  const u64 a = api.SharedAlloc(n * n * 8);
+  const u64 b = api.SharedAlloc(n * n * 8);
+  const u64 c = api.SharedAlloc(n * n * 8, 4096);
+  FillSharedU64(api, a, n * n, 0xa0, 100);
+  FillSharedU64(api, b, n * n, 0xb0, 100);
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(n, p.workers, w);  // stripe of C rows
+    for (u64 i = s.begin; i < s.end; ++i) {
+      for (u64 j = 0; j < n; ++j) {
+        u64 acc = 0;
+        for (u64 k = 0; k < n; ++k) {
+          acc += t.Load<u64>(a + 8 * (i * n + k)) * t.Load<u64>(b + 8 * (k * n + j));
+        }
+        t.Store<u64>(c + 8 * (i * n + j), acc);
+        t.Work(12 * n);
+      }
+    }
+  });
+  return HashSharedU64(api, c, n * n);
+}
+
+u64 WordCount(rt::ThreadApi& api, const WlParams& p) {
+  const u64 n = 8192 * p.scale;
+  const u64 vocab = 1500;
+  const u64 words = api.SharedAlloc(n * 8);
+  FillSharedU64(api, words, n, 0x3c0de, vocab);
+  const u64 table = api.SharedAlloc(vocab * 8);
+  constexpr u32 kStripes = 16;
+  std::vector<rt::MutexId> locks;
+  for (u32 i = 0; i < kStripes; ++i) {
+    locks.push_back(api.CreateMutex());
+  }
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(n, p.workers, w);
+    std::vector<u32> local(vocab, 0);
+    for (u64 i = s.begin; i < s.end; ++i) {
+      ++local[t.Load<u64>(words + 8 * i)];
+      t.Work(400);
+    }
+    // Merge stripe by stripe: one short critical section per lock stripe.
+    for (u32 stripe = 0; stripe < kStripes; ++stripe) {
+      t.Lock(locks[stripe]);
+      for (u64 v = stripe; v < vocab; v += kStripes) {
+        if (local[v] != 0) {
+          t.Store<u64>(table + 8 * v, t.Load<u64>(table + 8 * v) + local[v]);
+        }
+      }
+      t.Unlock(locks[stripe]);
+    }
+  });
+  return HashSharedU64(api, table, vocab);
+}
+
+u64 Kmeans(rt::ThreadApi& api, const WlParams& p) {
+  // Phoenix-style fork-join: every k-means iteration spawns a fresh wave of
+  // workers and joins them (this is what makes the §3.3 thread-reuse pool
+  // matter), with a reduction lock for the per-cluster sums.
+  const u64 npts = 3072 * p.scale;
+  const u32 dims = 4;
+  const u32 k = 8;
+  const u32 iters = 6;
+  const u64 pts = api.SharedAlloc(npts * dims * 8);
+  FillSharedU64(api, pts, npts * dims, 0x1313, 1000 * kFx);
+  const u64 means = api.SharedAlloc(k * dims * 8);
+  const u64 sums = api.SharedAlloc(k * (dims + 1) * 8);  // per-cluster sums + count
+  for (u32 c = 0; c < k; ++c) {
+    for (u32 d = 0; d < dims; ++d) {
+      api.Store<u64>(means + 8 * (c * dims + d), api.Load<u64>(pts + 8 * (c * 37 * dims + d)));
+    }
+  }
+  const rt::MutexId merge = api.CreateMutex();
+  for (u32 it = 0; it < iters; ++it) {
+    ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+      const Stripe s = StripeOf(npts, p.workers, w);
+      // Assignment phase: read means, accumulate locally.
+      std::vector<u64> lsum(k * (dims + 1), 0);
+      u64 lmeans[8 * 4];
+      for (u32 c = 0; c < k; ++c) {
+        for (u32 d = 0; d < dims; ++d) {
+          lmeans[c * dims + d] = t.Load<u64>(means + 8 * (c * dims + d));
+        }
+      }
+      for (u64 i = s.begin; i < s.end; ++i) {
+        u64 pt[4];
+        for (u32 d = 0; d < dims; ++d) {
+          pt[d] = t.Load<u64>(pts + 8 * (i * dims + d));
+        }
+        u64 best = 0;
+        u64 best_d = ~0ULL;
+        for (u32 c = 0; c < k; ++c) {
+          u64 dist = 0;
+          for (u32 d = 0; d < dims; ++d) {
+            const i64 diff = static_cast<i64>(pt[d]) - static_cast<i64>(lmeans[c * dims + d]);
+            dist += static_cast<u64>(diff * diff);
+          }
+          if (dist < best_d) {
+            best_d = dist;
+            best = c;
+          }
+        }
+        for (u32 d = 0; d < dims; ++d) {
+          lsum[best * (dims + 1) + d] += pt[d];
+        }
+        ++lsum[best * (dims + 1) + dims];
+        t.Work(420);
+      }
+      t.Lock(merge);
+      for (u32 i = 0; i < k * (dims + 1); ++i) {
+        if (lsum[i] != 0) {
+          t.Store<u64>(sums + 8 * i, t.Load<u64>(sums + 8 * i) + lsum[i]);
+        }
+      }
+      t.Unlock(merge);
+    });
+    // Main recomputes means and clears sums for the next wave.
+    for (u32 c = 0; c < k; ++c) {
+      const u64 cnt = api.Load<u64>(sums + 8 * (c * (dims + 1) + dims));
+      for (u32 d = 0; d < dims; ++d) {
+        const u64 sum = api.Load<u64>(sums + 8 * (c * (dims + 1) + d));
+        if (cnt != 0) {
+          api.Store<u64>(means + 8 * (c * dims + d), sum / cnt);
+        }
+        api.Store<u64>(sums + 8 * (c * (dims + 1) + d), 0);
+      }
+      api.Store<u64>(sums + 8 * (c * (dims + 1) + dims), 0);
+    }
+  }
+  return HashSharedU64(api, means, k * dims);
+}
+
+u64 Pca(rt::ThreadApi& api, const WlParams& p) {
+  const u64 rows = 24;
+  const u64 cols = 384 * p.scale;
+  const u64 mat = api.SharedAlloc(rows * cols * 8);
+  FillSharedU64(api, mat, rows * cols, 0x9ca, 1000);
+  const u64 row_mean = api.SharedAlloc(rows * 8, 4096);
+  const u64 cov = api.SharedAlloc(rows * rows * 8, 4096);
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    // Phase 1: row means (disjoint writes).
+    const Stripe rs = StripeOf(rows, p.workers, w);
+    for (u64 r = rs.begin; r < rs.end; ++r) {
+      u64 acc = 0;
+      for (u64 c = 0; c < cols; ++c) {
+        acc += t.Load<u64>(mat + 8 * (r * cols + c));
+      }
+      t.Store<u64>(row_mean + 8 * r, acc / cols);
+      t.Work(10 * cols);
+    }
+    t.BarrierWait(bar);
+    // Phase 2: covariance upper triangle, striped by row i.
+    for (u64 i = rs.begin; i < rs.end; ++i) {
+      const i64 mi = static_cast<i64>(t.Load<u64>(row_mean + 8 * i));
+      for (u64 j = i; j < rows; ++j) {
+        const i64 mj = static_cast<i64>(t.Load<u64>(row_mean + 8 * j));
+        i64 acc = 0;
+        for (u64 c = 0; c < cols; ++c) {
+          const i64 vi = static_cast<i64>(t.Load<u64>(mat + 8 * (i * cols + c))) - mi;
+          const i64 vj = static_cast<i64>(t.Load<u64>(mat + 8 * (j * cols + c))) - mj;
+          acc += vi * vj;
+        }
+        t.Store<u64>(cov + 8 * (i * rows + j), static_cast<u64>(acc));
+        t.Work(16 * cols);
+      }
+    }
+  });
+  return HashSharedU64(api, cov, rows * rows);
+}
+
+u64 ReverseIndex(rt::ThreadApi& api, const WlParams& p) {
+  // The fine-grained-locking stress test: parse a document (a long local
+  // chunk), then insert each of its links with one short critical section on
+  // that link's bucket lock — thousands of brief lock operations.
+  const u64 ndocs = 1536 * p.scale;
+  const u64 links_per_doc = 3;
+  const u64 nlinks = ndocs * links_per_doc;
+  const u64 nbuckets = 256;
+  const u64 cap = 128;  // slots per bucket
+  const u64 links = api.SharedAlloc(nlinks * 8);
+  FillSharedU64(api, links, nlinks, 0x1e71, nbuckets);
+  const u64 counts = api.SharedAlloc(nbuckets * 8);
+  const u64 slots = api.SharedAlloc(nbuckets * cap * 8);
+  std::vector<rt::MutexId> locks;
+  for (u64 b = 0; b < nbuckets; ++b) {
+    locks.push_back(api.CreateMutex());
+  }
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(ndocs, p.workers, w);
+    for (u64 doc = s.begin; doc < s.end; ++doc) {
+      t.Work(15000);  // parse the document
+      for (u64 l = 0; l < links_per_doc; ++l) {
+        const u64 b = t.Load<u64>(links + 8 * (doc * links_per_doc + l));
+        t.Work(400);  // extract the link
+        t.Lock(locks[b]);
+        const u64 cnt = t.Load<u64>(counts + 8 * b);
+        if (cnt < cap) {
+          t.Store<u64>(slots + 8 * (b * cap + cnt), doc);
+          t.Store<u64>(counts + 8 * b, cnt + 1);
+        }
+        t.Unlock(locks[b]);
+      }
+    }
+  });
+  // Index contents depend on append order (schedule); hash the schedule-
+  // independent part (bucket sizes and content sums).
+  Fnv1a h;
+  for (u64 b = 0; b < nbuckets; ++b) {
+    const u64 cnt = api.Load<u64>(counts + 8 * b);
+    u64 sum = 0;
+    for (u64 i = 0; i < cnt; ++i) {
+      sum += api.Load<u64>(slots + 8 * (b * cap + i));
+    }
+    h.Mix(cnt);
+    h.Mix(sum);
+  }
+  return h.Digest();
+}
+
+}  // namespace csq::wl

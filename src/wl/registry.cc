@@ -1,0 +1,45 @@
+#include "src/wl/workloads.h"
+
+namespace csq::wl {
+
+const std::vector<WorkloadInfo>& AllWorkloads() {
+  // Order follows the paper's Figure 10. Flags:
+  //   racy  — output is schedule-dependent (canneal's lock-free swaps) or
+  //           append-order-dependent; deterministic per backend+config, but
+  //           not comparable across backends.
+  //   hard  — the challenging programs used for the Fig 13 ablations.
+  //   fig16 — >= 10K page updates; included in the LRC study.
+  static const std::vector<WorkloadInfo> kAll = {
+      {"histogram", "phoenix", &Histogram, false, false, false},
+      {"kmeans", "phoenix", &Kmeans, false, true, true},
+      {"linear_regression", "phoenix", &LinearRegression, false, false, false},
+      {"matrix_multiply", "phoenix", &MatrixMultiply, false, false, false},
+      {"pca", "phoenix", &Pca, false, false, false},
+      {"string_match", "phoenix", &StringMatch, false, false, false},
+      {"word_count", "phoenix", &WordCount, false, false, true},
+      {"reverse_index", "phoenix", &ReverseIndex, false, true, true},
+      {"canneal", "parsec", &Canneal, true, true, true},
+      {"dedup", "parsec", &Dedup, false, true, true},
+      {"ferret", "parsec", &Ferret, false, true, true},
+      {"barnes", "splash2", &Barnes, false, false, false},
+      {"fft", "splash2", &Fft, false, false, true},
+      {"lu_cb", "splash2", &LuCb, false, true, true},
+      {"lu_ncb", "splash2", &LuNcb, false, true, true},
+      {"ocean_cp", "splash2", &OceanCp, false, true, true},
+      {"radix", "splash2", &Radix, false, false, true},
+      {"water_nsquared", "splash2", &WaterNsquared, false, false, true},
+      {"water_spatial", "splash2", &WaterSpatial, false, false, true},
+  };
+  return kAll;
+}
+
+const WorkloadInfo* FindWorkload(std::string_view name) {
+  for (const WorkloadInfo& w : AllWorkloads()) {
+    if (w.name == name) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace csq::wl

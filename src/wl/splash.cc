@@ -1,0 +1,415 @@
+// SPLASH-2 suite workloads.
+//
+//   barnes          — n-body force phases separated by barriers + a global
+//                     energy reduction lock.
+//   fft             — an integer NTT (number-theoretic FFT): log(n) barrier-
+//                     separated butterfly stages with large-stride sharing.
+//   lu_cb / lu_ncb  — blocked LU factorization; _cb stores blocks contiguously
+//                     (page-disjoint ownership), _ncb uses a row-major layout
+//                     whose blocks interleave across pages, producing the page
+//                     conflicts and memory churn of Fig 12.
+//   ocean_cp        — red-black grid relaxation: two barriers per iteration
+//                     (the archetypal barrier-heavy program).
+//   radix           — parallel radix sort: histogram / prefix / permute rounds
+//                     with scattered writes.
+//   water_nsquared  — per-molecule locks, thousands of very short critical
+//                     sections (the fine-grained-locking pathology of §5/§6).
+//   water_spatial   — the spatial-cell variant: fewer, coarser lock sections.
+#include "src/wl/workloads.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace csq::wl {
+
+u64 Barnes(rt::ThreadApi& api, const WlParams& p) {
+  const u64 n = 320;
+  const u32 steps = 2;
+  const u64 pos = api.SharedAlloc(n * 8, 4096);
+  const u64 vel = api.SharedAlloc(n * 8, 4096);
+  const u64 energy = api.SharedAlloc(8);
+  FillSharedU64(api, pos, n, 0xba22e5, 1 << 16);
+  const rt::MutexId elock = api.CreateMutex();
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(n, p.workers, w);
+    for (u32 step = 0; step < steps; ++step) {
+      // Force phase: read everyone, accumulate locally.
+      std::vector<i64> force(s.end - s.begin, 0);
+      u64 local_energy = 0;
+      for (u64 i = s.begin; i < s.end; ++i) {
+        const i64 xi = static_cast<i64>(t.Load<u64>(pos + 8 * i));
+        for (u64 j = 0; j < n; ++j) {
+          if (j == i) {
+            continue;
+          }
+          const i64 xj = static_cast<i64>(t.Load<u64>(pos + 8 * j));
+          const i64 d = xj - xi;
+          const i64 d2 = d * d + 64;
+          force[i - s.begin] += d * 65536 / d2;
+          local_energy += static_cast<u64>(65536LL * 65536LL / d2);
+        }
+        t.Work(24 * n);
+      }
+      t.BarrierWait(bar);
+      // Update phase: disjoint stripes.
+      for (u64 i = s.begin; i < s.end; ++i) {
+        const i64 v = static_cast<i64>(t.Load<u64>(vel + 8 * i)) + force[i - s.begin];
+        t.Store<u64>(vel + 8 * i, static_cast<u64>(v));
+        t.Store<u64>(pos + 8 * i, t.Load<u64>(pos + 8 * i) + static_cast<u64>(v / 256));
+        t.Work(120);
+      }
+      t.Lock(elock);
+      t.Store<u64>(energy, t.Load<u64>(energy) + local_energy);
+      t.Unlock(elock);
+      t.BarrierWait(bar);
+    }
+  });
+  Fnv1a h;
+  h.Mix(api.Load<u64>(energy));
+  h.Mix(HashSharedU64(api, pos, n));
+  return h.Digest();
+}
+
+u64 Fft(rt::ThreadApi& api, const WlParams& p) {
+  // Number-theoretic transform mod 998244353 (exact integer FFT).
+  constexpr u64 kMod = 998244353;
+  constexpr u64 kRoot = 3;
+  const u64 n = 2048;
+  const u64 data = api.SharedAlloc(n * 8, 4096);
+  FillSharedU64(api, data, n, 0xff7, kMod);
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+
+  const auto pow_mod = [](u64 b, u64 e) {
+    u64 r = 1;
+    b %= kMod;
+    while (e) {
+      if (e & 1) {
+        r = r * b % kMod;
+      }
+      b = b * b % kMod;
+      e >>= 1;
+    }
+    return r;
+  };
+
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    // Bit-reversal permutation: each worker swaps pairs in its stripe
+    // (i < rev(i) to avoid double swaps); writes land all over the array.
+    const Stripe s = StripeOf(n, p.workers, w);
+    u32 log_n = 0;
+    while ((1u << log_n) < n) {
+      ++log_n;
+    }
+    for (u64 i = s.begin; i < s.end; ++i) {
+      u64 r = 0;
+      for (u32 b = 0; b < log_n; ++b) {
+        r |= ((i >> b) & 1) << (log_n - 1 - b);
+      }
+      if (i < r) {
+        const u64 vi = t.Load<u64>(data + 8 * i);
+        const u64 vr = t.Load<u64>(data + 8 * r);
+        t.Store<u64>(data + 8 * i, vr);
+        t.Store<u64>(data + 8 * r, vi);
+      }
+      t.Work(60);
+    }
+    t.BarrierWait(bar);
+    // Butterfly stages with growing stride.
+    for (u64 len = 2; len <= n; len <<= 1) {
+      const u64 wlen = pow_mod(kRoot, (kMod - 1) / len);
+      const u64 nblocks = n / len;
+      const Stripe bs = StripeOf(nblocks, p.workers, w);
+      for (u64 blk = bs.begin; blk < bs.end; ++blk) {
+        const u64 base = blk * len;
+        u64 tw = 1;
+        for (u64 k = 0; k < len / 2; ++k) {
+          const u64 a = t.Load<u64>(data + 8 * (base + k));
+          const u64 b = t.Load<u64>(data + 8 * (base + k + len / 2)) * tw % kMod;
+          t.Store<u64>(data + 8 * (base + k), (a + b) % kMod);
+          t.Store<u64>(data + 8 * (base + k + len / 2), (a + kMod - b) % kMod);
+          tw = tw * wlen % kMod;
+          t.Work(70);
+        }
+      }
+      t.BarrierWait(bar);
+    }
+  });
+  return HashSharedU64(api, data, n);
+}
+
+namespace {
+
+// Shared blocked LU on fixed-point integers; `contiguous` selects the block
+// layout (lu_cb) vs. row-major (lu_ncb). The algorithm is identical — only
+// the page-sharing pattern differs.
+u64 LuCommon(rt::ThreadApi& api, const WlParams& p, bool contiguous) {
+  const u64 nb = 6;              // blocks per side
+  const u64 bs = 12;             // block size
+  const u64 n = nb * bs;         // 72x72 matrix
+  const u64 mat = api.SharedAlloc(n * n * 8, 4096);
+  {
+    DetRng rng(0x10cb);
+    for (u64 i = 0; i < n; ++i) {
+      for (u64 j = 0; j < n; ++j) {
+        const u64 v = (i == j) ? 4096 * n : rng.Below(2048);
+        // Layout: contiguous stores block (bi,bj) as a dense bs*bs run.
+        u64 idx;
+        if (contiguous) {
+          const u64 bi = i / bs, bj = j / bs;
+          idx = ((bi * nb + bj) * bs + (i % bs)) * bs + (j % bs);
+        } else {
+          idx = i * n + j;
+        }
+        api.Store<u64>(mat + 8 * idx, v);
+      }
+    }
+  }
+  const auto at = [=](u64 i, u64 j) {
+    if (contiguous) {
+      const u64 bi = i / bs, bj = j / bs;
+      return mat + 8 * (((bi * nb + bj) * bs + (i % bs)) * bs + (j % bs));
+    }
+    return mat + 8 * (i * n + j);
+  };
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const auto owner = [&](u64 bi, u64 bj) { return (bi * nb + bj) % p.workers == w; };
+    for (u64 k = 0; k < nb; ++k) {
+      // Factor the diagonal block (owner only).
+      if (owner(k, k)) {
+        for (u64 i = k * bs; i < (k + 1) * bs; ++i) {
+          const i64 piv = static_cast<i64>(t.Load<u64>(at(i, i))) | 1;
+          for (u64 r = i + 1; r < (k + 1) * bs; ++r) {
+            const i64 f = static_cast<i64>(t.Load<u64>(at(r, i))) * 1024 / piv;
+            for (u64 c = i; c < (k + 1) * bs; ++c) {
+              const i64 v = static_cast<i64>(t.Load<u64>(at(r, c))) -
+                            f * static_cast<i64>(t.Load<u64>(at(i, c))) / 1024;
+              t.Store<u64>(at(r, c), static_cast<u64>(v));
+            }
+            t.Work(14 * bs);
+          }
+        }
+      }
+      t.BarrierWait(bar);
+      // Panel updates (row k and column k of blocks).
+      for (u64 b = k + 1; b < nb; ++b) {
+        if (owner(k, b)) {
+          for (u64 i = k * bs; i < (k + 1) * bs; ++i) {
+            for (u64 j = b * bs; j < (b + 1) * bs; ++j) {
+              const u64 v = t.Load<u64>(at(i, j));
+              t.Store<u64>(at(i, j), v - v / 16);
+            }
+          }
+          t.Work(4 * bs * bs);
+        }
+        if (owner(b, k)) {
+          for (u64 i = b * bs; i < (b + 1) * bs; ++i) {
+            for (u64 j = k * bs; j < (k + 1) * bs; ++j) {
+              const u64 v = t.Load<u64>(at(i, j));
+              t.Store<u64>(at(i, j), v - v / 16);
+            }
+          }
+          t.Work(4 * bs * bs);
+        }
+      }
+      t.BarrierWait(bar);
+      // Trailing submatrix update.
+      for (u64 bi = k + 1; bi < nb; ++bi) {
+        for (u64 bj = k + 1; bj < nb; ++bj) {
+          if (!owner(bi, bj)) {
+            continue;
+          }
+          for (u64 i = bi * bs; i < (bi + 1) * bs; ++i) {
+            for (u64 j = bj * bs; j < (bj + 1) * bs; ++j) {
+              u64 acc = 0;
+              for (u64 x = 0; x < 4; ++x) {  // rank-4 surrogate of the GEMM
+                acc += t.Load<u64>(at(i, k * bs + x)) * t.Load<u64>(at(k * bs + x, j)) / 4096;
+              }
+              t.Store<u64>(at(i, j), t.Load<u64>(at(i, j)) - acc % 4096);
+            }
+          }
+          t.Work(16 * bs * bs);
+        }
+      }
+      t.BarrierWait(bar);
+    }
+  });
+  return HashSharedU64(api, mat, n * n);
+}
+
+}  // namespace
+
+u64 LuCb(rt::ThreadApi& api, const WlParams& p) { return LuCommon(api, p, /*contiguous=*/true); }
+
+u64 LuNcb(rt::ThreadApi& api, const WlParams& p) { return LuCommon(api, p, /*contiguous=*/false); }
+
+u64 OceanCp(rt::ThreadApi& api, const WlParams& p) {
+  const u64 dim = 64;
+  const u32 iters = 10;  // 2 barriers per iteration: barrier-heavy
+  const u64 grid = api.SharedAlloc(dim * dim * 8, 4096);
+  FillSharedU64(api, grid, dim * dim, 0x0cea, 1 << 12);
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe rows = StripeOf(dim - 2, p.workers, w);  // interior rows
+    const auto relax = [&](u64 parity) {
+      for (u64 r = rows.begin + 1; r < rows.end + 1; ++r) {
+        for (u64 c = 1 + ((r + parity) % 2); c < dim - 1; c += 2) {
+          const u64 up = t.Load<u64>(grid + 8 * ((r - 1) * dim + c));
+          const u64 dn = t.Load<u64>(grid + 8 * ((r + 1) * dim + c));
+          const u64 lf = t.Load<u64>(grid + 8 * (r * dim + c - 1));
+          const u64 rt_ = t.Load<u64>(grid + 8 * (r * dim + c + 1));
+          t.Store<u64>(grid + 8 * (r * dim + c), (up + dn + lf + rt_) / 4);
+        }
+        t.Work(40 * dim);
+      }
+    };
+    for (u32 it = 0; it < iters; ++it) {
+      relax(0);  // red
+      t.BarrierWait(bar);
+      relax(1);  // black
+      t.BarrierWait(bar);
+    }
+  });
+  return HashSharedU64(api, grid, dim * dim);
+}
+
+u64 Radix(rt::ThreadApi& api, const WlParams& p) {
+  const u64 n = 8192 * p.scale;
+  const u64 kRadix = 256;
+  const u32 passes = 3;  // 24-bit keys
+  const u64 src = api.SharedAlloc(n * 8, 4096);
+  const u64 dst = api.SharedAlloc(n * 8, 4096);
+  const u64 hist = api.SharedAlloc(p.workers * kRadix * 8, 4096);  // per-worker rows
+  const u64 offs = api.SharedAlloc(p.workers * kRadix * 8, 4096);
+  FillSharedU64(api, src, n, 0x2ad1f, 1 << 24);
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    u64 from = src;
+    u64 to = dst;
+    const Stripe s = StripeOf(n, p.workers, w);
+    for (u32 pass = 0; pass < passes; ++pass) {
+      const u32 shift = 8 * pass;
+      // Local histogram into this worker's shared row (disjoint pages).
+      std::vector<u64> local(kRadix, 0);
+      for (u64 i = s.begin; i < s.end; ++i) {
+        ++local[(t.Load<u64>(from + 8 * i) >> shift) & 0xff];
+        t.Work(35);
+      }
+      for (u64 d = 0; d < kRadix; ++d) {
+        t.Store<u64>(hist + 8 * (w * kRadix + d), local[d]);
+      }
+      t.BarrierWait(bar);
+      // Worker 0 computes global offsets (serial prefix sum).
+      if (w == 0) {
+        u64 running = 0;
+        for (u64 d = 0; d < kRadix; ++d) {
+          for (u32 ww = 0; ww < p.workers; ++ww) {
+            t.Store<u64>(offs + 8 * (ww * kRadix + d), running);
+            running += t.Load<u64>(hist + 8 * (ww * kRadix + d));
+          }
+        }
+      }
+      t.BarrierWait(bar);
+      // Permute: scattered writes into the destination array.
+      std::vector<u64> cursor(kRadix);
+      for (u64 d = 0; d < kRadix; ++d) {
+        cursor[d] = t.Load<u64>(offs + 8 * (w * kRadix + d));
+      }
+      for (u64 i = s.begin; i < s.end; ++i) {
+        const u64 v = t.Load<u64>(from + 8 * i);
+        const u64 d = (v >> shift) & 0xff;
+        t.Store<u64>(to + 8 * cursor[d], v);
+        ++cursor[d];
+        t.Work(45);
+      }
+      t.BarrierWait(bar);
+      std::swap(from, to);
+    }
+  });
+  const u64 result = (passes % 2 == 1) ? dst : src;
+  return HashSharedU64(api, result, std::min<u64>(n, 1024));
+}
+
+namespace {
+
+u64 WaterCommon(rt::ThreadApi& api, const WlParams& p, bool spatial) {
+  const u64 n = 128;       // molecules
+  const u64 cutoff = 16;   // interaction range (by index distance)
+  const u32 steps = 2;
+  const u64 pos = api.SharedAlloc(n * 8, 4096);
+  const u64 force = api.SharedAlloc(n * 8, 4096);
+  FillSharedU64(api, pos, n, 0x3a7e2, 1 << 12);
+  const rt::BarrierId bar = api.CreateBarrier(p.workers);
+  const u64 ncells = 16;
+  std::vector<rt::MutexId> locks;
+  const u64 nlocks = spatial ? ncells : n;
+  for (u64 i = 0; i < nlocks; ++i) {
+    locks.push_back(api.CreateMutex());
+  }
+  ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {
+    const Stripe s = StripeOf(n, p.workers, w);
+    for (u32 step = 0; step < steps; ++step) {
+      if (!spatial) {
+        // water_nsquared: one very short critical section per molecule pair.
+        for (u64 i = s.begin; i < s.end; ++i) {
+          const i64 xi = static_cast<i64>(t.Load<u64>(pos + 8 * i));
+          for (u64 j = i + 1; j < std::min(n, i + cutoff); ++j) {
+            const i64 xj = static_cast<i64>(t.Load<u64>(pos + 8 * j));
+            const i64 f = (xj - xi) / 16;
+            t.Work(650);  // potential evaluation
+            t.Lock(locks[i]);
+            t.Store<u64>(force + 8 * i, t.Load<u64>(force + 8 * i) + static_cast<u64>(f));
+            t.Unlock(locks[i]);
+            t.Lock(locks[j]);
+            t.Store<u64>(force + 8 * j, t.Load<u64>(force + 8 * j) - static_cast<u64>(f));
+            t.Unlock(locks[j]);
+          }
+        }
+      } else {
+        // water_spatial: accumulate per cell, one coarser section per cell.
+        const u64 per_cell = n / ncells;
+        for (u64 cell = w; cell < ncells; cell += p.workers) {
+          std::vector<i64> acc(per_cell, 0);
+          const u64 base = cell * per_cell;
+          for (u64 i = base; i < base + per_cell; ++i) {
+            const i64 xi = static_cast<i64>(t.Load<u64>(pos + 8 * i));
+            for (u64 j = i + 1; j < std::min(n, i + cutoff); ++j) {
+              const i64 xj = static_cast<i64>(t.Load<u64>(pos + 8 * j));
+              acc[i - base] += (xj - xi) / 16;
+              t.Work(650);
+            }
+          }
+          t.Lock(locks[cell]);
+          for (u64 i = 0; i < per_cell; ++i) {
+            const u64 a = force + 8 * (base + i);
+            t.Store<u64>(a, t.Load<u64>(a) + static_cast<u64>(acc[i]));
+          }
+          t.Unlock(locks[cell]);
+        }
+      }
+      t.BarrierWait(bar);
+      // Position update on own stripe.
+      for (u64 i = s.begin; i < s.end; ++i) {
+        const i64 f = static_cast<i64>(t.Load<u64>(force + 8 * i));
+        t.Store<u64>(pos + 8 * i, t.Load<u64>(pos + 8 * i) + static_cast<u64>(f / 64));
+        t.Store<u64>(force + 8 * i, 0);
+        t.Work(80);
+      }
+      t.BarrierWait(bar);
+    }
+  });
+  return HashSharedU64(api, pos, n);
+}
+
+}  // namespace
+
+u64 WaterNsquared(rt::ThreadApi& api, const WlParams& p) {
+  return WaterCommon(api, p, /*spatial=*/false);
+}
+
+u64 WaterSpatial(rt::ThreadApi& api, const WlParams& p) {
+  return WaterCommon(api, p, /*spatial=*/true);
+}
+
+}  // namespace csq::wl

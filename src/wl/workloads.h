@@ -1,0 +1,64 @@
+// The 19 benchmark workloads from the paper's evaluation (§5), plus the
+// registry the harness and tests iterate over.
+//
+//   Phoenix:   histogram, kmeans, linear_regression, matrix_multiply, pca,
+//              string_match, word_count, reverse_index
+//   PARSEC:    canneal, dedup, ferret
+//   SPLASH-2:  barnes, fft, lu_cb, lu_ncb, ocean_cp, radix, water_nsquared,
+//              water_spatial
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/wl/common.h"
+
+namespace csq::wl {
+
+// Phoenix.
+u64 Histogram(rt::ThreadApi& api, const WlParams& p);
+u64 Kmeans(rt::ThreadApi& api, const WlParams& p);
+u64 LinearRegression(rt::ThreadApi& api, const WlParams& p);
+u64 MatrixMultiply(rt::ThreadApi& api, const WlParams& p);
+u64 Pca(rt::ThreadApi& api, const WlParams& p);
+u64 StringMatch(rt::ThreadApi& api, const WlParams& p);
+u64 WordCount(rt::ThreadApi& api, const WlParams& p);
+u64 ReverseIndex(rt::ThreadApi& api, const WlParams& p);
+
+// PARSEC.
+u64 Canneal(rt::ThreadApi& api, const WlParams& p);
+u64 Dedup(rt::ThreadApi& api, const WlParams& p);
+u64 Ferret(rt::ThreadApi& api, const WlParams& p);
+
+// SPLASH-2.
+u64 Barnes(rt::ThreadApi& api, const WlParams& p);
+u64 Fft(rt::ThreadApi& api, const WlParams& p);
+u64 LuCb(rt::ThreadApi& api, const WlParams& p);
+u64 LuNcb(rt::ThreadApi& api, const WlParams& p);
+u64 OceanCp(rt::ThreadApi& api, const WlParams& p);
+u64 Radix(rt::ThreadApi& api, const WlParams& p);
+u64 WaterNsquared(rt::ThreadApi& api, const WlParams& p);
+u64 WaterSpatial(rt::ThreadApi& api, const WlParams& p);
+
+struct WorkloadInfo {
+  std::string_view name;
+  std::string_view suite;  // "phoenix" | "parsec" | "splash2"
+  u64 (*fn)(rt::ThreadApi&, const WlParams&);
+  bool racy;   // intentionally racy: results deterministic per backend/config,
+               // but may differ across backends (byte-merge semantics)
+  bool hard;   // one of the "most challenging" programs (Fig 13's ablations)
+  bool fig16;  // >= 10K page updates: included in the Fig 16 study
+};
+
+// All 19 workloads, in the paper's figure order.
+const std::vector<WorkloadInfo>& AllWorkloads();
+
+// nullptr if not found.
+const WorkloadInfo* FindWorkload(std::string_view name);
+
+// Adapts a workload to the runtime's WorkloadFn.
+inline rt::WorkloadFn Bind(const WorkloadInfo& w, WlParams p) {
+  return [fn = w.fn, p](rt::ThreadApi& api) { return fn(api, p); };
+}
+
+}  // namespace csq::wl

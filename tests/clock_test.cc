@@ -1,0 +1,361 @@
+// Unit tests for the deterministic logical clock / token manager: GMIC
+// ordering, round-robin ordering, depart/arrive, fast-forward, pause,
+// adaptive overflow behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/clock/det_clock.h"
+
+namespace csq::clk {
+namespace {
+
+using sim::Engine;
+using sim::TimeCat;
+
+TEST(DetClock, GmicOrderFollowsInstructionCounts) {
+  Engine eng;
+  ClockConfig cfg;
+  DetClock clk(eng, cfg);
+  std::vector<int> grant_order;
+  // Thread 0 does a lot of work before its sync op; thread 1 does little.
+  // Under GMIC ordering, thread 1 must get the token first.
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    clk.AdvanceWork(0, 100000);
+    clk.WaitToken(0);
+    grant_order.push_back(0);
+    clk.ReleaseToken(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 50);
+    clk.WaitToken(1);
+    grant_order.push_back(1);
+    clk.ReleaseToken(1);
+    clk.AdvanceWork(1, 1000000);  // run past thread 0 so it can proceed
+  });
+  eng.Run();
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], 1);
+  EXPECT_EQ(grant_order[1], 0);
+}
+
+TEST(DetClock, GmicTieBreaksByTid) {
+  Engine eng;
+  DetClock clk(eng, ClockConfig{});
+  std::vector<int> order;
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    clk.RegisterThread(2, 0);
+    clk.AdvanceWork(0, 100);
+    clk.WaitToken(0);
+    order.push_back(0);
+    clk.ReleaseToken(0);
+    clk.AdvanceWork(0, 10000);
+    clk.FinishThread(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 100);
+    clk.WaitToken(1);
+    order.push_back(1);
+    clk.ReleaseToken(1);
+    clk.AdvanceWork(1, 10000);
+    clk.FinishThread(1);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(2, 100);
+    clk.WaitToken(2);
+    order.push_back(2);
+    clk.ReleaseToken(2);
+    clk.FinishThread(2);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DetClock, RoundRobinIgnoresCounts) {
+  Engine eng;
+  ClockConfig cfg;
+  cfg.policy = OrderPolicy::kRoundRobin;
+  DetClock clk(eng, cfg);
+  std::vector<int> order;
+  // Thread 1 arrives with a tiny count, but RR still grants tid 0 first.
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    clk.AdvanceWork(0, 100000);
+    clk.WaitToken(0);
+    order.push_back(0);
+    clk.ReleaseToken(0);
+    clk.FinishThread(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 10);
+    clk.WaitToken(1);
+    order.push_back(1);
+    clk.ReleaseToken(1);
+    clk.FinishThread(1);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(DetClock, RoundRobinSkipsDepartedThreads) {
+  Engine eng;
+  ClockConfig cfg;
+  cfg.policy = OrderPolicy::kRoundRobin;
+  DetClock clk(eng, cfg);
+  std::vector<int> order;
+  sim::WaitChannel parked;
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    // Thread 0 departs (as if blocked on a lock) without taking its turn.
+    clk.Depart(0);
+    eng.Wait(parked, TimeCat::kDetermWait);
+    clk.Arrive(0);
+    clk.WaitToken(0);
+    order.push_back(0);
+    clk.ReleaseToken(0);
+    clk.FinishThread(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 100);
+    clk.WaitToken(1);  // must not deadlock on departed thread 0's turn
+    order.push_back(1);
+    clk.ReleaseToken(1);
+    eng.GateShared();
+    eng.NotifyOne(parked);
+    clk.FinishThread(1);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(DetClock, DepartedThreadDoesNotBlockGmic) {
+  Engine eng;
+  DetClock clk(eng, ClockConfig{});
+  std::vector<int> order;
+  sim::WaitChannel parked;
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    // Count 0 — would be the GMIC forever, but departs.
+    clk.Depart(0);
+    eng.Wait(parked, TimeCat::kDetermWait);
+    clk.Arrive(0);
+    clk.WaitToken(0);
+    order.push_back(0);
+    clk.ReleaseToken(0);
+    clk.FinishThread(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 5000);
+    clk.WaitToken(1);
+    order.push_back(1);
+    clk.ReleaseToken(1);
+    eng.GateShared();
+    eng.NotifyOne(parked);
+    clk.AdvanceWork(1, 100000);
+    clk.FinishThread(1);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(DetClock, FastForwardLiftsWokenThreadClock) {
+  Engine eng;
+  ClockConfig cfg;
+  cfg.fast_forward = true;
+  DetClock clk(eng, cfg);
+  u64 count_after_arrive = 0;
+  sim::WaitChannel parked;
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    clk.Depart(0);
+    eng.Wait(parked, TimeCat::kDetermWait);
+    clk.Arrive(0);
+    count_after_arrive = clk.Count(0);
+    clk.FinishThread(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 42000);
+    clk.WaitToken(1);
+    clk.ReleaseToken(1);  // releases at count 42000
+    eng.GateShared();
+    eng.NotifyOne(parked);
+    clk.FinishThread(1);
+  });
+  eng.Run();
+  EXPECT_EQ(count_after_arrive, 42000u);
+  EXPECT_EQ(clk.Stats().fast_forwards, 1u);
+}
+
+TEST(DetClock, NoFastForwardWhenDisabled) {
+  Engine eng;
+  ClockConfig cfg;
+  cfg.fast_forward = false;
+  DetClock clk(eng, cfg);
+  u64 count_after_arrive = 99;
+  sim::WaitChannel parked;
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    clk.Depart(0);
+    eng.Wait(parked, TimeCat::kDetermWait);
+    clk.Arrive(0);
+    count_after_arrive = clk.Count(0);
+    clk.FinishThread(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 42000);
+    clk.WaitToken(1);
+    clk.ReleaseToken(1);
+    eng.GateShared();
+    eng.NotifyOne(parked);
+    clk.FinishThread(1);
+  });
+  eng.Run();
+  EXPECT_EQ(count_after_arrive, 0u);
+  EXPECT_EQ(clk.Stats().fast_forwards, 0u);
+}
+
+TEST(DetClock, PausedTicksAreNotCounted) {
+  Engine eng;
+  DetClock clk(eng, ClockConfig{});
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.Tick(0, 100);
+    clk.Pause(0);
+    clk.Tick(0, 999999);  // library-internal work — ignored
+    clk.Resume(0);
+    clk.Tick(0, 50);
+  });
+  eng.Run();
+  EXPECT_EQ(clk.Count(0), 150u);
+}
+
+TEST(DetClock, TokenIsMutuallyExclusive) {
+  Engine eng;
+  DetClock clk(eng, ClockConfig{});
+  int inside = 0;
+  int max_inside = 0;
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+  });
+  for (u32 tid : {0u, 1u}) {
+    eng.Spawn([&, tid] {
+      // Ensure registration (thread from the first Spawn) happened.
+      eng.AdvanceRaw(10 + tid, TimeCat::kChunk);
+      for (int i = 0; i < 5; ++i) {
+        clk.AdvanceWork(tid, 100 * (tid + 1));
+        clk.WaitToken(tid);
+        ++inside;
+        max_inside = std::max(max_inside, inside);
+        eng.Charge(50, TimeCat::kLibrary);
+        --inside;
+        clk.ReleaseToken(tid);
+      }
+      clk.FinishThread(tid);
+    });
+  }
+  eng.Run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(clk.Stats().token_acquires, 10u);
+}
+
+TEST(DetClock, AdaptiveOverflowPublishesForWaiters) {
+  // A waiter with a low count must eventually observe a long-running thread's
+  // clock passing its own, via overflow publication.
+  Engine eng;
+  ClockConfig cfg;
+  cfg.adaptive_overflow = true;
+  DetClock clk(eng, cfg);
+  std::vector<int> order;
+  eng.Spawn([&] {
+    clk.RegisterThread(0, 0);
+    clk.RegisterThread(1, 0);
+    // Long chunk, no sync ops: publications must unblock thread 1.
+    clk.AdvanceWork(0, 1000000);
+    clk.WaitToken(0);
+    order.push_back(0);
+    clk.ReleaseToken(0);
+    clk.FinishThread(0);
+  });
+  eng.Spawn([&] {
+    clk.AdvanceWork(1, 500000);
+    clk.WaitToken(1);  // GMIC at 500000 < thread 0's eventual 1000000
+    order.push_back(1);
+    clk.ReleaseToken(1);
+    clk.FinishThread(1);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+  EXPECT_GT(clk.Stats().overflows, 0u);
+}
+
+TEST(DetClock, FixedOverflowAlsoCorrectJustSlower) {
+  auto run = [](bool adaptive) {
+    Engine eng;
+    ClockConfig cfg;
+    cfg.adaptive_overflow = adaptive;
+    cfg.fixed_overflow_period = 5000;
+    DetClock clk(eng, cfg);
+    std::vector<int> order;
+    eng.Spawn([&] {
+      clk.RegisterThread(0, 0);
+      clk.RegisterThread(1, 0);
+      clk.AdvanceWork(0, 2000000);
+      clk.WaitToken(0);
+      order.push_back(0);
+      clk.ReleaseToken(0);
+      clk.FinishThread(0);
+    });
+    eng.Spawn([&] {
+      clk.AdvanceWork(1, 100);
+      clk.WaitToken(1);
+      order.push_back(1);
+      clk.ReleaseToken(1);
+      clk.FinishThread(1);
+    });
+    eng.Run();
+    return std::pair(order, clk.Stats().overflows);
+  };
+  auto [adaptive_order, adaptive_ovf] = run(true);
+  auto [fixed_order, fixed_ovf] = run(false);
+  EXPECT_EQ(adaptive_order, fixed_order);       // same deterministic order
+  EXPECT_LT(adaptive_ovf, fixed_ovf);           // far fewer interrupts
+}
+
+TEST(DetClock, GrantSequenceIsInTraceDigest) {
+  auto digest = [](u64 work0) {
+    Engine eng;
+    DetClock clk(eng, ClockConfig{});
+    eng.Spawn([&] {
+      clk.RegisterThread(0, 0);
+      clk.RegisterThread(1, 0);
+      clk.AdvanceWork(0, work0);
+      clk.WaitToken(0);
+      clk.ReleaseToken(0);
+      clk.FinishThread(0);
+    });
+    eng.Spawn([&] {
+      clk.AdvanceWork(1, 500);
+      clk.WaitToken(1);
+      clk.ReleaseToken(1);
+      clk.AdvanceWork(1, 10000000);
+      clk.FinishThread(1);
+    });
+    eng.Run();
+    return eng.TraceDigest();
+  };
+  EXPECT_EQ(digest(100), digest(100));  // identical schedule, identical digest
+  EXPECT_NE(digest(100), digest(900));  // different counts change the trace
+}
+
+}  // namespace
+}  // namespace csq::clk

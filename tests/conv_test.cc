@@ -1,0 +1,427 @@
+// Unit tests for the Conversion substrate: isolation, copy-on-write, commit /
+// update semantics, byte-granularity last-writer-wins merging, two-phase
+// commit ordering, garbage collection, and memory accounting.
+#include <gtest/gtest.h>
+
+#include "src/conv/alloc.h"
+#include "src/conv/segment.h"
+#include "src/conv/workspace.h"
+
+namespace csq::conv {
+namespace {
+
+using sim::Engine;
+using sim::TimeCat;
+
+// Runs `fn` as the sole simulated thread.
+void RunSim(Engine& eng, std::function<void()> fn) {
+  eng.Spawn(std::move(fn));
+  eng.Run();
+}
+
+SegmentConfig SmallSeg() {
+  SegmentConfig cfg;
+  cfg.size_bytes = 1 << 20;  // 256 pages of 4 KiB
+  return cfg;
+}
+
+TEST(Workspace, LoadOfUnwrittenMemoryIsZero) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace ws(seg, 0);
+    EXPECT_EQ(ws.Load<u64>(0), 0u);
+    EXPECT_EQ(ws.Load<u32>(4096 * 7 + 12), 0u);
+  });
+}
+
+TEST(Workspace, StoreThenLoadRoundTrips) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace ws(seg, 0);
+    ws.Store<u64>(128, 0xdeadbeefcafef00dULL);
+    ws.Store<u32>(4100, 77);
+    EXPECT_EQ(ws.Load<u64>(128), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(ws.Load<u32>(4100), 77u);
+  });
+}
+
+TEST(Workspace, CrossPageAccessWorks) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace ws(seg, 0);
+    const u64 addr = 4096 - 4;  // straddles pages 0 and 1
+    ws.Store<u64>(addr, 0x1122334455667788ULL);
+    EXPECT_EQ(ws.Load<u64>(addr), 0x1122334455667788ULL);
+    EXPECT_EQ(ws.DirtyPageCount(), 2u);
+  });
+}
+
+TEST(Workspace, UncommittedStoresAreInvisibleToOthers) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(0, 42);
+    EXPECT_EQ(b.Load<u64>(0), 0u);  // isolation: no commit yet
+    b.Update();
+    EXPECT_EQ(b.Load<u64>(0), 0u);  // still nothing committed
+  });
+}
+
+TEST(Workspace, CommitThenUpdatePropagates) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(0, 42);
+    a.Commit();
+    EXPECT_EQ(b.Load<u64>(0), 0u);  // b's snapshot predates the commit
+    b.Update();
+    EXPECT_EQ(b.Load<u64>(0), 42u);
+  });
+}
+
+TEST(Workspace, SnapshotIsolationUntilUpdate) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.Load<u64>(8);  // cache page 0 at snapshot 0
+    a.Store<u64>(8, 7);
+    a.Commit();
+    a.Store<u64>(8, 9);
+    a.Commit();
+    EXPECT_EQ(b.Load<u64>(8), 0u);
+    b.Update();
+    EXPECT_EQ(b.Load<u64>(8), 9u);  // jumps to latest, not intermediate
+  });
+}
+
+TEST(Workspace, PendingStoresSurviveUpdateRebase) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.Store<u64>(16, 100);  // pending (uncommitted) store on page 0
+    a.Store<u64>(24, 200);  // same page, different bytes
+    a.Commit();
+    b.Update();
+    EXPECT_EQ(b.Load<u64>(16), 100u);  // my store buffer survives
+    EXPECT_EQ(b.Load<u64>(24), 200u);  // remote committed bytes visible
+  });
+}
+
+TEST(Workspace, ByteMergeLastWriterWins) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    // Both threads write disjoint bytes of the same page, then overlapping.
+    a.Store<u8>(0, 0xaa);
+    b.Store<u8>(1, 0xbb);
+    a.Store<u8>(2, 0x11);
+    b.Store<u8>(2, 0x22);
+    a.Commit();
+    b.Commit();  // b commits second: b's bytes win where both wrote
+    Workspace c(seg, 2);
+    EXPECT_EQ(c.Load<u8>(0), 0xaa);
+    EXPECT_EQ(c.Load<u8>(1), 0xbb);
+    EXPECT_EQ(c.Load<u8>(2), 0x22);
+    EXPECT_GE(seg.Stats().pages_merged, 1u);
+  });
+}
+
+TEST(Workspace, MergePreservesUntouchedBytes) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    a.Store<u64>(40, 999);
+    a.Commit();
+    Workspace b(seg, 1);
+    Workspace c(seg, 2);
+    b.Update();
+    c.Update();
+    b.Store<u64>(48, 1);
+    c.Store<u64>(56, 2);
+    b.Commit();
+    c.Commit();
+    Workspace d(seg, 3);
+    EXPECT_EQ(d.Load<u64>(40), 999u);
+    EXPECT_EQ(d.Load<u64>(48), 1u);
+    EXPECT_EQ(d.Load<u64>(56), 2u);
+  });
+}
+
+TEST(Workspace, CommitVersionsAreMonotone) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    a.Store<u64>(0, 1);
+    const u64 v1 = a.Commit();
+    a.Store<u64>(0, 2);
+    const u64 v2 = a.Commit();
+    EXPECT_LT(v1, v2);
+    EXPECT_EQ(seg.CommittedVersion(), v2);
+  });
+}
+
+TEST(Workspace, CowFaultChargedOncePerPage) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace ws(seg, 0);
+    ws.Store<u64>(0, 1);
+    ws.Store<u64>(8, 2);
+    ws.Store<u64>(16, 3);
+    EXPECT_EQ(ws.Stats().cow_faults, 1u);
+    ws.Store<u64>(4096, 4);
+    EXPECT_EQ(ws.Stats().cow_faults, 2u);
+  });
+  EXPECT_GT(eng.CatTotal(0, TimeCat::kFault), 0u);
+}
+
+TEST(Workspace, UpdateCountsPropagatedPages) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.Load<u64>(0);         // cache page 0
+    b.Load<u64>(3 * 4096);  // cache page 3
+    a.Store<u64>(0, 5);
+    a.Store<u64>(3 * 4096, 6);
+    a.Store<u64>(9 * 4096, 7);  // page b has never seen
+    a.Commit();
+    b.Update();
+    // Conversion updates the whole mapping: all 3 changed pages propagate.
+    EXPECT_EQ(b.Stats().pages_propagated, 3u);
+    // A second update with nothing new propagates nothing.
+    b.Update();
+    EXPECT_EQ(b.Stats().pages_propagated, 3u);
+    EXPECT_EQ(b.Load<u64>(9 * 4096), 7u);
+  });
+}
+
+TEST(Segment, CommitObserverSeesOrderedRecords) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  std::vector<CommitRecord> recs;
+  seg.SetCommitObserver([&](const CommitRecord& r) { recs.push_back(r); });
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    a.Store<u64>(0, 1);
+    a.Commit();
+    a.Store<u64>(4096, 2);
+    a.Store<u64>(8192, 3);
+    a.Commit();
+  });
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].version, 1u);
+  EXPECT_EQ(recs[0].pages.size(), 1u);
+  EXPECT_EQ(recs[1].version, 2u);
+  EXPECT_EQ(recs[1].pages.size(), 2u);
+  EXPECT_EQ(recs[1].tid, 0u);
+}
+
+TEST(Segment, GcReclaimsOldVersions) {
+  Engine eng;
+  SegmentConfig cfg = SmallSeg();
+  cfg.multithreaded_gc = true;  // unlimited budget
+  Segment seg(eng, cfg);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    for (int i = 0; i < 10; ++i) {
+      a.Store<u64>(0, static_cast<u64>(i));
+      a.CommitAndUpdate();
+    }
+    const u64 before = seg.Stats().live_page_bytes;
+    seg.Gc();
+    const u64 after = seg.Stats().live_page_bytes;
+    EXPECT_LT(after, before);
+    // Reads still see the latest data.
+    EXPECT_EQ(a.Load<u64>(0), 9u);
+    Workspace b(seg, 1);
+    EXPECT_EQ(b.Load<u64>(0), 9u);
+  });
+}
+
+TEST(Segment, GcRespectsOldSnapshots) {
+  Engine eng;
+  SegmentConfig cfg = SmallSeg();
+  cfg.multithreaded_gc = true;
+  Segment seg(eng, cfg);
+  RunSim(eng, [&] {
+    Workspace old(seg, 0);  // snapshot 0, never updates
+    Workspace w(seg, 1);
+    w.Store<u64>(0, 1);
+    w.CommitAndUpdate();
+    w.Store<u64>(0, 2);
+    w.CommitAndUpdate();
+    seg.Gc();
+    // The old workspace must still read its snapshot (zero).
+    EXPECT_EQ(old.Load<u64>(0), 0u);
+  });
+}
+
+TEST(Segment, BudgetedGcLagsBehind) {
+  Engine eng;
+  SegmentConfig cfg = SmallSeg();
+  cfg.gc_budget_per_call = 2;
+  Segment seg(eng, cfg);
+  RunSim(eng, [&] {
+    Workspace w(seg, 0);
+    for (int i = 0; i < 20; ++i) {
+      w.Store<u64>(static_cast<u64>(i % 4) * 4096, static_cast<u64>(i));
+      w.CommitAndUpdate();
+    }
+    const usize reclaimed = seg.Gc();
+    EXPECT_LE(reclaimed, 2u);  // the budget caps per-call reclamation
+  });
+}
+
+TEST(Segment, PeakMemoryTracksLocalCopiesAndVersions) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  const u64 base = seg.Stats().cur_total_page_bytes;  // zero page
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    a.Store<u64>(0, 1);  // 1 local copy
+    EXPECT_EQ(seg.Stats().cur_total_page_bytes, base + 4096);
+    a.Commit();  // local copy published as a revision; local freed
+    EXPECT_EQ(seg.Stats().cur_total_page_bytes, base + 4096);
+    a.Store<u64>(0, 2);  // new local copy
+    EXPECT_EQ(seg.Stats().cur_total_page_bytes, base + 2 * 4096);
+    a.Commit();
+    EXPECT_GE(seg.Stats().peak_page_bytes, base + 3 * 4096);
+  });
+}
+
+TEST(Segment, TwoPhaseCommitInstallsInVersionOrder) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  // Two threads prepare in one order but finish in the opposite order; the
+  // final page contents must respect version order (the later version wins).
+  eng.Spawn([&] {
+    Workspace a(seg, 0);
+    a.Store<u64>(0, 111);
+    const PreparedCommit pc = a.PrepareTwoPhase();  // reserves version 1
+    eng.AdvanceRaw(100000, TimeCat::kChunk);        // slow phase 2
+    a.FinishTwoPhase(pc);
+  });
+  eng.Spawn([&] {
+    Workspace b(seg, 1);
+    eng.AdvanceRaw(1000, TimeCat::kChunk);  // prepare after a, finish first
+    b.Store<u64>(0, 222);
+    const PreparedCommit pc = b.PrepareTwoPhase();  // reserves version 2
+    b.FinishTwoPhase(pc);
+  });
+  eng.Run();
+  // Inspect the final committed state directly: version 2 (thread b) wins.
+  const PageRef page0 = seg.Fetch(0, seg.CommittedVersion());
+  ASSERT_NE(page0, nullptr);
+  u64 val = 0;
+  std::copy_n(page0->data(), sizeof(val), reinterpret_cast<u8*>(&val));
+  EXPECT_EQ(val, 222u);
+  EXPECT_EQ(seg.CommittedVersion(), 2u);
+}
+
+TEST(Workspace, EmptyCommitCreatesNoVersion) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    a.Load<u64>(0);  // read-only "critical section"
+    const u64 v = a.Commit();
+    EXPECT_EQ(v, 0u);                       // elided
+    EXPECT_EQ(seg.CommittedVersion(), 0u);  // no version-log churn
+    a.Store<u64>(0, 1);
+    EXPECT_GT(a.Commit(), 0u);
+  });
+}
+
+TEST(Segment, DisjointPageCommitsInstallIndependently) {
+  // Two prepared commits touching disjoint pages finish in opposite order of
+  // their version numbers; per-page installation must not deadlock and both
+  // results must be visible afterwards.
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  eng.Spawn([&] {
+    Workspace a(seg, 0);
+    a.Store<u64>(0, 111);                           // page 0
+    const PreparedCommit pc = a.PrepareTwoPhase();  // version 1
+    eng.AdvanceRaw(50000, TimeCat::kChunk);         // slow finisher
+    a.FinishTwoPhase(pc);
+  });
+  eng.Spawn([&] {
+    Workspace b(seg, 1);
+    eng.AdvanceRaw(100, TimeCat::kChunk);
+    b.Store<u64>(8 * 4096, 222);                    // page 8 (disjoint)
+    const PreparedCommit pc = b.PrepareTwoPhase();  // version 2
+    b.FinishTwoPhase(pc);                           // finishes first
+    // Version 2's pages are installed even though version 1 is in flight;
+    // the contiguous committed prefix is still 0.
+    EXPECT_EQ(seg.LatestVersionOf(8 * 4096 / 4096), 2u);
+    EXPECT_EQ(seg.CommittedVersion(), 0u);
+  });
+  eng.Run();
+  EXPECT_EQ(seg.CommittedVersion(), 2u);
+  EXPECT_EQ(seg.LatestVersionOf(0), 1u);
+}
+
+TEST(Segment, SamePageCommitsMergeInVersionOrder) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  eng.Spawn([&] {
+    Workspace a(seg, 0);
+    a.Store<u64>(0, 111);
+    const PreparedCommit pc = a.PrepareTwoPhase();  // version 1, page 0
+    eng.AdvanceRaw(50000, TimeCat::kChunk);
+    a.FinishTwoPhase(pc);
+  });
+  eng.Spawn([&] {
+    Workspace b(seg, 1);
+    eng.AdvanceRaw(100, TimeCat::kChunk);
+    b.Store<u64>(8, 222);                           // same page, other word
+    const PreparedCommit pc = b.PrepareTwoPhase();  // version 2, page 0
+    b.FinishTwoPhase(pc);  // must WAIT for version 1's page-0 install
+  });
+  eng.Run();
+  // Both writes must survive (version 2 merged onto version 1).
+  const PageRef final_page = seg.Fetch(0, seg.CommittedVersion());
+  u64 w0 = 0, w1 = 0;
+  std::copy_n(final_page->data(), 8, reinterpret_cast<u8*>(&w0));
+  std::copy_n(final_page->data() + 8, 8, reinterpret_cast<u8*>(&w1));
+  EXPECT_EQ(w0, 111u);
+  EXPECT_EQ(w1, 222u);
+}
+
+TEST(BumpAllocator, AlignsAndAdvances) {
+  BumpAllocator ba(1 << 20);
+  const u64 a = ba.Alloc(10, 8);
+  const u64 b = ba.Alloc(1, 64);
+  const u64 c = ba.Alloc(8, 8);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_GT(c, b);
+  EXPECT_EQ(ba.Used(), c + 8);
+}
+
+TEST(BumpAllocatorDeath, OverflowChecks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BumpAllocator ba(100);
+  EXPECT_DEATH(ba.Alloc(200), "out of space");
+}
+
+}  // namespace
+}  // namespace csq::conv

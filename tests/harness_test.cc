@@ -1,0 +1,139 @@
+// Tests for the experiment harness plus qualitative "paper claims" guards:
+// the orderings the reproduction must preserve (who beats whom, where) are
+// asserted here so a regression in the runtime or calibration shows up as a
+// test failure, not just as a changed bench table.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/harness/harness.h"
+#include "src/lrc/lrc_model.h"
+
+namespace csq::harness {
+namespace {
+
+TEST(Harness, ThreadCountsHonourQuickEnv) {
+  setenv("CSQ_QUICK", "1", 1);
+  EXPECT_EQ(ThreadCounts(), (std::vector<u32>{2, 4, 8}));
+  unsetenv("CSQ_QUICK");
+  EXPECT_EQ(ThreadCounts(), (std::vector<u32>{2, 4, 8, 16, 32}));
+}
+
+TEST(Harness, BestOverThreadsPicksMinimum) {
+  const wl::WorkloadInfo* w = wl::FindWorkload("histogram");
+  ASSERT_NE(w, nullptr);
+  const BestResult best = BestOverThreads(*w, rt::Backend::kPthreads, {2, 4});
+  const rt::RunResult at2 = RunOne(*w, rt::Backend::kPthreads, 2);
+  const rt::RunResult at4 = RunOne(*w, rt::Backend::kPthreads, 4);
+  EXPECT_EQ(best.vtime, std::min(at2.vtime, at4.vtime));
+  EXPECT_TRUE(best.at_threads == 2 || best.at_threads == 4);
+}
+
+TEST(Harness, SlowdownAndGeoMean) {
+  EXPECT_DOUBLE_EQ(Slowdown(300, 100), 3.0);
+  EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(GeoMean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+}
+
+// ---- Paper-claim guards (qualitative shapes that must not regress) ----------
+
+TEST(PaperClaims, ConsequenceBeatsDThreadsAndDwcOnHardBenchmarks) {
+  for (const char* name : {"ferret", "water_nsquared", "reverse_index"}) {
+    const wl::WorkloadInfo* w = wl::FindWorkload(name);
+    const u64 dt = RunOne(*w, rt::Backend::kDThreads, 8).vtime;
+    const u64 dwc = RunOne(*w, rt::Backend::kDwc, 8).vtime;
+    const u64 ic = RunOne(*w, rt::Backend::kConsequenceIC, 8).vtime;
+    EXPECT_LT(ic, dwc) << name;
+    EXPECT_LT(dwc, dt) << name;
+  }
+}
+
+TEST(PaperClaims, AsyncCommitsBeatSyncCommits) {
+  // DWC (Conversion's asynchronous incremental commits) must beat DThreads
+  // (synchronous discard-everything fences) on barrier-heavy programs.
+  for (const char* name : {"ocean_cp", "lu_ncb", "canneal"}) {
+    const wl::WorkloadInfo* w = wl::FindWorkload(name);
+    EXPECT_LT(RunOne(*w, rt::Backend::kDwc, 8).vtime,
+              RunOne(*w, rt::Backend::kDThreads, 8).vtime)
+        << name;
+  }
+}
+
+TEST(PaperClaims, EmbarrassinglyParallelProgramsStayCheap) {
+  // §5: "many of the benchmarks are embarrassingly parallel and offer little
+  // insight" — Consequence must keep them under ~2.5x of pthreads.
+  for (const char* name : {"histogram", "string_match", "matrix_multiply", "pca"}) {
+    const wl::WorkloadInfo* w = wl::FindWorkload(name);
+    const u64 pt = RunOne(*w, rt::Backend::kPthreads, 8).vtime;
+    const u64 ic = RunOne(*w, rt::Backend::kConsequenceIC, 8).vtime;
+    EXPECT_LT(Slowdown(ic, pt), 2.5) << name;
+  }
+}
+
+TEST(PaperClaims, ParallelBarrierHelpsBarrierHeavyPrograms) {
+  const wl::WorkloadInfo* w = wl::FindWorkload("canneal");
+  rt::RuntimeConfig serial = DefaultConfig(8);
+  serial.parallel_barrier_commit = false;
+  const u64 with = RunOne(*w, rt::Backend::kConsequenceIC, 8).vtime;
+  const u64 without = RunOne(*w, rt::Backend::kConsequenceIC, 8, &serial).vtime;
+  EXPECT_LT(with, without);
+}
+
+TEST(PaperClaims, CoarseningRescuesFineGrainedLocking) {
+  // §6/water_nsquared: fine-grained locks with short chunks are the worst case
+  // for per-op global coordination; coarsening must recover a large factor.
+  const wl::WorkloadInfo* w = wl::FindWorkload("water_nsquared");
+  rt::RuntimeConfig off = DefaultConfig(8);
+  off.adaptive_coarsening = false;
+  off.static_coarsen_level = 0;
+  const u64 with = RunOne(*w, rt::Backend::kConsequenceIC, 8).vtime;
+  const u64 without = RunOne(*w, rt::Backend::kConsequenceIC, 8, &off).vtime;
+  EXPECT_GT(static_cast<double>(without) / static_cast<double>(with), 3.0);
+}
+
+TEST(PaperClaims, IcOrderingBeatsRoundRobinUnderMismatchedSyncRates) {
+  // Figure 1's scenario, asserted quantitatively.
+  const rt::WorkloadFn fn = [](rt::ThreadApi& api) {
+    const rt::MutexId ma = api.CreateMutex();
+    const rt::MutexId mb = api.CreateMutex();
+    std::vector<rt::ThreadHandle> hs;
+    hs.push_back(api.SpawnThread([=](rt::ThreadApi& t) {
+      for (int i = 0; i < 60; ++i) {
+        t.Work(1000);
+        t.Lock(ma);
+        t.Unlock(ma);
+      }
+    }));
+    hs.push_back(api.SpawnThread([=](rt::ThreadApi& t) {
+      for (int i = 0; i < 6; ++i) {
+        t.Work(10000);
+        t.Lock(mb);
+        t.Unlock(mb);
+      }
+    }));
+    for (auto h : hs) {
+      api.JoinThread(h);
+    }
+    return u64{1};
+  };
+  rt::RuntimeConfig cfg = DefaultConfig(2);
+  const u64 rr = rt::MakeRuntime(rt::Backend::kConsequenceRR, cfg)->Run(fn).vtime;
+  const u64 ic = rt::MakeRuntime(rt::Backend::kConsequenceIC, cfg)->Run(fn).vtime;
+  EXPECT_LT(ic, rr);
+}
+
+TEST(PaperClaims, LrcSavesLittleOnBarrierHeavySharing) {
+  // §5.3 / Fig 16: barriers propagate globally under any consistency model.
+  lrc::LrcModel model;
+  rt::RuntimeConfig cfg = DefaultConfig(8);
+  cfg.observer = &model;
+  const wl::WorkloadInfo* w = wl::FindWorkload("ocean_cp");
+  const rt::RunResult r = RunOne(*w, rt::Backend::kConsequenceIC, 8, &cfg);
+  ASSERT_GT(r.pages_propagated, 0u);
+  const double ratio = static_cast<double>(model.PagesPropagated()) /
+                       static_cast<double>(r.pages_propagated);
+  EXPECT_GT(ratio, 0.75);  // little to gain from LRC here
+}
+
+}  // namespace
+}  // namespace csq::harness

@@ -1,0 +1,482 @@
+// Deeper runtime-semantics tests: condition-variable edge cases, barrier
+// generations, coarsening sweeps, RMW operations, observer event ordering,
+// per-backend behavioral details (global-lock mapping, discard-on-update),
+// and parameterized determinism matrices.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/rt/api.h"
+
+namespace csq::rt {
+namespace {
+
+RuntimeConfig Cfg(u32 n) {
+  RuntimeConfig cfg;
+  cfg.nthreads = n;
+  cfg.segment.size_bytes = 2 << 20;
+  return cfg;
+}
+
+RunResult RunOn(Backend b, const RuntimeConfig& cfg, const WorkloadFn& fn) {
+  return MakeRuntime(b, cfg)->Run(fn);
+}
+
+const std::vector<Backend> kDetBackends = {Backend::kDThreads, Backend::kDwc,
+                                           Backend::kConsequenceRR, Backend::kConsequenceIC};
+
+// ---- Condition variables ------------------------------------------------------
+
+TEST(CondVar, BroadcastWakesAllWaiters) {
+  for (Backend b : kDetBackends) {
+    const RunResult r = RunOn(b, Cfg(4), [](ThreadApi& api) {
+      const u64 go = api.SharedAlloc(8);
+      const u64 done = api.SharedAlloc(8);
+      const MutexId m = api.CreateMutex();
+      const CondId cv = api.CreateCond();
+      std::vector<ThreadHandle> hs;
+      for (int w = 0; w < 3; ++w) {
+        hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+          t.Lock(m);
+          while (t.Load<u64>(go) == 0) {
+            t.CondWait(cv, m);
+          }
+          t.Store<u64>(done, t.Load<u64>(done) + 1);
+          t.Unlock(m);
+        }));
+      }
+      api.Work(20000);  // let all three block
+      api.Lock(m);
+      api.Store<u64>(go, 1);
+      api.CondBroadcast(cv);
+      api.Unlock(m);
+      for (auto h : hs) {
+        api.JoinThread(h);
+      }
+      return api.Load<u64>(done);
+    });
+    EXPECT_EQ(r.checksum, 3u) << BackendName(b);
+  }
+}
+
+TEST(CondVar, SignalBeforeAnyWaiterIsLostButPredicateSaves) {
+  // Classic mesa semantics: signals do not persist; the predicate loop must
+  // re-check. This program is correct regardless of signal/wait interleaving.
+  for (Backend b : kDetBackends) {
+    const RunResult r = RunOn(b, Cfg(2), [](ThreadApi& api) {
+      const u64 ready = api.SharedAlloc(8);
+      const MutexId m = api.CreateMutex();
+      const CondId cv = api.CreateCond();
+      const ThreadHandle prod = api.SpawnThread([=](ThreadApi& t) {
+        t.Lock(m);
+        t.Store<u64>(ready, 7);
+        t.CondSignal(cv);  // may fire before the consumer ever waits
+        t.Unlock(m);
+      });
+      const ThreadHandle cons = api.SpawnThread([=](ThreadApi& t) {
+        t.Work(30000);  // arrive late on purpose
+        t.Lock(m);
+        while (t.Load<u64>(ready) == 0) {
+          t.CondWait(cv, m);
+        }
+        const u64 v = t.Load<u64>(ready);
+        t.Unlock(m);
+        t.Store<u64>(ready, v + 1);
+        // publish via exit commit
+      });
+      api.JoinThread(prod);
+      api.JoinThread(cons);
+      return api.Load<u64>(ready);
+    });
+    EXPECT_EQ(r.checksum, 8u) << BackendName(b);
+  }
+}
+
+// ---- Barriers -------------------------------------------------------------------
+
+TEST(Barrier, SurvivesManyGenerations) {
+  for (Backend b : kDetBackends) {
+    const u32 gens = 25;
+    const RunResult r = RunOn(b, Cfg(4), [&](ThreadApi& api) {
+      const u64 acc = api.SharedAlloc(8 * 4, 4096);
+      const BarrierId bar = api.CreateBarrier(4);
+      std::vector<ThreadHandle> hs;
+      for (u32 w = 0; w < 4; ++w) {
+        hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+          for (u32 g = 0; g < gens; ++g) {
+            // Everyone reads the previous generation's sum, adds to own slot.
+            u64 sum = 0;
+            for (u32 i = 0; i < 4; ++i) {
+              sum += t.Load<u64>(acc + 8 * i);
+            }
+            t.BarrierWait(bar);
+            t.Store<u64>(acc + 8 * w, sum / 4 + w + 1);
+            t.BarrierWait(bar);
+          }
+        }));
+      }
+      for (auto h : hs) {
+        api.JoinThread(h);
+      }
+      u64 d = 0;
+      for (u32 i = 0; i < 4; ++i) {
+        d = d * 1315423911u + api.Load<u64>(acc + 8 * i);
+      }
+      return d;
+    });
+    const RunResult again = RunOn(b, Cfg(4), [&](ThreadApi& api) {
+      // identical body, fresh run
+      const u64 acc = api.SharedAlloc(8 * 4, 4096);
+      const BarrierId bar = api.CreateBarrier(4);
+      std::vector<ThreadHandle> hs;
+      for (u32 w = 0; w < 4; ++w) {
+        hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+          for (u32 g = 0; g < gens; ++g) {
+            u64 sum = 0;
+            for (u32 i = 0; i < 4; ++i) {
+              sum += t.Load<u64>(acc + 8 * i);
+            }
+            t.BarrierWait(bar);
+            t.Store<u64>(acc + 8 * w, sum / 4 + w + 1);
+            t.BarrierWait(bar);
+          }
+        }));
+      }
+      for (auto h : hs) {
+        api.JoinThread(h);
+      }
+      u64 d = 0;
+      for (u32 i = 0; i < 4; ++i) {
+        d = d * 1315423911u + api.Load<u64>(acc + 8 * i);
+      }
+      return d;
+    });
+    EXPECT_EQ(r.checksum, again.checksum) << BackendName(b);
+    EXPECT_NE(r.checksum, 0u);
+  }
+}
+
+TEST(Barrier, TwoIndependentBarriersDoNotInterfere) {
+  const RunResult r = RunOn(Backend::kConsequenceIC, Cfg(4), [](ThreadApi& api) {
+    const u64 a = api.SharedAlloc(8);
+    const u64 c = api.SharedAlloc(8);
+    const BarrierId b1 = api.CreateBarrier(2);
+    const BarrierId b2 = api.CreateBarrier(2);
+    std::vector<ThreadHandle> hs;
+    for (u32 w = 0; w < 2; ++w) {
+      hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+        for (int i = 0; i < 10; ++i) {
+          t.BarrierWait(b1);
+          if (t.Tid() == 1) {
+            t.Store<u64>(a, t.Load<u64>(a) + 1);
+          }
+          t.BarrierWait(b1);
+        }
+      }));
+    }
+    for (u32 w = 0; w < 2; ++w) {
+      hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+        for (int i = 0; i < 10; ++i) {
+          t.BarrierWait(b2);
+          if (t.Tid() == 3) {
+            t.Store<u64>(c, t.Load<u64>(c) + 2);
+          }
+          t.BarrierWait(b2);
+        }
+      }));
+    }
+    for (auto h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(a) * 1000 + api.Load<u64>(c);
+  });
+  EXPECT_EQ(r.checksum, 10u * 1000 + 20u);
+}
+
+// ---- Atomic RMW ------------------------------------------------------------------
+
+class RmwTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(RmwTest, AddExchangeMaxSemantics) {
+  const Backend b = GetParam();
+  const RunResult r = RunOn(b, Cfg(2), [](ThreadApi& api) {
+    const u64 a = api.SharedAlloc(8);
+    EXPECT_EQ(api.AtomicRmw(a, RmwOp::kAdd, 5), 0u);
+    EXPECT_EQ(api.AtomicRmw(a, RmwOp::kAdd, 3), 5u);
+    EXPECT_EQ(api.AtomicRmw(a, RmwOp::kExchange, 100), 8u);
+    EXPECT_EQ(api.AtomicRmw(a, RmwOp::kMax, 50), 100u);   // no change
+    EXPECT_EQ(api.AtomicRmw(a, RmwOp::kMax, 200), 100u);  // raises
+    return api.Load<u64>(a);
+  });
+  EXPECT_EQ(r.checksum, 200u) << BackendName(b);
+}
+
+TEST_P(RmwTest, ConcurrentMaxConverges) {
+  const Backend b = GetParam();
+  const RunResult r = RunOn(b, Cfg(4), [](ThreadApi& api) {
+    const u64 a = api.SharedAlloc(8);
+    std::vector<ThreadHandle> hs;
+    for (u32 w = 0; w < 4; ++w) {
+      hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+        for (int i = 0; i < 10; ++i) {
+          t.Work(100);
+          t.AtomicRmw(a, RmwOp::kMax, t.Tid() * 100 + static_cast<u64>(i));
+        }
+      }));
+    }
+    for (auto h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(a);
+  });
+  EXPECT_EQ(r.checksum, 409u) << BackendName(b);  // tid 4 * 100 + 9
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDet, RmwTest,
+                         ::testing::Values(Backend::kPthreads, Backend::kDThreads, Backend::kDwc,
+                                           Backend::kConsequenceRR, Backend::kConsequenceIC),
+                         [](const ::testing::TestParamInfo<Backend>& i) {
+                           std::string n(BackendName(i.param));
+                           for (char& c : n) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+// ---- Coarsening sweep -------------------------------------------------------------
+
+class CoarsenLevelTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CoarsenLevelTest, EveryStaticLevelIsCorrectAndDeterministic) {
+  RuntimeConfig cfg = Cfg(4);
+  cfg.adaptive_coarsening = false;
+  cfg.static_coarsen_level = GetParam();
+  const WorkloadFn fn = [](ThreadApi& api) {
+    const u64 c = api.SharedAlloc(8);
+    const MutexId m = api.CreateMutex();
+    std::vector<ThreadHandle> hs;
+    for (u32 w = 0; w < 4; ++w) {
+      hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+        for (int i = 0; i < 30; ++i) {
+          t.Work(150);
+          t.Lock(m);
+          t.Store<u64>(c, t.Load<u64>(c) + 1);
+          t.Unlock(m);
+        }
+      }));
+    }
+    for (auto h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(c);
+  };
+  const RunResult a = RunOn(Backend::kConsequenceIC, cfg, fn);
+  cfg.costs.jitter_bp = 900;
+  cfg.costs.jitter_seed = 123;
+  const RunResult b = RunOn(Backend::kConsequenceIC, cfg, fn);
+  EXPECT_EQ(a.checksum, 120u);
+  EXPECT_EQ(b.checksum, 120u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CoarsenLevelTest, ::testing::Values(0u, 1u, 2u, 3u, 5u, 8u, 16u, 64u));
+
+// ---- Observer event stream ---------------------------------------------------------
+
+class RecordingObserver : public SyncObserver {
+ public:
+  struct Ev {
+    char kind;  // 'A', 'R', 'C'
+    u32 tid;
+    u64 obj;
+  };
+  void OnAcquire(u32 tid, u64 object) override { evs.push_back({'A', tid, object}); }
+  void OnRelease(u32 tid, u64 object) override { evs.push_back({'R', tid, object}); }
+  void OnCommit(u32 tid, const std::vector<u32>& pages) override {
+    evs.push_back({'C', tid, pages.size()});
+  }
+  std::vector<Ev> evs;
+};
+
+TEST(Observer, LockPairsAreWellNested) {
+  RecordingObserver obs;
+  RuntimeConfig cfg = Cfg(2);
+  cfg.observer = &obs;
+  cfg.adaptive_coarsening = false;
+  RunOn(Backend::kConsequenceIC, cfg, [](ThreadApi& api) {
+    const MutexId m = api.CreateMutex();
+    const u64 x = api.SharedAlloc(8);
+    api.Lock(m);
+    api.Store<u64>(x, 1);
+    api.Unlock(m);
+    api.Lock(m);
+    api.Unlock(m);
+    return u64{0};
+  });
+  // Per mutex object: acquires and releases alternate A,R,A,R.
+  const u64 mobj = SyncObjId(SyncObjKind::kMutex, 0);
+  std::string pattern;
+  for (const auto& e : obs.evs) {
+    if ((e.kind == 'A' || e.kind == 'R') && e.obj == mobj) {
+      pattern += e.kind;
+    }
+  }
+  EXPECT_EQ(pattern, "ARAR");
+}
+
+TEST(Observer, CommitPrecedesItsRelease) {
+  RecordingObserver obs;
+  RuntimeConfig cfg = Cfg(2);
+  cfg.observer = &obs;
+  cfg.adaptive_coarsening = false;
+  RunOn(Backend::kConsequenceIC, cfg, [](ThreadApi& api) {
+    const MutexId m = api.CreateMutex();
+    const u64 x = api.SharedAlloc(8);
+    api.Lock(m);
+    api.Store<u64>(x, 42);  // dirty page committed at unlock
+    api.Unlock(m);
+    return u64{0};
+  });
+  const u64 mobj = SyncObjId(SyncObjKind::kMutex, 0);
+  i32 last_commit = -1;
+  i32 release_at = -1;
+  for (usize i = 0; i < obs.evs.size(); ++i) {
+    if (obs.evs[i].kind == 'C' && obs.evs[i].obj > 0) {
+      last_commit = static_cast<i32>(i);
+    }
+    if (obs.evs[i].kind == 'R' && obs.evs[i].obj == mobj) {
+      release_at = static_cast<i32>(i);
+    }
+  }
+  ASSERT_GE(release_at, 0);
+  ASSERT_GE(last_commit, 0);
+  EXPECT_LT(last_commit, release_at);
+}
+
+// ---- Backend-specific semantics ----------------------------------------------------
+
+TEST(DThreadsSemantics, DistinctMutexesShareOneGlobalLock) {
+  // Under DThreads/DWC, two critical sections under *different* mutexes still
+  // exclude each other. We detect overlap via a guard variable.
+  for (Backend b : {Backend::kDThreads, Backend::kDwc}) {
+    const RunResult r = RunOn(b, Cfg(2), [](ThreadApi& api) {
+      const u64 inside = api.SharedAlloc(8);
+      const u64 overlap = api.SharedAlloc(8);
+      const MutexId m1 = api.CreateMutex();
+      const MutexId m2 = api.CreateMutex();
+      std::vector<ThreadHandle> hs;
+      for (u32 w = 0; w < 2; ++w) {
+        hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+          const MutexId m = (t.Tid() == 1) ? m1 : m2;
+          for (int i = 0; i < 10; ++i) {
+            t.Lock(m);
+            // Inside a critical section the other thread can never commit an
+            // "inside=1" state if exclusion is global: we'd see it at our
+            // next update (which happened at Lock).
+            if (t.Load<u64>(inside) != 0) {
+              t.Store<u64>(overlap, 1);
+            }
+            t.Store<u64>(inside, 1);
+            t.Work(300);
+            t.Store<u64>(inside, 0);
+            t.Unlock(m);
+            t.Work(100);
+          }
+        }));
+      }
+      for (auto h : hs) {
+        api.JoinThread(h);
+      }
+      return api.Load<u64>(overlap);
+    });
+    EXPECT_EQ(r.checksum, 0u) << BackendName(b) << " global lock must serialize";
+  }
+}
+
+TEST(ConsequenceSemantics, DistinctMutexesOverlapUnderConsequence) {
+  // Under Consequence, critical sections under *different* locks execute
+  // concurrently (Fig 5): only the lock/unlock coordination serializes. We
+  // detect the concurrency through virtual completion time: long critical
+  // sections under two distinct locks must finish much faster than the same
+  // program forced through one lock.
+  const auto body = [](bool distinct) {
+    return [distinct](ThreadApi& api) {
+      const MutexId m1 = api.CreateMutex();
+      const MutexId m2 = api.CreateMutex();
+      std::vector<ThreadHandle> hs;
+      for (u32 w = 0; w < 2; ++w) {
+        hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+          const MutexId m = (distinct && t.Tid() == 2) ? m2 : m1;
+          for (int i = 0; i < 15; ++i) {
+            t.Lock(m);
+            t.Work(20000);  // long critical section
+            t.Unlock(m);
+            t.Work(100);
+          }
+        }));
+      }
+      for (auto h : hs) {
+        api.JoinThread(h);
+      }
+      return u64{1};
+    };
+  };
+  RuntimeConfig cfg = Cfg(2);
+  cfg.adaptive_coarsening = false;  // isolate the Fig 5 effect from coarsening
+  const u64 vt_distinct = RunOn(Backend::kConsequenceIC, cfg, body(true)).vtime;
+  const u64 vt_single = RunOn(Backend::kConsequenceIC, cfg, body(false)).vtime;
+  EXPECT_LT(static_cast<double>(vt_distinct), 0.7 * static_cast<double>(vt_single));
+}
+
+// ---- Determinism across thread counts -----------------------------------------------
+
+class ThreadCountDeterminism : public ::testing::TestWithParam<u32> {};
+
+TEST_P(ThreadCountDeterminism, TraceStableAcrossJitterAtEveryThreadCount) {
+  const u32 n = GetParam();
+  const WorkloadFn fn = [n](ThreadApi& api) {
+    const u64 c = api.SharedAlloc(8);
+    const MutexId m = api.CreateMutex();
+    const BarrierId bar = api.CreateBarrier(n);
+    std::vector<ThreadHandle> hs;
+    for (u32 w = 0; w < n; ++w) {
+      hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+        for (int i = 0; i < 6; ++i) {
+          t.Work(100 * (t.Tid() + 1));
+          t.Lock(m);
+          t.Store<u64>(c, t.Load<u64>(c) * 3 + t.Tid());
+          t.Unlock(m);
+          t.BarrierWait(bar);
+        }
+      }));
+    }
+    for (auto h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(c);
+  };
+  u64 ref_trace = 0;
+  u64 ref_sum = 0;
+  for (u64 seed : {0ULL, 5ULL, 50ULL}) {
+    RuntimeConfig cfg = Cfg(n);
+    cfg.costs.jitter_bp = 700;
+    cfg.costs.jitter_seed = seed;
+    const RunResult r = RunOn(Backend::kConsequenceIC, cfg, fn);
+    if (seed == 0) {
+      ref_trace = r.trace_digest;
+      ref_sum = r.checksum;
+    } else {
+      EXPECT_EQ(r.trace_digest, ref_trace) << n << " threads, seed " << seed;
+      EXPECT_EQ(r.checksum, ref_sum);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ThreadCountDeterminism,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u));
+
+}  // namespace
+}  // namespace csq::rt

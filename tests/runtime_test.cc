@@ -1,0 +1,454 @@
+// Integration tests for the runtime family: pthreads, DThreads, DWC,
+// Consequence-RR, Consequence-IC. Exercises mutexes, condition variables,
+// barriers, spawn/join, atomics — and the central determinism property:
+// identical program output and schedule fingerprint across timing-jitter
+// seeds for every deterministic backend, for race-free AND racy programs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/rt/api.h"
+
+namespace csq::rt {
+namespace {
+
+const std::vector<Backend> kDetBackends = {Backend::kDThreads, Backend::kDwc,
+                                           Backend::kConsequenceRR, Backend::kConsequenceIC};
+const std::vector<Backend> kAllBackends = {Backend::kPthreads, Backend::kDThreads, Backend::kDwc,
+                                           Backend::kConsequenceRR, Backend::kConsequenceIC};
+
+RuntimeConfig SmallCfg(u32 nthreads = 4) {
+  RuntimeConfig cfg;
+  cfg.nthreads = nthreads;
+  cfg.segment.size_bytes = 1 << 20;
+  return cfg;
+}
+
+// ---- Workloads used by the tests --------------------------------------------
+
+// N workers each add their (tid+1) value `iters` times to a shared counter
+// under a mutex. Race-free; final value is schedule-independent.
+u64 LockedCounter(ThreadApi& api, u32 workers, u32 iters) {
+  const u64 counter = api.SharedAlloc(8);
+  const MutexId m = api.CreateMutex();
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < workers; ++w) {
+    hs.push_back(api.SpawnThread([=, &hs](ThreadApi& t) {
+      for (u32 i = 0; i < iters; ++i) {
+        t.Work(200);
+        t.Lock(m);
+        t.Store<u64>(counter, t.Load<u64>(counter) + (t.Tid() + 1));
+        t.Unlock(m);
+      }
+    }));
+  }
+  for (ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+  return api.Load<u64>(counter);
+}
+
+// Racy increments — the classic lost-update race. Deterministic backends must
+// produce a seed-independent (if surprising) result; pthreads need not.
+u64 RacyCounter(ThreadApi& api, u32 workers, u32 iters) {
+  const u64 counter = api.SharedAlloc(8);
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < workers; ++w) {
+    hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+      for (u32 i = 0; i < iters; ++i) {
+        t.Work(50 + 13 * t.Tid());
+        t.Store<u64>(counter, t.Load<u64>(counter) + 1);  // no lock!
+      }
+    }));
+  }
+  for (ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+  return api.Load<u64>(counter);
+}
+
+// Barrier-phased vector doubling: every phase must see the previous phase's
+// writes from all threads.
+u64 BarrierPhases(ThreadApi& api, u32 workers, u32 phases) {
+  const u32 n = workers * 16;
+  const u64 vec = api.SharedAlloc(n * 8);
+  for (u32 i = 0; i < n; ++i) {
+    api.Store<u64>(vec + 8 * i, i + 1);
+  }
+  const BarrierId b = api.CreateBarrier(workers);
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < workers; ++w) {
+    hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+      const u32 me = t.Tid() - 1;  // worker index (main is tid 0)
+      for (u32 p = 0; p < phases; ++p) {
+        // Read a neighbour's stripe (cross-thread dependence), write my own.
+        const u32 src = ((me + 1) % workers) * 16;
+        u64 acc = 0;
+        for (u32 i = 0; i < 16; ++i) {
+          acc += t.Load<u64>(vec + 8 * (src + i));
+        }
+        t.BarrierWait(b);
+        for (u32 i = 0; i < 16; ++i) {
+          const u64 a = vec + 8 * (me * 16 + i);
+          t.Store<u64>(a, t.Load<u64>(a) * 2 + acc % 7);
+        }
+        t.BarrierWait(b);
+      }
+    }));
+  }
+  for (ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+  u64 digest = 1469598103934665603ULL;
+  for (u32 i = 0; i < n; ++i) {
+    digest = (digest ^ api.Load<u64>(vec + 8 * i)) * 1099511628211ULL;
+  }
+  return digest;
+}
+
+// Producer/consumer over a bounded queue with condition variables.
+u64 ProducerConsumer(ThreadApi& api, u32 items) {
+  const u64 buf = api.SharedAlloc(8 * 8);   // 8-slot ring
+  const u64 head = api.SharedAlloc(8);
+  const u64 tail = api.SharedAlloc(8);
+  const u64 sum = api.SharedAlloc(8);
+  const MutexId m = api.CreateMutex();
+  const CondId not_empty = api.CreateCond();
+  const CondId not_full = api.CreateCond();
+  const ThreadHandle prod = api.SpawnThread([=](ThreadApi& t) {
+    for (u32 i = 1; i <= items; ++i) {
+      t.Work(100);
+      t.Lock(m);
+      while (t.Load<u64>(tail) - t.Load<u64>(head) == 8) {
+        t.CondWait(not_full, m);
+      }
+      const u64 pos = t.Load<u64>(tail);
+      t.Store<u64>(buf + 8 * (pos % 8), i);
+      t.Store<u64>(tail, pos + 1);
+      t.CondSignal(not_empty);
+      t.Unlock(m);
+    }
+  });
+  const ThreadHandle cons = api.SpawnThread([=](ThreadApi& t) {
+    for (u32 i = 0; i < items; ++i) {
+      t.Lock(m);
+      while (t.Load<u64>(tail) == t.Load<u64>(head)) {
+        t.CondWait(not_empty, m);
+      }
+      const u64 pos = t.Load<u64>(head);
+      const u64 v = t.Load<u64>(buf + 8 * (pos % 8));
+      t.Store<u64>(head, pos + 1);
+      t.Store<u64>(sum, t.Load<u64>(sum) + v * v);
+      t.CondSignal(not_full);
+      t.Unlock(m);
+      t.Work(150);
+    }
+  });
+  api.JoinThread(prod);
+  api.JoinThread(cons);
+  return api.Load<u64>(sum);
+}
+
+RunResult RunOn(Backend b, const RuntimeConfig& cfg, const WorkloadFn& fn) {
+  return MakeRuntime(b, cfg)->Run(fn);
+}
+
+// ---- Correctness across all backends ----------------------------------------
+
+TEST(Runtime, LockedCounterCorrectOnAllBackends) {
+  const u32 workers = 4;
+  const u32 iters = 25;
+  u64 expected = 0;
+  for (u32 w = 0; w < workers; ++w) {
+    expected += static_cast<u64>(w + 1 + 1) * iters;  // worker tids are 1..workers
+  }
+  for (Backend b : kAllBackends) {
+    const RunResult r = RunOn(b, SmallCfg(workers), [&](ThreadApi& api) {
+      return LockedCounter(api, workers, iters);
+    });
+    EXPECT_EQ(r.checksum, expected) << BackendName(b);
+    EXPECT_GT(r.vtime, 0u) << BackendName(b);
+  }
+}
+
+TEST(Runtime, BarrierPhasesAgreeAcrossBackends) {
+  std::vector<u64> sums;
+  for (Backend b : kAllBackends) {
+    const RunResult r = RunOn(b, SmallCfg(4), [&](ThreadApi& api) {
+      return BarrierPhases(api, 4, 5);
+    });
+    sums.push_back(r.checksum);
+  }
+  for (usize i = 1; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i], sums[0]) << BackendName(kAllBackends[i]);
+  }
+}
+
+TEST(Runtime, ProducerConsumerAgreesAcrossBackends) {
+  u64 expected = 0;
+  for (u64 i = 1; i <= 40; ++i) {
+    expected += i * i;
+  }
+  for (Backend b : kAllBackends) {
+    const RunResult r = RunOn(b, SmallCfg(2), [&](ThreadApi& api) {
+      return ProducerConsumer(api, 40);
+    });
+    EXPECT_EQ(r.checksum, expected) << BackendName(b);
+  }
+}
+
+TEST(Runtime, AtomicRmwIsAtomicOnDetBackends) {
+  for (Backend b : kDetBackends) {
+    const RunResult r = RunOn(b, SmallCfg(4), [&](ThreadApi& api) {
+      const u64 a = api.SharedAlloc(8);
+      std::vector<ThreadHandle> hs;
+      for (u32 w = 0; w < 4; ++w) {
+        hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+          for (int i = 0; i < 20; ++i) {
+            t.Work(30);
+            t.AtomicRmw(a, RmwOp::kAdd, 1);
+          }
+        }));
+      }
+      for (ThreadHandle h : hs) {
+        api.JoinThread(h);
+      }
+      return api.Load<u64>(a);
+    });
+    EXPECT_EQ(r.checksum, 80u) << BackendName(b);
+  }
+}
+
+// ---- The determinism property -----------------------------------------------
+
+// For each deterministic backend, run the same (racy!) program under several
+// timing-jitter seeds: program output AND schedule fingerprint must be
+// bit-identical. This is the paper's core claim.
+TEST(Runtime, DetBackendsAreJitterInvariantEvenForRacyPrograms) {
+  for (Backend b : kDetBackends) {
+    u64 ref_checksum = 0;
+    u64 ref_trace = 0;
+    for (u64 seed : {0ULL, 1ULL, 2ULL, 12345ULL}) {
+      RuntimeConfig cfg = SmallCfg(4);
+      cfg.costs.jitter_bp = 800;  // ±8% timing noise
+      cfg.costs.jitter_seed = seed;
+      const RunResult r = RunOn(b, cfg, [&](ThreadApi& api) {
+        return RacyCounter(api, 4, 30) ^ (BarrierPhases(api, 4, 3) << 1);
+      });
+      if (seed == 0) {
+        ref_checksum = r.checksum;
+        ref_trace = r.trace_digest;
+      } else {
+        EXPECT_EQ(r.checksum, ref_checksum) << BackendName(b) << " seed " << seed;
+        EXPECT_EQ(r.trace_digest, ref_trace) << BackendName(b) << " seed " << seed;
+      }
+    }
+  }
+}
+
+// Workers append their tid to a shared log under a mutex; the checksum is
+// order-sensitive, so it fingerprints the lock-acquisition schedule.
+u64 OrderLog(ThreadApi& api, u32 workers, u32 iters) {
+  const u64 log_len = api.SharedAlloc(8);
+  const u64 log = api.SharedAlloc(8 * workers * iters);
+  const MutexId m = api.CreateMutex();
+  std::vector<ThreadHandle> hs;
+  for (u32 w = 0; w < workers; ++w) {
+    hs.push_back(api.SpawnThread([=](ThreadApi& t) {
+      for (u32 i = 0; i < iters; ++i) {
+        t.Work(100 + 37 * t.Tid() + 11 * i);
+        t.Lock(m);
+        const u64 len = t.Load<u64>(log_len);
+        t.Store<u64>(log + 8 * len, t.Tid());
+        t.Store<u64>(log_len, len + 1);
+        t.Unlock(m);
+      }
+    }));
+  }
+  for (ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+  u64 digest = 1469598103934665603ULL;
+  const u64 n = api.Load<u64>(log_len);
+  for (u64 i = 0; i < n; ++i) {
+    digest = (digest ^ api.Load<u64>(log + 8 * i)) * 1099511628211ULL;
+  }
+  return digest;
+}
+
+TEST(Runtime, PthreadsIsNotJitterInvariantForOrderDependentPrograms) {
+  // The control: under pthreads, lock-acquisition order follows (jittered)
+  // timing, so an order-sensitive program produces different outputs across
+  // seeds. The same program is seed-invariant on every deterministic backend
+  // (next test).
+  std::vector<u64> checksums;
+  for (u64 seed : {0ULL, 1ULL, 2ULL, 3ULL, 4ULL}) {
+    RuntimeConfig cfg = SmallCfg(4);
+    cfg.costs.jitter_bp = 2000;  // ±20%
+    cfg.costs.jitter_seed = seed;
+    const RunResult r = RunOn(Backend::kPthreads, cfg, [&](ThreadApi& api) {
+      return OrderLog(api, 4, 20);
+    });
+    checksums.push_back(r.checksum);
+  }
+  bool any_diff = false;
+  for (usize i = 1; i < checksums.size(); ++i) {
+    any_diff |= checksums[i] != checksums[0];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Runtime, DetBackendsAreJitterInvariantForOrderDependentPrograms) {
+  for (Backend b : kDetBackends) {
+    u64 ref = 0;
+    for (u64 seed : {0ULL, 7ULL, 99ULL}) {
+      RuntimeConfig cfg = SmallCfg(4);
+      cfg.costs.jitter_bp = 2000;
+      cfg.costs.jitter_seed = seed;
+      const RunResult r = RunOn(b, cfg, [&](ThreadApi& api) {
+        return OrderLog(api, 4, 20);
+      });
+      if (seed == 0) {
+        ref = r.checksum;
+      } else {
+        EXPECT_EQ(r.checksum, ref) << BackendName(b) << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Runtime, RepeatedRunsAreBitIdentical) {
+  for (Backend b : kDetBackends) {
+    const auto run = [&] {
+      return RunOn(b, SmallCfg(3), [&](ThreadApi& api) {
+        return LockedCounter(api, 3, 20) + ProducerConsumer(api, 10);
+      });
+    };
+    const RunResult a = run();
+    const RunResult c = run();
+    EXPECT_EQ(a.checksum, c.checksum) << BackendName(b);
+    EXPECT_EQ(a.trace_digest, c.trace_digest) << BackendName(b);
+    EXPECT_EQ(a.vtime, c.vtime) << BackendName(b);
+  }
+}
+
+// ---- Optimization configurations preserve correctness ------------------------
+
+TEST(Runtime, CoarseningTogglesPreserveResults) {
+  const WorkloadFn wl = [](ThreadApi& api) { return LockedCounter(api, 4, 40); };
+  RuntimeConfig on = SmallCfg(4);
+  on.adaptive_coarsening = true;
+  RuntimeConfig off = SmallCfg(4);
+  off.adaptive_coarsening = false;
+  off.static_coarsen_level = 0;
+  RuntimeConfig stat = SmallCfg(4);
+  stat.adaptive_coarsening = false;
+  stat.static_coarsen_level = 4;
+  const u64 a = RunOn(Backend::kConsequenceIC, on, wl).checksum;
+  const u64 b = RunOn(Backend::kConsequenceIC, off, wl).checksum;
+  const u64 c = RunOn(Backend::kConsequenceIC, stat, wl).checksum;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(Runtime, AllOptimizationTogglesPreserveResults) {
+  const WorkloadFn wl = [](ThreadApi& api) {
+    return BarrierPhases(api, 4, 4) ^ LockedCounter(api, 4, 10);
+  };
+  const u64 ref = RunOn(Backend::kConsequenceIC, SmallCfg(4), wl).checksum;
+  for (int knob = 0; knob < 5; ++knob) {
+    RuntimeConfig cfg = SmallCfg(4);
+    switch (knob) {
+      case 0:
+        cfg.adaptive_coarsening = false;
+        break;
+      case 1:
+        cfg.adaptive_overflow = false;
+        break;
+      case 2:
+        cfg.thread_reuse = false;
+        break;
+      case 3:
+        cfg.user_space_reads = false;
+        break;
+      case 4:
+        cfg.parallel_barrier_commit = false;
+        break;
+    }
+    EXPECT_EQ(RunOn(Backend::kConsequenceIC, cfg, wl).checksum, ref) << "knob " << knob;
+  }
+}
+
+// ---- §2.7 ad-hoc synchronization ----------------------------------------------
+
+TEST(Runtime, ChunkLimitEnablesSpinFlagSync) {
+  // Thread A spins on a flag set by thread B. Without a chunk limit, A would
+  // never refresh its isolated view; with one, it commits+updates and sees it.
+  RuntimeConfig cfg = SmallCfg(2);
+  cfg.chunk_limit = 20000;
+  const RunResult r = RunOn(Backend::kConsequenceIC, cfg, [&](ThreadApi& api) {
+    const u64 flag = api.SharedAlloc(8);
+    const u64 data = api.SharedAlloc(8);
+    const ThreadHandle setter = api.SpawnThread([=](ThreadApi& t) {
+      t.Work(50000);
+      t.Store<u64>(data, 777);
+      t.Store<u64>(flag, 1);
+      // Publish via an ad-hoc "release": only the chunk limit forces it out.
+      t.Work(100000);
+    });
+    const ThreadHandle spinner = api.SpawnThread([=](ThreadApi& t) {
+      while (t.Load<u64>(flag) == 0) {
+        t.Work(500);  // chunk limit forces periodic commit+update
+      }
+      t.Store<u64>(data, t.Load<u64>(data) + 1);
+    });
+    api.JoinThread(setter);
+    api.JoinThread(spinner);
+    return api.Load<u64>(data);
+  });
+  EXPECT_EQ(r.checksum, 778u);
+}
+
+// ---- Stats plumbing -----------------------------------------------------------
+
+TEST(Runtime, StatsArePopulated) {
+  const RunResult r = RunOn(Backend::kConsequenceIC, SmallCfg(4), [&](ThreadApi& api) {
+    return LockedCounter(api, 4, 20) + BarrierPhases(api, 4, 2);
+  });
+  EXPECT_GT(r.commits, 0u);
+  EXPECT_GT(r.token_acquires, 0u);
+  EXPECT_GT(r.peak_mem_bytes, 0u);
+  EXPECT_GT(r.cow_faults, 0u);
+  EXPECT_GT(r.cat_totals[static_cast<usize>(sim::TimeCat::kChunk)], 0u);
+  EXPECT_GT(r.cat_totals[static_cast<usize>(sim::TimeCat::kCommit)], 0u);
+  EXPECT_GE(r.cat_by_thread.size(), 5u);
+}
+
+TEST(Runtime, ThreadReusePoolReducesSpawnCost) {
+  // Sequential fork-join waves: with reuse, later spawns hit the pool.
+  const WorkloadFn wl = [](ThreadApi& api) {
+    u64 acc = 0;
+    for (int wave = 0; wave < 6; ++wave) {
+      std::vector<ThreadHandle> hs;
+      for (int w = 0; w < 3; ++w) {
+        hs.push_back(api.SpawnThread([&acc](ThreadApi& t) { t.Work(2000); }));
+      }
+      for (ThreadHandle h : hs) {
+        api.JoinThread(h);
+      }
+      acc += hs.size();
+    }
+    return acc;
+  };
+  RuntimeConfig with = SmallCfg(3);
+  with.thread_reuse = true;
+  RuntimeConfig without = SmallCfg(3);
+  without.thread_reuse = false;
+  const RunResult a = RunOn(Backend::kConsequenceIC, with, wl);
+  const RunResult b = RunOn(Backend::kConsequenceIC, without, wl);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_LT(a.vtime, b.vtime);  // reuse must be cheaper
+}
+
+}  // namespace
+}  // namespace csq::rt

@@ -1,0 +1,225 @@
+// Unit tests for the deterministic discrete-event engine: scheduling order,
+// gating, wait/notify semantics, virtual-time accounting, jitter determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace csq::sim {
+namespace {
+
+TEST(Engine, SingleThreadRunsToCompletion) {
+  Engine eng;
+  bool ran = false;
+  eng.Spawn([&] {
+    eng.Charge(100, TimeCat::kChunk);
+    ran = true;
+  });
+  eng.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_GE(eng.CompletionVtime(), 100u);
+}
+
+TEST(Engine, AdvanceAccumulatesPerCategory) {
+  Engine eng;
+  eng.Spawn([&] {
+    eng.AdvanceRaw(50, TimeCat::kChunk);
+    eng.AdvanceRaw(30, TimeCat::kCommit);
+    eng.AdvanceRaw(20, TimeCat::kChunk);
+  });
+  eng.Run();
+  EXPECT_EQ(eng.CatTotal(0, TimeCat::kChunk), 70u);
+  EXPECT_EQ(eng.CatTotal(0, TimeCat::kCommit), 30u);
+  EXPECT_EQ(eng.CompletionVtime(), 100u);
+}
+
+TEST(Engine, SharedOpsExecuteInVtimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  // Thread 0 does a big local chunk then a shared op at vt 1000.
+  eng.Spawn([&] {
+    eng.AdvanceRaw(1000, TimeCat::kChunk);
+    eng.GateShared();
+    order.push_back(0);
+  });
+  // Thread 1's shared op is at vt 10 — must happen first despite later spawn.
+  eng.Spawn([&] {
+    eng.AdvanceRaw(10, TimeCat::kChunk);
+    eng.GateShared();
+    order.push_back(1);
+  });
+  eng.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(Engine, TiesBreakByThreadId) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    eng.Spawn([&, i] {
+      eng.AdvanceRaw(100, TimeCat::kChunk);  // identical vtime for everyone
+      eng.GateShared();
+      order.push_back(i);
+      // Push this thread past the others so the next-lowest id can proceed.
+      eng.AdvanceRaw(1, TimeCat::kChunk);
+    });
+  }
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, WaitNotifyWakesInFifoOrderWithVtimePropagation) {
+  Engine eng;
+  WaitChannel ch;
+  std::vector<u64> wake_times;
+  for (int i = 0; i < 3; ++i) {
+    eng.Spawn([&, i] {
+      eng.AdvanceRaw(static_cast<u64>(10 * (i + 1)), TimeCat::kChunk);
+      eng.GateShared();
+      wake_times.push_back(eng.Wait(ch, TimeCat::kDetermWait));
+    });
+  }
+  eng.Spawn([&] {
+    eng.AdvanceRaw(100000, TimeCat::kChunk);
+    eng.GateShared();
+    eng.NotifyAll(ch);
+  });
+  eng.Run();
+  ASSERT_EQ(wake_times.size(), 3u);
+  const u64 lat = CostModel{}.wake_latency;
+  for (u64 t : wake_times) {
+    EXPECT_EQ(t, 100000 + lat);  // wake vtime dominated by the notifier
+  }
+  // Waiting time was attributed to the determ_wait category.
+  EXPECT_GT(eng.CatTotal(0, TimeCat::kDetermWait), 0u);
+}
+
+TEST(Engine, NotifyOneWakesExactlyOne) {
+  Engine eng;
+  WaitChannel ch;
+  int woken = 0;
+  eng.Spawn([&] {
+    eng.GateShared();
+    eng.Wait(ch, TimeCat::kDetermWait);
+    ++woken;
+    eng.GateShared();
+    eng.NotifyOne(ch);  // chain-wake the second waiter
+  });
+  eng.Spawn([&] {
+    eng.AdvanceRaw(1, TimeCat::kChunk);
+    eng.GateShared();
+    eng.Wait(ch, TimeCat::kDetermWait);
+    ++woken;
+  });
+  eng.Spawn([&] {
+    eng.AdvanceRaw(500, TimeCat::kChunk);
+    eng.GateShared();
+    EXPECT_EQ(eng.NotifyOne(ch), 1u);
+  });
+  eng.Run();
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(Engine, SpawnFromFiberInheritsVtime) {
+  Engine eng;
+  u64 child_start_vt = 0;
+  eng.Spawn([&] {
+    eng.AdvanceRaw(777, TimeCat::kChunk);
+    eng.GateShared();
+    eng.Spawn([&] { child_start_vt = eng.Now(); });
+  });
+  eng.Run();
+  EXPECT_EQ(child_start_vt, 777u);
+}
+
+TEST(Engine, CompletionVtimeIsMaxOverThreads) {
+  Engine eng;
+  eng.Spawn([&] { eng.AdvanceRaw(10, TimeCat::kChunk); });
+  eng.Spawn([&] { eng.AdvanceRaw(99, TimeCat::kChunk); });
+  eng.Run();
+  EXPECT_EQ(eng.CompletionVtime(), 99u);
+}
+
+TEST(Engine, JitterIsDeterministicPerSeed) {
+  auto run = [](u64 seed) {
+    SimConfig cfg;
+    cfg.costs.jitter_bp = 500;  // ±5%
+    cfg.costs.jitter_seed = seed;
+    Engine eng(cfg);
+    u64 total = 0;
+    eng.Spawn([&] {
+      for (int i = 0; i < 100; ++i) {
+        total += eng.Charge(1000, TimeCat::kChunk);
+      }
+    });
+    eng.Run();
+    return total;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+  // ±5% of 100 * 1000.
+  EXPECT_NEAR(static_cast<double>(run(3)), 100000.0, 5000.0);
+}
+
+TEST(Engine, NoJitterChargesExactCost) {
+  Engine eng;
+  eng.Spawn([&] { EXPECT_EQ(eng.Charge(123, TimeCat::kChunk), 123u); });
+  eng.Run();
+}
+
+TEST(Engine, TraceDigestIsOrderSensitive) {
+  Engine a;
+  a.Spawn([&] {
+    a.Trace(1, 2, 3, 4);
+    a.Trace(5, 6, 7, 8);
+  });
+  a.Run();
+  Engine b;
+  b.Spawn([&] {
+    b.Trace(5, 6, 7, 8);
+    b.Trace(1, 2, 3, 4);
+  });
+  b.Run();
+  EXPECT_NE(a.TraceDigest(), b.TraceDigest());
+  EXPECT_EQ(a.TraceEvents(), 2u);
+}
+
+TEST(Engine, ManyThreadsInterleaveDeterministically) {
+  auto run = [] {
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i) {
+      eng.Spawn([&, i] {
+        for (int k = 0; k < 8; ++k) {
+          eng.AdvanceRaw(static_cast<u64>((i * 37 + k * 11) % 50 + 1), TimeCat::kChunk);
+          eng.GateShared();
+          order.push_back(i);
+        }
+      });
+    }
+    eng.Run();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EngineDeath, DeadlockIsDetected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Engine eng;
+        WaitChannel ch;
+        eng.Spawn([&] {
+          eng.GateShared();
+          eng.Wait(ch, TimeCat::kDetermWait);  // nobody will ever notify
+        });
+        eng.Run();
+      },
+      "deadlock");
+}
+
+}  // namespace
+}  // namespace csq::sim

@@ -1,0 +1,144 @@
+// Unit tests for src/util: RNG determinism and distribution sanity, hashing,
+// stats accumulators, table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace csq {
+namespace {
+
+TEST(DetRng, SameSeedSameStream) {
+  DetRng a(42);
+  DetRng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(DetRng, DifferentSeedsDiverge) {
+  DetRng a(1);
+  DetRng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(DetRng, BelowRespectsBound) {
+  DetRng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+  EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(DetRng, RangeInclusive) {
+  DetRng rng(9);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 5..8 hit
+}
+
+TEST(DetRng, NextDoubleInUnitInterval) {
+  DetRng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(DetRng, RoughlyUniform) {
+  DetRng rng(11);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.Below(10)];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(b, n / 10, n / 100);
+  }
+}
+
+TEST(Fnv1a, OrderSensitive) {
+  Fnv1a a;
+  a.Mix(u64{1});
+  a.Mix(u64{2});
+  Fnv1a b;
+  b.Mix(u64{2});
+  b.Mix(u64{1});
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(Fnv1a, MatchesBytewise) {
+  const char data[] = "consequence";
+  Fnv1a a;
+  a.MixBytes(data, sizeof(data));
+  EXPECT_EQ(a.Digest(), HashBytes(data, sizeof(data)));
+}
+
+TEST(Fnv1a, EmptyIsOffset) {
+  Fnv1a h;
+  EXPECT_EQ(h.Digest(), Fnv1a::kOffset);
+}
+
+TEST(HashCombine, NotCommutative) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.Count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_NEAR(s.Stddev(), 1.29099, 1e-4);
+}
+
+TEST(SampleSet, MeanDeviationAndPercentiles) {
+  SampleSet s;
+  for (double x : {10.0, 10.0, 10.0, 10.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.MeanDeviationFrac(), 0.0);
+  SampleSet t;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    t.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(t.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(50), 3.0);
+  EXPECT_NEAR(t.MeanDeviationFrac(), 0.4, 1e-9);
+}
+
+TEST(TablePrinter, AlignsAndPrints) {
+  TablePrinter tp({"bench", "value"});
+  tp.AddRow({"histogram", TablePrinter::Fmt(1.25)});
+  tp.AddRow({"lu_ncb", TablePrinter::Fmt(u64{42})});
+  std::ostringstream oss;
+  tp.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("histogram"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csq

@@ -1,0 +1,120 @@
+// Workload-suite tests, parameterized over all 19 benchmarks:
+//   * per-backend determinism (bit-identical repeat runs),
+//   * cross-backend result agreement for race-free workloads,
+//   * jitter invariance under Consequence-IC,
+//   * scaling sanity (more threads => vtime does not explode unboundedly).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/wl/workloads.h"
+
+namespace csq::wl {
+namespace {
+
+rt::RuntimeConfig Cfg(u32 workers, u64 jitter_seed = 0, u32 jitter_bp = 0) {
+  rt::RuntimeConfig cfg;
+  cfg.nthreads = workers;
+  cfg.segment.size_bytes = 8 << 20;
+  cfg.costs.jitter_bp = jitter_bp;
+  cfg.costs.jitter_seed = jitter_seed;
+  return cfg;
+}
+
+rt::RunResult RunWl(const WorkloadInfo& w, rt::Backend b, const rt::RuntimeConfig& cfg,
+                    u32 workers) {
+  WlParams p;
+  p.workers = workers;
+  return rt::MakeRuntime(b, cfg)->Run(Bind(w, p));
+}
+
+class AllWorkloadsTest : public ::testing::TestWithParam<const WorkloadInfo*> {};
+
+TEST_P(AllWorkloadsTest, RepeatRunsAreBitIdenticalOnConsequenceIC) {
+  const WorkloadInfo& w = *GetParam();
+  const rt::RunResult a = RunWl(w, rt::Backend::kConsequenceIC, Cfg(4), 4);
+  const rt::RunResult b = RunWl(w, rt::Backend::kConsequenceIC, Cfg(4), 4);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.vtime, b.vtime);
+}
+
+TEST_P(AllWorkloadsTest, JitterInvariantOnConsequenceIC) {
+  const WorkloadInfo& w = *GetParam();
+  const rt::RunResult a = RunWl(w, rt::Backend::kConsequenceIC, Cfg(4, 1, 500), 4);
+  const rt::RunResult b = RunWl(w, rt::Backend::kConsequenceIC, Cfg(4, 999, 500), 4);
+  EXPECT_EQ(a.checksum, b.checksum) << w.name;
+  EXPECT_EQ(a.trace_digest, b.trace_digest) << w.name;
+}
+
+TEST_P(AllWorkloadsTest, RaceFreeWorkloadsAgreeAcrossBackends) {
+  const WorkloadInfo& w = *GetParam();
+  if (w.racy) {
+    GTEST_SKIP() << w.name << " is intentionally racy";
+  }
+  const u64 pt = RunWl(w, rt::Backend::kPthreads, Cfg(4), 4).checksum;
+  for (rt::Backend b : {rt::Backend::kDThreads, rt::Backend::kDwc, rt::Backend::kConsequenceRR,
+                        rt::Backend::kConsequenceIC}) {
+    EXPECT_EQ(RunWl(w, b, Cfg(4), 4).checksum, pt)
+        << w.name << " on " << rt::BackendName(b);
+  }
+}
+
+TEST_P(AllWorkloadsTest, WorksWithTwoAndEightWorkers) {
+  const WorkloadInfo& w = *GetParam();
+  const rt::RunResult two = RunWl(w, rt::Backend::kConsequenceIC, Cfg(2), 2);
+  const rt::RunResult eight = RunWl(w, rt::Backend::kConsequenceIC, Cfg(8), 8);
+  EXPECT_GT(two.vtime, 0u);
+  EXPECT_GT(eight.vtime, 0u);
+  if (!w.racy) {
+    // Worker count may legally change results only via partitioning of racy
+    // programs; race-free ones must agree when the algorithm is partition-
+    // independent. (All of ours are: reductions are commutative-exact.)
+    EXPECT_EQ(two.checksum, eight.checksum) << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AllWorkloadsTest,
+    ::testing::ValuesIn([] {
+      std::vector<const WorkloadInfo*> ptrs;
+      for (const auto& w : AllWorkloads()) {
+        ptrs.push_back(&w);
+      }
+      return ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const WorkloadInfo*>& info) {
+      return std::string(info.param->name);
+    });
+
+TEST(WorkloadRegistry, Has19NamedWorkloads) {
+  EXPECT_EQ(AllWorkloads().size(), 19u);
+  EXPECT_NE(FindWorkload("ferret"), nullptr);
+  EXPECT_NE(FindWorkload("water_nsquared"), nullptr);
+  EXPECT_EQ(FindWorkload("nope"), nullptr);
+  u32 phoenix = 0, parsec = 0, splash = 0;
+  for (const auto& w : AllWorkloads()) {
+    phoenix += w.suite == "phoenix";
+    parsec += w.suite == "parsec";
+    splash += w.suite == "splash2";
+  }
+  EXPECT_EQ(phoenix, 8u);
+  EXPECT_EQ(parsec, 3u);
+  EXPECT_EQ(splash, 8u);
+}
+
+TEST(WorkloadRegistry, RacyWorkloadsAreStillPerBackendDeterministic) {
+  for (const auto& w : AllWorkloads()) {
+    if (!w.racy) {
+      continue;
+    }
+    for (rt::Backend b : {rt::Backend::kDThreads, rt::Backend::kConsequenceIC}) {
+      const u64 a = RunWl(w, b, Cfg(4, 3, 400), 4).checksum;
+      const u64 c = RunWl(w, b, Cfg(4, 77, 400), 4).checksum;
+      EXPECT_EQ(a, c) << w.name << " on " << rt::BackendName(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csq::wl
