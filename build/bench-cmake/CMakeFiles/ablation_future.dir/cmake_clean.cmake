@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_future"
+  "../bench/ablation_future.pdb"
+  "CMakeFiles/ablation_future.dir/ablation_future.cc.o"
+  "CMakeFiles/ablation_future.dir/ablation_future.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

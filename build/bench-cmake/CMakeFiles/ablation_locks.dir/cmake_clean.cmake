@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_locks"
+  "../bench/ablation_locks.pdb"
+  "CMakeFiles/ablation_locks.dir/ablation_locks.cc.o"
+  "CMakeFiles/ablation_locks.dir/ablation_locks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_overall"
+  "../bench/fig10_overall.pdb"
+  "CMakeFiles/fig10_overall.dir/fig10_overall.cc.o"
+  "CMakeFiles/fig10_overall.dir/fig10_overall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_optimizations"
+  "../bench/fig13_optimizations.pdb"
+  "CMakeFiles/fig13_optimizations.dir/fig13_optimizations.cc.o"
+  "CMakeFiles/fig13_optimizations.dir/fig13_optimizations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_coarsening.cc" "bench-cmake/CMakeFiles/fig14_coarsening.dir/fig14_coarsening.cc.o" "gcc" "bench-cmake/CMakeFiles/fig14_coarsening.dir/fig14_coarsening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/csq_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/csq_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/csq_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/csq_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/csq_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_coarsening"
+  "../bench/fig14_coarsening.pdb"
+  "CMakeFiles/fig14_coarsening.dir/fig14_coarsening.cc.o"
+  "CMakeFiles/fig14_coarsening.dir/fig14_coarsening.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_breakdown"
+  "../bench/fig15_breakdown.pdb"
+  "CMakeFiles/fig15_breakdown.dir/fig15_breakdown.cc.o"
+  "CMakeFiles/fig15_breakdown.dir/fig15_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_lrc"
+  "../bench/fig16_lrc.pdb"
+  "CMakeFiles/fig16_lrc.dir/fig16_lrc.cc.o"
+  "CMakeFiles/fig16_lrc.dir/fig16_lrc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

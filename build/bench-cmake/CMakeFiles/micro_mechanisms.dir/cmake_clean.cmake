@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_mechanisms"
+  "../bench/micro_mechanisms.pdb"
+  "CMakeFiles/micro_mechanisms.dir/micro_mechanisms.cc.o"
+  "CMakeFiles/micro_mechanisms.dir/micro_mechanisms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

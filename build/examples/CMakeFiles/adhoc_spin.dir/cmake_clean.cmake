@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_spin.dir/adhoc_spin.cpp.o"
+  "CMakeFiles/adhoc_spin.dir/adhoc_spin.cpp.o.d"
+  "adhoc_spin"
+  "adhoc_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

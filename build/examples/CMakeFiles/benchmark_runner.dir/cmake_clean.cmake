@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_runner.dir/benchmark_runner.cpp.o"
+  "CMakeFiles/benchmark_runner.dir/benchmark_runner.cpp.o.d"
+  "benchmark_runner"
+  "benchmark_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csq_clock.dir/det_clock.cc.o"
+  "CMakeFiles/csq_clock.dir/det_clock.cc.o.d"
+  "libcsq_clock.a"
+  "libcsq_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csq_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

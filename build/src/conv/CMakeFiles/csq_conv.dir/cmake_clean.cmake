@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csq_conv.dir/segment.cc.o"
+  "CMakeFiles/csq_conv.dir/segment.cc.o.d"
+  "CMakeFiles/csq_conv.dir/workspace.cc.o"
+  "CMakeFiles/csq_conv.dir/workspace.cc.o.d"
+  "libcsq_conv.a"
+  "libcsq_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csq_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csq_harness.dir/harness.cc.o"
+  "CMakeFiles/csq_harness.dir/harness.cc.o.d"
+  "libcsq_harness.a"
+  "libcsq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/api.cc" "src/rt/CMakeFiles/csq_rt.dir/api.cc.o" "gcc" "src/rt/CMakeFiles/csq_rt.dir/api.cc.o.d"
+  "/root/repo/src/rt/det_runtime.cc" "src/rt/CMakeFiles/csq_rt.dir/det_runtime.cc.o" "gcc" "src/rt/CMakeFiles/csq_rt.dir/det_runtime.cc.o.d"
+  "/root/repo/src/rt/pthreads_rt.cc" "src/rt/CMakeFiles/csq_rt.dir/pthreads_rt.cc.o" "gcc" "src/rt/CMakeFiles/csq_rt.dir/pthreads_rt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clock/CMakeFiles/csq_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/csq_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csq_rt.dir/api.cc.o"
+  "CMakeFiles/csq_rt.dir/api.cc.o.d"
+  "CMakeFiles/csq_rt.dir/det_runtime.cc.o"
+  "CMakeFiles/csq_rt.dir/det_runtime.cc.o.d"
+  "CMakeFiles/csq_rt.dir/pthreads_rt.cc.o"
+  "CMakeFiles/csq_rt.dir/pthreads_rt.cc.o.d"
+  "libcsq_rt.a"
+  "libcsq_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csq_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csq_sim.dir/engine.cc.o"
+  "CMakeFiles/csq_sim.dir/engine.cc.o.d"
+  "CMakeFiles/csq_sim.dir/fiber.cc.o"
+  "CMakeFiles/csq_sim.dir/fiber.cc.o.d"
+  "libcsq_sim.a"
+  "libcsq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

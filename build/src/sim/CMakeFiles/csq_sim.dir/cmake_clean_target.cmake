@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsq_sim.a"
+)

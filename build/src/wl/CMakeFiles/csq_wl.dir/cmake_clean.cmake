@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csq_wl.dir/parsec.cc.o"
+  "CMakeFiles/csq_wl.dir/parsec.cc.o.d"
+  "CMakeFiles/csq_wl.dir/phoenix.cc.o"
+  "CMakeFiles/csq_wl.dir/phoenix.cc.o.d"
+  "CMakeFiles/csq_wl.dir/registry.cc.o"
+  "CMakeFiles/csq_wl.dir/registry.cc.o.d"
+  "CMakeFiles/csq_wl.dir/splash.cc.o"
+  "CMakeFiles/csq_wl.dir/splash.cc.o.d"
+  "libcsq_wl.a"
+  "libcsq_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csq_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

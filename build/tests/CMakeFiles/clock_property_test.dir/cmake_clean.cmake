@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_property_test.dir/clock_property_test.cc.o"
+  "CMakeFiles/clock_property_test.dir/clock_property_test.cc.o.d"
+  "clock_property_test"
+  "clock_property_test.pdb"
+  "clock_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_property_test.dir/conv_property_test.cc.o"
+  "CMakeFiles/conv_property_test.dir/conv_property_test.cc.o.d"
+  "conv_property_test"
+  "conv_property_test.pdb"
+  "conv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwlock_async_test.dir/rwlock_async_test.cc.o"
+  "CMakeFiles/rwlock_async_test.dir/rwlock_async_test.cc.o.d"
+  "rwlock_async_test"
+  "rwlock_async_test.pdb"
+  "rwlock_async_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwlock_async_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
