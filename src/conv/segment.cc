@@ -1,7 +1,6 @@
 #include "src/conv/segment.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "src/conv/workspace.h"
 
@@ -13,7 +12,7 @@ struct CountedDeleter {
   Segment* seg;
   void operator()(const PageBuf* p) const {
     seg->NotePageFree();
-    delete p;
+    seg->RecyclePageBuf(p);
   }
 };
 
@@ -25,6 +24,7 @@ Segment::Segment(sim::Engine& eng, SegmentConfig cfg)
   CSQ_CHECK(cfg.size_bytes % cfg.page_size == 0);
   chains_.resize(page_count_);
   page_reserved_tail_.resize(page_count_, 0);
+  by_version_.emplace_back();  // version 0: the all-zero baseline, no pages
   NotePageAlloc();
   zero_page_ = PageRef(new PageBuf(cfg_.page_size, 0), CountedDeleter{this});
 }
@@ -70,6 +70,15 @@ PreparedCommit Segment::PrepareCommit(u32 tid, std::vector<u32> pages) {
     pc.prev_versions.push_back(page_reserved_tail_[page]);
     page_reserved_tail_[page] = pc.version;
   }
+  // Append this version to the changed-page index. Versions are reserved
+  // sequentially under the token, so the index grows by exactly one entry.
+  CSQ_CHECK(by_version_.size() == pc.version);
+  VersionInfo vi;
+  vi.pages = pc.pages;
+  vi.sorted_prevs = pc.prev_versions;
+  std::sort(vi.sorted_prevs.begin(), vi.sorted_prevs.end());
+  vi.cum_revs = by_version_.back().cum_revs + pc.pages.size();
+  by_version_.push_back(std::move(vi));
   return pc;
 }
 
@@ -94,10 +103,6 @@ void Segment::FinishCommit(
   }
   // Mark this version complete and advance the contiguous-prefix watermark.
   eng_.GateShared();
-  while (pages_by_version_.size() <= pc.version) {
-    pages_by_version_.emplace_back();
-  }
-  pages_by_version_[pc.version] = pc.pages;
   installed_ahead_.insert(pc.version);
   while (!installed_ahead_.empty() && *installed_ahead_.begin() == installed_upto_ + 1) {
     ++installed_upto_;
@@ -126,11 +131,36 @@ void Segment::InstallRev(u32 page, u64 version, PageRef data) {
 }
 
 usize Segment::DistinctPagesChanged(u64 from, u64 to) const {
-  std::unordered_set<u32> pages;
-  for (u64 v = from + 1; v <= to && v < pages_by_version_.size(); ++v) {
-    pages.insert(pages_by_version_[v].begin(), pages_by_version_[v].end());
+  // A page is counted once, at its first touch in (from, to]: version v
+  // touching page p is p's first touch iff p's predecessor version is <= from.
+  // Callers only query fully installed prefixes, for which every version in
+  // range has an index entry (appended in phase one).
+  usize count = 0;
+  const u64 hi = std::min<u64>(to, by_version_.size() - 1);
+  for (u64 v = from + 1; v <= hi; ++v) {
+    const std::vector<u64>& prevs = by_version_[v].sorted_prevs;
+    count += static_cast<usize>(
+        std::upper_bound(prevs.begin(), prevs.end(), from) - prevs.begin());
   }
-  return pages.size();
+  return count;
+}
+
+u64 Segment::RevisionsInRange(u64 from, u64 to) const {
+  const u64 last = by_version_.size() - 1;
+  const u64 hi = std::min(to, last);
+  const u64 lo = std::min(from, last);
+  if (hi <= lo) {
+    return 0;
+  }
+  return by_version_[hi].cum_revs - by_version_[lo].cum_revs;
+}
+
+const std::vector<u32>& Segment::PagesOfVersion(u64 version) const {
+  static const std::vector<u32> kEmpty;
+  if (version >= by_version_.size()) {
+    return kEmpty;
+  }
+  return by_version_[version].pages;
 }
 
 void Segment::WaitInstalled(u64 version) {
@@ -151,8 +181,17 @@ usize Segment::Gc(u32 nthreads_for_amortization) {
       cfg_.multithreaded_gc ? static_cast<usize>(-1) : cfg_.gc_budget_per_call;
   usize reclaimed = 0;
   const u32 n = page_count_;
+  // Advance the cursor past every fully scanned page so the next budgeted
+  // call resumes where this one stopped instead of rescanning the same
+  // prefix. A page whose garbage was only partially dropped (budget ran out
+  // mid-chain) is where the next call must resume. Note the per-call
+  // reclaimed count is min(budget, total garbage) no matter where the scan
+  // starts — the scan wraps the whole range — so GC charges (and hence
+  // virtual time) are independent of the cursor.
+  u32 advance = 0;
   for (u32 i = 0; i < n && reclaimed < budget; ++i) {
     const u32 page = (gc_cursor_ + i) % n;
+    advance = i + 1;
     auto& chain = chains_[page];
     if (chain.size() < 2) {
       continue;
@@ -170,9 +209,12 @@ usize Segment::Gc(u32 nthreads_for_amortization) {
       chain.erase(chain.begin(), chain.begin() + static_cast<i64>(drop));
       reclaimed += drop;
       stats_.live_page_bytes -= drop * cfg_.page_size;
+      if (drop < keep_from) {
+        advance = i;  // leftover garbage here: resume on this page
+      }
     }
   }
-  gc_cursor_ = (gc_cursor_ + 1) % n;
+  gc_cursor_ = (gc_cursor_ + advance) % n;
   stats_.gc_reclaimed_pages += reclaimed;
   if (reclaimed > 0) {
     const u64 cost = eng_.Costs().gc_per_page * reclaimed /
@@ -206,6 +248,33 @@ void Segment::NotePageAlloc() {
 void Segment::NotePageFree() {
   CSQ_CHECK(stats_.cur_total_page_bytes >= cfg_.page_size);
   stats_.cur_total_page_bytes -= cfg_.page_size;
+}
+
+std::unique_ptr<PageBuf> Segment::AcquireCopyOf(const PageBuf& src, bool* from_pool) {
+  if (!pool_.empty()) {
+    std::unique_ptr<PageBuf> buf = std::move(pool_.back());
+    pool_.pop_back();
+    *buf = src;  // vector assignment reuses the existing capacity
+    if (from_pool) {
+      *from_pool = true;
+    }
+    return buf;
+  }
+  if (from_pool) {
+    *from_pool = false;
+  }
+  return std::make_unique<PageBuf>(src);
+}
+
+void Segment::ReleasePageBuf(std::unique_ptr<PageBuf> buf) {
+  if (!buf || pool_.size() >= kMaxPooledBufs) {
+    return;  // pool full: let the host allocator take it
+  }
+  pool_.push_back(std::move(buf));
+}
+
+void Segment::RecyclePageBuf(const PageBuf* buf) {
+  ReleasePageBuf(std::unique_ptr<PageBuf>(const_cast<PageBuf*>(buf)));
 }
 
 }  // namespace csq::conv

@@ -109,7 +109,20 @@ class Segment {
 
   // Number of DISTINCT pages with at least one new revision in versions
   // (from, to] — what an update propagates into a thread's view (Fig 16).
+  //
+  // Answered from the incremental changed-page index: phase one records, per
+  // version, the sorted list of predecessor versions of its pages. A page's
+  // FIRST touch inside (from, to] is exactly a (version, page) pair whose
+  // predecessor is <= from, so the distinct count is one binary search per
+  // version in the range — no hash-set rebuild.
   usize DistinctPagesChanged(u64 from, u64 to) const;
+
+  // Total page-revisions committed in versions (from, to] (with multiplicity).
+  // O(1) from the per-version cumulative revision counts.
+  u64 RevisionsInRange(u64 from, u64 to) const;
+
+  // Pages of one reserved version (empty for version 0 / never-reserved).
+  const std::vector<u32>& PagesOfVersion(u64 version) const;
 
   // Number of pages that have at least one committed revision (the child
   // page-table population that makes fork expensive, §3.3).
@@ -163,6 +176,21 @@ class Segment {
   void NotePageAlloc();
   void NotePageFree();
 
+  // --- Page-buffer pool ------------------------------------------------------
+  // CoW faults, rebases, merges and commits all need a fresh page_size buffer;
+  // the pool recycles retired buffers (dropped workspace copies, GC'd
+  // revisions) so the hot paths stop round-tripping the host allocator. The
+  // pool is invisible to the simulation: NotePageAlloc/NotePageFree call sites
+  // are unchanged, so the virtual-time and memory figures are identical.
+
+  // Returns a writable buffer holding a copy of `src`. Sets *from_pool to
+  // whether the buffer was recycled (for the workspace's pool_reuses counter).
+  std::unique_ptr<PageBuf> AcquireCopyOf(const PageBuf& src, bool* from_pool = nullptr);
+  // Returns a retired buffer to the pool (or frees it if the pool is full).
+  void ReleasePageBuf(std::unique_ptr<PageBuf> buf);
+  // Deleter-path variant: takes ownership of a raw committed-revision buffer.
+  void RecyclePageBuf(const PageBuf* buf);
+
   // Conflict-merge accounting (called by workspaces when they byte-merge).
   void NoteMerge(usize bytes) {
     ++stats_.pages_merged;
@@ -173,6 +201,18 @@ class Segment {
   const PageRef& ZeroPage() const { return zero_page_; }
 
  private:
+  // Per-version entry of the changed-page index, appended by phase one
+  // (PrepareCommit), so the index is maintained incrementally under the token.
+  struct VersionInfo {
+    std::vector<u32> pages;        // pages reserved by this version (sorted)
+    std::vector<u64> sorted_prevs; // per page: predecessor version, sorted
+    u64 cum_revs = 0;              // total page-revisions in versions <= this
+  };
+
+  // Upper bound on pooled buffers (4 MiB of 4 KiB pages); beyond this,
+  // retired buffers go back to the host allocator.
+  static constexpr usize kMaxPooledBufs = 1024;
+
   void InstallRev(u32 page, u64 version, PageRef data);
 
   sim::Engine& eng_;
@@ -183,13 +223,16 @@ class Segment {
   std::set<u64> installed_ahead_;   // out-of-order completions > installed_upto_
   u32 gc_cursor_ = 0;
   u32 populated_pages_ = 0;
+  // stats_ and pool_ are declared before chains_/zero_page_ so they outlive
+  // the committed revisions, whose deleters recycle buffers into the pool.
+  SegmentStats stats_;
+  std::vector<std::unique_ptr<PageBuf>> pool_;  // retired page buffers
   std::vector<u64> page_reserved_tail_;  // per page: last reserved version
   std::vector<std::vector<PageRev>> chains_;
-  std::vector<std::vector<u32>> pages_by_version_;  // index: version number
+  std::vector<VersionInfo> by_version_;  // index: version number (0 = baseline)
   std::vector<Workspace*> workspaces_;
   PageRef zero_page_;
   CommitObserver observer_;
-  SegmentStats stats_;
   sim::WaitChannel install_order_;  // FinishCommit version-ordering
 };
 

@@ -1,13 +1,20 @@
 #include "src/conv/workspace.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace csq::conv {
 
 using sim::TimeCat;
 
 Workspace::Workspace(Segment& seg, u32 tid)
-    : seg_(seg), eng_(seg.Eng()), tid_(tid), snapshot_(seg.CommittedVersion()) {
+    : seg_(seg),
+      eng_(seg.Eng()),
+      tid_(tid),
+      page_shift_(static_cast<u32>(std::countr_zero(seg.PageSize()))),
+      page_mask_(seg.PageSize() - 1),
+      size_bytes_(seg.SizeBytes()),
+      snapshot_(seg.CommittedVersion()) {
   seg_.RegisterWorkspace(this);
 }
 
@@ -17,45 +24,56 @@ Workspace::~Workspace() {
 }
 
 Workspace::LocalPage& Workspace::TouchPage(u32 page) {
+  TlbEntry& e = tlb_[page & (kTlbSize - 1)];
+  if (e.lp != nullptr && e.page == page) {
+    ++stats_.tlb_hits;
+    return *e.lp;
+  }
+  ++stats_.tlb_misses;
   auto it = pages_.find(page);
-  if (it != pages_.end()) {
-    return it->second;
+  if (it == pages_.end()) {
+    LocalPage lp;
+    const PageRev rev = seg_.FetchRev(page, snapshot_);
+    if (rev.data) {
+      lp.twin = rev.data;
+      lp.base_version = rev.version;
+    } else {
+      lp.twin = seg_.ZeroPage();
+      lp.base_version = 0;
+    }
+    eng_.Charge(eng_.Costs().page_fetch, TimeCat::kFault);
+    ++stats_.pages_fetched;
+    it = pages_.emplace(page, std::move(lp)).first;
+    cached_sorted_.insert(
+        std::lower_bound(cached_sorted_.begin(), cached_sorted_.end(), page), page);
   }
-  LocalPage lp;
-  const PageRev rev = seg_.FetchRev(page, snapshot_);
-  if (rev.data) {
-    lp.twin = rev.data;
-    lp.base_version = rev.version;
-  } else {
-    lp.twin = seg_.ZeroPage();
-    lp.base_version = 0;
-  }
-  eng_.Charge(eng_.Costs().page_fetch, TimeCat::kFault);
-  ++stats_.pages_fetched;
-  return pages_.emplace(page, std::move(lp)).first->second;
+  e.page = page;
+  e.lp = &it->second;
+  return it->second;
 }
 
-PageBuf& Workspace::WritablePage(u32 page) {
+Workspace::LocalPage& Workspace::WritableLocal(u32 page) {
   LocalPage& lp = TouchPage(page);
   if (!lp.local) {
     seg_.NotePageAlloc();
-    lp.local = CopyPage(*lp.twin);
+    bool pooled = false;
+    lp.local = seg_.AcquireCopyOf(*lp.twin, &pooled);
+    stats_.pool_reuses += pooled ? 1 : 0;
+    lp.dirty_words.Reset(lp.local->size());
     eng_.Charge(eng_.Costs().page_fault, TimeCat::kFault);
     ++stats_.cow_faults;
     dirty_.push_back(page);
   }
-  return *lp.local;
+  return lp;
 }
 
-void Workspace::LoadBytes(u64 addr, void* out, usize n) {
-  CSQ_CHECK_MSG(addr + n <= seg_.SizeBytes(), "load out of segment bounds");
-  const u32 ps = seg_.PageSize();
+void Workspace::LoadBytesSlow(u64 addr, void* out, usize n) {
   eng_.Charge(std::max<u64>(1, n / 8) * eng_.Costs().mem_op, TimeCat::kChunk);
   auto* dst = static_cast<u8*>(out);
   while (n > 0) {
-    const u32 page = static_cast<u32>(addr / ps);
-    const u32 off = static_cast<u32>(addr % ps);
-    const usize chunk = std::min<usize>(n, ps - off);
+    const u32 page = static_cast<u32>(addr >> page_shift_);
+    const u32 off = static_cast<u32>(addr) & page_mask_;
+    const usize chunk = std::min<usize>(n, static_cast<usize>(page_mask_) + 1 - off);
     const LocalPage& lp = TouchPage(page);
     const PageBuf& src = lp.local ? *lp.local : *lp.twin;
     std::copy_n(src.data() + off, chunk, dst);
@@ -66,17 +84,16 @@ void Workspace::LoadBytes(u64 addr, void* out, usize n) {
   ++stats_.loads;
 }
 
-void Workspace::StoreBytes(u64 addr, const void* in, usize n) {
-  CSQ_CHECK_MSG(addr + n <= seg_.SizeBytes(), "store out of segment bounds");
-  const u32 ps = seg_.PageSize();
+void Workspace::StoreBytesSlow(u64 addr, const void* in, usize n) {
   eng_.Charge(std::max<u64>(1, n / 8) * eng_.Costs().mem_op, TimeCat::kChunk);
   const auto* src = static_cast<const u8*>(in);
   while (n > 0) {
-    const u32 page = static_cast<u32>(addr / ps);
-    const u32 off = static_cast<u32>(addr % ps);
-    const usize chunk = std::min<usize>(n, ps - off);
-    PageBuf& dst = WritablePage(page);
-    std::copy_n(src, chunk, dst.data() + off);
+    const u32 page = static_cast<u32>(addr >> page_shift_);
+    const u32 off = static_cast<u32>(addr) & page_mask_;
+    const usize chunk = std::min<usize>(n, static_cast<usize>(page_mask_) + 1 - off);
+    LocalPage& lp = WritableLocal(page);
+    lp.dirty_words.MarkRange(off, chunk);
+    std::copy_n(src, chunk, lp.local->data() + off);
     src += chunk;
     addr += chunk;
     n -= chunk;
@@ -88,19 +105,24 @@ std::unique_ptr<PageBuf> Workspace::ResolvePage(u32 page, const PageRef& prev) {
   const LocalPage& lp = pages_.at(page);
   CSQ_CHECK_MSG(lp.local != nullptr, "resolving a non-dirty page");
   seg_.NotePageAlloc();
+  bool pooled = false;
   if ((prev == nullptr && lp.base_version == 0) ||
       (prev != nullptr && prev.get() == lp.twin.get())) {
     // Fast path: nobody committed this page since our twin; publish our copy.
+    auto out = seg_.AcquireCopyOf(*lp.local, &pooled);
+    stats_.pool_reuses += pooled ? 1 : 0;
     eng_.Charge(eng_.Costs().commit_per_page, TimeCat::kCommit);
-    return CopyPage(*lp.local);
+    return out;
   }
-  // Conflict: byte-merge our changes (vs. twin) onto the previous revision.
-  auto merged = CopyPage(prev ? *prev : *seg_.ZeroPage());
-  const usize bytes = MergeInto(*merged, *lp.local, *lp.twin);
+  // Conflict: merge our changed words (vs. twin) onto the previous revision.
+  auto merged = seg_.AcquireCopyOf(prev ? *prev : *seg_.ZeroPage(), &pooled);
+  stats_.pool_reuses += pooled ? 1 : 0;
+  const MergeResult mr = MergeIntoWords(*merged, *lp.local, *lp.twin, lp.dirty_words);
+  stats_.words_merged += mr.words;
   eng_.Charge(eng_.Costs().page_diff + eng_.Costs().page_merge + eng_.Costs().commit_per_page,
               TimeCat::kCommit);
   ++stats_.pages_merged;
-  seg_.NoteMerge(bytes);
+  seg_.NoteMerge(mr.bytes);
   return merged;
 }
 
@@ -129,12 +151,17 @@ void Workspace::FinishTwoPhase(const PreparedCommit& pc) {
   dirty_.clear();
 }
 
+void Workspace::ReleaseLocal(LocalPage& lp) {
+  seg_.NotePageFree();
+  seg_.ReleasePageBuf(std::move(lp.local));
+  lp.dirty_words.Clear();
+}
+
 void Workspace::AfterCommitRefresh(const PreparedCommit& pc) {
   for (u32 page : pc.pages) {
     LocalPage& lp = pages_.at(page);
     if (lp.local) {
-      seg_.NotePageFree();
-      lp.local.reset();
+      ReleaseLocal(lp);
     }
     const PageRev rev = seg_.FetchRev(page, pc.version);
     CSQ_CHECK(rev.data != nullptr && rev.version == pc.version);
@@ -154,6 +181,36 @@ u64 Workspace::Update() {
   return UpdateTo(seg_.ReservedVersion());
 }
 
+void Workspace::RefreshPage(u32 page, LocalPage& lp, u64 target) {
+  const PageRev rev = seg_.FetchRev(page, target);
+  if (rev.version <= lp.base_version) {
+    return;
+  }
+  CSQ_CHECK(rev.data != nullptr);
+  if (lp.local) {
+    // Rebase: remote bytes come in underneath, our pending stores stay on
+    // top (TSO store-buffer semantics). Only our dirty words can differ from
+    // the twin, so the bitmap merge rewrites exactly the bytes the reference
+    // byte loop would.
+    seg_.NotePageAlloc();
+    bool pooled = false;
+    auto rebased = seg_.AcquireCopyOf(*rev.data, &pooled);
+    stats_.pool_reuses += pooled ? 1 : 0;
+    const MergeResult mr = MergeIntoWords(*rebased, *lp.local, *lp.twin, lp.dirty_words);
+    stats_.words_merged += mr.words;
+    seg_.NotePageFree();
+    seg_.ReleasePageBuf(std::move(lp.local));
+    lp.local = std::move(rebased);
+    eng_.Charge(eng_.Costs().page_fetch + eng_.Costs().page_diff + eng_.Costs().page_merge,
+                TimeCat::kCommit);
+    ++stats_.pages_merged;
+  } else {
+    eng_.Charge(eng_.Costs().page_fetch, TimeCat::kCommit);
+  }
+  lp.twin = rev.data;
+  lp.base_version = rev.version;
+}
+
 u64 Workspace::UpdateTo(u64 target) {
   seg_.WaitInstalled(target);
   eng_.Charge(eng_.Costs().update_fixed, TimeCat::kCommit);
@@ -170,29 +227,33 @@ u64 Workspace::UpdateTo(u64 target) {
     ++stats_.updates;
     return target;
   }
-  for (u32 page : SortedCachedPages()) {
-    LocalPage& lp = pages_.at(page);
-    const PageRev rev = seg_.FetchRev(page, target);
-    if (rev.version <= lp.base_version) {
-      continue;
-    }
-    CSQ_CHECK(rev.data != nullptr);
-    if (lp.local) {
-      // Rebase: remote bytes come in underneath, our pending stores stay on
-      // top (TSO store-buffer semantics).
-      seg_.NotePageAlloc();
-      auto rebased = CopyPage(*rev.data);
-      MergeInto(*rebased, *lp.local, *lp.twin);
-      seg_.NotePageFree();
-      lp.local = std::move(rebased);
-      eng_.Charge(eng_.Costs().page_fetch + eng_.Costs().page_diff + eng_.Costs().page_merge,
-                  TimeCat::kCommit);
-      ++stats_.pages_merged;
+  if (target > snapshot_ && !pages_.empty()) {
+    // A cached page needs a refresh iff it changed in (snapshot, target]
+    // (TouchPage and previous updates keep base_version current as of the
+    // snapshot). Enumerate whichever is smaller: the changed pages (via the
+    // changed-page index) or the cached set. Both paths visit the refreshed
+    // pages in ascending page order, so the Charge() sequence — and with it
+    // every jittered virtual-time draw — is identical to the reference scan.
+    if (seg_.RevisionsInRange(snapshot_, target) < pages_.size()) {
+      update_scratch_.clear();
+      for (u64 v = snapshot_ + 1; v <= target; ++v) {
+        for (u32 page : seg_.PagesOfVersion(v)) {
+          if (pages_.find(page) != pages_.end()) {
+            update_scratch_.push_back(page);
+          }
+        }
+      }
+      std::sort(update_scratch_.begin(), update_scratch_.end());
+      update_scratch_.erase(std::unique(update_scratch_.begin(), update_scratch_.end()),
+                            update_scratch_.end());
+      for (u32 page : update_scratch_) {
+        RefreshPage(page, pages_.at(page), target);
+      }
     } else {
-      eng_.Charge(eng_.Costs().page_fetch, TimeCat::kCommit);
+      for (u32 page : cached_sorted_) {
+        RefreshPage(page, pages_.at(page), target);
+      }
     }
-    lp.twin = rev.data;
-    lp.base_version = rev.version;
   }
   snapshot_ = target;
   ++stats_.updates;
@@ -207,21 +268,14 @@ u64 Workspace::CommitAndUpdate() {
 void Workspace::Discard() {
   for (auto& [page, lp] : pages_) {
     if (lp.local) {
-      seg_.NotePageFree();
+      ReleaseLocal(lp);
     }
   }
   pages_.clear();
   dirty_.clear();
-}
-
-std::vector<u32> Workspace::SortedCachedPages() const {
-  std::vector<u32> keys;
-  keys.reserve(pages_.size());
-  for (const auto& [page, lp] : pages_) {
-    keys.push_back(page);
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
+  cached_sorted_.clear();
+  last_commit_pages_.clear();
+  tlb_.fill(TlbEntry{});
 }
 
 }  // namespace csq::conv

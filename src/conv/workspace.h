@@ -13,8 +13,18 @@
 // diffs, merges and commit/update work charge their cost-model entries, so the
 // virtual-time figures reflect Conversion overheads the way the paper's
 // Figure 15 breakdown does.
+//
+// Fast-path substrate (host-time only; see DESIGN.md "Fast-path memory
+// substrate"): a direct-mapped page-translation cache (TLB) resolves repeat
+// page touches without hashing; stores mark per-page dirty-word bitmaps so
+// merges diff only touched 8-byte words; page buffers come from the segment's
+// pool; updates enumerate only the pages that actually changed via the
+// segment's changed-page index. None of these change any Charge() call — the
+// virtual-time metrics and committed bytes are bit-identical to the reference
+// paths.
 #pragma once
 
+#include <array>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +44,11 @@ struct WorkspaceStats {
   u64 updates = 0;
   u64 pages_committed = 0;
   u64 pages_merged = 0;      // conflicts this workspace had to byte-merge
+  // Fast-path observability (host-time optimizations; no virtual-time effect).
+  u64 tlb_hits = 0;          // page touches resolved by the translation cache
+  u64 tlb_misses = 0;        // page touches that fell back to the hash map
+  u64 words_merged = 0;      // 8-byte words applied by the bitmap merge paths
+  u64 pool_reuses = 0;       // page buffers served from the segment pool
 };
 
 class Workspace {
@@ -75,8 +90,41 @@ class Workspace {
     StoreBytes(addr, &v, sizeof(T));
   }
 
-  void LoadBytes(u64 addr, void* out, usize n);
-  void StoreBytes(u64 addr, const void* in, usize n);
+  // The single-page TLB-hit cases are inlined here — they are the hottest
+  // operations in any workload. The slow paths (cold page, CoW fault, page
+  // straddle) carry the full logic; charges are identical either way.
+  void LoadBytes(u64 addr, void* out, usize n) {
+    CSQ_CHECK_MSG(addr + n <= size_bytes_, "load out of segment bounds");
+    const u32 page = static_cast<u32>(addr >> page_shift_);
+    const u32 off = static_cast<u32>(addr) & page_mask_;
+    const TlbEntry& e = tlb_[page & (kTlbSize - 1)];
+    if (e.lp != nullptr && e.page == page && off + n <= static_cast<usize>(page_mask_) + 1) {
+      ++stats_.tlb_hits;
+      eng_.Charge(std::max<u64>(1, n / 8) * eng_.Costs().mem_op, sim::TimeCat::kChunk);
+      const PageBuf& src = e.lp->local ? *e.lp->local : *e.lp->twin;
+      std::memcpy(out, src.data() + off, n);
+      ++stats_.loads;
+      return;
+    }
+    LoadBytesSlow(addr, out, n);
+  }
+
+  void StoreBytes(u64 addr, const void* in, usize n) {
+    CSQ_CHECK_MSG(addr + n <= size_bytes_, "store out of segment bounds");
+    const u32 page = static_cast<u32>(addr >> page_shift_);
+    const u32 off = static_cast<u32>(addr) & page_mask_;
+    const TlbEntry& e = tlb_[page & (kTlbSize - 1)];
+    if (e.lp != nullptr && e.page == page && e.lp->local != nullptr &&
+        off + n <= static_cast<usize>(page_mask_) + 1) {
+      ++stats_.tlb_hits;
+      eng_.Charge(std::max<u64>(1, n / 8) * eng_.Costs().mem_op, sim::TimeCat::kChunk);
+      e.lp->dirty_words.MarkRange(off, n);
+      std::memcpy(e.lp->local->data() + off, in, n);
+      ++stats_.stores;
+      return;
+    }
+    StoreBytesSlow(addr, in, n);
+  }
 
   // ---- Consistency operations ---------------------------------------------
   // All three must be called while the caller holds the deterministic token
@@ -117,22 +165,47 @@ class Workspace {
     PageRef twin;                    // content this thread based its copy on
     std::unique_ptr<PageBuf> local;  // writable copy; null until first store
     u64 base_version = 0;            // committed version the twin came from
+    // Words our stores touched since `local` was based on `twin`. Invariant:
+    // every byte where *local differs from *twin lies in a marked word (the
+    // bitmap survives rebases: a rebase only rewrites bytes inside marked
+    // words, onto a new twin).
+    DirtyWords dirty_words;
   };
 
+  // Direct-mapped page-translation cache in front of pages_: the common
+  // sequential access pattern resolves a repeat page touch with one compare
+  // instead of a hash-map lookup. Entries point at pages_ values
+  // (std::unordered_map node storage — stable across inserts); Discard()
+  // resets the cache when the map is cleared.
+  static constexpr u32 kTlbSize = 64;  // power of two
+  struct TlbEntry {
+    u32 page = 0;
+    LocalPage* lp = nullptr;  // nullptr = invalid entry
+  };
+
+  void LoadBytesSlow(u64 addr, void* out, usize n);
+  void StoreBytesSlow(u64 addr, const void* in, usize n);
   LocalPage& TouchPage(u32 page);
-  PageBuf& WritablePage(u32 page);
+  LocalPage& WritableLocal(u32 page);
   std::unique_ptr<PageBuf> ResolvePage(u32 page, const PageRef& prev);
   void AfterCommitRefresh(const PreparedCommit& pc);
-  std::vector<u32> SortedCachedPages() const;
+  void ReleaseLocal(LocalPage& lp);
+  void RefreshPage(u32 page, LocalPage& lp, u64 target);
 
   Segment& seg_;
   sim::Engine& eng_;
   u32 tid_;
+  u32 page_shift_;  // log2(page size): hot paths use shift/mask, not division
+  u32 page_mask_;   // page size - 1
+  u64 size_bytes_;  // segment size (cached: bounds check without pointer chase)
   bool discard_on_update_ = false;
   bool gc_exempt_ = false;
   u64 snapshot_ = 0;
   std::unordered_map<u32, LocalPage> pages_;
-  std::vector<u32> dirty_;  // unsorted; sorted & deduped at commit
+  std::array<TlbEntry, kTlbSize> tlb_{};
+  std::vector<u32> dirty_;          // unsorted; sorted & deduped at commit
+  std::vector<u32> cached_sorted_;  // cached page ids, ascending (incremental)
+  std::vector<u32> update_scratch_; // reusable buffer for UpdateTo
   std::vector<u32> last_commit_pages_;
   WorkspaceStats stats_;
 };

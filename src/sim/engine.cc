@@ -34,9 +34,11 @@ void Engine::Run() {
       break;
     }
     current_ = next;
+    cur_thread_ = threads_[next].get();
     threads_[next]->state = SimThreadState::kRunning;
     threads_[next]->fiber->SwitchInto(&main_ctx_);
     current_ = kInvalidThread;
+    cur_thread_ = nullptr;
   }
   for (const auto& t : threads_) {
     CSQ_CHECK_MSG(t->state == SimThreadState::kFinished,
@@ -45,24 +47,6 @@ void Engine::Run() {
                                                  << t->vtime);
   }
   running_ = false;
-}
-
-ThreadId Engine::Self() const {
-  CSQ_CHECK_MSG(current_ != kInvalidThread, "in-fiber API called outside a fiber");
-  return current_;
-}
-
-void Engine::AdvanceRaw(u64 cycles, TimeCat cat) {
-  SimThread& t = Cur();
-  t.vtime += cycles;
-  t.cat[static_cast<usize>(cat)] += cycles;
-}
-
-u64 Engine::Charge(u64 cost, TimeCat cat) {
-  SimThread& t = Cur();
-  const u64 jittered = cfg_.costs.Jitter(t.jitter, cost);
-  AdvanceRaw(jittered, cat);
-  return jittered;
 }
 
 bool Engine::IsMinRunnable(ThreadId me) const {

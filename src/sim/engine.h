@@ -80,17 +80,30 @@ class Engine {
 
   // ---- In-fiber API --------------------------------------------------------
 
-  ThreadId Self() const;
+  ThreadId Self() const {
+    CSQ_CHECK_MSG(current_ != kInvalidThread, "in-fiber API called outside a fiber");
+    return current_;
+  }
 
   // Current thread's virtual time.
   u64 Now() const { return threads_[Self()]->vtime; }
 
-  // Advances the current thread's clock by a pre-jittered amount.
-  void AdvanceRaw(u64 cycles, TimeCat cat);
+  // Advances the current thread's clock by a pre-jittered amount. Inline:
+  // this is the hottest call in the simulation (one per workspace access).
+  void AdvanceRaw(u64 cycles, TimeCat cat) {
+    SimThread& t = Cur();
+    t.vtime += cycles;
+    t.cat[static_cast<usize>(cat)] += cycles;
+  }
 
   // Applies cost-model jitter to `cost`, advances the clock, returns the
   // jittered amount.
-  u64 Charge(u64 cost, TimeCat cat);
+  u64 Charge(u64 cost, TimeCat cat) {
+    SimThread& t = Cur();
+    const u64 jittered = cfg_.costs.Jitter(t.jitter, cost);
+    AdvanceRaw(jittered, cat);
+    return jittered;
+  }
 
   // Blocks until the current thread is the minimum-(vtime, tid) runnable
   // thread. All shared-state operations (in the engine and in the layers above)
@@ -151,11 +164,15 @@ class Engine {
   bool IsMinRunnable(ThreadId t) const;
   ThreadId PickNext() const;
   void SwitchToScheduler();
-  SimThread& Cur() { return *threads_[Self()]; }
+  SimThread& Cur() {
+    CSQ_CHECK_MSG(cur_thread_ != nullptr, "in-fiber API called outside a fiber");
+    return *cur_thread_;
+  }
 
   SimConfig cfg_;
   std::deque<std::unique_ptr<SimThread>> threads_;
   ThreadId current_ = kInvalidThread;
+  SimThread* cur_thread_ = nullptr;  // threads_[current_].get(); single-load Cur()
   bool running_ = false;
   ucontext_t main_ctx_{};
   Fnv1a trace_;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -9,6 +10,31 @@
 #include "src/util/types.h"
 
 namespace csq {
+
+// Hit fraction of a hit/miss counter pair (e.g. the workspace
+// page-translation cache); 0 when there were no lookups.
+inline double HitRate(u64 hits, u64 misses) {
+  const u64 total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+// Wall-clock stopwatch for host-time microbenchmarks (bench/micro_*). This
+// measures real elapsed time, not simulated virtual time — the substrate's
+// virtual-time metrics must never depend on it.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedNs() const {
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Running min/max/mean/stddev over double samples.
 class RunningStats {

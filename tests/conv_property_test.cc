@@ -7,6 +7,8 @@
 // thread counts, page sizes and operation mixes (parameterized gtest).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -176,6 +178,63 @@ TEST_P(ConvProperty, GcPreservesObservableState) {
       EXPECT_EQ(seen[key], digest) << "budget " << budget;
     } else {
       seen[key] = digest;
+    }
+  }
+}
+
+// The word-granularity merge fast path must be byte-identical to the
+// reference byte loop whenever its precondition holds (every byte where mine
+// differs from twin lies in a marked word). Random page sizes (including
+// non-multiples of 8, exercising the short tail word), random contents, and
+// marked-but-unchanged words (stores that rewrote the twin's value) all have
+// to produce the same merged bytes and the same applied-byte count.
+TEST(MergeWords, MatchesReferenceByteLoop) {
+  DetRng rng(0xfeedface);
+  const usize kSizes[] = {8, 24, 64, 100, 129, 513, 1000, 4096};
+  for (usize sz : kSizes) {
+    for (u32 iter = 0; iter < 300; ++iter) {
+      PageBuf twin(sz), base(sz);
+      for (usize i = 0; i < sz; ++i) {
+        twin[i] = static_cast<u8>(rng.Next());
+        base[i] = static_cast<u8>(rng.Next());
+      }
+      PageBuf mine = twin;
+      DirtyWords dirty;
+      dirty.Reset(sz);
+      const u32 stores = static_cast<u32>(rng.Below(9));  // 0 => empty bitmap
+      for (u32 s = 0; s < stores; ++s) {
+        const usize off = rng.Below(sz);
+        const usize len = 1 + rng.Below(std::min<usize>(16, sz - off));
+        dirty.MarkRange(off, len);
+        switch (rng.Below(3)) {
+          case 0:  // genuinely new bytes
+            for (usize i = off; i < off + len; ++i) {
+              mine[i] = static_cast<u8>(rng.Next());
+            }
+            break;
+          case 1:  // store of the value already there: marked, no diff
+            break;
+          default:  // mixed: flip only the first byte of the range
+            mine[off] = static_cast<u8>(~mine[off]);
+            break;
+        }
+      }
+      PageBuf base_ref = base;
+      PageBuf base_fast = base;
+      const usize applied_ref = MergeInto(base_ref, mine, twin);
+      const MergeResult mr = MergeIntoWords(base_fast, mine, twin, dirty);
+      ASSERT_EQ(base_ref, base_fast) << "size " << sz << " iter " << iter;
+      ASSERT_EQ(applied_ref, mr.bytes) << "size " << sz << " iter " << iter;
+      // mr.words must equal the number of words containing a differing byte.
+      usize want_words = 0;
+      for (usize w = 0; w * kMergeWordBytes < sz; ++w) {
+        const usize off = w * kMergeWordBytes;
+        const usize span = std::min(kMergeWordBytes, sz - off);
+        if (std::memcmp(mine.data() + off, twin.data() + off, span) != 0) {
+          ++want_words;
+        }
+      }
+      ASSERT_EQ(want_words, mr.words) << "size " << sz << " iter " << iter;
     }
   }
 }

@@ -405,6 +405,35 @@ TEST(Segment, SamePageCommitsMergeInVersionOrder) {
   EXPECT_EQ(w1, 222u);
 }
 
+// The fast-path substrate exposes its effectiveness through counters: page
+// touches resolved by the translation cache, words applied by the bitmap
+// merge, and page buffers served from the segment pool. This pins a
+// deterministic scenario where all of them must fire.
+TEST(Workspace, FastPathCountersFire) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    // Repeated stores to one page: first touch misses the TLB, the rest hit.
+    for (u64 i = 0; i < 64; ++i) {
+      a.Store<u64>(i * 8, i + 1);
+    }
+    EXPECT_GT(a.Stats().tlb_hits, 0u);
+    EXPECT_GT(a.Stats().tlb_misses, 0u);
+    // Conflicting commits to the same page: the later committer word-merges.
+    b.Store<u64>(8 * 100, 777);  // same page 0, different word
+    a.Commit();
+    b.Commit();
+    EXPECT_GT(b.Stats().words_merged, 0u);
+    // a's local copy went back to the segment pool at commit; rewriting the
+    // page after an update must take its buffer from the pool.
+    a.Update();
+    a.Store<u64>(0, 42);
+    EXPECT_GT(a.Stats().pool_reuses, 0u);
+  });
+}
+
 TEST(BumpAllocator, AlignsAndAdvances) {
   BumpAllocator ba(1 << 20);
   const u64 a = ba.Alloc(10, 8);
