@@ -1,0 +1,103 @@
+// Wall-clock microbenchmark for the TSO conformance subsystem (host CPU
+// time, not simulated virtual time). Two phases:
+//
+//   * explore — exhaustive schedule exploration of the SB and MP+fences
+//     shapes on cons-ic: runs/second through the replay arbiter, plus the
+//     pruning ratio. This is the cost that bounds how large a litmus the
+//     explorer can exhaust, so it needs a perf trajectory across PRs.
+//   * oracle — trace-recording runs of MP+fences: the overhead the
+//     TraceRecorder observer adds over a bare run, measured as ns/run both
+//     ways. The recorder must stay cheap enough to leave on in every CI run.
+//
+// Prints one JSON line. The workload is deterministic; only the wall-clock
+// timings vary run to run.
+#include <cstdio>
+
+#include "src/tso/explorer.h"
+#include "src/tso/litmus.h"
+#include "src/tso/runner.h"
+#include "src/tso/trace.h"
+#include "src/util/stats.h"
+
+namespace csq {
+namespace {
+
+rt::RuntimeConfig BaseCfg() {
+  rt::RuntimeConfig cfg;
+  cfg.segment.size_bytes = 1 << 20;
+  return cfg;
+}
+
+struct ExplorePhase {
+  u64 runs = 0;
+  u64 pruned = 0;
+  double runs_per_sec = 0.0;
+};
+
+ExplorePhase RunExplore() {
+  ExplorePhase out;
+  WallTimer timer;
+  for (const char* name : {"SB", "MP+fences"}) {
+    const tso::LitmusShape& shape = tso::ShapeByName(name);
+    const tso::ExploreResult r =
+        tso::Explore(rt::Backend::kConsequenceIC, shape.litmus, BaseCfg());
+    out.runs += r.runs;
+    out.pruned += r.pruned_branches;
+  }
+  out.runs_per_sec = out.runs / (timer.ElapsedNs() / 1e9);
+  return out;
+}
+
+struct OraclePhase {
+  double bare_ns_per_run = 0.0;
+  double traced_ns_per_run = 0.0;
+  u64 trace_events = 0;
+};
+
+OraclePhase RunOracle() {
+  constexpr u64 kRuns = 200;
+  OraclePhase out;
+  const tso::LitmusShape& shape = tso::ShapeByName("MP+fences");
+  {
+    WallTimer timer;
+    for (u64 i = 0; i < kRuns; ++i) {
+      tso::RunLitmus(rt::Backend::kConsequenceIC, shape.litmus, BaseCfg());
+    }
+    out.bare_ns_per_run = timer.ElapsedNs() / static_cast<double>(kRuns);
+  }
+  {
+    WallTimer timer;
+    for (u64 i = 0; i < kRuns; ++i) {
+      tso::TraceRecorder rec;
+      rt::RuntimeConfig cfg = BaseCfg();
+      cfg.observer = &rec;
+      tso::RunLitmus(rt::Backend::kConsequenceIC, shape.litmus, cfg);
+      out.trace_events = rec.Trace().EventCount();
+    }
+    out.traced_ns_per_run = timer.ElapsedNs() / static_cast<double>(kRuns);
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace csq
+
+int main() {
+  using namespace csq;  // NOLINT
+  const ExplorePhase ex = RunExplore();
+  const OraclePhase orc = RunOracle();
+  std::printf(
+      "{\"bench\":\"micro_tso\","
+      "\"explore_runs\":%llu,"
+      "\"explore_pruned\":%llu,"
+      "\"explore_runs_per_sec\":%.0f,"
+      "\"oracle_bare_ns_per_run\":%.0f,"
+      "\"oracle_traced_ns_per_run\":%.0f,"
+      "\"oracle_trace_overhead\":%.3f,"
+      "\"oracle_trace_events\":%llu}\n",
+      static_cast<unsigned long long>(ex.runs), static_cast<unsigned long long>(ex.pruned),
+      ex.runs_per_sec, orc.bare_ns_per_run, orc.traced_ns_per_run,
+      orc.traced_ns_per_run / (orc.bare_ns_per_run > 0 ? orc.bare_ns_per_run : 1.0),
+      static_cast<unsigned long long>(orc.trace_events));
+  return 0;
+}

@@ -180,6 +180,23 @@ bool DetClock::Eligible(u32 tid) const {
   return false;
 }
 
+bool DetClock::ArbiterGrants(u32 tid) {
+  std::vector<u32> waiting;
+  u32 busy = 0;
+  for (u32 u = 0; u < threads_.size(); ++u) {
+    const ThreadClock& o = threads_[u];
+    if (!o.registered || !o.participating || o.finished) {
+      continue;
+    }
+    if (o.waiting_for_token) {
+      waiting.push_back(u);
+    } else {
+      ++busy;
+    }
+  }
+  return cfg_.arbiter->Pick(waiting, busy) == tid;
+}
+
 void DetClock::WaitToken(u32 tid) {
   ThreadClock& tc = Tc(tid);
   CSQ_CHECK_MSG(tc.participating, "WaitToken by a departed thread");
@@ -187,15 +204,23 @@ void DetClock::WaitToken(u32 tid) {
   tc.published = tc.count;  // arriving at a sync op publishes the exact count
   eng_.NotifyAll(token_ch_);  // a higher published count can make others GMIC
   tc.waiting_for_token = true;
-  while (holder_ != sim::kInvalidThread || !Eligible(tid)) {
+  while (holder_ != sim::kInvalidThread ||
+         (cfg_.arbiter ? !ArbiterGrants(tid) : !Eligible(tid))) {
     eng_.Wait(token_ch_, TimeCat::kDetermWait);
     eng_.GateShared();
   }
   tc.waiting_for_token = false;
   holder_ = tid;
   ++stats_.token_acquires;
+  if (cfg_.arbiter) {
+    cfg_.arbiter->OnGrant(tid);
+  }
   eng_.Charge(eng_.Costs().token_acquire, TimeCat::kLibrary);
-  eng_.Trace(kTraceTokenGrant, tid, tc.count, grant_seq_++);
+  eng_.Trace(kTraceTokenGrant, tid, tc.count, grant_seq_);
+  if (cfg_.on_grant) {
+    cfg_.on_grant(tid, tc.count, grant_seq_);
+  }
+  ++grant_seq_;
 }
 
 void DetClock::ReleaseToken(u32 tid) {
@@ -208,6 +233,9 @@ void DetClock::ReleaseToken(u32 tid) {
   }
   eng_.Charge(eng_.Costs().token_release, TimeCat::kLibrary);
   eng_.Trace(kTraceTokenRelease, tid, last_release_count_, grant_seq_);
+  if (cfg_.on_release) {
+    cfg_.on_release(tid, last_release_count_, grant_seq_);
+  }
   eng_.NotifyAll(token_ch_);
 }
 

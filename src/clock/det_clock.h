@@ -32,6 +32,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -45,6 +46,35 @@ enum class OrderPolicy : u8 {
   kInstructionCount,
 };
 
+// Schedule-exploration hook: when set, it REPLACES the deterministic grant
+// policy (GMIC / round-robin) — the arbiter decides which waiting thread gets
+// the free token. The TSO conformance explorer uses this to drive a litmus
+// program through every token-acquisition interleaving; each interleaving is
+// one legal ordering of the commit/update events whose fixed order the
+// deterministic policies pick, so every outcome the arbiter can produce must
+// be TSO-allowed.
+class TokenArbiter {
+ public:
+  // Return value of Pick meaning "grant nobody yet; wait for more arrivals".
+  static constexpr u32 kNoPick = sim::kInvalidThread;
+
+  virtual ~TokenArbiter() = default;
+
+  // Called (under the simulation's shared gate) each time a waiting thread
+  // finds the token free. `waiting` lists the participating threads currently
+  // blocked in WaitToken, ascending by tid; `busy` counts participating
+  // threads that are NOT waiting (still executing their chunks). Return the
+  // tid to grant next (must be in `waiting`) or kNoPick to defer. Deferring
+  // is safe: every arrival, departure, release and finish re-polls the
+  // arbiter. Returning kNoPick forever when busy == 0 deadlocks the run —
+  // with nobody left to arrive, someone in `waiting` must be granted.
+  virtual u32 Pick(const std::vector<u32>& waiting, u32 busy) = 0;
+
+  // Called immediately after the token is granted to `tid` (the thread
+  // Pick selected). Lets replay-based explorers advance their decision index.
+  virtual void OnGrant(u32 tid) {}
+};
+
 struct ClockConfig {
   OrderPolicy policy = OrderPolicy::kInstructionCount;
   bool adaptive_overflow = true;
@@ -52,6 +82,13 @@ struct ClockConfig {
   // Fixed period used when adaptive_overflow is off.
   u64 fixed_overflow_period = 5000;
   bool fast_forward = true;
+  // Optional exploration override of the grant policy (not owned).
+  TokenArbiter* arbiter = nullptr;
+  // Optional trace hooks, fired at every grant/release with the holder's
+  // instruction count and the global grant sequence number. Both values are
+  // deterministic (jitter-invariant), so the determinism oracle records them.
+  std::function<void(u32 tid, u64 count, u64 seq)> on_grant;
+  std::function<void(u32 tid, u64 count, u64 seq)> on_release;
 };
 
 struct ClockStats {
@@ -135,6 +172,7 @@ class DetClock {
   };
 
   bool Eligible(u32 tid) const;
+  bool ArbiterGrants(u32 tid);
   bool IsGmicByPublished(u32 tid) const;
   void Publish(u32 tid, bool interrupt);
   void AdaptOverflow(u32 tid);

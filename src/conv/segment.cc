@@ -65,6 +65,11 @@ PreparedCommit Segment::PrepareCommit(u32 tid, std::vector<u32> pages) {
   pc.version = ++next_reserved_version_;
   pc.tid = tid;
   pc.pages = std::move(pages);
+  if (cfg_.test_vtime_dependent_commit_order && pc.pages.size() > 1 && (eng_.Now() & 1) != 0) {
+    // Injected nondeterminism (see SegmentConfig): page order becomes a
+    // function of jittered virtual time. Checksums are unaffected.
+    std::reverse(pc.pages.begin(), pc.pages.end());
+  }
   pc.prev_versions.reserve(pc.pages.size());
   for (u32 page : pc.pages) {
     pc.prev_versions.push_back(page_reserved_tail_[page]);

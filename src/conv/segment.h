@@ -44,6 +44,13 @@ struct SegmentConfig {
   // Models the paper's proposed multi-threaded collector: unlimited budget and
   // the reclamation cost amortized across threads.
   bool multithreaded_gc = false;
+  // TEST ONLY — deliberately breaks cross-run determinism so the TSO trace
+  // oracle's divergence reporting can be exercised: when set, a multi-page
+  // commit prepared at an odd virtual time reverses its page install order.
+  // Virtual time depends on the jitter seed, so two jittered runs install the
+  // same commit's pages in different orders while every checksum stays equal
+  // (install order within one version never changes final page contents).
+  bool test_vtime_dependent_commit_order = false;
 };
 
 // One committed revision of one page.
@@ -170,6 +177,23 @@ class Segment {
   using CommitObserver = std::function<void(const CommitRecord&)>;
   void SetCommitObserver(CommitObserver obs) { observer_ = std::move(obs); }
 
+  // Canonical-trace hooks for the TSO determinism oracle. Fired by workspaces
+  // (which know the acting thread) at update and merge-decision points; the
+  // segment carries them so every workspace of a run shares one sink.
+  struct TraceHooks {
+    // Workspace `tid` advanced its snapshot from `from` to `to`, propagating
+    // `pages_changed` distinct changed pages into its view.
+    std::function<void(u32 tid, u64 from, u64 to, u64 pages_changed)> on_update;
+    // Workspace `tid` byte-merged its dirty bytes of `page` onto committed
+    // base `base_version`; `bytes` won by this thread. `rebase` = update-time
+    // rebase (pending stores replayed on a newer twin) vs commit-time resolve;
+    // `version` = the commit version being built or updated to.
+    std::function<void(u32 tid, u32 page, u64 version, u64 base_version, u64 bytes, bool rebase)>
+        on_merge;
+  };
+  void SetTraceHooks(TraceHooks hooks) { trace_hooks_ = std::move(hooks); }
+  const TraceHooks& Hooks() const { return trace_hooks_; }
+
   const SegmentStats& Stats() const { return stats_; }
 
   // Memory accounting hooks (also called by workspaces for their local pages).
@@ -233,6 +257,7 @@ class Segment {
   std::vector<Workspace*> workspaces_;
   PageRef zero_page_;
   CommitObserver observer_;
+  TraceHooks trace_hooks_;
   sim::WaitChannel install_order_;  // FinishCommit version-ordering
 };
 

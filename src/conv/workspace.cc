@@ -101,7 +101,7 @@ void Workspace::StoreBytesSlow(u64 addr, const void* in, usize n) {
   ++stats_.stores;
 }
 
-std::unique_ptr<PageBuf> Workspace::ResolvePage(u32 page, const PageRef& prev) {
+std::unique_ptr<PageBuf> Workspace::ResolvePage(u32 page, const PageRef& prev, u64 version) {
   const LocalPage& lp = pages_.at(page);
   CSQ_CHECK_MSG(lp.local != nullptr, "resolving a non-dirty page");
   seg_.NotePageAlloc();
@@ -123,6 +123,12 @@ std::unique_ptr<PageBuf> Workspace::ResolvePage(u32 page, const PageRef& prev) {
               TimeCat::kCommit);
   ++stats_.pages_merged;
   seg_.NoteMerge(mr.bytes);
+  if (seg_.Hooks().on_merge) {
+    // FinishCommit calls resolve only once the page's chain tail equals the
+    // recorded predecessor, so the tail version IS the base we merged onto.
+    seg_.Hooks().on_merge(tid_, page, version, seg_.LatestVersionOf(page), mr.bytes,
+                          /*rebase=*/false);
+  }
   return merged;
 }
 
@@ -143,7 +149,9 @@ void Workspace::FinishTwoPhase(const PreparedCommit& pc) {
     last_commit_pages_.clear();
     return;
   }
-  seg_.FinishCommit(pc, [this](u32 page, const PageRef& prev) { return ResolvePage(page, prev); });
+  seg_.FinishCommit(pc, [this, v = pc.version](u32 page, const PageRef& prev) {
+    return ResolvePage(page, prev, v);
+  });
   AfterCommitRefresh(pc);
   ++stats_.commits;
   stats_.pages_committed += pc.pages.size();
@@ -204,6 +212,9 @@ void Workspace::RefreshPage(u32 page, LocalPage& lp, u64 target) {
     eng_.Charge(eng_.Costs().page_fetch + eng_.Costs().page_diff + eng_.Costs().page_merge,
                 TimeCat::kCommit);
     ++stats_.pages_merged;
+    if (seg_.Hooks().on_merge) {
+      seg_.Hooks().on_merge(tid_, page, target, rev.version, mr.bytes, /*rebase=*/true);
+    }
   } else {
     eng_.Charge(eng_.Costs().page_fetch, TimeCat::kCommit);
   }
@@ -214,10 +225,16 @@ void Workspace::RefreshPage(u32 page, LocalPage& lp, u64 target) {
 u64 Workspace::UpdateTo(u64 target) {
   seg_.WaitInstalled(target);
   eng_.Charge(eng_.Costs().update_fixed, TimeCat::kCommit);
+  const u64 from = snapshot_;
+  u64 changed = 0;
   if (target > snapshot_) {
     // Conversion updates the thread's whole mapping: every page with a newer
     // revision than the snapshot is propagated into this thread's view.
-    stats_.pages_propagated += seg_.DistinctPagesChanged(snapshot_, target);
+    changed = seg_.DistinctPagesChanged(snapshot_, target);
+    stats_.pages_propagated += changed;
+  }
+  if (seg_.Hooks().on_update) {
+    seg_.Hooks().on_update(tid_, from, target, changed);
   }
   if (discard_on_update_) {
     // mprotect-style fence: drop the whole cached working set (refetch lazily).

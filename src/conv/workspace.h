@@ -187,7 +187,7 @@ class Workspace {
   void StoreBytesSlow(u64 addr, const void* in, usize n);
   LocalPage& TouchPage(u32 page);
   LocalPage& WritableLocal(u32 page);
-  std::unique_ptr<PageBuf> ResolvePage(u32 page, const PageRef& prev);
+  std::unique_ptr<PageBuf> ResolvePage(u32 page, const PageRef& prev, u64 version);
   void AfterCommitRefresh(const PreparedCommit& pc);
   void ReleaseLocal(LocalPage& lp);
   void RefreshPage(u32 page, LocalPage& lp, u64 target);

@@ -82,6 +82,14 @@ class ThreadApi {
   // treatment of atomic instructions). Returns the old value.
   virtual u64 AtomicRmw(u64 addr, RmwOp op, u64 operand) = 0;
 
+  // Full memory fence (x86 MFENCE under the TSO reading of this system): the
+  // thread's store buffer — its workspace — is drained via a token-ordered
+  // commit, and all remotely committed writes become visible via an update.
+  // Synchronous even when async_lock_commit is on: a fence is a full barrier.
+  // On the nondeterministic pthreads backend this is a plain hardware fence
+  // (memory is shared directly), modeled as a small time charge.
+  virtual void Fence() = 0;
+
   // Allocates zeroed shared memory; deterministic layout across backends.
   virtual u64 SharedAlloc(usize n, usize align = 8) = 0;
 
@@ -119,6 +127,30 @@ class SyncObserver {
   virtual void OnRelease(u32 tid, u64 object) = 0;
   // A commit by `tid` covering `pages` (called before the matching release).
   virtual void OnCommit(u32 tid, const std::vector<u32>& pages) = 0;
+
+  // ---- Canonical-trace hooks (determinism oracle) ---------------------------
+  // Default-no-op so existing observers are unaffected. All values passed here
+  // are deterministic given the config — the TSO oracle records them across
+  // jittered runs and diffs for the first divergence.
+  //
+  // Global-token grant/release: `count` is the holder's instruction count,
+  // `seq` the global grant sequence number.
+  virtual void OnTokenGrant(u32 tid, u64 count, u64 seq) {}
+  virtual void OnTokenRelease(u32 tid, u64 count, u64 seq) {}
+  // A committed segment version: `version` is the global commit version the
+  // commit installed, `pages` the distinct page indices in install order.
+  virtual void OnCommitVersion(u32 tid, u64 version,
+                               const std::vector<u32>& pages) {}
+  // An update of `tid`'s workspace from version `from` to `to`, refreshing
+  // `pages_refreshed` locally cached pages.
+  virtual void OnUpdate(u32 tid, u64 from, u64 to, u64 pages_refreshed) {}
+  // A byte-level last-writer-wins merge decision: thread `tid` merged its
+  // dirty bytes of `page` on top of base version `base_version`; `bytes` is
+  // the number of bytes this thread won. `rebase` distinguishes update-time
+  // rebases (true) from commit-time resolves (false); `version` is the commit
+  // version being built (resolves) or targeted (rebases).
+  virtual void OnMergeDecision(u32 tid, u32 page, u64 version, u64 base_version,
+                               u64 bytes, bool rebase) {}
 };
 
 enum class Backend : u8 {
@@ -174,6 +206,10 @@ struct RuntimeConfig {
 
   // Optional happens-before observer (not owned; must outlive the Run).
   SyncObserver* observer = nullptr;
+
+  // Optional schedule-exploration arbiter overriding the deterministic token
+  // grant policy (not owned; deterministic backends only). See clk::TokenArbiter.
+  clk::TokenArbiter* token_arbiter = nullptr;
 };
 
 struct RunResult {

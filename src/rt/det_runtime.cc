@@ -126,6 +126,15 @@ struct State {
     cc.adaptive_overflow = f.adaptive_overflow && c.adaptive_overflow;
     cc.fixed_overflow_period = c.fixed_overflow_period;
     cc.fast_forward = f.fast_forward && c.fast_forward;
+    cc.arbiter = c.token_arbiter;
+    if (SyncObserver* obs = c.observer) {
+      cc.on_grant = [obs](u32 tid, u64 count, u64 seq) {
+        obs->OnTokenGrant(tid, count, seq);
+      };
+      cc.on_release = [obs](u32 tid, u64 count, u64 seq) {
+        obs->OnTokenRelease(tid, count, seq);
+      };
+    }
     return cc;
   }
 
@@ -212,6 +221,9 @@ class DApi final : public ThreadApi {
     const bool had_token = Rec().coarsen_active;
     if (!had_token) {
       st_.clock.WaitToken(tid_);
+      if (Ws().DirtyPageCount() > 0) {
+        Ws().Commit();  // x86 RMW drains the store buffer before executing
+      }
       Ws().Update();
     }
     const u64 old = Ws().Load<u64>(addr);
@@ -235,6 +247,23 @@ class DApi final : public ThreadApi {
     }
     ExitLib();
     return old;
+  }
+
+  // Full fence: drain the workspace (store buffer) through a token-ordered
+  // commit and pull in every remotely committed write. Always synchronous —
+  // even under async_lock_commit, a fence must not return before its stores
+  // are globally visible and all prior commits are locally visible.
+  void Fence() override {
+    ReleaseDeferredChildren();
+    EnterLib();
+    if (Rec().coarsen_active) {
+      EndCoarsenCommitRelease();
+    } else {
+      st_.clock.WaitToken(tid_);
+      CommitUpdateGc();
+      st_.clock.ReleaseToken(tid_);
+    }
+    ExitLib();
   }
 
   u64 SharedAlloc(usize n, usize align) override {
@@ -882,6 +911,23 @@ DetRuntime::DetRuntime(Backend b, RuntimeConfig cfg)
 
 RunResult DetRuntime::Run(const WorkloadFn& fn) {
   State st(cfg_, flavor_);
+  if (SyncObserver* obs = cfg_.observer) {
+    // Canonical-trace plumbing for the TSO determinism oracle: commit
+    // versions, updates and merge decisions flow from the Conversion layer
+    // into the run's observer (token grants/releases flow via ClockConfig).
+    st.seg.SetCommitObserver([obs](const conv::CommitRecord& rec) {
+      obs->OnCommitVersion(rec.tid, rec.version, rec.pages);
+    });
+    conv::Segment::TraceHooks hooks;
+    hooks.on_update = [obs](u32 tid, u64 from, u64 to, u64 pages_changed) {
+      obs->OnUpdate(tid, from, to, pages_changed);
+    };
+    hooks.on_merge = [obs](u32 tid, u32 page, u64 version, u64 base_version, u64 bytes,
+                           bool rebase) {
+      obs->OnMergeDecision(tid, page, version, base_version, bytes, rebase);
+    };
+    st.seg.SetTraceHooks(std::move(hooks));
+  }
   st.clock.RegisterThread(0, 0);
   st.threads.emplace_back();
   ThreadRec& main_rec = st.threads[0];

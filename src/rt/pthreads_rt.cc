@@ -102,6 +102,13 @@ class PtApi final : public ThreadApi {
     return old;
   }
 
+  // Memory is shared directly, so a fence is just the hardware MFENCE: a
+  // serialization point in (virtual) time plus a small charge.
+  void Fence() override {
+    st_.eng.GateShared();
+    st_.eng.Charge(st_.eng.Costs().pthread_lock_op, TimeCat::kLibrary);
+  }
+
   u64 SharedAlloc(usize n, usize align) override {
     st_.eng.GateShared();
     return st_.alloc.Alloc(n, align);

@@ -1,0 +1,313 @@
+#include "src/tso/explorer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/tso/runner.h"
+#include "src/util/check.h"
+
+namespace csq::tso {
+
+namespace {
+
+// Replays a forced prefix of grant decisions, then follows the default
+// policy: defer until no participating thread is still executing (the
+// waiting set is then maximal — every thread that could ever be granted at
+// this decision is in it), grant the lowest waiting tid, and record the
+// candidate set for the DFS driver to branch on.
+class ReplayArbiter final : public clk::TokenArbiter {
+ public:
+  struct Decision {
+    u32 chosen = 0;
+    std::vector<u32> candidates;  // waiting set at grant time (prefix: empty)
+  };
+
+  explicit ReplayArbiter(std::vector<u32> prefix) : prefix_(std::move(prefix)) {}
+
+  u32 Pick(const std::vector<u32>& waiting, u32 busy) override {
+    const usize i = decisions_.size();  // index of the decision being made
+    if (i < prefix_.size()) {
+      const u32 want = prefix_[i];
+      if (std::find(waiting.begin(), waiting.end(), want) != waiting.end()) {
+        return want;
+      }
+      // The forced thread has not arrived yet; it must still be executing.
+      CSQ_CHECK_MSG(busy > 0, "replay divergence: forced tid " << want
+                                  << " can no longer arrive at decision " << i);
+      return kNoPick;
+    }
+    if (busy > 0) {
+      return kNoPick;  // quiescence: wait for the maximal candidate set
+    }
+    pending_candidates_ = waiting;
+    return waiting.front();
+  }
+
+  void OnGrant(u32 tid) override {
+    Decision d;
+    d.chosen = tid;
+    if (decisions_.size() >= prefix_.size()) {
+      d.candidates = pending_candidates_;
+    }
+    decisions_.push_back(std::move(d));
+  }
+
+  const std::vector<Decision>& Decisions() const { return decisions_; }
+
+ private:
+  std::vector<u32> prefix_;
+  std::vector<u32> pending_candidates_;
+  std::vector<Decision> decisions_;
+};
+
+// Observer recording, per grant (== decision index), the pages actually
+// committed under it, plus every commit's (version, tid, pages) for the
+// last-writer-wins check.
+class ExploreRecorder final : public rt::SyncObserver {
+ public:
+  struct CommitInfo {
+    u64 version = 0;
+    u32 tid = 0;
+    std::vector<u32> pages;
+  };
+
+  void OnAcquire(u32, u64) override {}
+  void OnRelease(u32, u64) override {}
+  void OnCommit(u32, const std::vector<u32>&) override {}
+
+  void OnTokenGrant(u32 tid, u64, u64 seq) override {
+    if (open_grant_.size() <= tid) {
+      open_grant_.resize(tid + 1, 0);
+    }
+    open_grant_[tid] = seq;
+  }
+
+  void OnCommitVersion(u32 tid, u64 version, const std::vector<u32>& pages) override {
+    // A version is attributed to the grant its phase one ran under: even when
+    // phase two drains token-free (async commits, barriers), the thread takes
+    // no further grant before finishing it.
+    const u64 seq = tid < open_grant_.size() ? open_grant_[tid] : 0;
+    grant_pages_[seq].insert(grant_pages_[seq].end(), pages.begin(), pages.end());
+    commits_.push_back({version, tid, pages});
+  }
+
+  const std::vector<u32>& PagesOfGrant(u64 seq) const {
+    static const std::vector<u32> kEmpty;
+    auto it = grant_pages_.find(seq);
+    return it == grant_pages_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<CommitInfo>& Commits() const { return commits_; }
+
+ private:
+  std::vector<u64> open_grant_;
+  std::map<u64, std::vector<u32>> grant_pages_;
+  std::vector<CommitInfo> commits_;
+};
+
+// Static per-litmus-thread page footprints (runtime tid = litmus thread + 1).
+struct Footprints {
+  std::vector<std::vector<u32>> reads;   // pages read, per litmus thread
+  std::vector<std::vector<u32>> writes;  // pages written, per litmus thread
+  std::vector<bool> locks;
+
+  static Footprints Of(const Litmus& lit, u32 page_size) {
+    Footprints f;
+    const u32 n = static_cast<u32>(lit.threads.size());
+    f.reads.resize(n);
+    f.writes.resize(n);
+    f.locks.resize(n);
+    for (u32 t = 0; t < n; ++t) {
+      for (u32 v : lit.ReadSet(t)) {
+        f.reads[t].push_back(VarPage(lit, v, page_size));
+      }
+      for (u32 v : lit.WriteSet(t)) {
+        f.writes[t].push_back(VarPage(lit, v, page_size));
+      }
+      f.locks[t] = lit.UsesLocks(t);
+    }
+    return f;
+  }
+};
+
+bool Intersects(const std::vector<u32>& a, const std::vector<u32>& b) {
+  for (u32 x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when granting `alt` instead of `chosen` at this decision provably
+// commutes, so the alternative branch cannot reach a new outcome. Both tids
+// are runtime tids; tid 0 (the main thread: spawn/join/final reads) is never
+// pruned, nor are lock users (lock acquisition has control dependence).
+bool IndependentGrants(const Footprints& f, u32 chosen, u32 alt,
+                       const std::vector<u32>& chosen_committed) {
+  if (chosen == 0 || alt == 0) {
+    return false;
+  }
+  const u32 tc = chosen - 1;
+  const u32 ta = alt - 1;
+  if (tc >= f.locks.size() || ta >= f.locks.size() || f.locks[tc] || f.locks[ta]) {
+    return false;
+  }
+  // Pages this grant actually committed vs. everything the alternative thread
+  // might read or write; plus the static write/read cross-dependences (the
+  // alternative's commit vs. the chosen thread's later reads).
+  if (Intersects(chosen_committed, f.reads[ta]) || Intersects(chosen_committed, f.writes[ta])) {
+    return false;
+  }
+  if (Intersects(f.writes[ta], f.reads[tc]) || Intersects(f.writes[ta], f.writes[tc])) {
+    return false;
+  }
+  return true;
+}
+
+// Commit-order last-writer-wins check: from the run's recorded commits, the
+// final value of each variable must equal the last program-order store of the
+// thread owning the highest commit version that covers the variable's page
+// (among threads that statically store the variable), or 0 if nobody did.
+//
+// Attribution is unambiguous only when each thread dirties a given page
+// within one commit epoch (no fence/rmw/lock op between two stores to the
+// same page); litmuses violating that are skipped.
+bool LwwCheckable(const Litmus& lit, u32 page_size) {
+  for (const LitmusThread& th : lit.threads) {
+    std::map<u32, u32> page_epoch;  // page -> epoch of its stores
+    u32 epoch = 0;
+    for (const LOp& op : th.ops) {
+      if (op.kind == LOpKind::kRmwAdd) {
+        return false;  // RMW-written values are data-dependent, not static
+      }
+      switch (op.kind) {
+        case LOpKind::kFence:
+        case LOpKind::kLock:
+        case LOpKind::kUnlock:
+          ++epoch;
+          break;
+        case LOpKind::kStore: {
+          const u32 p = VarPage(lit, op.var, page_size);
+          auto [it, fresh] = page_epoch.emplace(p, epoch);
+          if (!fresh && it->second != epoch) {
+            return false;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+void CheckLww(const Litmus& lit, u32 page_size, const ExploreRecorder& rec,
+              const Outcome& out, std::vector<std::string>* violations) {
+  for (u32 v = 0; v < lit.nvars; ++v) {
+    const u32 page = VarPage(lit, v, page_size);
+    // Highest-version commit covering the page by a thread that stores v.
+    u64 best_version = 0;
+    i64 winner = -1;  // litmus thread index
+    for (const ExploreRecorder::CommitInfo& c : rec.Commits()) {
+      if (c.tid == 0 || c.version <= best_version) {
+        continue;
+      }
+      const u32 t = c.tid - 1;
+      if (std::find(c.pages.begin(), c.pages.end(), page) == c.pages.end()) {
+        continue;
+      }
+      if (lit.WriteSet(t).count(v) == 0) {
+        continue;  // committed a same-page neighbor, not v itself
+      }
+      best_version = c.version;
+      winner = t;
+    }
+    u64 expected = 0;
+    if (winner >= 0) {
+      for (const LOp& op : lit.threads[static_cast<usize>(winner)].ops) {
+        if (op.kind == LOpKind::kStore && op.var == v) {
+          expected = op.value;
+        }
+      }
+    }
+    if (out.mem[v] != expected) {
+      std::ostringstream os;
+      os << lit.name << ": v" << v << " = " << out.mem[v]
+         << " but commit-order last writer predicts " << expected << " (winner thread "
+         << winner << ", version " << best_version << ")";
+      violations->push_back(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+ExploreResult Explore(rt::Backend b, const Litmus& lit, rt::RuntimeConfig cfg,
+                      const ExploreOptions& opt) {
+  CSQ_CHECK_MSG(b != rt::Backend::kPthreads, "explorer drives deterministic backends only");
+  CSQ_CHECK_MSG(cfg.observer == nullptr && cfg.token_arbiter == nullptr,
+                "explorer installs its own observer and arbiter");
+  cfg.costs.jitter_seed = opt.jitter_seed;
+  cfg.costs.jitter_bp = opt.jitter_bp;
+  const u32 page_size = cfg.segment.page_size;
+  const Footprints fp = Footprints::Of(lit, page_size);
+  const bool lww = LwwCheckable(lit, page_size);
+
+  ExploreResult result;
+  std::vector<std::vector<u32>> todo;
+  todo.push_back({});
+  while (!todo.empty()) {
+    if (result.runs >= opt.max_runs) {
+      result.complete = false;
+      break;
+    }
+    std::vector<u32> prefix = std::move(todo.back());
+    todo.pop_back();
+
+    ReplayArbiter arbiter(prefix);
+    ExploreRecorder recorder;
+    rt::RuntimeConfig c = cfg;
+    c.token_arbiter = &arbiter;
+    c.observer = &recorder;
+    const Outcome out = RunLitmus(b, lit, c);
+    ++result.runs;
+    result.outcomes.insert(out);
+    if (lww) {
+      CheckLww(lit, page_size, recorder, out, &result.lww_violations);
+    }
+
+    // Branch on every untried candidate at decisions beyond the prefix
+    // (deepest-last so the DFS stack explores deepest-first).
+    const auto& decisions = arbiter.Decisions();
+    const usize limit = std::min<usize>(decisions.size(), opt.max_decision_depth);
+    if (decisions.size() > opt.max_decision_depth) {
+      result.complete = false;  // alternatives past the depth bound are unexplored
+    }
+    for (usize i = prefix.size(); i < limit; ++i) {
+      const ReplayArbiter::Decision& d = decisions[i];
+      for (u32 cand : d.candidates) {
+        if (cand == d.chosen) {
+          continue;
+        }
+        if (opt.prune_independent &&
+            IndependentGrants(fp, d.chosen, cand, recorder.PagesOfGrant(i))) {
+          ++result.pruned_branches;
+          continue;
+        }
+        std::vector<u32> forced;
+        forced.reserve(i + 1);
+        for (usize k = 0; k < i; ++k) {
+          forced.push_back(decisions[k].chosen);
+        }
+        forced.push_back(cand);
+        todo.push_back(std::move(forced));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace csq::tso

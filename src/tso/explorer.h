@@ -1,0 +1,63 @@
+// Exhaustive token-schedule exploration for litmus programs.
+//
+// The deterministic runtimes serialize every sync operation through the
+// global token; the token-acquisition order IS the commit/update order and
+// hence the only degree of freedom in the memory semantics. The explorer
+// replaces the deterministic grant policy with a replaying TokenArbiter
+// (clk::TokenArbiter) and drives the runtime through EVERY reachable grant
+// sequence by stateless replay:
+//
+//   * each run forces a prefix of grant decisions, then follows a fixed
+//     default policy (grant the lowest waiting tid once no participating
+//     thread is still running — deferring until quiescence maximizes the
+//     recorded candidate sets, so no alternative is missed);
+//   * after the run, every decision index at which another candidate was
+//     waiting spawns a new prefix to explore (DFS, deepest-first);
+//   * DPOR-style pruning skips an alternative when swapping it with the
+//     chosen grant provably commutes: the two threads' memory footprints are
+//     disjoint (actual committed pages vs. static read/write page sets) and
+//     they share no sync objects.
+//
+// Every terminal outcome is collected; the caller asserts the observed set is
+// contained in the reference TSO model's allowed set (and that racy merges
+// resolved last-writer-wins in the recorded commit order).
+#pragma once
+
+#include "src/clock/det_clock.h"
+#include "src/rt/api.h"
+#include "src/tso/litmus.h"
+#include "src/tso/trace.h"
+
+namespace csq::tso {
+
+struct ExploreOptions {
+  // Hard cap on runs (simulator executions). Exploration stops — with
+  // complete=false — if the DFS frontier is not exhausted by then.
+  u64 max_runs = 4000;
+  // Decision depth up to which alternatives fork new branches; deeper
+  // decisions follow the default policy only. Litmus schedules are short
+  // (tens of grants), so the default never truncates the catalog shapes.
+  u32 max_decision_depth = 64;
+  // Enable the commutativity pruning (off = plain exhaustive DFS; the litmus
+  // tests cross-check that pruning never loses an outcome).
+  bool prune_independent = true;
+  // Jitter applied to every exploration run (exercises the determinism claim
+  // while exploring; any fixed seed gives a deterministic exploration).
+  u64 jitter_seed = 0;
+  u32 jitter_bp = 0;
+};
+
+struct ExploreResult {
+  OutcomeSet outcomes;
+  u64 runs = 0;
+  u64 pruned_branches = 0;
+  bool complete = true;  // false if max_runs or depth truncated the DFS
+  // Violations of byte-level last-writer-wins in commit order (empty = ok);
+  // each entry describes one run's final memory vs. the trace's prediction.
+  std::vector<std::string> lww_violations;
+};
+
+ExploreResult Explore(rt::Backend b, const Litmus& lit, rt::RuntimeConfig cfg,
+                      const ExploreOptions& opt = {});
+
+}  // namespace csq::tso

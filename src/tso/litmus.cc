@@ -1,0 +1,248 @@
+#include "src/tso/litmus.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace csq::tso {
+
+std::set<u32> Litmus::ReadSet(u32 t) const {
+  std::set<u32> out;
+  for (const LOp& op : threads[t].ops) {
+    if (op.kind == LOpKind::kLoad || op.kind == LOpKind::kRmwAdd) {
+      out.insert(op.var);
+    }
+  }
+  return out;
+}
+
+std::set<u32> Litmus::WriteSet(u32 t) const {
+  std::set<u32> out;
+  for (const LOp& op : threads[t].ops) {
+    if (op.kind == LOpKind::kStore || op.kind == LOpKind::kRmwAdd) {
+      out.insert(op.var);
+    }
+  }
+  return out;
+}
+
+bool Litmus::UsesLocks(u32 t) const {
+  for (const LOp& op : threads[t].ops) {
+    if (op.kind == LOpKind::kLock || op.kind == LOpKind::kUnlock) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Outcome::ToString() const {
+  std::ostringstream os;
+  os << "regs[";
+  for (usize i = 0; i < regs.size(); ++i) {
+    os << (i ? " " : "") << "r" << i << "=" << regs[i];
+  }
+  os << "] mem[";
+  for (usize i = 0; i < mem.size(); ++i) {
+    os << (i ? " " : "") << "v" << i << "=" << mem[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string ToString(const OutcomeSet& s) {
+  std::ostringstream os;
+  for (const Outcome& o : s) {
+    os << "  " << o.ToString() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Variables are conventionally x=0, y=1, z=2.
+constexpr u32 X = 0;
+constexpr u32 Y = 1;
+
+std::vector<LitmusShape> BuildCatalog() {
+  std::vector<LitmusShape> out;
+
+  // SB (store buffering): the TSO-defining shape. Both threads may read the
+  // initial value — this ALLOWED outcome must be reachable, or the system is
+  // stronger than TSO (sequentially consistent) and the paper's store-buffer
+  // claim (workspace == store buffer) would be vacuous.
+  {
+    LitmusShape s;
+    s.litmus.name = "SB";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 2;
+    s.litmus.threads = {{{St(X, 1), Ld(Y, 0)}}, {{St(Y, 1), Ld(X, 1)}}};
+    s.marked_desc = "r0=0 r1=0 (both loads old: allowed under TSO, forbidden under SC)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 0 && o.regs[1] == 0; };
+    s.forbidden = false;
+    out.push_back(std::move(s));
+  }
+
+  // SB+fences: fencing between store and load restores SC for this shape.
+  {
+    LitmusShape s;
+    s.litmus.name = "SB+fences";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 2;
+    s.litmus.threads = {{{St(X, 1), Fence(), Ld(Y, 0)}},
+                        {{St(Y, 1), Fence(), Ld(X, 1)}}};
+    s.marked_desc = "r0=0 r1=0 (forbidden: both fences drained before either load)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 0 && o.regs[1] == 0; };
+    out.push_back(std::move(s));
+  }
+
+  // SB+rmws: atomic RMWs are fencing on x86 — same guarantee as SB+fences.
+  {
+    LitmusShape s;
+    s.litmus.name = "SB+rmws";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 2;
+    s.litmus.threads = {{{St(X, 1), RmwAdd(Y, 0, 0)}}, {{St(Y, 1), RmwAdd(X, 0, 1)}}};
+    s.marked_desc = "r0=0 r1=0 (forbidden: RMWs fence like MFENCE)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 0 && o.regs[1] == 0; };
+    out.push_back(std::move(s));
+  }
+
+  // MP+fences (message passing): y is the flag for x. Seeing the flag but not
+  // the payload is forbidden. The reader fences between its loads so its
+  // second load observes at least the state its first load did.
+  {
+    LitmusShape s;
+    s.litmus.name = "MP+fences";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 2;
+    s.litmus.threads = {{{St(X, 1), Fence(), St(Y, 1)}},
+                        {{Fence(), Ld(Y, 0), Fence(), Ld(X, 1)}}};
+    s.marked_desc = "r0=1 r1=0 (forbidden: flag seen without payload)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+    out.push_back(std::move(s));
+  }
+
+  // LB (load buffering): loads reading the other thread's later store require
+  // load-store reordering, which TSO never performs.
+  {
+    LitmusShape s;
+    s.litmus.name = "LB";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 2;
+    s.litmus.threads = {{{Ld(Y, 0), St(X, 1)}}, {{Ld(X, 1), St(Y, 1)}}};
+    s.marked_desc = "r0=1 r1=1 (forbidden: loads cannot see po-later stores)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 1; };
+    out.push_back(std::move(s));
+  }
+
+  // IRIW+fences (independent reads of independent writes): fenced readers must
+  // agree on the order of two independent writers — TSO is multi-copy atomic.
+  {
+    LitmusShape s;
+    s.litmus.name = "IRIW+fences";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 4;
+    s.litmus.threads = {{{St(X, 1)}},
+                        {{St(Y, 1)}},
+                        {{Ld(X, 0), Fence(), Ld(Y, 1)}},
+                        {{Ld(Y, 2), Fence(), Ld(X, 3)}}};
+    s.marked_desc = "r0=1 r1=0 r2=1 r3=0 (forbidden: readers disagree on write order)";
+    s.marked = [](const Outcome& o) {
+      return o.regs[0] == 1 && o.regs[1] == 0 && o.regs[2] == 1 && o.regs[3] == 0;
+    };
+    out.push_back(std::move(s));
+  }
+
+  // 2+2W: both variables keeping the FIRST thread-program-order store of one
+  // thread and the second of the other needs a memory-order cycle.
+  {
+    LitmusShape s;
+    s.litmus.name = "2+2W";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 0;
+    s.litmus.threads = {{{St(X, 1), St(Y, 2)}}, {{St(Y, 1), St(X, 2)}}};
+    s.marked_desc = "x=1 y=1 (forbidden: store order cycle)";
+    s.marked = [](const Outcome& o) { return o.mem[0] == 1 && o.mem[1] == 1; };
+    out.push_back(std::move(s));
+  }
+
+  // R: writer vs. fenced writer-reader.
+  {
+    LitmusShape s;
+    s.litmus.name = "R";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 1;
+    s.litmus.threads = {{{St(X, 1), St(Y, 1)}}, {{St(Y, 2), Fence(), Ld(X, 0)}}};
+    s.marked_desc = "r0=0 y=2 (forbidden: y=2 final puts T0 wholly before the fence)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 0 && o.mem[1] == 2; };
+    out.push_back(std::move(s));
+  }
+
+  // S: store-load coherence against a cross-thread write.
+  {
+    LitmusShape s;
+    s.litmus.name = "S";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 1;
+    s.litmus.threads = {{{St(X, 2), St(Y, 1)}}, {{Ld(Y, 0), St(X, 1)}}};
+    s.marked_desc = "r0=1 x=2 (forbidden: T1 saw y=1 so its x=1 is after x=2)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 1 && o.mem[0] == 2; };
+    out.push_back(std::move(s));
+  }
+
+  // Lock-MP: a lock-protected message pass. The reader sees either nothing or
+  // the complete payload+flag — the shape the async_lock_commit mode must keep
+  // working (commits drain asynchronously but visibility follows the lock).
+  {
+    LitmusShape s;
+    s.litmus.name = "LockMP";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 2;
+    s.litmus.nmutexes = 1;
+    s.litmus.threads = {
+        {{St(X, 7), LockOp(0), St(Y, 1), UnlockOp(0)}},
+        {{LockOp(0), Ld(Y, 0), UnlockOp(0), Ld(X, 1)}}};
+    s.marked_desc = "r0=1 r1!=7 (forbidden: lock release publishes all prior stores)";
+    s.marked = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] != 7; };
+    out.push_back(std::move(s));
+  }
+
+  // 2W-samepage: a plain write-write race on one variable, with a second
+  // variable sharing the page so racy commits must byte-merge rather than
+  // whole-page overwrite. The final value of the raced variable must be the
+  // commit-order last writer (checked against the recorded trace by the
+  // explorer); the unraced variable must survive the merge untouched.
+  {
+    LitmusShape s;
+    s.litmus.name = "2W-samepage";
+    s.litmus.nvars = 2;
+    s.litmus.nregs = 0;
+    s.litmus.vars_same_page = true;
+    s.litmus.threads = {{{St(X, 1), St(Y, 5)}}, {{St(X, 2)}}};
+    s.marked_desc = "y!=5 (forbidden: byte-merge must keep the unraced neighbor)";
+    s.marked = [](const Outcome& o) { return o.mem[1] != 5; };
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<LitmusShape>& Catalog() {
+  static const std::vector<LitmusShape>* kCatalog =
+      new std::vector<LitmusShape>(BuildCatalog());
+  return *kCatalog;
+}
+
+const LitmusShape& ShapeByName(const std::string& name) {
+  for (const LitmusShape& s : Catalog()) {
+    if (s.litmus.name == name) {
+      return s;
+    }
+  }
+  CSQ_CHECK_MSG(false, "unknown litmus shape: " << name);
+  __builtin_unreachable();
+}
+
+}  // namespace csq::tso

@@ -1,0 +1,107 @@
+// Litmus DSL for TSO conformance testing.
+//
+// A Litmus is a tiny multithreaded program over a handful of u64 variables:
+// each thread is a straight-line list of stores, loads (into named registers),
+// fences, atomic RMWs and lock/unlock pairs. The catalog below covers the
+// classic x86-TSO shapes (SB, MP, LB, IRIW, 2+2W, R, S and fence variants, cf.
+// "x86-TSO" / "Time, Fences and the Ordering of Events in TSO") plus two
+// shapes specific to this system: a lock-based message pass (exercising the
+// async_lock_commit path) and a same-page write race (exercising byte-level
+// last-writer-wins merging).
+//
+// Each catalog entry names ONE distinguished outcome — the shape's classic
+// "interesting" outcome — and says whether TSO forbids it. Forbidden outcomes
+// are asserted unreachable under exhaustive schedule exploration; allowed
+// witnesses (e.g. SB's r0=r1=0) demonstrate the implementation really is TSO
+// and not something stronger.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace csq::tso {
+
+enum class LOpKind : u8 {
+  kStore,   // var <- value
+  kLoad,    // reg <- var
+  kFence,   // full barrier (drain store buffer, pull in remote stores)
+  kRmwAdd,  // reg <- var; var <- var + value (atomic; implies fence on x86)
+  kLock,    // acquire mutex
+  kUnlock,  // release mutex
+  kWork,    // value units of pure computation (perturbs relative timing)
+};
+
+struct LOp {
+  LOpKind kind{};
+  u32 var = 0;    // kStore / kLoad / kRmwAdd
+  u64 value = 0;  // store value / rmw operand / work units
+  u32 reg = 0;    // kLoad / kRmwAdd destination (global register index)
+  u32 mutex = 0;  // kLock / kUnlock
+};
+
+inline LOp St(u32 var, u64 value) { return {LOpKind::kStore, var, value, 0, 0}; }
+inline LOp Ld(u32 var, u32 reg) { return {LOpKind::kLoad, var, 0, reg, 0}; }
+inline LOp Fence() { return {LOpKind::kFence, 0, 0, 0, 0}; }
+inline LOp RmwAdd(u32 var, u64 operand, u32 reg) {
+  return {LOpKind::kRmwAdd, var, operand, reg, 0};
+}
+inline LOp LockOp(u32 mutex) { return {LOpKind::kLock, 0, 0, 0, mutex}; }
+inline LOp UnlockOp(u32 mutex) { return {LOpKind::kUnlock, 0, 0, 0, mutex}; }
+inline LOp WorkOp(u64 units) { return {LOpKind::kWork, 0, units, 0, 0}; }
+
+struct LitmusThread {
+  std::vector<LOp> ops;
+};
+
+struct Litmus {
+  std::string name;
+  u32 nvars = 0;
+  u32 nregs = 0;     // registers are numbered globally across threads
+  u32 nmutexes = 0;
+  // Default placement puts each variable on its own page (commits to distinct
+  // variables touch distinct pages). When set, all variables share one page at
+  // 8-byte offsets, forcing byte-level merges of racy commits.
+  bool vars_same_page = false;
+  std::vector<LitmusThread> threads;
+
+  // Static footprint (page-independent): variables read / written by thread t.
+  std::set<u32> ReadSet(u32 t) const;
+  std::set<u32> WriteSet(u32 t) const;
+  bool UsesLocks(u32 t) const;
+};
+
+// A terminal state: every register's final value plus final memory.
+struct Outcome {
+  std::vector<u64> regs;
+  std::vector<u64> mem;
+
+  bool operator==(const Outcome& o) const { return regs == o.regs && mem == o.mem; }
+  bool operator<(const Outcome& o) const {
+    return regs != o.regs ? regs < o.regs : mem < o.mem;
+  }
+  std::string ToString() const;
+};
+
+using OutcomeSet = std::set<Outcome>;
+
+std::string ToString(const OutcomeSet& s);
+
+// One conformance scenario: a litmus plus its classic distinguished outcome.
+struct LitmusShape {
+  Litmus litmus;
+  std::string marked_desc;  // human-readable description of the marked outcome
+  std::function<bool(const Outcome&)> marked;  // identifies the marked outcome
+  bool forbidden = true;  // TSO forbids the marked outcome (else: required witness)
+};
+
+// The conformance catalog (>= 8 classic TSO shapes + system-specific ones).
+const std::vector<LitmusShape>& Catalog();
+
+// Catalog entry by name (dies if absent).
+const LitmusShape& ShapeByName(const std::string& name);
+
+}  // namespace csq::tso

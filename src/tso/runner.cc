@@ -1,0 +1,101 @@
+#include "src/tso/runner.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/hash.h"
+
+namespace csq::tso {
+
+u64 VarAddr(const Litmus& lit, u32 var, u32 page_size) {
+  if (lit.vars_same_page) {
+    return static_cast<u64>(page_size) + var * 8ULL;
+  }
+  return static_cast<u64>(var + 1) * page_size;
+}
+
+u32 VarPage(const Litmus& lit, u32 var, u32 page_size) {
+  return static_cast<u32>(VarAddr(lit, var, page_size) / page_size);
+}
+
+namespace {
+
+void ExecThread(rt::ThreadApi& api, const Litmus& lit, u32 t,
+                const std::vector<rt::MutexId>& mutexes, u32 page_size,
+                std::vector<u64>& regs) {
+  for (const LOp& op : lit.threads[t].ops) {
+    switch (op.kind) {
+      case LOpKind::kStore:
+        api.Store<u64>(VarAddr(lit, op.var, page_size), op.value);
+        break;
+      case LOpKind::kLoad:
+        regs[op.reg] = api.Load<u64>(VarAddr(lit, op.var, page_size));
+        break;
+      case LOpKind::kFence:
+        api.Fence();
+        break;
+      case LOpKind::kRmwAdd:
+        regs[op.reg] = api.AtomicRmw(VarAddr(lit, op.var, page_size), rt::RmwOp::kAdd, op.value);
+        break;
+      case LOpKind::kLock:
+        api.Lock(mutexes[op.mutex]);
+        break;
+      case LOpKind::kUnlock:
+        api.Unlock(mutexes[op.mutex]);
+        break;
+      case LOpKind::kWork:
+        api.Work(op.value);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Outcome RunLitmus(rt::Backend b, const Litmus& lit, rt::RuntimeConfig cfg,
+                  rt::RunResult* result) {
+  const u32 nthreads = static_cast<u32>(lit.threads.size());
+  cfg.nthreads = nthreads;
+  const u32 page_size = cfg.segment.page_size;
+  CSQ_CHECK(VarAddr(lit, lit.nvars ? lit.nvars - 1 : 0, page_size) + 8 <=
+            cfg.segment.size_bytes);
+
+  Outcome out;
+  out.regs.assign(lit.nregs, 0);
+  out.mem.assign(lit.nvars, 0);
+
+  auto runtime = rt::MakeRuntime(b, cfg);
+  const rt::RunResult res = runtime->Run([&](rt::ThreadApi& main) -> u64 {
+    std::vector<rt::MutexId> mutexes;
+    for (u32 m = 0; m < lit.nmutexes; ++m) {
+      mutexes.push_back(main.CreateMutex());
+    }
+    std::vector<rt::ThreadHandle> hs;
+    hs.reserve(nthreads);
+    for (u32 t = 0; t < nthreads; ++t) {
+      hs.push_back(main.SpawnThread([&lit, &mutexes, &out, t, page_size](rt::ThreadApi& api) {
+        ExecThread(api, lit, t, mutexes, page_size, out.regs);
+      }));
+    }
+    for (rt::ThreadHandle h : hs) {
+      main.JoinThread(h);  // join is an acquire: main sees every final commit
+    }
+    for (u32 v = 0; v < lit.nvars; ++v) {
+      out.mem[v] = main.Load<u64>(VarAddr(lit, v, page_size));
+    }
+    Fnv1a digest;
+    for (u64 r : out.regs) {
+      digest.Mix(r);
+    }
+    for (u64 m : out.mem) {
+      digest.Mix(m);
+    }
+    return digest.Digest();
+  });
+  if (result != nullptr) {
+    *result = res;
+  }
+  return out;
+}
+
+}  // namespace csq::tso

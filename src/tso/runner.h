@@ -1,0 +1,30 @@
+// Executes a Litmus program on any backend through the public rt::ThreadApi.
+//
+// Variable placement: by default variable v lives at page (v+1) of the
+// segment (commits to distinct variables touch distinct pages); with
+// Litmus::vars_same_page all variables pack into page 1 at 8-byte offsets
+// (racy commits must byte-merge). Registers live host-side: litmus threads
+// write into a plain vector — safe because the simulation is single-threaded
+// on the host — and final memory is read by the main thread after joining
+// all workers.
+#pragma once
+
+#include "src/rt/api.h"
+#include "src/tso/litmus.h"
+
+namespace csq::tso {
+
+// Address of variable `var` under `lit`'s placement for the given page size.
+u64 VarAddr(const Litmus& lit, u32 var, u32 page_size);
+
+// Page index of variable `var`.
+u32 VarPage(const Litmus& lit, u32 var, u32 page_size);
+
+// Runs `lit` once on backend `b`. `cfg` carries backend knobs (jitter, async
+// lock mode, observer, token arbiter, ...); nthreads is set from the litmus.
+// The returned outcome also folds into RunResult::checksum, so checksum
+// comparisons across runs compare outcomes.
+Outcome RunLitmus(rt::Backend b, const Litmus& lit, rt::RuntimeConfig cfg,
+                  rt::RunResult* result = nullptr);
+
+}  // namespace csq::tso

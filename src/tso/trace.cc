@@ -1,0 +1,253 @@
+#include "src/tso/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace csq::tso {
+
+namespace {
+
+const char* KindName(TsoEventKind k) {
+  switch (k) {
+    case TsoEventKind::kTokenGrant:
+      return "token-grant";
+    case TsoEventKind::kTokenRelease:
+      return "token-release";
+    case TsoEventKind::kAcquire:
+      return "acquire";
+    case TsoEventKind::kSyncRelease:
+      return "release";
+    case TsoEventKind::kCommit:
+      return "commit";
+    case TsoEventKind::kUpdate:
+      return "update";
+    case TsoEventKind::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TsoEvent::ToString() const {
+  std::ostringstream os;
+  os << KindName(kind) << " tid=" << tid;
+  switch (kind) {
+    case TsoEventKind::kTokenGrant:
+    case TsoEventKind::kTokenRelease:
+      os << " count=" << a << " seq=" << b;
+      break;
+    case TsoEventKind::kAcquire:
+    case TsoEventKind::kSyncRelease:
+      os << " obj=0x" << std::hex << a << std::dec;
+      break;
+    case TsoEventKind::kCommit:
+      os << " version=" << a << " pages=[";
+      for (usize i = 0; i < pages.size(); ++i) {
+        os << (i ? " " : "") << pages[i];
+      }
+      os << "]";
+      break;
+    case TsoEventKind::kUpdate:
+      os << " from=" << a << " to=" << b << " changed=" << c;
+      break;
+    case TsoEventKind::kMerge:
+      os << " page=" << (pages.empty() ? 0 : pages[0]) << " version=" << a
+         << " base=" << b << " bytes=" << c << (flag ? " rebase" : " resolve");
+      break;
+  }
+  return os.str();
+}
+
+u64 TsoTrace::EventCount() const {
+  u64 n = grants.size();
+  for (const auto& s : per_thread) {
+    n += s.size();
+  }
+  return n;
+}
+
+std::vector<TsoEvent>& TraceRecorder::Stream(u32 tid) {
+  if (trace_.per_thread.size() <= tid) {
+    trace_.per_thread.resize(tid + 1);
+  }
+  return trace_.per_thread[tid];
+}
+
+void TraceRecorder::OnAcquire(u32 tid, u64 object) {
+  TsoEvent e;
+  e.kind = TsoEventKind::kAcquire;
+  e.tid = tid;
+  e.a = object;
+  Stream(tid).push_back(std::move(e));
+}
+
+void TraceRecorder::OnRelease(u32 tid, u64 object) {
+  TsoEvent e;
+  e.kind = TsoEventKind::kSyncRelease;
+  e.tid = tid;
+  e.a = object;
+  Stream(tid).push_back(std::move(e));
+}
+
+void TraceRecorder::OnCommit(u32 tid, const std::vector<u32>& pages) {
+  // Page sets of commits are covered by OnCommitVersion (which also carries
+  // the version); the legacy OnCommit edge adds nothing to the canonical
+  // trace, so it is deliberately not recorded.
+  (void)tid;
+  (void)pages;
+}
+
+void TraceRecorder::OnTokenGrant(u32 tid, u64 count, u64 seq) {
+  TsoEvent e;
+  e.kind = TsoEventKind::kTokenGrant;
+  e.tid = tid;
+  e.a = count;
+  e.b = seq;
+  Stream(tid).push_back(e);
+  trace_.grants.push_back(std::move(e));
+}
+
+void TraceRecorder::OnTokenRelease(u32 tid, u64 count, u64 seq) {
+  TsoEvent e;
+  e.kind = TsoEventKind::kTokenRelease;
+  e.tid = tid;
+  e.a = count;
+  e.b = seq;
+  Stream(tid).push_back(e);
+  trace_.grants.push_back(std::move(e));
+}
+
+void TraceRecorder::OnCommitVersion(u32 tid, u64 version, const std::vector<u32>& pages) {
+  TsoEvent e;
+  e.kind = TsoEventKind::kCommit;
+  e.tid = tid;
+  e.a = version;
+  e.pages = pages;
+  Stream(tid).push_back(std::move(e));
+}
+
+void TraceRecorder::OnUpdate(u32 tid, u64 from, u64 to, u64 pages_refreshed) {
+  TsoEvent e;
+  e.kind = TsoEventKind::kUpdate;
+  e.tid = tid;
+  e.a = from;
+  e.b = to;
+  e.c = pages_refreshed;
+  Stream(tid).push_back(std::move(e));
+}
+
+void TraceRecorder::OnMergeDecision(u32 tid, u32 page, u64 version, u64 base_version,
+                                    u64 bytes, bool rebase) {
+  TsoEvent e;
+  e.kind = TsoEventKind::kMerge;
+  e.tid = tid;
+  e.a = version;
+  e.b = base_version;
+  e.c = bytes;
+  e.flag = rebase;
+  e.pages = {page};
+  Stream(tid).push_back(std::move(e));
+}
+
+namespace {
+
+TraceDiff DiffStreams(const std::string& where, const std::vector<TsoEvent>& expect,
+                      const std::vector<TsoEvent>& got) {
+  const usize n = std::min(expect.size(), got.size());
+  for (usize i = 0; i < n; ++i) {
+    if (!(expect[i] == got[i])) {
+      TraceDiff d;
+      d.diverged = true;
+      std::ostringstream os;
+      os << where << " event " << i << " diverges:\n  expected: " << expect[i].ToString()
+         << "\n  got:      " << got[i].ToString();
+      d.description = os.str();
+      return d;
+    }
+  }
+  if (expect.size() != got.size()) {
+    TraceDiff d;
+    d.diverged = true;
+    std::ostringstream os;
+    os << where << " length mismatch: expected " << expect.size() << " events, got "
+       << got.size();
+    if (expect.size() > n) {
+      os << "\n  first missing: " << expect[n].ToString();
+    } else {
+      os << "\n  first extra:   " << got[n].ToString();
+    }
+    d.description = os.str();
+    return d;
+  }
+  return {};
+}
+
+}  // namespace
+
+TraceDiff DiffTraces(const TsoTrace& expect, const TsoTrace& got) {
+  // The global grant order is the deterministic total order — check it first
+  // so divergences there are reported as such, not as per-thread fallout.
+  TraceDiff d = DiffStreams("token-grant sequence", expect.grants, got.grants);
+  if (d.diverged) {
+    return d;
+  }
+  const usize n = std::max(expect.per_thread.size(), got.per_thread.size());
+  static const std::vector<TsoEvent> kEmpty;
+  for (usize t = 0; t < n; ++t) {
+    const auto& e = t < expect.per_thread.size() ? expect.per_thread[t] : kEmpty;
+    const auto& g = t < got.per_thread.size() ? got.per_thread[t] : kEmpty;
+    std::ostringstream os;
+    os << "thread " << t << " stream";
+    d = DiffStreams(os.str(), e, g);
+    if (d.diverged) {
+      return d;
+    }
+  }
+  return {};
+}
+
+OracleResult CheckDeterminism(rt::Backend b, const Litmus& lit, rt::RuntimeConfig cfg,
+                              const OracleOptions& opt) {
+  CSQ_CHECK_MSG(cfg.observer == nullptr, "oracle installs its own observer");
+  OracleResult result;
+  TsoTrace reference;
+  Outcome ref_outcome;
+  for (u32 run = 0; run < opt.runs; ++run) {
+    TraceRecorder rec;
+    rt::RuntimeConfig c = cfg;
+    c.observer = &rec;
+    c.costs.jitter_bp = opt.jitter_bp;
+    c.costs.jitter_seed = opt.first_seed + run;
+    const Outcome out = RunLitmus(b, lit, c);
+    if (run == 0) {
+      reference = rec.TakeTrace();
+      ref_outcome = out;
+      result.outcome = out;
+      continue;
+    }
+    if (!(out == ref_outcome)) {
+      result.ok = false;
+      std::ostringstream os;
+      os << lit.name << " on " << rt::BackendName(b) << ": outcome diverged at jitter seed "
+         << (opt.first_seed + run) << "\n  expected: " << ref_outcome.ToString()
+         << "\n  got:      " << out.ToString();
+      result.failure = os.str();
+      return result;
+    }
+    const TraceDiff d = DiffTraces(reference, rec.Trace());
+    if (d.diverged) {
+      result.ok = false;
+      std::ostringstream os;
+      os << lit.name << " on " << rt::BackendName(b) << ": trace diverged at jitter seed "
+         << (opt.first_seed + run) << "\n" << d.description;
+      result.failure = os.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace csq::tso

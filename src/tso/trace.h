@@ -1,0 +1,113 @@
+// Canonical execution traces and the cross-run determinism oracle.
+//
+// A deterministic backend must produce the same *events*, not just the same
+// checksum, on every jittered run. The oracle records a canonical trace via
+// the SyncObserver hooks (token grants/releases, sync-object acquire/release
+// edges, commit versions with page sets, snapshot updates, byte-merge
+// decisions) and diffs traces across runs, reporting the FIRST divergent
+// event — a far better failure message than a checksum mismatch.
+//
+// Trace layout: per-thread event streams plus the global token-grant
+// sequence. Per-thread streams are program-ordered and jitter-invariant even
+// for token-free phase-two work (async commits, barrier installs); a single
+// global stream over those events would NOT be jitter-invariant, because the
+// host-level interleaving of different threads' token-free events moves with
+// virtual-time jitter. The global grant sequence is the deterministic total
+// order the paper's token defines, so it is recorded globally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/rt/api.h"
+#include "src/tso/litmus.h"
+#include "src/tso/runner.h"
+
+namespace csq::tso {
+
+enum class TsoEventKind : u8 {
+  kTokenGrant,    // a=count, b=seq
+  kTokenRelease,  // a=count, b=seq
+  kAcquire,       // a=object id
+  kSyncRelease,   // a=object id
+  kCommit,        // a=version, pages=install-ordered page set
+  kUpdate,        // a=from, b=to, c=pages changed
+  kMerge,         // a=version, b=base version, c=bytes, page=pages[0], rebase in flag
+};
+
+struct TsoEvent {
+  TsoEventKind kind{};
+  u32 tid = 0;
+  u64 a = 0;
+  u64 b = 0;
+  u64 c = 0;
+  bool flag = false;
+  std::vector<u32> pages;
+
+  bool operator==(const TsoEvent& o) const {
+    return kind == o.kind && tid == o.tid && a == o.a && b == o.b && c == o.c &&
+           flag == o.flag && pages == o.pages;
+  }
+  std::string ToString() const;
+};
+
+struct TsoTrace {
+  std::vector<std::vector<TsoEvent>> per_thread;
+  std::vector<TsoEvent> grants;  // global grant/release order
+
+  u64 EventCount() const;
+};
+
+// SyncObserver implementation building a TsoTrace. Install via
+// RuntimeConfig::observer before the run.
+class TraceRecorder final : public rt::SyncObserver {
+ public:
+  const TsoTrace& Trace() const { return trace_; }
+  TsoTrace TakeTrace() { return std::move(trace_); }
+
+  void OnAcquire(u32 tid, u64 object) override;
+  void OnRelease(u32 tid, u64 object) override;
+  void OnCommit(u32 tid, const std::vector<u32>& pages) override;
+  void OnTokenGrant(u32 tid, u64 count, u64 seq) override;
+  void OnTokenRelease(u32 tid, u64 count, u64 seq) override;
+  void OnCommitVersion(u32 tid, u64 version, const std::vector<u32>& pages) override;
+  void OnUpdate(u32 tid, u64 from, u64 to, u64 pages_refreshed) override;
+  void OnMergeDecision(u32 tid, u32 page, u64 version, u64 base_version, u64 bytes,
+                       bool rebase) override;
+
+ private:
+  std::vector<TsoEvent>& Stream(u32 tid);
+  TsoTrace trace_;
+};
+
+// First divergence between two traces (empty description when identical).
+struct TraceDiff {
+  bool diverged = false;
+  std::string description;
+};
+
+TraceDiff DiffTraces(const TsoTrace& expect, const TsoTrace& got);
+
+// ---- The oracle ------------------------------------------------------------
+
+struct OracleOptions {
+  u32 runs = 20;        // jittered runs per shape
+  u32 jitter_bp = 1200; // +-12% timing perturbation
+  u64 first_seed = 1;   // seeds first_seed .. first_seed+runs-1
+};
+
+struct OracleResult {
+  bool ok = true;
+  // On failure: which seed diverged and the first divergent event.
+  std::string failure;
+  Outcome outcome;  // the reference (seed 0 == first run) outcome
+};
+
+// Runs `lit` on backend `b` `opt.runs` times under different jitter seeds,
+// recording a canonical trace each time; fails on the first divergent event
+// (or outcome mismatch). `cfg` must not carry an observer (the oracle installs
+// its own recorder).
+OracleResult CheckDeterminism(rt::Backend b, const Litmus& lit, rt::RuntimeConfig cfg,
+                              const OracleOptions& opt = {});
+
+}  // namespace csq::tso

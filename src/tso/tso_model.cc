@@ -1,0 +1,195 @@
+#include "src/tso/tso_model.h"
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace csq::tso {
+
+namespace {
+
+// One abstract-machine configuration. Everything is small and value-typed so
+// states can be serialized for memoization.
+struct MachState {
+  std::vector<u32> pc;                          // per thread: next op index
+  std::vector<std::deque<std::pair<u32, u64>>>  // per thread: FIFO (var, value)
+      buf;
+  std::vector<u64> mem;
+  std::vector<u64> regs;
+  std::vector<u32> lock_owner;  // per mutex: owner+1, 0 = free
+
+  std::string Key() const {
+    std::string k;
+    k.reserve(64);
+    auto put = [&k](u64 v) {
+      k.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    for (u32 v : pc) put(v);
+    for (const auto& b : buf) {
+      put(b.size());
+      for (const auto& [var, val] : b) {
+        put(var);
+        put(val);
+      }
+    }
+    for (u64 v : mem) put(v);
+    for (u64 v : regs) put(v);
+    for (u32 v : lock_owner) put(v);
+    return k;
+  }
+};
+
+class Enumerator {
+ public:
+  Enumerator(const Litmus& lit, bool sc) : lit_(lit), sc_(sc) {}
+
+  OutcomeSet Run() {
+    MachState s;
+    const u32 n = static_cast<u32>(lit_.threads.size());
+    s.pc.assign(n, 0);
+    s.buf.resize(n);
+    s.mem.assign(lit_.nvars, 0);
+    s.regs.assign(lit_.nregs, 0);
+    s.lock_owner.assign(lit_.nmutexes, 0);
+    Dfs(s);
+    return std::move(outcomes_);
+  }
+
+ private:
+  // Buffered value a load of `var` by `t` forwards, if any (newest first).
+  static bool Forward(const MachState& s, u32 t, u32 var, u64* out) {
+    for (auto it = s.buf[t].rbegin(); it != s.buf[t].rend(); ++it) {
+      if (it->first == var) {
+        *out = it->second;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Dfs(const MachState& s) {
+    if (!seen_.insert(s.Key()).second) {
+      return;
+    }
+    const u32 n = static_cast<u32>(lit_.threads.size());
+    bool terminal = true;
+    for (u32 t = 0; t < n; ++t) {
+      // Transition 1: drain the oldest buffered store of t to memory.
+      if (!s.buf[t].empty()) {
+        terminal = false;
+        MachState next = s;
+        const auto [var, val] = next.buf[t].front();
+        next.buf[t].pop_front();
+        next.mem[var] = val;
+        Dfs(next);
+      }
+      // Transition 2: t executes its next instruction.
+      if (s.pc[t] >= lit_.threads[t].ops.size()) {
+        continue;
+      }
+      const LOp& op = lit_.threads[t].ops[s.pc[t]];
+      const bool drained = s.buf[t].empty();
+      switch (op.kind) {
+        case LOpKind::kStore: {
+          terminal = false;
+          MachState next = s;
+          ++next.pc[t];
+          if (sc_) {
+            next.mem[op.var] = op.value;  // SC: stores hit memory immediately
+          } else {
+            next.buf[t].push_back({op.var, op.value});
+          }
+          Dfs(next);
+          break;
+        }
+        case LOpKind::kLoad: {
+          terminal = false;
+          MachState next = s;
+          ++next.pc[t];
+          u64 v;
+          if (sc_ || !Forward(s, t, op.var, &v)) {
+            v = s.mem[op.var];  // no buffered store of var: read memory
+          }
+          next.regs[op.reg] = v;
+          Dfs(next);
+          break;
+        }
+        case LOpKind::kFence: {
+          if (!drained) {
+            break;  // fence blocks until the buffer drains
+          }
+          terminal = false;
+          MachState next = s;
+          ++next.pc[t];
+          Dfs(next);
+          break;
+        }
+        case LOpKind::kRmwAdd: {
+          if (!drained) {
+            break;  // locked instructions flush the buffer first
+          }
+          terminal = false;
+          MachState next = s;
+          ++next.pc[t];
+          next.regs[op.reg] = s.mem[op.var];
+          next.mem[op.var] = s.mem[op.var] + op.value;  // atomic: bypasses the buffer
+          Dfs(next);
+          break;
+        }
+        case LOpKind::kLock: {
+          if (!drained || s.lock_owner[op.mutex] != 0) {
+            break;  // acquisition is an RMW on a free lock word
+          }
+          terminal = false;
+          MachState next = s;
+          ++next.pc[t];
+          next.lock_owner[op.mutex] = t + 1;
+          Dfs(next);
+          break;
+        }
+        case LOpKind::kUnlock: {
+          if (!drained) {
+            break;  // x86 release: preceding stores visible before the release
+          }
+          CSQ_CHECK_MSG(s.lock_owner[op.mutex] == t + 1, "model: unlock of unowned mutex");
+          terminal = false;
+          MachState next = s;
+          ++next.pc[t];
+          next.lock_owner[op.mutex] = 0;
+          Dfs(next);
+          break;
+        }
+        case LOpKind::kWork: {
+          terminal = false;
+          MachState next = s;
+          ++next.pc[t];
+          Dfs(next);
+          break;
+        }
+      }
+    }
+    if (terminal) {
+      // No transition fired: buffers are empty (drains are transitions) and —
+      // for deadlock-free litmuses — every program counter is at its end.
+      for (u32 t = 0; t < n; ++t) {
+        CSQ_CHECK_MSG(s.pc[t] >= lit_.threads[t].ops.size(), "model: litmus deadlocks");
+      }
+      outcomes_.insert(Outcome{s.regs, s.mem});
+    }
+  }
+
+  const Litmus& lit_;
+  const bool sc_;
+  OutcomeSet outcomes_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace
+
+OutcomeSet AllowedOutcomes(const Litmus& lit) { return Enumerator(lit, /*sc=*/false).Run(); }
+
+OutcomeSet ScOutcomes(const Litmus& lit) { return Enumerator(lit, /*sc=*/true).Run(); }
+
+}  // namespace csq::tso

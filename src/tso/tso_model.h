@@ -1,0 +1,33 @@
+// Reference x86-TSO operational model (Owens/Sarkar/Sewell style).
+//
+// Exhaustively enumerates every terminal state of a Litmus under the abstract
+// TSO machine: per-thread FIFO store buffers with store-to-load forwarding,
+// nondeterministic buffer drains, fences/RMWs/lock-ops requiring a drained
+// buffer, and a single coherent shared memory.
+//
+// The model is intentionally MORE permissive than the implementation under
+// test (a real schedule explorer observes a subset of the interleavings the
+// abstract machine allows). Conformance is therefore one-directional:
+//
+//     outcomes observed on any deterministic backend  ⊆  AllowedOutcomes()
+//
+// plus spot assertions that specific classic witnesses (e.g. SB's r0=r1=0)
+// are in the allowed set and specific forbidden outcomes are not.
+#pragma once
+
+#include "src/tso/litmus.h"
+
+namespace csq::tso {
+
+// Every outcome the abstract TSO machine can reach for `lit` (memoized DFS
+// over all interleavings; litmus programs are small enough for this to be
+// exact). Lock acquisition is modeled as an atomic RMW: requires a drained
+// buffer and a free mutex.
+OutcomeSet AllowedOutcomes(const Litmus& lit);
+
+// Sequentially consistent subset (no store buffers): used to sanity-check the
+// model itself — SC outcomes must always be contained in the TSO set, and for
+// SB the containment must be strict.
+OutcomeSet ScOutcomes(const Litmus& lit);
+
+}  // namespace csq::tso

@@ -10,11 +10,17 @@
 //     including the racy variants (arbitrary overlapping stores).
 //
 // Each seed generates a different program shape; the sweep runs 12 seeds x
-// both variants. This is the repository's strongest integration check: any
-// divergence in commit/merge/update/lock semantics between the runtimes
-// surfaces here as a checksum mismatch with a seed to reproduce it.
+// both variants by default, and CSQ_FUZZ_SEEDS=N promotes it to a long
+// N-seed campaign (nightly CI runs 96). This is the repository's strongest
+// integration check: any divergence in commit/merge/update/lock semantics
+// between the runtimes surfaces here as a checksum mismatch — and a failing
+// program is greedily shrunk to a minimal op list before being reported.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/rt/api.h"
@@ -160,11 +166,10 @@ RunResult RunOn(Backend b, const Program& p, u64 jitter_seed = 0, u32 jitter_bp 
   return MakeRuntime(b, cfg)->Run([&p](ThreadApi& api) { return RunProgram(api, p); });
 }
 
-class FuzzSweep : public ::testing::TestWithParam<FuzzParams> {};
-
-TEST_P(FuzzSweep, RaceFreeProgramsAgreeEverywhereRacyOnesAreStillDeterministic) {
-  const FuzzParams fp = GetParam();
-  const Program p = Generate(fp.seed, fp.racy);
+// Runs every cross-backend check on `p`, returning the first failure (or
+// nullopt). Factored out of the test body so the shrinker can re-evaluate
+// mutated programs.
+std::optional<std::string> CheckProgram(const Program& p, bool racy) {
   // The locked cells use only commutative ops (add/xor), so even different
   // lock-grant orders yield identical final cell values; race-free programs
   // must therefore agree across all five backends.
@@ -172,20 +177,155 @@ TEST_P(FuzzSweep, RaceFreeProgramsAgreeEverywhereRacyOnesAreStillDeterministic) 
   for (Backend b : {Backend::kDThreads, Backend::kDwc, Backend::kConsequenceRR,
                     Backend::kConsequenceIC}) {
     const u64 base = RunOn(b, p).checksum;
-    if (!fp.racy) {
-      EXPECT_EQ(base, pthreads) << BackendName(b) << " seed " << fp.seed;
+    if (!racy && base != pthreads) {
+      std::ostringstream os;
+      os << BackendName(b) << " disagrees with pthreads (" << base << " vs " << pthreads
+         << ")";
+      return os.str();
     }
     // Jitter invariance for every generated program, racy or not.
-    EXPECT_EQ(RunOn(b, p, 31, 1200).checksum, base)
-        << BackendName(b) << " seed " << fp.seed << " jitter 31";
-    EXPECT_EQ(RunOn(b, p, 77, 1200).checksum, base)
-        << BackendName(b) << " seed " << fp.seed << " jitter 77";
+    for (u64 jseed : {31, 77}) {
+      const u64 jittered = RunOn(b, p, jseed, 1200).checksum;
+      if (jittered != base) {
+        std::ostringstream os;
+        os << BackendName(b) << " not jitter-invariant at jitter seed " << jseed << " ("
+           << jittered << " vs " << base << ")";
+        return os.str();
+      }
+    }
   }
+  return std::nullopt;
 }
 
+const char* OpName(Op::Kind k) {
+  switch (k) {
+    case Op::Kind::kWork:
+      return "work";
+    case Op::Kind::kStore:
+      return "store";
+    case Op::Kind::kLockedAdd:
+      return "locked-add";
+    case Op::Kind::kLockedXor:
+      return "locked-xor";
+    case Op::Kind::kRacyStore:
+      return "racy-store";
+  }
+  return "?";
+}
+
+std::string Describe(const Program& p) {
+  std::ostringstream os;
+  os << "workers=" << p.workers << " rounds=" << p.rounds << " nlocks=" << p.nlocks
+     << " ncells=" << p.ncells << "\n";
+  for (u32 w = 0; w < p.workers; ++w) {
+    for (u32 r = 0; r < p.rounds; ++r) {
+      os << "  w" << w << " r" << r << ":";
+      for (const Op& op : p.ops[w][r]) {
+        os << " " << OpName(op.kind) << "(a=" << op.a << ",b=" << op.b;
+        if (op.kind == Op::Kind::kLockedAdd || op.kind == Op::Kind::kLockedXor) {
+          os << ",lock=" << op.lock;
+        }
+        os << ")";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+u64 OpCount(const Program& p) {
+  u64 n = 0;
+  for (const auto& w : p.ops) {
+    for (const auto& r : w) {
+      n += r.size();
+    }
+  }
+  return n;
+}
+
+// Greedy shrink: repeatedly try structural reductions (drop a worker, drop a
+// round, drop a single op), keeping any mutation under which the failure
+// persists, until a fixpoint or the evaluation budget runs out. Returns the
+// minimal failing program.
+Program Shrink(Program p, bool racy, u32 budget = 400) {
+  auto still_fails = [&](const Program& cand) {
+    if (budget == 0) {
+      return false;
+    }
+    --budget;
+    return CheckProgram(cand, racy).has_value();
+  };
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    for (u32 w = 0; p.workers > 1 && w < p.workers; ++w) {
+      Program cand = p;
+      cand.ops.erase(cand.ops.begin() + w);
+      --cand.workers;
+      if (still_fails(cand)) {
+        p = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+    for (u32 r = 0; p.rounds > 1 && r < p.rounds; ++r) {
+      Program cand = p;
+      for (auto& ops : cand.ops) {
+        ops.erase(ops.begin() + r);
+      }
+      --cand.rounds;
+      if (still_fails(cand)) {
+        p = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+    for (u32 w = 0; w < p.workers && !progress; ++w) {
+      for (u32 r = 0; r < p.rounds && !progress; ++r) {
+        for (usize i = 0; i < p.ops[w][r].size(); ++i) {
+          Program cand = p;
+          cand.ops[w][r].erase(cand.ops[w][r].begin() + static_cast<i64>(i));
+          if (still_fails(cand)) {
+            p = std::move(cand);
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return p;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(FuzzSweep, RaceFreeProgramsAgreeEverywhereRacyOnesAreStillDeterministic) {
+  const FuzzParams fp = GetParam();
+  const Program p = Generate(fp.seed, fp.racy);
+  const std::optional<std::string> failure = CheckProgram(p, fp.racy);
+  if (!failure) {
+    return;
+  }
+  const Program min = Shrink(p, fp.racy);
+  const std::optional<std::string> min_failure = CheckProgram(min, fp.racy);
+  ADD_FAILURE() << "seed " << fp.seed << (fp.racy ? " (racy)" : " (clean)") << ": " << *failure
+                << "\nshrunk from " << OpCount(p) << " to " << OpCount(min)
+                << " ops; minimal failing program ("
+                << (min_failure ? *min_failure : *failure) << "):\n" << Describe(min);
+}
+
+// Sweep size: 12 seeds by default; CSQ_FUZZ_SEEDS=N promotes the sweep to a
+// long fuzzing campaign (both variants per seed).
 std::vector<FuzzParams> MakeSweep() {
+  u64 nseeds = 12;
+  if (const char* env = std::getenv("CSQ_FUZZ_SEEDS")) {
+    const long v = std::atol(env);
+    if (v > 0) {
+      nseeds = static_cast<u64>(v);
+    }
+  }
   std::vector<FuzzParams> out;
-  for (u64 seed = 1; seed <= 12; ++seed) {
+  for (u64 seed = 1; seed <= nseeds; ++seed) {
     out.push_back({seed, false});
     out.push_back({seed, true});
   }

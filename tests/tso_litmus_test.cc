@@ -1,0 +1,210 @@
+// TSO conformance: every catalog shape, on every deterministic backend, under
+// exhaustive token-schedule exploration, must stay inside the reference TSO
+// model's allowed outcome set; forbidden classic outcomes must be unreachable
+// and required witnesses (SB's r0=r1=0) must actually show up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/tso/explorer.h"
+#include "src/tso/litmus.h"
+#include "src/tso/runner.h"
+#include "src/tso/trace.h"
+#include "src/tso/tso_model.h"
+
+namespace csq::tso {
+namespace {
+
+constexpr rt::Backend kDetBackends[] = {
+    rt::Backend::kDThreads,
+    rt::Backend::kDwc,
+    rt::Backend::kConsequenceRR,
+    rt::Backend::kConsequenceIC,
+};
+
+rt::RuntimeConfig BaseCfg() {
+  rt::RuntimeConfig cfg;
+  cfg.segment.size_bytes = 1 << 20;
+  return cfg;
+}
+
+bool Marked(const LitmusShape& shape, const OutcomeSet& s) {
+  return std::any_of(s.begin(), s.end(),
+                     [&](const Outcome& o) { return shape.marked(o); });
+}
+
+TEST(TsoCatalog, HasTheClassicShapes) {
+  ASSERT_GE(Catalog().size(), 8u);
+  for (const char* name : {"SB", "SB+fences", "SB+rmws", "MP+fences", "LB", "IRIW+fences",
+                           "2+2W", "R", "S", "LockMP", "2W-samepage"}) {
+    EXPECT_NO_FATAL_FAILURE(ShapeByName(name)) << name;
+  }
+}
+
+// The reference model itself: SC outcomes are always a subset of TSO outcomes,
+// forbidden marked outcomes are absent from the allowed set, and allowed
+// witnesses are present. For SB the TSO set must be STRICTLY larger than SC
+// (the relaxed witness is exactly what store buffering adds).
+TEST(TsoModel, ScContainedInTsoAndMarksClassified) {
+  for (const LitmusShape& shape : Catalog()) {
+    SCOPED_TRACE(shape.litmus.name);
+    const OutcomeSet tso = AllowedOutcomes(shape.litmus);
+    const OutcomeSet sc = ScOutcomes(shape.litmus);
+    ASSERT_FALSE(tso.empty());
+    for (const Outcome& o : sc) {
+      EXPECT_TRUE(tso.count(o)) << "SC outcome outside TSO set: " << o.ToString();
+    }
+    if (shape.forbidden) {
+      EXPECT_FALSE(Marked(shape, tso))
+          << "model allows the forbidden outcome: " << shape.marked_desc;
+    } else {
+      EXPECT_TRUE(Marked(shape, tso))
+          << "model misses the required witness: " << shape.marked_desc;
+    }
+  }
+  const LitmusShape& sb = ShapeByName("SB");
+  EXPECT_FALSE(Marked(sb, ScOutcomes(sb.litmus)))
+      << "SB's relaxed witness must not be SC-reachable";
+}
+
+class TsoConformanceTest
+    : public ::testing::TestWithParam<std::tuple<usize, usize>> {};
+
+TEST_P(TsoConformanceTest, ExhaustiveExplorationStaysWithinTso) {
+  const LitmusShape& shape = Catalog()[std::get<0>(GetParam())];
+  const rt::Backend b = kDetBackends[std::get<1>(GetParam())];
+  ExploreOptions opt;
+  opt.max_runs = 40000;  // IRIW on cons-ic needs ~30k; every other shape ≪ 10k
+  const ExploreResult r = Explore(b, shape.litmus, BaseCfg(), opt);
+  EXPECT_TRUE(r.complete) << "exploration truncated after " << r.runs << " runs";
+  EXPECT_GT(r.runs, 1u) << "explorer found nothing to branch on";
+
+  const OutcomeSet allowed = AllowedOutcomes(shape.litmus);
+  for (const Outcome& o : r.outcomes) {
+    EXPECT_TRUE(allowed.count(o))
+        << rt::BackendName(b) << " reached a TSO-forbidden outcome: " << o.ToString();
+  }
+  if (shape.forbidden) {
+    EXPECT_FALSE(Marked(shape, r.outcomes))
+        << rt::BackendName(b) << " reached: " << shape.marked_desc;
+  } else {
+    EXPECT_TRUE(Marked(shape, r.outcomes))
+        << rt::BackendName(b) << " never produced the witness (" << shape.marked_desc
+        << ") in " << r.runs << " runs; observed " << ToString(r.outcomes);
+  }
+  for (const std::string& v : r.lww_violations) {
+    ADD_FAILURE() << "last-writer-wins violation: " << v;
+  }
+}
+
+std::string ConformanceName(const ::testing::TestParamInfo<std::tuple<usize, usize>>& info) {
+  std::string n = Catalog()[std::get<0>(info.param)].litmus.name + "_" +
+                  std::string(rt::BackendName(kDetBackends[std::get<1>(info.param)]));
+  for (char& c : n) {
+    if (!isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapesAllBackends, TsoConformanceTest,
+    ::testing::Combine(::testing::Range<usize>(0, Catalog().size()),
+                       ::testing::Range<usize>(0, std::size(kDetBackends))),
+    ConformanceName);
+
+// DPOR-style pruning must be outcome-preserving: pruned and unpruned
+// exploration reach exactly the same outcome set (pruning only skips branches
+// that provably commute).
+TEST(TsoExplorer, PruningLosesNoOutcomes) {
+  for (const char* name : {"SB", "2+2W", "S", "2W-samepage"}) {
+    SCOPED_TRACE(name);
+    const LitmusShape& shape = ShapeByName(name);
+    ExploreOptions pruned;
+    pruned.max_runs = 20000;
+    ExploreOptions full = pruned;
+    full.prune_independent = false;
+    const ExploreResult rp = Explore(rt::Backend::kConsequenceIC, shape.litmus, BaseCfg(), pruned);
+    const ExploreResult rf = Explore(rt::Backend::kConsequenceIC, shape.litmus, BaseCfg(), full);
+    ASSERT_TRUE(rp.complete);
+    ASSERT_TRUE(rf.complete);
+    EXPECT_EQ(rp.outcomes, rf.outcomes)
+        << "pruned " << ToString(rp.outcomes) << " vs full " << ToString(rf.outcomes);
+    EXPECT_LE(rp.runs, rf.runs);
+  }
+}
+
+// Exploration under jitter: the token order fully determines the outcome, so
+// a jittered exploration must reach exactly the same outcome set.
+TEST(TsoExplorer, JitterDoesNotChangeReachableOutcomes) {
+  const LitmusShape& shape = ShapeByName("SB");
+  ExploreOptions plain;
+  ExploreOptions jittered;
+  jittered.jitter_seed = 99;
+  jittered.jitter_bp = 1500;
+  const ExploreResult a = Explore(rt::Backend::kConsequenceIC, shape.litmus, BaseCfg(), plain);
+  const ExploreResult b = Explore(rt::Backend::kConsequenceIC, shape.litmus, BaseCfg(), jittered);
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(b.complete);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+}
+
+// Regression for the async lock-commit path (paper §5: commit work moved off
+// the token's critical path): the message-passing and store-buffering shapes
+// must keep exactly the same conformance guarantees with it enabled.
+class TsoAsyncLockCommitTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(TsoAsyncLockCommitTest, ShapesStayConformant) {
+  const rt::Backend b = kDetBackends[GetParam()];
+  for (const char* name : {"SB", "SB+fences", "MP+fences", "LockMP"}) {
+    SCOPED_TRACE(name);
+    const LitmusShape& shape = ShapeByName(name);
+    rt::RuntimeConfig cfg = BaseCfg();
+    cfg.async_lock_commit = true;
+    ExploreOptions opt;
+    opt.max_runs = 20000;
+    const ExploreResult r = Explore(b, shape.litmus, cfg, opt);
+    ASSERT_TRUE(r.complete);
+    const OutcomeSet allowed = AllowedOutcomes(shape.litmus);
+    for (const Outcome& o : r.outcomes) {
+      EXPECT_TRUE(allowed.count(o)) << "async_lock_commit outcome: " << o.ToString();
+    }
+    if (shape.forbidden) {
+      EXPECT_FALSE(Marked(shape, r.outcomes)) << shape.marked_desc;
+    } else {
+      EXPECT_TRUE(Marked(shape, r.outcomes)) << shape.marked_desc;
+    }
+    EXPECT_TRUE(r.lww_violations.empty());
+
+    OracleOptions oopt;
+    oopt.runs = 8;
+    const OracleResult orr = CheckDeterminism(b, shape.litmus, cfg, oopt);
+    EXPECT_TRUE(orr.ok) << orr.failure;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetBackends, TsoAsyncLockCommitTest,
+                         ::testing::Range<usize>(0, std::size(kDetBackends)),
+                         [](const ::testing::TestParamInfo<usize>& info) {
+                           std::string n(rt::BackendName(kDetBackends[info.param]));
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+// The nondeterministic pthreads baseline runs each litmus once (the simulator
+// gives it one legal schedule); whatever it produces must still be TSO.
+TEST(TsoPthreadsBaseline, SingleScheduleIsTsoAllowed) {
+  for (const LitmusShape& shape : Catalog()) {
+    SCOPED_TRACE(shape.litmus.name);
+    const Outcome o = RunLitmus(rt::Backend::kPthreads, shape.litmus, BaseCfg());
+    EXPECT_TRUE(AllowedOutcomes(shape.litmus).count(o)) << o.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace csq::tso
