@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "src/harness/harness.h"
+#include "src/util/stats.h"
 #include "src/util/rng.h"
 
 using namespace csq;           // NOLINT
@@ -85,11 +86,13 @@ int main() {
   for (u32 t : threads) {
     headers.push_back(std::to_string(t) + "thr");
   }
+  headers.push_back("wall(ms)");
   TablePrinter tp(headers);
   for (const char* name : benches) {
     const wl::WorkloadInfo* w = wl::FindWorkload(name);
     for (const bool async_mode : {false, true}) {
       std::vector<std::string> row = {std::string(name), async_mode ? "async" : "sync"};
+      WallTimer row_wall;
       u64 sync_checksum = 0;
       for (u32 t : threads) {
         rt::RuntimeConfig cfg = DefaultConfig(t);
@@ -101,6 +104,7 @@ int main() {
         }
         (void)sync_checksum;
       }
+      row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
       tp.AddRow(std::move(row));
     }
   }
@@ -112,6 +116,7 @@ int main() {
       std::vector<std::string> row = {
           std::string("bank_rp") + std::to_string(record_pages) + "*",
           async_mode ? "async" : "sync"};
+      WallTimer row_wall;
       for (u32 t : threads) {
         rt::RuntimeConfig cfg = DefaultConfig(t);
         cfg.segment.size_bytes = 16 << 20;
@@ -121,6 +126,7 @@ int main() {
                                     ->Run(BankTransfers(t, record_pages));
         row.push_back(TablePrinter::Fmt(static_cast<double>(r.vtime) / 1e6));
       }
+      row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
       tp.AddRow(std::move(row));
     }
   }

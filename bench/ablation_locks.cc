@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/harness/harness.h"
+#include "src/util/stats.h"
 
 using namespace csq;           // NOLINT
 using namespace csq::harness;  // NOLINT
@@ -66,18 +67,21 @@ int main() {
   for (u64 inc : increments) {
     headers.push_back("poll+" + std::to_string(inc));
   }
+  headers.push_back("wall(ms)");
   TablePrinter tp(headers);
   for (const Scenario& s : scenarios) {
     const rt::WorkloadFn fn = ContendedProgram(kThreads, s.cs_work, s.local_work);
     rt::RuntimeConfig cfg = DefaultConfig(kThreads);
     cfg.adaptive_coarsening = false;  // isolate the lock mechanism
     std::vector<std::string> row = {s.name};
+    WallTimer row_wall;
     row.push_back(TablePrinter::Fmt(static_cast<double>(Run(cfg, fn)) / 1000.0));
     for (u64 inc : increments) {
       cfg.kendo_polling_locks = true;
       cfg.kendo_poll_increment = inc;
       row.push_back(TablePrinter::Fmt(static_cast<double>(Run(cfg, fn)) / 1000.0));
     }
+    row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
     tp.AddRow(std::move(row));
   }
   tp.Print(std::cout);

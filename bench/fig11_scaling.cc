@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "src/harness/harness.h"
+#include "src/util/stats.h"
 
 using namespace csq;           // NOLINT
 using namespace csq::harness;  // NOLINT
@@ -20,15 +21,18 @@ int main() {
   for (u32 t : threads) {
     headers.push_back(std::to_string(t) + "thr");
   }
+  headers.push_back("wall(ms)");
   TablePrinter tp(headers);
   for (const char* name : benches) {
     const wl::WorkloadInfo* w = wl::FindWorkload(name);
     for (rt::Backend b : FigureBackends()) {
       std::vector<std::string> row = {std::string(name), std::string(rt::BackendName(b))};
+      WallTimer row_wall;
       for (u32 t : threads) {
         const rt::RunResult r = RunOne(*w, b, t);
         row.push_back(TablePrinter::Fmt(static_cast<double>(r.vtime) / 1e6));
       }
+      row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
       tp.AddRow(std::move(row));
     }
   }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "src/harness/harness.h"
+#include "src/util/stats.h"
 
 using namespace csq;           // NOLINT
 using namespace csq::harness;  // NOLINT
@@ -21,6 +22,7 @@ int main() {
   for (u32 t : threads) {
     headers.push_back(std::to_string(t) + "thr");
   }
+  headers.push_back("wall(ms)");
   TablePrinter tp(headers);
   for (const char* name : benches) {
     const wl::WorkloadInfo* w = wl::FindWorkload(name);
@@ -36,12 +38,14 @@ int main() {
     };
     for (const Variant& v : variants) {
       std::vector<std::string> row = {std::string(name), v.label};
+      WallTimer row_wall;
       for (u32 t : threads) {
         rt::RuntimeConfig cfg = DefaultConfig(t);
         cfg.segment.multithreaded_gc = v.mt_gc;
         const rt::RunResult r = RunOne(*w, v.backend, t, &cfg);
         row.push_back(TablePrinter::Fmt(static_cast<double>(r.peak_mem_bytes) / (1024.0 * 1024.0)));
       }
+      row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
       tp.AddRow(std::move(row));
     }
   }

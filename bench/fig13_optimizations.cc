@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "src/harness/harness.h"
+#include "src/util/stats.h"
 
 using namespace csq;           // NOLINT
 using namespace csq::harness;  // NOLINT
@@ -81,9 +82,11 @@ int main() {
   for (Opt o : opts) {
     headers.push_back(OptName(o));
   }
+  headers.push_back("wall(ms)");
   TablePrinter tp(headers);
   for (const char* name : benches) {
     const wl::WorkloadInfo* w = wl::FindWorkload(name);
+    WallTimer row_wall;
     const rt::RunResult base = RunOne(*w, rt::Backend::kConsequenceIC, kThreads);
     std::vector<std::string> row = {std::string(name)};
     for (Opt o : opts) {
@@ -92,6 +95,7 @@ int main() {
       row.push_back(TablePrinter::Fmt(static_cast<double>(r.vtime) /
                                       static_cast<double>(base.vtime)));
     }
+    row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
     tp.AddRow(std::move(row));
   }
   tp.Print(std::cout);

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "src/harness/harness.h"
+#include "src/util/stats.h"
 
 using namespace csq;           // NOLINT
 using namespace csq::harness;  // NOLINT
@@ -23,10 +24,12 @@ int main() {
     headers.push_back("lvl" + std::to_string(l));
   }
   headers.push_back("adaptive");
+  headers.push_back("wall(ms)");
   TablePrinter tp(headers);
   for (const char* name : {"reverse_index", "ferret"}) {
     const wl::WorkloadInfo* w = wl::FindWorkload(name);
     std::vector<std::string> row = {std::string(name)};
+    WallTimer row_wall;
     for (u32 l : levels) {
       rt::RuntimeConfig cfg = DefaultConfig(kThreads);
       cfg.adaptive_coarsening = false;
@@ -36,6 +39,7 @@ int main() {
     }
     const rt::RunResult adaptive = RunOne(*w, rt::Backend::kConsequenceIC, kThreads);
     row.push_back(TablePrinter::Fmt(static_cast<double>(adaptive.vtime) / 1e6));
+    row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
     tp.AddRow(std::move(row));
   }
   tp.Print(std::cout);

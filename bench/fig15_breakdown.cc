@@ -63,6 +63,7 @@ void PrintRows(TablePrinter& tp, const std::string& bench, rt::Backend b,
                                         static_cast<double>(total), 1));
     }
     cells.push_back(std::to_string(total / 1000));
+    cells.push_back(TablePrinter::Fmt(static_cast<double>(r.host_wall_ns) / 1e6, 1));
     tp.AddRow(std::move(cells));
   }
 }
@@ -77,6 +78,7 @@ int main() {
     headers.push_back(std::string(sim::TimeCatName(static_cast<sim::TimeCat>(c))) + "%");
   }
   headers.push_back("total(k)");
+  headers.push_back("wall(ms)");
   TablePrinter tp(headers);
   for (const char* name : kBenches) {
     const wl::WorkloadInfo* w = wl::FindWorkload(name);

@@ -19,7 +19,7 @@ int main() {
   constexpr u32 kThreads = 8;
   std::printf("Fig 16: pages propagated, TSO (Consequence) vs LRC estimate (%u threads)\n\n",
               kThreads);
-  TablePrinter tp({"benchmark", "tso_pages", "lrc_pages", "lrc/tso"});
+  TablePrinter tp({"benchmark", "tso_pages", "lrc_pages", "lrc/tso", "wall(ms)"});
   std::vector<double> ratios;
   for (const wl::WorkloadInfo& w : wl::AllWorkloads()) {
     if (!w.fig16) {
@@ -36,7 +36,8 @@ int main() {
       ratios.push_back(ratio);
     }
     tp.AddRow({std::string(w.name), TablePrinter::Fmt(r.pages_propagated),
-               TablePrinter::Fmt(model.PagesPropagated()), TablePrinter::Fmt(ratio)});
+               TablePrinter::Fmt(model.PagesPropagated()), TablePrinter::Fmt(ratio),
+               TablePrinter::Fmt(static_cast<double>(r.host_wall_ns) / 1e6, 1)});
   }
   tp.Print(std::cout);
   double mean = 0.0;

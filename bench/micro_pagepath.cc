@@ -17,6 +17,7 @@
 // workload is deterministic; only the wall-clock timings vary run to run.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/conv/segment.h"
 #include "src/conv/workspace.h"
 #include "src/sim/engine.h"
@@ -173,5 +174,18 @@ int main() {
       static_cast<unsigned long long>(mg.stats.words_merged),
       static_cast<unsigned long long>(mg.stats.pool_reuses),
       static_cast<unsigned long long>(up.stats.pool_reuses));
+  bench::JsonObj report;
+  report.Str("bench", "micro_pagepath")
+      .Int("host_workers", 1)  // single-fiber phases; the engine stays serial
+      .Num("loadstore_ns_per_op", ls.ns_per_op, 2)
+      .Num("merge_ns_per_page", mg.ns_per_op, 2)
+      .Num("update_ns_per_round", up.ns_per_op, 2)
+      .Num("tlb_hit_rate", HitRate(s.tlb_hits, s.tlb_misses), 4)
+      .Int("tlb_hits", s.tlb_hits)
+      .Int("tlb_misses", s.tlb_misses)
+      .Int("merge_words_merged", mg.stats.words_merged)
+      .Int("merge_pool_reuses", mg.stats.pool_reuses)
+      .Int("update_pool_reuses", up.stats.pool_reuses);
+  bench::WriteReport("micro_pagepath", report);
   return 0;
 }

@@ -13,6 +13,7 @@
 // timings vary run to run.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/tso/explorer.h"
 #include "src/tso/litmus.h"
 #include "src/tso/runner.h"
@@ -99,5 +100,17 @@ int main() {
       ex.runs_per_sec, orc.bare_ns_per_run, orc.traced_ns_per_run,
       orc.traced_ns_per_run / (orc.bare_ns_per_run > 0 ? orc.bare_ns_per_run : 1.0),
       static_cast<unsigned long long>(orc.trace_events));
+  bench::JsonObj report;
+  report.Str("bench", "micro_tso")
+      .Int("host_workers", BaseCfg().host_workers)
+      .Int("explore_runs", ex.runs)
+      .Int("explore_pruned", ex.pruned)
+      .Num("explore_runs_per_sec", ex.runs_per_sec, 0)
+      .Num("oracle_bare_ns_per_run", orc.bare_ns_per_run, 0)
+      .Num("oracle_traced_ns_per_run", orc.traced_ns_per_run, 0)
+      .Num("oracle_trace_overhead",
+           orc.traced_ns_per_run / (orc.bare_ns_per_run > 0 ? orc.bare_ns_per_run : 1.0), 3)
+      .Int("oracle_trace_events", orc.trace_events);
+  bench::WriteReport("micro_tso", report);
   return 0;
 }

@@ -1,0 +1,120 @@
+// Shared JSON report emitter for the bench binaries — the perf trajectory.
+//
+// Each bench writes BENCH_<name>.json into the working directory so
+// successive PRs have machine-readable wall-clock + simulated numbers to
+// diff (speedup claims in PR descriptions point at these files). The format
+// is a flat, ordered key/value object; nested rows are pre-rendered with
+// JsonObj::Render() and attached via Raw()/JsonArr(). No dependencies
+// beyond the standard library.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace csq::bench {
+
+// Quotes + escapes a string for JSON.
+inline std::string JsonStr(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Ordered key/value JSON object builder. Values are rendered on insert, so
+// insertion order is emission order and the builder is just a string list.
+class JsonObj {
+ public:
+  JsonObj& Int(std::string_view key, u64 v) { return Put(key, std::to_string(v)); }
+
+  JsonObj& Num(std::string_view key, double v, int precision = 3) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return Put(key, oss.str());
+  }
+
+  JsonObj& Str(std::string_view key, std::string_view v) { return Put(key, JsonStr(v)); }
+
+  JsonObj& Bool(std::string_view key, bool v) { return Put(key, v ? "true" : "false"); }
+
+  // Attaches a pre-rendered JSON value (object or array) verbatim.
+  JsonObj& Raw(std::string_view key, std::string v) { return Put(key, std::move(v)); }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (usize i = 0; i < fields_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += JsonStr(fields_[i].first);
+      out += ":";
+      out += fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  JsonObj& Put(std::string_view key, std::string v) {
+    fields_.emplace_back(std::string(key), std::move(v));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Renders a JSON array from pre-rendered element strings.
+inline std::string JsonArr(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (usize i = 0; i < items.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += items[i];
+  }
+  out += "]";
+  return out;
+}
+
+// Writes the report to BENCH_<name>.json. The path echo goes to stderr so
+// benches whose stdout is a machine-parsed JSON line stay parseable.
+inline bool WriteReport(std::string_view name, const JsonObj& obj) {
+  const std::string path = "BENCH_" + std::string(name) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "report: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = obj.Render();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "report: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace csq::bench

@@ -16,7 +16,7 @@ DetClock::DetClock(sim::Engine& eng, ClockConfig cfg) : eng_(eng), cfg_(cfg) {}
 
 void DetClock::RegisterThread(u32 tid, u64 initial_count) {
   while (threads_.size() <= tid) {
-    threads_.emplace_back();
+    threads_.EmplaceBack();
   }
   ThreadClock& tc = threads_[tid];
   CSQ_CHECK(!tc.registered);
@@ -35,6 +35,9 @@ void DetClock::RegisterThread(u32 tid, u64 initial_count) {
 void DetClock::FinishThread(u32 tid) {
   ThreadClock& tc = Tc(tid);
   CSQ_CHECK_MSG(holder_ != tid, "thread finished while holding the token");
+  // Leaving GMIC consideration changes what every waiter observes — a shared
+  // operation (the round-robin turn and the notify below touch global state).
+  eng_.GateShared();
   tc.participating = false;
   tc.finished = true;
   if (rr_turn_ == tid) {
@@ -59,6 +62,7 @@ void DetClock::AdvanceWork(u32 tid, u64 n) {
       // Counter overflow "interrupt".
       Publish(tid, /*interrupt=*/true);
       AdaptOverflow(tid);
+      eng_.EndShared();  // back to local counting
     }
   }
 }
@@ -72,6 +76,7 @@ void DetClock::Tick(u32 tid, u64 n) {
   if (tc.count >= tc.next_overflow) {
     Publish(tid, /*interrupt=*/true);
     AdaptOverflow(tid);
+    eng_.EndShared();  // back to local counting
   }
 }
 
@@ -103,26 +108,36 @@ void DetClock::ChunkBegin(u32 tid) {
                                               : cfg_.fixed_overflow_period;
   tc.next_overflow = tc.count + tc.overflow_period;
   if (cfg_.adaptive_overflow) {
-    AdaptOverflow(tid);  // §3.2 rule 2 also applies at chunk begin
+    // §3.2 rule 2 also applies at chunk begin; its scan reads other threads'
+    // clocks and wait flags, so it runs under the gate. The caller (ExitLib)
+    // ends the shared section.
+    eng_.GateShared();
+    AdaptOverflow(tid);
   }
 }
 
 void DetClock::Publish(u32 tid, bool interrupt) {
   ThreadClock& tc = Tc(tid);
   if (interrupt) {
-    ++stats_.overflows;
     // The interrupt handler runs whether or not anyone is waiting — exactly
     // why the paper's adaptive policy (§3.2) doubles the period when there is
-    // nobody to notify.
+    // nobody to notify. The charge is local (own clock), so it precedes the
+    // gate.
     eng_.Charge(eng_.Costs().overflow_interrupt, TimeCat::kLibrary);
   }
-  if (token_ch_.Empty()) {
-    tc.published = tc.count;
-    return;
-  }
+  // Publication is a shared operation: `published` is what every other
+  // thread's GMIC check reads, and waiters may need waking. Gating it (in both
+  // engines, waiters or not) keeps the serial reference and the host-parallel
+  // engine bit-identical — checking for waiters outside the gate would read a
+  // host-order-dependent snapshot of the channel.
   eng_.GateShared();
+  if (interrupt) {
+    ++stats_.overflows;
+  }
   tc.published = tc.count;
-  eng_.NotifyAll(token_ch_);
+  if (!token_ch_.Empty()) {
+    eng_.NotifyAll(token_ch_);
+  }
 }
 
 void DetClock::AdaptOverflow(u32 tid) {

@@ -31,12 +31,12 @@
 // theirs; otherwise double the period.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <limits>
 #include <vector>
 
 #include "src/sim/engine.h"
+#include "src/util/stable_vec.h"
 #include "src/util/types.h"
 
 namespace csq::clk {
@@ -181,14 +181,16 @@ class DetClock {
 
   sim::Engine& eng_;
   ClockConfig cfg_;
-  // deque: threads register mid-run while others hold ThreadClock references
-  // across yields — element addresses must be stable under growth.
-  std::deque<ThreadClock> threads_;
+  // StableVec: threads register mid-run (gate-held) while others hold
+  // ThreadClock references across yields and, on the host-parallel engine,
+  // tick their own clocks concurrently — element addresses must be stable and
+  // indexed reads safe under growth.
+  StableVec<ThreadClock> threads_;
   u32 holder_ = sim::kInvalidThread;
   u32 rr_turn_ = sim::kInvalidThread;
   u64 last_release_count_ = 0;
   u64 grant_seq_ = 0;
-  sim::WaitChannel token_ch_;
+  sim::WaitChannel token_ch_{{}, "clock.token"};
   ClockStats stats_;
 };
 

@@ -33,6 +33,7 @@ Segment::~Segment() = default;
 
 PageRef Segment::Fetch(u32 page, u64 version) const {
   CSQ_CHECK_MSG(page < page_count_, "page " << page << " out of range");
+  std::shared_lock<std::shared_mutex> lk(chains_mu_);
   const auto& chain = chains_[page];
   // Last revision with rev.version <= version.
   auto it = std::upper_bound(chain.begin(), chain.end(), version,
@@ -45,6 +46,7 @@ PageRef Segment::Fetch(u32 page, u64 version) const {
 
 PageRev Segment::FetchRev(u32 page, u64 version) const {
   CSQ_CHECK_MSG(page < page_count_, "page " << page << " out of range");
+  std::shared_lock<std::shared_mutex> lk(chains_mu_);
   const auto& chain = chains_[page];
   auto it = std::upper_bound(chain.begin(), chain.end(), version,
                              [](u64 v, const PageRev& r) { return v < r.version; });
@@ -55,6 +57,7 @@ PageRev Segment::FetchRev(u32 page, u64 version) const {
 }
 
 u64 Segment::LatestVersionOf(u32 page) const {
+  std::shared_lock<std::shared_mutex> lk(chains_mu_);
   const auto& chain = chains_[page];
   return chain.empty() ? 0 : chain.back().version;
 }
@@ -126,6 +129,9 @@ void Segment::FinishCommit(
 }
 
 void Segment::InstallRev(u32 page, u64 version, PageRef data) {
+  // Callers are gate-serialized; the exclusive lock only shields concurrent
+  // snapshot readers from the vector reallocation.
+  std::unique_lock<std::shared_mutex> lk(chains_mu_);
   auto& chain = chains_[page];
   CSQ_CHECK(chain.empty() || chain.back().version < version);
   if (chain.empty()) {
@@ -211,7 +217,12 @@ usize Segment::Gc(u32 nthreads_for_amortization) {
     }
     if (keep_from > 0) {
       const usize drop = std::min(keep_from, budget - reclaimed);
-      chain.erase(chain.begin(), chain.begin() + static_cast<i64>(drop));
+      {
+        // Exclusive vs concurrent snapshot readers; reclaimed revisions are
+        // below every live snapshot, so no reader can be *using* them.
+        std::unique_lock<std::shared_mutex> lk(chains_mu_);
+        chain.erase(chain.begin(), chain.begin() + static_cast<i64>(drop));
+      }
       reclaimed += drop;
       stats_.live_page_bytes -= drop * cfg_.page_size;
       if (drop < keep_from) {
@@ -246,19 +257,27 @@ u64 Segment::MinSnapshotVersion() const {
 }
 
 void Segment::NotePageAlloc() {
+  std::lock_guard<std::mutex> lk(pool_mu_);
   stats_.cur_total_page_bytes += cfg_.page_size;
   stats_.peak_page_bytes = std::max(stats_.peak_page_bytes, stats_.cur_total_page_bytes);
 }
 
 void Segment::NotePageFree() {
+  std::lock_guard<std::mutex> lk(pool_mu_);
   CSQ_CHECK(stats_.cur_total_page_bytes >= cfg_.page_size);
   stats_.cur_total_page_bytes -= cfg_.page_size;
 }
 
 std::unique_ptr<PageBuf> Segment::AcquireCopyOf(const PageBuf& src, bool* from_pool) {
-  if (!pool_.empty()) {
-    std::unique_ptr<PageBuf> buf = std::move(pool_.back());
-    pool_.pop_back();
+  std::unique_ptr<PageBuf> buf;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (!pool_.empty()) {
+      buf = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (buf) {
     *buf = src;  // vector assignment reuses the existing capacity
     if (from_pool) {
       *from_pool = true;
@@ -272,7 +291,11 @@ std::unique_ptr<PageBuf> Segment::AcquireCopyOf(const PageBuf& src, bool* from_p
 }
 
 void Segment::ReleasePageBuf(std::unique_ptr<PageBuf> buf) {
-  if (!buf || pool_.size() >= kMaxPooledBufs) {
+  if (!buf) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (pool_.size() >= kMaxPooledBufs) {
     return;  // pool full: let the host allocator take it
   }
   pool_.push_back(std::move(buf));

@@ -20,10 +20,24 @@
 // All operations that mutate or scan shared chains gate on the simulation's
 // virtual-time order; read-only fetches at a workspace's snapshot never gate
 // (append-only chains make them interference-free).
+//
+// Host-parallel engine (sim::SimConfig::host_workers > 1): workspaces execute
+// their local segments on concurrent host threads, so the snapshot read path
+// (Fetch / FetchRev / LatestVersionOf) takes `chains_mu_` shared while the
+// gate-serialized mutators (InstallRev, Gc's erase) take it exclusive — the
+// lock protects the chain *vectors* (push_back may reallocate under a reader);
+// the page buffers themselves are immutable once installed and the values read
+// are deterministic because a snapshot never exceeds the reader's gate-ordered
+// update point. The buffer pool and the page-byte accounting take `pool_mu_`:
+// CoW faults and workspace page drops hit them from local (un-gated) code, so
+// `peak_page_bytes` depends on host scheduling when host_workers > 1 — it is
+// excluded from cross-engine equivalence comparisons.
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <memory>
 #include <vector>
 
@@ -258,7 +272,13 @@ class Segment {
   PageRef zero_page_;
   CommitObserver observer_;
   TraceHooks trace_hooks_;
-  sim::WaitChannel install_order_;  // FinishCommit version-ordering
+  sim::WaitChannel install_order_{{}, "segment.install"};  // FinishCommit version-ordering
+  // Chain-vector storage lock: shared for snapshot reads (concurrent local
+  // execution), exclusive for the gate-serialized install/GC mutations.
+  mutable std::shared_mutex chains_mu_;
+  // Buffer pool + page-byte accounting (reached from un-gated local code via
+  // CoW faults and the CountedDeleter path).
+  std::mutex pool_mu_;
 };
 
 }  // namespace csq::conv

@@ -1,5 +1,6 @@
 #include "src/harness/harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -19,6 +20,14 @@ rt::RuntimeConfig DefaultConfig(u32 nthreads) {
   rt::RuntimeConfig cfg;
   cfg.nthreads = nthreads;
   cfg.segment.size_bytes = 16 << 20;
+  // CSQ_HOST_WORKERS=N runs every bench on the N-worker host-parallel engine
+  // (results are bit-identical to serial; only wall-clock changes). Benches
+  // that pin host_workers explicitly — fig10's timed serial-vs-parallel
+  // comparison — override this after calling DefaultConfig.
+  const char* hw = std::getenv("CSQ_HOST_WORKERS");
+  if (hw != nullptr && hw[0] != '\0') {
+    cfg.host_workers = static_cast<u32>(std::max(1, std::atoi(hw)));
+  }
   return cfg;
 }
 

@@ -169,6 +169,15 @@ struct RuntimeConfig {
   sim::CostModel costs;
   conv::SegmentConfig segment;
 
+  // Host worker pool for the simulation engine: simulated threads execute
+  // their isolated local segments concurrently on this many host threads,
+  // while shared operations retire serially in global (vtime, tid) order.
+  // 1 = the serial reference engine. Results (checksums, traces, commit
+  // orders, virtual times) are bit-identical for every value. The pthreads
+  // baseline ignores this knob — its threads memcpy shared pages directly,
+  // so it has no isolated local segments to parallelize.
+  u32 host_workers = 1;
+
   // Clock knobs (policy is forced per backend; overflow knobs apply to
   // Consequence only).
   bool adaptive_overflow = true;
@@ -219,6 +228,12 @@ struct RunResult {
   u64 checksum = 0;       // workload-computed output digest
   u64 trace_digest = 0;   // deterministic-schedule fingerprint
   u64 trace_events = 0;
+
+  // Host wall-clock time of the Run call, in nanoseconds. The only
+  // host-dependent field besides peak_mem_bytes (whose workspace-copy
+  // component depends on host scheduling when host_workers > 1); both are
+  // excluded from determinism and engine-equivalence comparisons.
+  u64 host_wall_ns = 0;
 
   u64 peak_mem_bytes = 0;
   u64 pages_propagated = 0;  // TSO inter-thread page propagation (Fig 16)

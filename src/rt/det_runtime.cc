@@ -1,11 +1,12 @@
 #include "src/rt/det_runtime.h"
 
-#include <deque>
 #include <memory>
 
 #include "src/conv/alloc.h"
 #include "src/conv/workspace.h"
 #include "src/util/check.h"
+#include "src/util/stable_vec.h"
+#include "src/util/stats.h"
 
 namespace csq::rt {
 
@@ -68,11 +69,11 @@ struct DetMutex {
   u64 acquire_count = 0;  // owner's logical clock at acquisition
   u64 cs_ewma = 0;        // per-lock critical-section estimate (§3.1)
   u64 last_commit_version = 0;  // version knowledge carried by this lock (§6 mode)
-  WaitChannel waiters;    // FIFO: queue order == wake order
+  WaitChannel waiters{{}, "mutex.waiters"};  // FIFO: queue order == wake order
 };
 
 struct DetCond {
-  WaitChannel waiters;
+  WaitChannel waiters{{}, "cond.waiters"};
 };
 
 struct DetBarrier {
@@ -84,7 +85,7 @@ struct DetBarrier {
   u64 gen_max_version = 0;  // accumulated commit/knowledge versions this generation
   u64 release_version = 0;  // version all parties update to
   u64 release_count = 0;
-  WaitChannel ch;
+  WaitChannel ch{{}, "barrier"};
 };
 
 class DApi;
@@ -94,8 +95,8 @@ struct ThreadRec {
   std::unique_ptr<DApi> api;
   bool done = false;
   bool start_deferred = false;  // RR epoch semantics: runs at parent's next block
-  WaitChannel start_ch;
-  WaitChannel done_ch;
+  WaitChannel start_ch{{}, "thread.start"};
+  WaitChannel done_ch{{}, "thread.done"};
 
   // Chunk accounting (coarsening estimates + §2.7 chunk limit).
   u64 chunk_begin_count = 0;
@@ -115,10 +116,17 @@ struct State {
   State(const RuntimeConfig& c, const DetFlavor& f)
       : cfg(c),
         fl(f),
-        eng(sim::SimConfig{c.costs}),
+        eng(MakeSimConfig(c)),
         seg(eng, c.segment),
         clock(eng, MakeClockConfig(c, f)),
         alloc(c.segment.size_bytes) {}
+
+  static sim::SimConfig MakeSimConfig(const RuntimeConfig& c) {
+    sim::SimConfig sc;
+    sc.costs = c.costs;
+    sc.host_workers = c.host_workers;
+    return sc;
+  }
 
   static clk::ClockConfig MakeClockConfig(const RuntimeConfig& c, const DetFlavor& f) {
     clk::ClockConfig cc;
@@ -144,14 +152,17 @@ struct State {
   conv::Segment seg;
   clk::DetClock clock;
   conv::BumpAllocator alloc;
-  std::deque<ThreadRec> threads;
-  std::deque<DetMutex> mutexes;
-  std::deque<DetCond> conds;
-  std::deque<DetBarrier> barriers;
+  // StableVec: creation is gate-serialized, but concurrently executing local
+  // segments index into these (a thread touching its own record, a Lock
+  // resolving its mutex id) while another thread appends the next element.
+  StableVec<ThreadRec> threads;
+  StableVec<DetMutex> mutexes;
+  StableVec<DetCond> conds;
+  StableVec<DetBarrier> barriers;
   u32 last_coord_tid = sim::kInvalidThread;  // §3.1 MIMD adaptation state
   u32 pool_available = 0;                    // §3.3 thread-reuse pool
   u64 lock_seq = 0;
-  std::deque<std::vector<u32>> deferred;     // per-parent children awaiting release
+  StableVec<std::vector<u32>> deferred;      // per-parent children awaiting release
 };
 
 class DApi final : public ThreadApi {
@@ -268,28 +279,35 @@ class DApi final : public ThreadApi {
 
   u64 SharedAlloc(usize n, usize align) override {
     st_.eng.GateShared();
-    return st_.alloc.Alloc(n, align);
+    const u64 addr = st_.alloc.Alloc(n, align);
+    st_.eng.EndShared();
+    return addr;
   }
 
   // Sync-object creation must happen at deterministic points (before workers
   // are spawned, or inside a critical section) — the usual pthreads pattern.
   MutexId CreateMutex() override {
     st_.eng.GateShared();
-    st_.mutexes.emplace_back();
-    return static_cast<MutexId>(st_.mutexes.size() - 1);
+    st_.mutexes.EmplaceBack();
+    const auto id = static_cast<MutexId>(st_.mutexes.size() - 1);
+    st_.eng.EndShared();
+    return id;
   }
 
   CondId CreateCond() override {
     st_.eng.GateShared();
-    st_.conds.emplace_back();
-    return static_cast<CondId>(st_.conds.size() - 1);
+    st_.conds.EmplaceBack();
+    const auto id = static_cast<CondId>(st_.conds.size() - 1);
+    st_.eng.EndShared();
+    return id;
   }
 
   BarrierId CreateBarrier(u32 parties) override {
     st_.eng.GateShared();
-    st_.barriers.emplace_back();
-    st_.barriers.back().parties = parties;
-    return static_cast<BarrierId>(st_.barriers.size() - 1);
+    st_.barriers.EmplaceBack().parties = parties;
+    const auto id = static_cast<BarrierId>(st_.barriers.size() - 1);
+    st_.eng.EndShared();
+    return id;
   }
 
   // mutexLock(), Figure 7 — plus the coarsened fast path (§3.1).
@@ -307,6 +325,10 @@ class DApi final : public ThreadApi {
       if (!mu.locked && CoarsenFits(mu.cs_ewma)) {
         AcquireLocked(mu, mid);
         if (st_.cfg.observer) {
+          // Observer streams are floor-ordered (the recorder appends to one
+          // global list): the coarsened path holds the token but not the
+          // floor, so gate just for the emission.
+          st_.eng.GateShared();
           st_.cfg.observer->OnAcquire(tid_, SyncObjId(SyncObjKind::kMutex, mid));
         }
         ++r.coarsen_ops;
@@ -383,6 +405,11 @@ class DApi final : public ThreadApi {
     st_.clock.WaitToken(tid_);
     ReleaseLockWake(mu);
     CommitUpdateGc();
+    // CondWait releases the mutex: like Unlock, it must publish its commit
+    // into the lock's version knowledge, or an async-mode (§6) acquirer —
+    // which updates only to the lock's K, not to global latest — could miss
+    // the pre-wait stores (e.g. a waiter-count increment guarding a signal).
+    mu.last_commit_version = std::max(mu.last_commit_version, Rec().version_knowledge);
     if (st_.cfg.observer) {
       st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kMutex, mid));
       st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kCond, c));
@@ -390,11 +417,11 @@ class DApi final : public ThreadApi {
     st_.eng.Trace(kTraceCvWait, tid_, c, st_.clock.Count(tid_));
     st_.clock.Depart(tid_);
     st_.clock.ReleaseToken(tid_);
-    Ws().SetGcExempt(true);
+    Ws().SetGcExempt(true);  // floor still held: released atomically by Wait
     st_.eng.Wait(cv.waiters, TimeCat::kDetermWait);
-    Ws().SetGcExempt(false);
     // The signaler re-admitted us (ArriveAt) while holding the token.
-    // Re-acquire the mutex through the ordinary deterministic path.
+    // Re-acquire the mutex through the ordinary deterministic path; the GC
+    // exemption is cleared there, under the re-acquired gate.
     LockFig7Acquire(mu, mid);
     CommitUpdateGcReleaseToken(mu, /*acquire=*/true, [&] {
       EmitAcquire(mid);
@@ -489,9 +516,11 @@ class DApi final : public ThreadApi {
       st_.clock.ReleaseToken(tid_);
     }
     Rec().last_commit_count = st_.clock.Count(tid_);
-    // Internal (non-deterministic, pthreads-style) barrier.
-    Ws().SetGcExempt(true);
+    // Internal (non-deterministic, pthreads-style) barrier. The GC exemption
+    // is set and cleared under the gate (other threads' GC watermark scans
+    // read it gate-held).
     st_.eng.GateShared();
+    Ws().SetGcExempt(true);
     ++b.reached;
     if (b.reached == b.parties) {
       b.reached = 0;
@@ -533,8 +562,7 @@ class DApi final : public ThreadApi {
                      TimeCat::kLibrary);
     }
     st_.clock.RegisterThread(child, st_.clock.Count(tid_));
-    st_.threads.emplace_back();
-    ThreadRec& rec = st_.threads[child];
+    ThreadRec& rec = st_.threads.EmplaceBack();
     rec.ws = std::make_unique<conv::Workspace>(st_.seg, child);
     rec.ws->SetDiscardOnUpdate(st_.fl.discard_update);
     rec.api = std::make_unique<DApi>(st_, child);
@@ -549,18 +577,33 @@ class DApi final : public ThreadApi {
       // are not requesting the token, so its children start eagerly.
       rec.start_deferred = true;
       while (st_.deferred.size() <= tid_) {
-        st_.deferred.emplace_back();
+        st_.deferred.EmplaceBack();
       }
       st_.deferred[tid_].push_back(child);
       st_.clock.Depart(child);  // out of rotation until released
     }
     State* st = &st_;
     const u32 spawned = st_.eng.Spawn([st, child, fn = std::move(fn)] {
+      // Check-then-park must be atomic with the parent's gated release: read
+      // under the floor, and Wait parks atomically with the floor release, so
+      // the child either sees the release already done or is parked before the
+      // parent's NotifyAll can run.
+      st->eng.GateShared();
       if (st->threads[child].start_deferred) {
         st->eng.Wait(st->threads[child].start_ch, TimeCat::kDetermWait);
-      }
-      if (st->cfg.observer) {
-        st->cfg.observer->OnAcquire(child, SyncObjId(SyncObjKind::kThread, child));
+        if (st->cfg.observer) {
+          // Wait returns without the floor; re-gate so the start event lands
+          // at the woken child's deterministic resume point (observer streams
+          // are floor-ordered).
+          st->eng.GateShared();
+          st->cfg.observer->OnAcquire(child, SyncObjId(SyncObjKind::kThread, child));
+          st->eng.EndShared();
+        }
+      } else {
+        if (st->cfg.observer) {
+          st->cfg.observer->OnAcquire(child, SyncObjId(SyncObjKind::kThread, child));
+        }
+        st->eng.EndShared();
       }
       fn(*st->threads[child].api);
       st->threads[child].api->ExitProtocol();
@@ -582,15 +625,15 @@ class DApi final : public ThreadApi {
     ThreadRec& target = st_.threads[h];
     for (;;) {
       st_.clock.WaitToken(tid_);
+      Ws().SetGcExempt(false);  // gate-held (see LockFig7Acquire)
       Ws().Update();  // join is an acquire: see the child's final commit
       if (target.done) {
         break;
       }
       st_.clock.Depart(tid_);
       st_.clock.ReleaseToken(tid_);
-      Ws().SetGcExempt(true);
+      Ws().SetGcExempt(true);  // floor still held: released atomically by Wait
       st_.eng.Wait(target.done_ch, TimeCat::kDetermWait);
-      Ws().SetGcExempt(false);
       // The exiting child re-admitted us under its token.
     }
     st_.eng.Charge(st_.eng.Costs().join_fixed, TimeCat::kLibrary);
@@ -613,6 +656,11 @@ class DApi final : public ThreadApi {
     }
     rec.coarsen_active = false;
     Ws().Commit();
+    // An empty commit elides its gate, and on the coarsened path WaitToken was
+    // skipped too — so the floor may not be held here. The observer events
+    // (floor-ordered stream), the done flag and the wake loop (a joiner parks
+    // on done_ch holding only the floor) all need an explicit gate.
+    st_.eng.GateShared();
     if (st_.cfg.observer) {
       st_.cfg.observer->OnCommit(tid_, Ws().LastCommitPages());
       st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kThread, tid_));
@@ -645,6 +693,8 @@ class DApi final : public ThreadApi {
   // from every potentially blocking operation (a deterministic, logical
   // trigger — the parent's own next synchronization point).
   void ReleaseDeferredChildren() {
+    // The un-gated early-out reads only this thread's own deferral list (the
+    // outer spine is a StableVec; only tid_ ever writes deferred[tid_]).
     if (st_.deferred.size() <= tid_ || st_.deferred[tid_].empty()) {
       return;
     }
@@ -656,6 +706,7 @@ class DApi final : public ThreadApi {
       st_.eng.NotifyAll(rec.start_ch);
     }
     st_.deferred[tid_].clear();
+    st_.eng.EndShared();
   }
 
   void EnterLib() {
@@ -674,6 +725,10 @@ class DApi final : public ThreadApi {
     st_.clock.ChunkBegin(tid_);
     Rec().chunk_begin_count = st_.clock.Count(tid_);
     st_.clock.Resume(tid_);
+    // Every library operation funnels through here on its way back to local
+    // execution; release the shared-state floor (held since the op's last
+    // gated step) so other threads' shared operations can overlap the chunk.
+    st_.eng.EndShared();
   }
 
   void ChunkLimitCheck() {
@@ -846,6 +901,11 @@ class DApi final : public ThreadApi {
   void LockFig7Acquire(DetMutex& mu, MutexId mid) {
     for (;;) {
       st_.clock.WaitToken(tid_);
+      // Clear any GC exemption (ours from the blocking path below, or the
+      // caller's from a condvar wait) under the gate: the exempt flag is read
+      // by other threads' gate-held GC watermark scans, so an un-gated clear
+      // would make the reclaim amount a function of host timing.
+      Ws().SetGcExempt(false);
       NoteCoordination();
       if (!mu.locked) {
         AcquireLocked(mu, mid);
@@ -862,16 +922,22 @@ class DApi final : public ThreadApi {
       }
       st_.clock.Depart(tid_);
       st_.clock.ReleaseToken(tid_);
-      Ws().SetGcExempt(true);
+      Ws().SetGcExempt(true);  // floor still held: released atomically by Wait
       st_.eng.Wait(mu.waiters, TimeCat::kDetermWait);
-      Ws().SetGcExempt(false);
-      // mutexUnlock re-admitted us (footnote 4) before waking us.
+      // mutexUnlock re-admitted us (footnote 4) before waking us. The
+      // exemption is cleared at the loop top, under the re-acquired gate.
     }
   }
 
   void ReleaseLockWake(DetMutex& mu) {
     mu.locked = false;
     mu.owner = sim::kInvalidThread;
+    // Waiter lists are floor-protected: a blocking acquirer parks atomically
+    // with its floor release, so a gate-held emptiness check can never miss a
+    // waiter mid-park. The gate is already held on the token-ordered unlock
+    // path but not on the coarsened fast path (token held, floor released at
+    // the previous ExitLib).
+    st_.eng.GateShared();
     if (!mu.waiters.Empty()) {
       WakeFirst(mu.waiters);
     }
@@ -910,6 +976,7 @@ DetRuntime::DetRuntime(Backend b, RuntimeConfig cfg)
 }
 
 RunResult DetRuntime::Run(const WorkloadFn& fn) {
+  WallTimer wall;
   State st(cfg_, flavor_);
   if (SyncObserver* obs = cfg_.observer) {
     // Canonical-trace plumbing for the TSO determinism oracle: commit
@@ -929,8 +996,7 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
     st.seg.SetTraceHooks(std::move(hooks));
   }
   st.clock.RegisterThread(0, 0);
-  st.threads.emplace_back();
-  ThreadRec& main_rec = st.threads[0];
+  ThreadRec& main_rec = st.threads.EmplaceBack();
   main_rec.ws = std::make_unique<conv::Workspace>(st.seg, 0);
   main_rec.ws->SetDiscardOnUpdate(flavor_.discard_update);
   main_rec.api = std::make_unique<DApi>(st, 0);
@@ -956,7 +1022,8 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
   res.token_acquires = st.clock.Stats().token_acquires;
   res.fast_forwards = st.clock.Stats().fast_forwards;
   res.overflows = st.clock.Stats().overflows;
-  for (const auto& t : st.threads) {
+  for (usize i = 0; i < st.threads.size(); ++i) {
+    const ThreadRec& t = st.threads[i];
     if (t.ws) {
       res.pages_propagated += t.ws->Stats().pages_propagated;
       res.cow_faults += t.ws->Stats().cow_faults;
@@ -970,6 +1037,7 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
       res.cat_totals[c] += v;
     }
   }
+  res.host_wall_ns = static_cast<u64>(wall.ElapsedNs());
   return res;
 }
 

@@ -7,6 +7,7 @@
 #include "src/conv/alloc.h"
 #include "src/sim/engine.h"
 #include "src/util/check.h"
+#include "src/util/stats.h"
 
 namespace csq::rt {
 namespace {
@@ -235,6 +236,10 @@ void PtApi::JoinThread(ThreadHandle h) {
 }  // namespace
 
 RunResult PthreadsRuntime::Run(const WorkloadFn& fn) {
+  // RuntimeConfig::host_workers is deliberately ignored here: pthreads
+  // threads memcpy shared pages directly (no isolated local segments), so the
+  // baseline always runs on the serial reference engine.
+  WallTimer wall;
   State st(cfg_);
   st.threads.emplace_back();  // main thread record
   st.apis.push_back(std::make_unique<PtApi>(st, cfg_, 0));
@@ -260,6 +265,7 @@ RunResult PthreadsRuntime::Run(const WorkloadFn& fn) {
       res.cat_totals[c] += v;
     }
   }
+  res.host_wall_ns = static_cast<u64>(wall.ElapsedNs());
   return res;
 }
 

@@ -1,31 +1,154 @@
 #include "src/sim/engine.h"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
 namespace csq::sim {
 
-Engine::Engine(SimConfig cfg) : cfg_(cfg) {}
+namespace {
 
-Engine::~Engine() = default;
+// Current simulated thread on this host thread (threaded substrate). The
+// engine pointer disambiguates nested/parallel engines.
+thread_local const void* tls_eng = nullptr;
+thread_local void* tls_thread = nullptr;
+
+const char* StateName(SimThreadState s) {
+  switch (s) {
+    case SimThreadState::kRunnable:
+      return "runnable";
+    case SimThreadState::kRunning:
+      return "running";
+    case SimThreadState::kBlocked:
+      return "blocked";
+    case SimThreadState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Engine::Engine(SimConfig cfg) : cfg_(cfg) {
+#ifdef CSQ_TSAN
+  // TSan cannot follow ucontext stack switches; the threaded substrate with
+  // one slot has identical semantics to the serial fiber scheduler.
+  threaded_ = true;
+#else
+  threaded_ = cfg_.host_workers > 1 || cfg_.force_threaded;
+#endif
+  free_slots_ = std::max<u32>(1, cfg_.host_workers);
+}
+
+Engine::~Engine() {
+  if (threaded_) {
+    {
+      std::lock_guard<std::mutex> lk(pmu_);
+      shutdown_ = true;
+      for (usize i = 0; i < threads_.size(); ++i) {
+        threads_[i]->cv.notify_all();
+      }
+    }
+    for (usize i = 0; i < threads_.size(); ++i) {
+      if (threads_[i]->host.joinable()) {
+        threads_[i]->host.join();
+      }
+    }
+  }
+}
+
+Engine::SimThread* Engine::CurPtr() const {
+  if (threaded_) {
+    return tls_eng == this ? static_cast<SimThread*>(tls_thread) : nullptr;
+  }
+  return cur_thread_;
+}
+
+// ---------------------------------------------------------------------------
+// Spawn
+// ---------------------------------------------------------------------------
 
 ThreadId Engine::Spawn(std::function<void()> fn) {
+  if (threaded_) {
+    std::lock_guard<std::mutex> lk(pmu_);
+    auto t = std::make_unique<SimThread>();
+    t->id = static_cast<ThreadId>(threads_.size());
+    t->state = SimThreadState::kRunnable;
+    const SimThread* cur = CurPtr();
+    t->vtime.store(cur != nullptr ? cur->vtime.load(std::memory_order_relaxed) : 0,
+                   std::memory_order_relaxed);
+    t->jitter.Seed(cfg_.costs.jitter_seed * 0x9e3779b97f4a7c15ULL + t->id + 1);
+    t->fn = std::move(fn);
+    SimThread* raw = threads_.EmplaceBack(std::move(t)).get();
+    LaunchHostThread(raw);
+    return raw->id;
+  }
   auto t = std::make_unique<SimThread>();
   t->id = static_cast<ThreadId>(threads_.size());
   t->state = SimThreadState::kRunnable;
-  t->vtime = (current_ != kInvalidThread) ? threads_[current_]->vtime : 0;
+  t->vtime.store(
+      current_ != kInvalidThread ? threads_[current_]->vtime.load(std::memory_order_relaxed) : 0,
+      std::memory_order_relaxed);
   t->jitter.Seed(cfg_.costs.jitter_seed * 0x9e3779b97f4a7c15ULL + t->id + 1);
   t->fiber = std::make_unique<Fiber>(cfg_.stack_size);
   SimThread* raw = t.get();
   t->fiber->Prepare(std::move(fn), [this, raw] {
     raw->state = SimThreadState::kFinished;
-    raw->finish_vtime = raw->vtime;
+    raw->finish_vtime = raw->vtime.load(std::memory_order_relaxed);
     raw->fiber->SwitchOutTo(&main_ctx_);
   });
-  threads_.push_back(std::move(t));
+  threads_.EmplaceBack(std::move(t));
   return raw->id;
 }
 
+// ---------------------------------------------------------------------------
+// Deadlock reporting (both substrates)
+// ---------------------------------------------------------------------------
+
+std::string Engine::BuildDeadlockReport() const {
+  std::ostringstream oss;
+  oss << "simulation deadlock: no runnable thread left. Non-finished threads:";
+  for (usize i = 0; i < threads_.size(); ++i) {
+    const SimThread& t = *threads_[i];
+    if (t.state == SimThreadState::kFinished) {
+      continue;
+    }
+    oss << "\n  thread " << t.id << ": state=" << StateName(t.state)
+        << " vtime=" << t.vtime.load(std::memory_order_relaxed);
+    if (t.state == SimThreadState::kBlocked) {
+      oss << " parked_on="
+          << (t.wait_ch != nullptr && t.wait_ch->label != nullptr ? t.wait_ch->label
+                                                                  : "<unnamed channel>")
+          << " wait_cat=" << TimeCatName(t.wait_cat);
+    }
+    if (t.want_gate) {
+      oss << " (waiting for shared-state gate)";
+    }
+    if (t.has_floor) {
+      oss << " (holds shared-state gate)";
+    }
+  }
+  return oss.str();
+}
+
+void Engine::DieOfDeadlock() const {
+  CSQ_CHECK_MSG(false, BuildDeadlockReport());
+  __builtin_unreachable();
+}
+
+// ---------------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------------
+
 void Engine::Run() {
+  if (threaded_) {
+    RunThreaded();
+  } else {
+    RunSerial();
+  }
+}
+
+void Engine::RunSerial() {
   CSQ_CHECK(!running_);
   running_ = true;
   for (;;) {
@@ -40,22 +163,49 @@ void Engine::Run() {
     current_ = kInvalidThread;
     cur_thread_ = nullptr;
   }
-  for (const auto& t : threads_) {
-    CSQ_CHECK_MSG(t->state == SimThreadState::kFinished,
-                  "simulation deadlock: thread " << t->id << " stuck in state "
-                                                 << static_cast<int>(t->state) << " at vtime "
-                                                 << t->vtime);
+  for (usize i = 0; i < threads_.size(); ++i) {
+    if (threads_[i]->state != SimThreadState::kFinished) {
+      DieOfDeadlock();
+    }
   }
   running_ = false;
 }
 
+void Engine::RunThreaded() {
+  std::unique_lock<std::mutex> lk(pmu_);
+  CSQ_CHECK(!running_);
+  running_ = true;
+  for (usize i = 0; i < threads_.size(); ++i) {
+    threads_[i]->cv.notify_all();
+  }
+  run_cv_.wait(lk, [&] { return deadlocked_ || finished_count_ == threads_.size(); });
+  const bool dead = deadlocked_;
+  lk.unlock();
+  if (dead) {
+    DieOfDeadlock();
+  }
+  for (usize i = 0; i < threads_.size(); ++i) {
+    if (threads_[i]->host.joinable()) {
+      threads_[i]->host.join();
+    }
+  }
+  running_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Serial substrate
+// ---------------------------------------------------------------------------
+
 bool Engine::IsMinRunnable(ThreadId me) const {
   const SimThread& m = *threads_[me];
-  for (const auto& t : threads_) {
-    if (t->id == me || t->state != SimThreadState::kRunnable) {
+  const u64 mv = m.vtime.load(std::memory_order_relaxed);
+  for (usize i = 0; i < threads_.size(); ++i) {
+    const SimThread& t = *threads_[i];
+    if (t.id == me || t.state != SimThreadState::kRunnable) {
       continue;
     }
-    if (t->vtime < m.vtime || (t->vtime == m.vtime && t->id < m.id)) {
+    const u64 tv = t.vtime.load(std::memory_order_relaxed);
+    if (tv < mv || (tv == mv && t.id < m.id)) {
       return false;
     }
   }
@@ -64,13 +214,16 @@ bool Engine::IsMinRunnable(ThreadId me) const {
 
 ThreadId Engine::PickNext() const {
   ThreadId best = kInvalidThread;
-  for (const auto& t : threads_) {
-    if (t->state != SimThreadState::kRunnable) {
+  u64 best_v = 0;
+  for (usize i = 0; i < threads_.size(); ++i) {
+    const SimThread& t = *threads_[i];
+    if (t.state != SimThreadState::kRunnable) {
       continue;
     }
-    if (best == kInvalidThread || t->vtime < threads_[best]->vtime ||
-        (t->vtime == threads_[best]->vtime && t->id < best)) {
-      best = t->id;
+    const u64 tv = t.vtime.load(std::memory_order_relaxed);
+    if (best == kInvalidThread || tv < best_v || (tv == best_v && t.id < best)) {
+      best = t.id;
+      best_v = tv;
     }
   }
   return best;
@@ -80,29 +233,263 @@ void Engine::SwitchToScheduler() {
   Cur().fiber->SwitchOutTo(&main_ctx_);
 }
 
-void Engine::GateShared() {
-  while (!IsMinRunnable(Self())) {
-    YieldRunnable();
-  }
-}
-
 void Engine::YieldRunnable() {
+  if (threaded_) {
+    // Host threads run concurrently; there is nothing to hand the core to.
+    // Re-evaluating grants preserves the only observable effect a serial
+    // yield can have (letting a lower-vtime thread take the gate).
+    std::lock_guard<std::mutex> lk(pmu_);
+    ReEvalGrantsLocked();
+    return;
+  }
   SimThread& t = Cur();
   t.state = SimThreadState::kRunnable;
   SwitchToScheduler();
 }
 
+// ---------------------------------------------------------------------------
+// Threaded substrate
+// ---------------------------------------------------------------------------
+
+void Engine::LaunchHostThread(SimThread* t) {
+  t->host = std::thread([this, t] { HostThreadBody(t); });
+}
+
+void Engine::HostThreadBody(SimThread* t) {
+  {
+    std::unique_lock<std::mutex> lk(pmu_);
+    t->cv.wait(lk, [&] { return running_ || shutdown_; });
+    if (shutdown_) {
+      return;
+    }
+    t->started = true;
+    AcquireSlotLocked(lk, *t);
+    t->state = SimThreadState::kRunning;
+  }
+  tls_eng = this;
+  tls_thread = t;
+  t->fn();
+  t->fn = nullptr;
+  tls_eng = nullptr;
+  tls_thread = nullptr;
+  std::lock_guard<std::mutex> lk(pmu_);
+  if (t->has_floor) {
+    ReleaseFloorLocked(*t);
+  } else {
+    ReleaseSlotLocked();
+  }
+  t->state = SimThreadState::kFinished;
+  t->finish_vtime = t->vtime.load(std::memory_order_relaxed);
+  ++finished_count_;
+  ParkEpilogueLocked();
+}
+
+void Engine::AcquireSlotLocked(std::unique_lock<std::mutex>& lk, SimThread& t) {
+  slot_cv_.wait(lk, [&] { return free_slots_ > 0; });
+  --free_slots_;
+}
+
+void Engine::ReleaseSlotLocked() {
+  ++free_slots_;
+  slot_cv_.notify_one();
+}
+
+void Engine::ReleaseFloorLocked(SimThread& t) {
+  CSQ_DCHECK(t.has_floor && floor_held_);
+  t.has_floor = false;
+  floor_held_ = false;
+}
+
+void Engine::ParkEpilogueLocked() {
+  ReEvalGrantsLocked();
+  if (finished_count_ == threads_.size()) {
+    run_cv_.notify_all();
+    return;
+  }
+  for (usize i = 0; i < threads_.size(); ++i) {
+    const SimThreadState s = threads_[i]->state;
+    if (s != SimThreadState::kBlocked && s != SimThreadState::kFinished) {
+      return;  // someone can still make progress
+    }
+  }
+  deadlocked_ = true;
+  run_cv_.notify_all();
+}
+
+void Engine::ReEvalGrantsLocked() {
+  if (floor_held_) {
+    return;  // release/park re-evaluates
+  }
+  // The grant rule mirrors the serial scheduler exactly: the floor goes to the
+  // minimum-(vtime, tid) gate-waiter W, but only once no other active thread
+  // could still reach a shared operation at a smaller key. An active thread U
+  // mid-local-segment blocks W while key(U) < key(W); its clock only grows, so
+  // we arm a gate trigger that fires the moment U's own AdvanceRaw crosses the
+  // boundary. Relaxed vtime reads are stale-low at worst, which delays (never
+  // reorders) a grant; U's own trigger/park path re-evaluates with its exact
+  // clock.
+  SimThread* w = nullptr;
+  u64 wv = 0;
+  for (usize i = 0; i < threads_.size(); ++i) {
+    SimThread& u = *threads_[i];
+    if (!u.want_gate) {
+      continue;
+    }
+    const u64 uv = u.vtime.load(std::memory_order_relaxed);
+    if (w == nullptr || uv < wv || (uv == wv && u.id < w->id)) {
+      w = &u;
+      wv = uv;
+    }
+  }
+  if (w == nullptr) {
+    return;
+  }
+  bool blocked = false;
+  for (usize i = 0; i < threads_.size(); ++i) {
+    SimThread& u = *threads_[i];
+    if (&u == w || u.want_gate || u.state == SimThreadState::kBlocked ||
+        u.state == SimThreadState::kFinished) {
+      continue;
+    }
+    const u64 trigger = wv + (u.id < w->id ? 1 : 0);
+    const u64 uv = u.vtime.load(std::memory_order_relaxed);
+    if (uv < trigger) {
+      blocked = true;
+      u.gate_trigger.store(trigger, std::memory_order_relaxed);
+    }
+  }
+  if (!blocked) {
+    w->want_gate = false;
+    w->has_floor = true;
+    floor_held_ = true;
+    w->cv.notify_all();
+  }
+}
+
+void Engine::GateTriggerSlow(SimThread& t) {
+  std::lock_guard<std::mutex> lk(pmu_);
+  t.gate_trigger.store(kNoTrigger, std::memory_order_relaxed);
+  ReEvalGrantsLocked();
+}
+
+// ---------------------------------------------------------------------------
+// Gate / EndShared
+// ---------------------------------------------------------------------------
+
+void Engine::GateShared() {
+  SimThread& t = Cur();
+  if (!threaded_) {
+    while (!IsMinRunnable(t.id)) {
+      YieldRunnable();
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(pmu_);
+  if (t.has_floor) {
+    // Consecutive shared operations: keep the floor while still the minimum
+    // active thread (what the serial gate re-check does).
+    const u64 mv = t.vtime.load(std::memory_order_relaxed);
+    bool still_min = true;
+    for (usize i = 0; i < threads_.size(); ++i) {
+      const SimThread& u = *threads_[i];
+      if (u.id == t.id || u.state == SimThreadState::kBlocked ||
+          u.state == SimThreadState::kFinished) {
+        continue;
+      }
+      const u64 uv = u.vtime.load(std::memory_order_relaxed);
+      if (uv < mv || (uv == mv && u.id < t.id)) {
+        still_min = false;
+        break;
+      }
+    }
+    if (still_min) {
+      return;
+    }
+    ReleaseFloorLocked(t);
+  } else {
+    ReleaseSlotLocked();
+  }
+  t.want_gate = true;
+  t.state = SimThreadState::kRunnable;
+  ReEvalGrantsLocked();
+  t.cv.wait(lk, [&] { return t.has_floor; });
+  t.state = SimThreadState::kRunning;
+}
+
+void Engine::EndShared() {
+  if (!threaded_) {
+    return;
+  }
+  SimThread& t = Cur();
+  std::unique_lock<std::mutex> lk(pmu_);
+  if (!t.has_floor) {
+    return;
+  }
+  ReleaseFloorLocked(t);
+  ReEvalGrantsLocked();
+  AcquireSlotLocked(lk, t);
+}
+
+// ---------------------------------------------------------------------------
+// Wait / Notify
+// ---------------------------------------------------------------------------
+
 u64 Engine::Wait(WaitChannel& ch, TimeCat cat) {
   SimThread& t = Cur();
+  if (!threaded_) {
+    ch.waiters.push_back(t.id);
+    t.state = SimThreadState::kBlocked;
+    t.wait_cat = cat;
+    t.wait_ch = &ch;
+    SwitchToScheduler();
+    // Woken: the notifier already advanced our vtime and attributed the wait.
+    return t.vtime.load(std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lk(pmu_);
+  if (t.has_floor) {
+    ReleaseFloorLocked(t);
+  } else {
+    ReleaseSlotLocked();
+  }
   ch.waiters.push_back(t.id);
   t.state = SimThreadState::kBlocked;
   t.wait_cat = cat;
-  SwitchToScheduler();
-  // Woken: the notifier already advanced our vtime and attributed the wait.
-  return t.vtime;
+  t.wait_ch = &ch;
+  ParkEpilogueLocked();
+  t.cv.wait(lk, [&] { return t.woken; });
+  t.woken = false;
+  AcquireSlotLocked(lk, t);
+  t.state = SimThreadState::kRunning;
+  return t.vtime.load(std::memory_order_relaxed);
+}
+
+u64 Engine::WakeVtimeLocked(SimThread& waiter) {
+  const u64 now = Cur().vtime.load(std::memory_order_relaxed);
+  return std::max(waiter.vtime.load(std::memory_order_relaxed),
+                  now + cfg_.costs.Jitter(waiter.jitter, cfg_.costs.wake_latency));
 }
 
 usize Engine::NotifyOne(WaitChannel& ch) {
+  if (!threaded_) {
+    if (ch.waiters.empty()) {
+      return 0;
+    }
+    const ThreadId w = ch.waiters.front();
+    ch.waiters.erase(ch.waiters.begin());
+    SimThread& t = *threads_[w];
+    CSQ_CHECK_MSG(t.state == SimThreadState::kBlocked, "notify of non-blocked thread " << w);
+    const u64 wake_vt = WakeVtimeLocked(t);
+    t.cat[static_cast<usize>(t.wait_cat)] += wake_vt - t.vtime.load(std::memory_order_relaxed);
+    t.vtime.store(wake_vt, std::memory_order_relaxed);
+    t.wait_ch = nullptr;
+    t.state = SimThreadState::kRunnable;
+    return 1;
+  }
+  std::lock_guard<std::mutex> lk(pmu_);
+  return NotifyOneLocked(ch);
+}
+
+usize Engine::NotifyOneLocked(WaitChannel& ch) {
   if (ch.waiters.empty()) {
     return 0;
   }
@@ -110,34 +497,48 @@ usize Engine::NotifyOne(WaitChannel& ch) {
   ch.waiters.erase(ch.waiters.begin());
   SimThread& t = *threads_[w];
   CSQ_CHECK_MSG(t.state == SimThreadState::kBlocked, "notify of non-blocked thread " << w);
-  const u64 wake_vt =
-      std::max(t.vtime, Now() + cfg_.costs.Jitter(t.jitter, cfg_.costs.wake_latency));
-  t.cat[static_cast<usize>(t.wait_cat)] += wake_vt - t.vtime;
-  t.vtime = wake_vt;
-  t.state = SimThreadState::kRunnable;
+  const u64 wake_vt = WakeVtimeLocked(t);
+  t.cat[static_cast<usize>(t.wait_cat)] += wake_vt - t.vtime.load(std::memory_order_relaxed);
+  t.vtime.store(wake_vt, std::memory_order_relaxed);
+  t.wait_ch = nullptr;
+  t.state = SimThreadState::kRunnable;  // active again; runs once it has a slot
+  t.woken = true;
+  t.cv.notify_all();
   return 1;
 }
 
 usize Engine::NotifyAll(WaitChannel& ch) {
+  if (!threaded_) {
+    usize n = 0;
+    while (NotifyOne(ch) != 0) {
+      ++n;
+    }
+    return n;
+  }
+  std::lock_guard<std::mutex> lk(pmu_);
   usize n = 0;
-  while (NotifyOne(ch) != 0) {
+  while (NotifyOneLocked(ch) != 0) {
     ++n;
   }
   return n;
 }
 
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
 u64 Engine::CatTotalAll(TimeCat cat) const {
   u64 sum = 0;
-  for (const auto& t : threads_) {
-    sum += t->cat[static_cast<usize>(cat)];
+  for (usize i = 0; i < threads_.size(); ++i) {
+    sum += threads_[i]->cat[static_cast<usize>(cat)];
   }
   return sum;
 }
 
 u64 Engine::CompletionVtime() const {
   u64 max_vt = 0;
-  for (const auto& t : threads_) {
-    max_vt = std::max(max_vt, t->finish_vtime);
+  for (usize i = 0; i < threads_.size(); ++i) {
+    max_vt = std::max(max_vt, threads_[i]->finish_vtime);
   }
   return max_vt;
 }

@@ -1,30 +1,53 @@
 // Deterministic discrete-event simulation engine.
 //
-// The engine runs N simulated threads (fibers) on one host thread and gives
-// each a virtual-time clock. The single ordering rule that makes the whole
-// simulation deterministic AND faithful to a real multicore is:
+// The engine runs N simulated threads and gives each a virtual-time clock. The
+// single ordering rule that makes the whole simulation deterministic AND
+// faithful to a real multicore is:
 //
 //   A simulated thread may touch shared simulation state only while it is the
-//   minimum-(vtime, tid) *runnable* thread (GateShared()).
+//   minimum-(vtime, tid) *active* thread (GateShared()).
 //
 // Purely local computation (the vast majority of a workload: its own arithmetic
-// plus loads/stores to its isolated Conversion workspace) never yields, so the
-// simulation is fast; shared operations (token handoffs, commits, lock grants)
-// execute in global virtual-time order, exactly as they would interleave on a
-// real machine with one core per thread — the configuration the paper's 32-core
-// testbed provides.
+// plus loads/stores to its isolated Conversion workspace) never orders against
+// other threads, so the simulation is fast; shared operations (token handoffs,
+// commits, lock grants) execute in global virtual-time order, exactly as they
+// would interleave on a real machine with one core per thread — the
+// configuration the paper's 32-core testbed provides.
 //
 // Blocked threads are excluded from the gate: any operation that could wake
 // them must itself be a shared operation, so it executes at a vtime >= every
 // pending shared operation, and the woken thread resumes no earlier than its
 // waker. This gives exact conservative discrete-event semantics without a
 // lookahead horizon.
+//
+// Two host substrates implement those semantics (see DESIGN.md §11):
+//
+//   * serial (host_workers == 1, the default and the reference): all simulated
+//     threads are ucontext fibers on one host thread; a cooperative scheduler
+//     always resumes the minimum-(vtime, tid) runnable fiber.
+//   * host-parallel (host_workers > 1): each simulated thread is a dedicated
+//     host thread; local segments (everything between shared operations) run
+//     concurrently, bounded by a pool of `host_workers` execution slots, while
+//     a single "floor" — the exclusive right to execute shared operations — is
+//     granted in exactly the serial engine's (vtime, tid) order. This is
+//     classic conservative PDES: isolation makes local segments commute, so
+//     only shared operations need ordering, and the results (checksums, trace
+//     digests, commit orders, per-category virtual times) are bit-identical to
+//     the serial engine.
+//
+// Under ThreadSanitizer the engine always uses the threaded substrate (TSan
+// cannot follow ucontext stack switches); with host_workers == 1 that is a
+// one-slot pool with semantics identical to the serial reference.
 #pragma once
 
 #include <array>
-#include <deque>
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "src/sim/cost_model.h"
@@ -33,7 +56,17 @@
 #include "src/util/check.h"
 #include "src/util/hash.h"
 #include "src/util/rng.h"
+#include "src/util/stable_vec.h"
 #include "src/util/types.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CSQ_TSAN 1
+#endif
+#endif
+#if !defined(CSQ_TSAN) && defined(__SANITIZE_THREAD__)
+#define CSQ_TSAN 1
+#endif
 
 namespace csq::sim {
 
@@ -41,9 +74,11 @@ using ThreadId = u32;
 inline constexpr ThreadId kInvalidThread = 0xffffffffu;
 
 // A deterministic FIFO wait queue. Engine::Wait enqueues the calling thread;
-// Engine::NotifyOne/NotifyAll dequeue and wake.
+// Engine::NotifyOne/NotifyAll dequeue and wake. The label names the channel in
+// deadlock reports.
 struct WaitChannel {
   std::vector<ThreadId> waiters;
+  const char* label = nullptr;
 
   bool Empty() const { return waiters.empty(); }
 };
@@ -51,6 +86,12 @@ struct WaitChannel {
 struct SimConfig {
   CostModel costs;
   usize stack_size = 256 * 1024;
+  // Host execution slots for local segments. 1 = serial reference engine
+  // (single-host-thread fibers); >1 = conservative host-parallel engine with
+  // bit-identical simulated results.
+  u32 host_workers = 1;
+  // Tests only: use the threaded substrate even at host_workers == 1.
+  bool force_threaded = false;
 };
 
 enum class SimThreadState : u8 {
@@ -71,29 +112,39 @@ class Engine {
   // ---- Host-side API -------------------------------------------------------
 
   // Creates a simulated thread. May be called before Run() (initial threads,
-  // vtime 0) or from inside a running fiber (vtime = spawner's Now()).
+  // vtime 0) or from inside a running simulated thread (vtime = spawner's
+  // Now()); mid-run spawns must hold the shared-state gate.
   ThreadId Spawn(std::function<void()> fn);
 
   // Runs the simulation until every thread has finished. CHECK-fails on
-  // deadlock (all remaining threads blocked).
+  // deadlock (all remaining threads blocked), dumping every non-finished
+  // thread with its state, vtime and the channel it is parked on.
   void Run();
 
-  // ---- In-fiber API --------------------------------------------------------
+  // ---- In-thread API -------------------------------------------------------
 
   ThreadId Self() const {
-    CSQ_CHECK_MSG(current_ != kInvalidThread, "in-fiber API called outside a fiber");
-    return current_;
+    SimThread* t = CurPtr();
+    CSQ_CHECK_MSG(t != nullptr, "in-thread API called outside the simulation");
+    return t->id;
   }
 
   // Current thread's virtual time.
-  u64 Now() const { return threads_[Self()]->vtime; }
+  u64 Now() const { return Cur().vtime.load(std::memory_order_relaxed); }
 
   // Advances the current thread's clock by a pre-jittered amount. Inline:
   // this is the hottest call in the simulation (one per workspace access).
+  // The vtime store is a plain move on x86; the gate-trigger check lets the
+  // parallel engine re-evaluate floor grants the moment this thread's clock
+  // passes a parked thread's gate time (never taken on the serial engine).
   void AdvanceRaw(u64 cycles, TimeCat cat) {
     SimThread& t = Cur();
-    t.vtime += cycles;
+    const u64 nv = t.vtime.load(std::memory_order_relaxed) + cycles;
+    t.vtime.store(nv, std::memory_order_relaxed);
     t.cat[static_cast<usize>(cat)] += cycles;
+    if (nv >= t.gate_trigger.load(std::memory_order_relaxed)) {
+      GateTriggerSlow(t);
+    }
   }
 
   // Applies cost-model jitter to `cost`, advances the clock, returns the
@@ -105,10 +156,20 @@ class Engine {
     return jittered;
   }
 
-  // Blocks until the current thread is the minimum-(vtime, tid) runnable
-  // thread. All shared-state operations (in the engine and in the layers above)
-  // must be performed under this gate.
+  // Blocks until the current thread is the minimum-(vtime, tid) active thread
+  // and acquires the exclusive right to touch shared simulation state. All
+  // shared-state operations (in the engine and in the layers above) must be
+  // performed under this gate. The right is held across consecutive
+  // GateShared() calls (each re-checks minimality) and released by
+  // EndShared() or by any park (Wait / thread exit).
   void GateShared();
+
+  // Declares the end of a shared section: the calling thread is returning to
+  // purely local execution. A no-op on the serial engine; on the parallel
+  // engine it releases the floor so the next minimum-(vtime, tid) thread can
+  // run its shared operation concurrently with this thread's local segment.
+  // Missing calls cost parallelism, never correctness.
+  void EndShared();
 
   // Cooperative yield (stays runnable). Rarely needed outside GateShared.
   void YieldRunnable();
@@ -118,7 +179,7 @@ class Engine {
   u64 Wait(WaitChannel& ch, TimeCat cat);
 
   // Wakes the first / all waiter(s) at max(waiter vtime, Now() + wake_latency).
-  // Returns the number of threads woken.
+  // Returns the number of threads woken. Callers must hold the gate.
   usize NotifyOne(WaitChannel& ch);
   usize NotifyAll(WaitChannel& ch);
 
@@ -127,7 +188,9 @@ class Engine {
   const CostModel& Costs() const { return cfg_.costs; }
   usize ThreadCount() const { return threads_.size(); }
   SimThreadState StateOf(ThreadId t) const { return threads_[t]->state; }
-  u64 VtimeOf(ThreadId t) const { return threads_[t]->vtime; }
+  u64 VtimeOf(ThreadId t) const {
+    return threads_[t]->vtime.load(std::memory_order_relaxed);
+  }
   u64 CatTotal(ThreadId t, TimeCat cat) const {
     return threads_[t]->cat[static_cast<usize>(cat)];
   }
@@ -138,7 +201,10 @@ class Engine {
 
   // Deterministic schedule fingerprinting. Layers above mix every ordering
   // decision (sync op grants, commit order, ...) into this digest; determinism
-  // tests assert it is identical across runs/jitter seeds.
+  // tests assert it is identical across runs/jitter seeds, and the
+  // engine-equivalence suite asserts it is identical across host_workers
+  // settings. Callers hold the gate (all call sites are token-held), which
+  // serializes the mixes on the parallel engine.
   void Trace(u64 tag, u64 a, u64 b, u64 c) {
     trace_.Mix(tag);
     trace_.Mix(a);
@@ -149,34 +215,103 @@ class Engine {
   u64 TraceDigest() const { return trace_.Digest(); }
   u64 TraceEvents() const { return trace_events_; }
 
+  // True when this engine executes simulated threads on host threads
+  // (host_workers > 1, force_threaded, or any build where fibers are
+  // unavailable, e.g. ThreadSanitizer).
+  bool Threaded() const { return threaded_; }
+
  private:
+  static constexpr u64 kNoTrigger = ~0ULL;
+
   struct SimThread {
     ThreadId id = kInvalidThread;
     SimThreadState state = SimThreadState::kRunnable;
-    u64 vtime = 0;
+    // Owner-written (relaxed); read by the parallel grant rule from other
+    // threads. A stale (low) read is conservative: it can only delay a floor
+    // grant, and the gate trigger re-evaluates once the owner advances.
+    std::atomic<u64> vtime{0};
+    // When this thread's vtime reaches the trigger, it stops blocking the
+    // minimum parked gate-waiter and must re-evaluate grants (parallel only).
+    std::atomic<u64> gate_trigger{kNoTrigger};
     u64 finish_vtime = 0;
     TimeCat wait_cat = TimeCat::kChunk;
+    const WaitChannel* wait_ch = nullptr;  // non-null while parked in Wait
     DetRng jitter;
     std::array<u64, kNumTimeCats> cat{};
+
+    // Serial substrate.
     std::unique_ptr<Fiber> fiber;
+
+    // Threaded substrate. All flags below are guarded by Engine::pmu_.
+    std::function<void()> fn;
+    std::thread host;
+    std::condition_variable cv;
+    bool started = false;     // host thread has been released into fn()
+    bool has_floor = false;   // holds the shared-operation right
+    bool want_gate = false;   // parked in GateShared awaiting the floor
+    bool woken = false;       // Wait() wake handshake
   };
 
+  // ---- Shared helpers ------------------------------------------------------
+  SimThread* CurPtr() const;
+  SimThread& Cur() const {
+    SimThread* t = CurPtr();
+    CSQ_CHECK_MSG(t != nullptr, "in-thread API called outside the simulation");
+    return *t;
+  }
+  void GateTriggerSlow(SimThread& t);
+  [[noreturn]] void DieOfDeadlock() const;
+  std::string BuildDeadlockReport() const;
+
+  // ---- Serial substrate ----------------------------------------------------
+  void RunSerial();
   bool IsMinRunnable(ThreadId t) const;
   ThreadId PickNext() const;
   void SwitchToScheduler();
-  SimThread& Cur() {
-    CSQ_CHECK_MSG(cur_thread_ != nullptr, "in-fiber API called outside a fiber");
-    return *cur_thread_;
-  }
+
+  // ---- Threaded substrate --------------------------------------------------
+  void RunThreaded();
+  void HostThreadBody(SimThread* t);
+  void LaunchHostThread(SimThread* t);
+  // Grant the floor to the minimum-(vtime, tid) gate-waiter if no active
+  // thread with a smaller key can still reach shared state first; otherwise
+  // arm gate triggers on the blockers. Requires pmu_.
+  void ReEvalGrantsLocked();
+  void AcquireSlotLocked(std::unique_lock<std::mutex>& lk, SimThread& t);
+  void ReleaseSlotLocked();
+  void ReleaseFloorLocked(SimThread& t);
+  void ParkEpilogueLocked();  // re-eval grants + deadlock/done detection
+  usize NotifyOneLocked(WaitChannel& ch);
+
+  u64 WakeVtimeLocked(SimThread& waiter);
 
   SimConfig cfg_;
-  std::deque<std::unique_ptr<SimThread>> threads_;
-  ThreadId current_ = kInvalidThread;
-  SimThread* cur_thread_ = nullptr;  // threads_[current_].get(); single-load Cur()
+  bool threaded_ = false;
+  // StableVec, not deque: the record for thread i must be readable (vtime
+  // introspection, Cur() via TLS pointer) while a gate-held thread spawns
+  // thread i+1 on the parallel engine.
+  StableVec<std::unique_ptr<SimThread>> threads_;
   bool running_ = false;
-  ucontext_t main_ctx_{};
   Fnv1a trace_;
   u64 trace_events_ = 0;
+
+  // Serial substrate state.
+  ThreadId current_ = kInvalidThread;
+  SimThread* cur_thread_ = nullptr;  // threads_[current_].get(); single-load Cur()
+  ucontext_t main_ctx_{};
+
+  // Threaded substrate state. pmu_ protects all scheduling state (thread
+  // states, flags, wait channels, slot count); every floor handoff passes
+  // through it, so gate-held plain data (trace_, channel vectors, another
+  // thread's cat[] at wake) is release/acquire-chained between holders.
+  std::mutex pmu_;
+  std::condition_variable run_cv_;    // Run() waits for completion/deadlock
+  std::condition_variable slot_cv_;   // local-segment slot pool
+  u32 free_slots_ = 0;
+  bool floor_held_ = false;
+  bool deadlocked_ = false;
+  bool shutdown_ = false;             // ~Engine with never-started threads
+  usize finished_count_ = 0;
 };
 
 }  // namespace csq::sim

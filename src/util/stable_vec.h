@@ -1,0 +1,96 @@
+// Append-only container with stable addresses and lock-free indexed reads.
+//
+// The deterministic runtimes keep per-object state (thread records, mutexes,
+// condvars, logical clocks) in growable sequences. Creation is always a shared
+// operation — serialized by the engine's shared-state gate — but *reads* of an
+// already-created element happen from purely local code (a thread ticking its
+// own clock, a TLB refill), which under the host-parallel engine runs
+// concurrently with another thread creating the next element. std::deque keeps
+// element addresses stable but its internal index block is not safe to read
+// during a concurrent push_back; StableVec is.
+//
+// Concurrency contract:
+//   * EmplaceBack callers must be externally serialized (hold the shared-state
+//     gate). This is NOT a concurrent-writer container.
+//   * operator[] / size() are safe from any thread concurrently with
+//     EmplaceBack. size() is monotonic; an index observed < size() refers to a
+//     fully constructed element (release/acquire on size_).
+//   * Element contents carry their own synchronization discipline (most fields
+//     are owner-thread-only or gate-held; see call sites).
+//
+// Storage is a fixed spine of lazily allocated blocks: element addresses never
+// move, no block is ever reallocated, and an indexed read is two loads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace csq {
+
+template <typename T>
+class StableVec {
+ public:
+  static constexpr usize kBlockSize = 64;
+  static constexpr usize kMaxBlocks = 1024;  // 65536 elements; plenty for 32-thread sweeps
+
+  StableVec() = default;
+
+  ~StableVec() {
+    const usize n = size_.load(std::memory_order_acquire);
+    for (usize i = n; i-- > 0;) {
+      Slot(i)->~T();
+    }
+    for (auto& b : blocks_) {
+      delete[] reinterpret_cast<Storage*>(b.load(std::memory_order_relaxed));
+    }
+  }
+
+  StableVec(const StableVec&) = delete;
+  StableVec& operator=(const StableVec&) = delete;
+
+  // Writer-side (gate-serialized). Returns a reference that stays valid for
+  // the container's lifetime.
+  template <typename... Args>
+  T& EmplaceBack(Args&&... args) {
+    const usize i = size_.load(std::memory_order_relaxed);
+    CSQ_CHECK_MSG(i < kBlockSize * kMaxBlocks, "StableVec capacity exceeded");
+    const usize bi = i / kBlockSize;
+    if (blocks_[bi].load(std::memory_order_relaxed) == nullptr) {
+      auto* fresh = new Storage[kBlockSize];
+      blocks_[bi].store(fresh, std::memory_order_release);
+    }
+    T* slot = Slot(i);
+    new (slot) T(std::forward<Args>(args)...);
+    size_.store(i + 1, std::memory_order_release);
+    return *slot;
+  }
+
+  T& operator[](usize i) { return *Slot(i); }
+  const T& operator[](usize i) const { return *Slot(i); }
+
+  T& back() { return (*this)[size() - 1]; }
+
+  usize size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct alignas(alignof(T)) Storage {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  T* Slot(usize i) const {
+    Storage* b = blocks_[i / kBlockSize].load(std::memory_order_acquire);
+    return std::launder(reinterpret_cast<T*>(b[i % kBlockSize].bytes));
+  }
+
+  std::array<std::atomic<Storage*>, kMaxBlocks> blocks_{};
+  std::atomic<usize> size_{0};
+};
+
+}  // namespace csq

@@ -1,0 +1,219 @@
+// Serial/parallel engine equivalence: the host-parallel engine
+// (RuntimeConfig::host_workers > 1) must produce results bit-identical to the
+// serial reference engine for every deterministic flavor, every worker count
+// and every jitter seed — same checksums, virtual times, schedule traces,
+// commit orders and per-category time breakdowns. Only host_wall_ns and
+// peak_mem_bytes (whose workspace-copy component depends on host scheduling)
+// may differ.
+//
+// On failure, the ScheduleRecorder-based cases report the first diverging
+// synchronization event instead of just a mismatched digest.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/rt/api.h"
+#include "src/rt/schedule_recorder.h"
+#include "src/tso/explorer.h"
+#include "src/tso/litmus.h"
+#include "src/tso/runner.h"
+#include "src/tso/tso_model.h"
+#include "src/wl/workloads.h"
+
+namespace csq::rt {
+namespace {
+
+constexpr Backend kDetBackends[] = {
+    Backend::kDThreads,
+    Backend::kDwc,
+    Backend::kConsequenceRR,
+    Backend::kConsequenceIC,
+};
+
+// Workload mix: lock-heavy fine-grained (reverse_index), a condvar pipeline
+// (ferret), and a barrier-heavy program (ocean_cp) — together they exercise
+// every blocking path in the runtime.
+constexpr const char* kWorkloads[] = {"reverse_index", "ferret", "ocean_cp"};
+
+RuntimeConfig BaseCfg(u32 host_workers, u64 jitter_seed = 0) {
+  RuntimeConfig cfg;
+  cfg.nthreads = 4;
+  cfg.segment.size_bytes = 8 << 20;
+  cfg.host_workers = host_workers;
+  if (jitter_seed != 0) {
+    cfg.costs.jitter_bp = 900;
+    cfg.costs.jitter_seed = jitter_seed;
+  }
+  return cfg;
+}
+
+// Every deterministic RunResult field. host_wall_ns and peak_mem_bytes are
+// deliberately absent (host-dependent; see api.h).
+void ExpectResultsIdentical(const RunResult& serial, const RunResult& par,
+                            const std::string& label) {
+  EXPECT_EQ(serial.checksum, par.checksum) << label;
+  EXPECT_EQ(serial.vtime, par.vtime) << label;
+  EXPECT_EQ(serial.trace_digest, par.trace_digest) << label;
+  EXPECT_EQ(serial.trace_events, par.trace_events) << label;
+  EXPECT_EQ(serial.commits, par.commits) << label;
+  EXPECT_EQ(serial.pages_committed, par.pages_committed) << label;
+  EXPECT_EQ(serial.pages_merged, par.pages_merged) << label;
+  EXPECT_EQ(serial.pages_propagated, par.pages_propagated) << label;
+  EXPECT_EQ(serial.token_acquires, par.token_acquires) << label;
+  EXPECT_EQ(serial.fast_forwards, par.fast_forwards) << label;
+  EXPECT_EQ(serial.overflows, par.overflows) << label;
+  EXPECT_EQ(serial.cow_faults, par.cow_faults) << label;
+  EXPECT_EQ(serial.cat_totals, par.cat_totals) << label;
+  EXPECT_EQ(serial.cat_by_thread, par.cat_by_thread) << label;
+}
+
+std::string DivergenceMessage(const std::vector<SchedEvent>& serial,
+                              const std::vector<SchedEvent>& par) {
+  const auto div = FirstDivergence(serial, par);
+  if (!div) {
+    return "schedules identical";
+  }
+  std::ostringstream oss;
+  oss << "first divergence at event " << div->index << ": serial={" << div->left
+      << "} parallel={" << div->right << "}";
+  return oss.str();
+}
+
+TEST(EngineEquivalence, AllFlavorsAllWorkerCountsBitIdentical) {
+  for (const char* name : kWorkloads) {
+    const wl::WorkloadInfo* w = wl::FindWorkload(name);
+    ASSERT_NE(w, nullptr) << name;
+    wl::WlParams p;
+    p.workers = 4;
+    for (Backend be : kDetBackends) {
+      const RunResult serial = MakeRuntime(be, BaseCfg(1))->Run(wl::Bind(*w, p));
+      for (u32 workers : {2u, 4u, 8u}) {
+        const RunResult par = MakeRuntime(be, BaseCfg(workers))->Run(wl::Bind(*w, p));
+        std::ostringstream label;
+        label << name << " " << BackendName(be) << " host_workers=" << workers;
+        ExpectResultsIdentical(serial, par, label.str());
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, JitterSeedsPreserveEquivalence) {
+  // Per-seed equivalence: each jittered universe must be reproduced exactly by
+  // the parallel engine (the jitter streams are per-thread and deterministic,
+  // so host scheduling must not leak into them).
+  const wl::WorkloadInfo* w = wl::FindWorkload("reverse_index");
+  wl::WlParams p;
+  p.workers = 4;
+  for (u64 seed : {7ULL, 13ULL, 99ULL}) {
+    const RunResult serial =
+        MakeRuntime(Backend::kConsequenceIC, BaseCfg(1, seed))->Run(wl::Bind(*w, p));
+    for (u32 workers : {2u, 4u}) {
+      const RunResult par =
+          MakeRuntime(Backend::kConsequenceIC, BaseCfg(workers, seed))->Run(wl::Bind(*w, p));
+      std::ostringstream label;
+      label << "seed=" << seed << " host_workers=" << workers;
+      ExpectResultsIdentical(serial, par, label.str());
+    }
+  }
+}
+
+TEST(EngineEquivalence, SyncEventStreamsIdenticalWithFirstDivergenceReport) {
+  // The full ordered acquire/release/commit stream — not just the digest —
+  // must match, and a regression names the first diverging event.
+  const wl::WorkloadInfo* w = wl::FindWorkload("ferret");
+  wl::WlParams p;
+  p.workers = 4;
+  for (Backend be : {Backend::kConsequenceIC, Backend::kConsequenceRR}) {
+    ScheduleRecorder serial_rec;
+    RuntimeConfig scfg = BaseCfg(1);
+    scfg.observer = &serial_rec;
+    MakeRuntime(be, scfg)->Run(wl::Bind(*w, p));
+
+    ScheduleRecorder par_rec;
+    RuntimeConfig pcfg = BaseCfg(4);
+    pcfg.observer = &par_rec;
+    MakeRuntime(be, pcfg)->Run(wl::Bind(*w, p));
+
+    EXPECT_EQ(serial_rec.Events().size(), par_rec.Events().size()) << BackendName(be);
+    EXPECT_FALSE(FirstDivergence(serial_rec.Events(), par_rec.Events()).has_value())
+        << BackendName(be) << ": "
+        << DivergenceMessage(serial_rec.Events(), par_rec.Events());
+  }
+}
+
+TEST(EngineEquivalence, AsyncLockCommitModeStaysEquivalent) {
+  // §6 async commits overlap phase-two installs with other threads'
+  // coordination — the most concurrency-sensitive configuration the runtime
+  // has, so it gets its own equivalence check.
+  const wl::WorkloadInfo* w = wl::FindWorkload("ferret");
+  wl::WlParams p;
+  p.workers = 4;
+  RuntimeConfig scfg = BaseCfg(1);
+  scfg.async_lock_commit = true;
+  const RunResult serial = MakeRuntime(Backend::kConsequenceIC, scfg)->Run(wl::Bind(*w, p));
+  for (u32 workers : {2u, 8u}) {
+    RuntimeConfig pcfg = BaseCfg(workers);
+    pcfg.async_lock_commit = true;
+    const RunResult par = MakeRuntime(Backend::kConsequenceIC, pcfg)->Run(wl::Bind(*w, p));
+    std::ostringstream label;
+    label << "async host_workers=" << workers;
+    ExpectResultsIdentical(serial, par, label.str());
+  }
+}
+
+TEST(EngineEquivalence, TsoLitmusOutcomesIdenticalOnParallelEngine) {
+  // The TSO conformance harness must see the same single outcome per litmus
+  // run regardless of the engine: forbidden shapes stay forbidden because the
+  // parallel engine retires shared operations in the same global order.
+  for (const char* name : {"SB", "MP+fences", "LockMP", "2W-samepage"}) {
+    const tso::LitmusShape& shape = tso::ShapeByName(name);
+    for (Backend be : {Backend::kConsequenceIC, Backend::kDwc}) {
+      RuntimeConfig scfg;
+      scfg.segment.size_bytes = 1 << 20;
+      scfg.host_workers = 1;
+      RunResult sres;
+      const tso::Outcome serial = tso::RunLitmus(be, shape.litmus, scfg, &sres);
+      RuntimeConfig pcfg = scfg;
+      pcfg.host_workers = 4;
+      RunResult pres;
+      const tso::Outcome par = tso::RunLitmus(be, shape.litmus, pcfg, &pres);
+      EXPECT_TRUE(serial == par) << name << " " << BackendName(be) << "\nserial: "
+                                 << serial.ToString() << "\nparallel: " << par.ToString();
+      EXPECT_EQ(sres.trace_digest, pres.trace_digest) << name << " " << BackendName(be);
+      if (shape.forbidden) {
+        EXPECT_FALSE(shape.marked(par)) << name << " reached a TSO-forbidden outcome "
+                                        << "on the parallel engine";
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, ExplorerSchedulesReproduceOnParallelEngine) {
+  // Schedule exploration drives the token arbiter through non-default grant
+  // orders; every explored universe must also be engine-independent. A couple
+  // of shapes with small schedule spaces keep this cheap.
+  for (const char* name : {"SB", "MP+fences"}) {
+    const tso::LitmusShape& shape = tso::ShapeByName(name);
+    tso::ExploreOptions opt;
+    opt.max_runs = 200;
+    RuntimeConfig scfg;
+    scfg.segment.size_bytes = 1 << 20;
+    scfg.host_workers = 1;
+    const tso::ExploreResult serial =
+        tso::Explore(Backend::kConsequenceIC, shape.litmus, scfg, opt);
+    RuntimeConfig pcfg = scfg;
+    pcfg.host_workers = 4;
+    const tso::ExploreResult par =
+        tso::Explore(Backend::kConsequenceIC, shape.litmus, pcfg, opt);
+    EXPECT_EQ(serial.runs, par.runs) << name;
+    EXPECT_TRUE(par.lww_violations.empty()) << name;
+    EXPECT_TRUE(serial.outcomes == par.outcomes)
+        << name << "\nserial: " << ToString(serial.outcomes)
+        << "\nparallel: " << ToString(par.outcomes);
+  }
+}
+
+}  // namespace
+}  // namespace csq::rt
