@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/conv/workspace.h"
+#include "src/util/stats.h"
 
 namespace csq::conv {
 
@@ -32,28 +33,43 @@ Segment::Segment(sim::Engine& eng, SegmentConfig cfg)
 Segment::~Segment() = default;
 
 PageRef Segment::Fetch(u32 page, u64 version) const {
-  CSQ_CHECK_MSG(page < page_count_, "page " << page << " out of range");
-  std::shared_lock<std::shared_mutex> lk(chains_mu_);
-  const auto& chain = chains_[page];
-  // Last revision with rev.version <= version.
-  auto it = std::upper_bound(chain.begin(), chain.end(), version,
-                             [](u64 v, const PageRev& r) { return v < r.version; });
-  if (it == chain.begin()) {
-    return nullptr;
-  }
-  return std::prev(it)->data;
+  return FetchRev(page, version).data;
 }
 
 PageRev Segment::FetchRev(u32 page, u64 version) const {
   CSQ_CHECK_MSG(page < page_count_, "page " << page << " out of range");
-  std::shared_lock<std::shared_mutex> lk(chains_mu_);
-  const auto& chain = chains_[page];
-  auto it = std::upper_bound(chain.begin(), chain.end(), version,
-                             [](u64 v, const PageRev& r) { return v < r.version; });
-  if (it == chain.begin()) {
-    return PageRev{0, nullptr};
+  for (;;) {
+    u64 epoch;
+    {
+      std::shared_lock<std::shared_mutex> lk(chains_mu_);
+      const auto& chain = chains_[page];
+      auto it = std::upper_bound(chain.begin(), chain.end(), version,
+                                 [](u64 v, const PageRev& r) { return v < r.version; });
+      if (it == chain.begin()) {
+        return PageRev{0, nullptr};
+      }
+      const PageRev& rev = *std::prev(it);
+      if (rev.data != nullptr) {
+        return rev;
+      }
+      // Placeholder: the revision is pinned in the total order but its bytes
+      // are still in some committer's off-floor work phase. Snapshot the
+      // publish epoch while the placeholder is provably unpublished (we hold
+      // the chain lock, publishes take it exclusive) so the epoch wait below
+      // cannot miss the wakeup.
+      epoch = pub_epoch_.load(std::memory_order_relaxed);
+    }
+    WaitPublishEpoch(epoch);
   }
-  return *std::prev(it);
+}
+
+void Segment::WaitPublishEpoch(u64 seen) const {
+  const bool lent = eng_.BeginHostWait();
+  {
+    std::unique_lock<std::mutex> lk(pub_mu_);
+    pub_cv_.wait(lk, [&] { return pub_epoch_.load(std::memory_order_relaxed) != seen; });
+  }
+  eng_.EndHostWait(lent);
 }
 
 u64 Segment::LatestVersionOf(u32 page) const {
@@ -90,13 +106,71 @@ PreparedCommit Segment::PrepareCommit(u32 tid, std::vector<u32> pages) {
   return pc;
 }
 
-void Segment::FinishCommit(
-    const PreparedCommit& pc,
-    const std::function<std::unique_ptr<PageBuf>(u32 page, const PageRef& prev)>& resolve) {
+void Segment::FinishCommit(const PreparedCommit& pc, const CommitOps& ops) {
   // Phase two (parallel in virtual time): per page, wait for the predecessor
   // recorded in phase one to install, merge onto it, install. Commits to
   // disjoint pages proceed completely independently — only same-page merges
   // serialize, exactly the Conversion paper's parallel commit.
+  if (!OffFloorActive()) {
+    // Reference path (serial engine / pipeline disabled): charge, resolve and
+    // install run back-to-back under the gate at each page's protocol point.
+    WallTimer held;
+    for (usize i = 0; i < pc.pages.size(); ++i) {
+      const u32 page = pc.pages[i];
+      const u64 prev = pc.prev_versions[i];
+      eng_.GateShared();
+      while (LatestVersionOf(page) != prev) {
+        eng_.Wait(install_order_, sim::TimeCat::kCommit);
+        eng_.GateShared();
+      }
+      ops.charge(page, prev);
+      auto buf = ops.resolve(page, Fetch(page, prev), prev);
+      InstallRev(page, pc.version, PageRef(buf.release(), CountedDeleter{this}));
+      eng_.NotifyAll(install_order_);
+    }
+    // Mark this version complete and advance the contiguous-prefix watermark.
+    eng_.GateShared();
+    installed_ahead_.insert(pc.version);
+    while (!installed_ahead_.empty() && *installed_ahead_.begin() == installed_upto_ + 1) {
+      ++installed_upto_;
+      installed_ahead_.erase(installed_ahead_.begin());
+    }
+    ++stats_.commits;
+    stats_.pages_committed += pc.pages.size();
+    eng_.NotifyAll(install_order_);
+    if (ops.fence) {
+      ops.fence();
+    }
+    stats_.floor_held_commit_ns += static_cast<u64>(held.ElapsedNs());
+    if (observer_) {
+      CommitRecord rec;
+      rec.version = pc.version;
+      rec.tid = pc.tid;
+      rec.pages = pc.pages;
+      observer_(rec);
+    }
+    return;
+  }
+  // Off-floor pipeline (DESIGN.md §12). Each page commits in two steps: a
+  // floor-held ORDER step — event-for-event identical to the reference path
+  // (same gate, wait, charge, chain splice and notify at the same virtual
+  // time) except the spliced revision is a placeholder (data == null) — and
+  // an off-floor WORK step that runs the expensive byte work (word-bitmap
+  // diff, MergeIntoWords, page copies) on the committer's own host thread,
+  // overlapped with other threads' chunk execution, then publishes the bytes
+  // into the placeholder.
+  //
+  // The work step for page i runs BEFORE the order step for page i+1. That
+  // staging is what keeps placeholder waits acyclic: a page's bytes need
+  // only its predecessor's bytes (published at the same point of the
+  // predecessor owner's pipeline, before any later-ordered floor work) plus
+  // host CPU — never a future floor grant. Deferring all byte work past the
+  // whole order loop instead can deadlock: a reader host-blocked on one of
+  // our unpublished pages keeps its (lower) virtual time frozen, the
+  // engine's conservative grant rule then withholds the floor our order loop
+  // still needs, and our publish is exactly what the reader is waiting for.
+  WallTimer commit_wall;
+  u64 work_ns = 0;
   for (usize i = 0; i < pc.pages.size(); ++i) {
     const u32 page = pc.pages[i];
     const u64 prev = pc.prev_versions[i];
@@ -105,11 +179,20 @@ void Segment::FinishCommit(
       eng_.Wait(install_order_, sim::TimeCat::kCommit);
       eng_.GateShared();
     }
-    auto buf = resolve(page, Fetch(page, prev));
-    InstallRev(page, pc.version, PageRef(buf.release(), CountedDeleter{this}));
+    ops.charge(page, prev);
+    InstallRev(page, pc.version, nullptr);
     eng_.NotifyAll(install_order_);
+    eng_.EndShared();
+    WallTimer work;
+    auto buf = ops.resolve(page, Fetch(page, prev), prev);
+    PublishRev(page, pc.version, PageRef(buf.release(), CountedDeleter{this}));
+    work_ns += static_cast<u64>(work.ElapsedNs());
   }
-  // Mark this version complete and advance the contiguous-prefix watermark.
+  // Completion: re-gate to advance the contiguous-prefix watermark, update
+  // stats and flush the buffered per-thread observer emissions, serialized
+  // with every other floor holder. The closing gate performs no engine
+  // mutation beyond the reference path's own closing block, and FinishCommit
+  // keeps its returns-floor-held contract.
   eng_.GateShared();
   installed_ahead_.insert(pc.version);
   while (!installed_ahead_.empty() && *installed_ahead_.begin() == installed_upto_ + 1) {
@@ -118,7 +201,14 @@ void Segment::FinishCommit(
   }
   ++stats_.commits;
   stats_.pages_committed += pc.pages.size();
+  stats_.offfloor_pages_installed += pc.pages.size();
+  stats_.offfloor_commit_ns += work_ns;
+  const u64 total_ns = static_cast<u64>(commit_wall.ElapsedNs());
+  stats_.floor_held_commit_ns += total_ns > work_ns ? total_ns - work_ns : 0;
   eng_.NotifyAll(install_order_);
+  if (ops.fence) {
+    ops.fence();
+  }
   if (observer_) {
     CommitRecord rec;
     rec.version = pc.version;
@@ -139,6 +229,23 @@ void Segment::InstallRev(u32 page, u64 version, PageRef data) {
   }
   chain.push_back(PageRev{version, std::move(data)});
   stats_.live_page_bytes += cfg_.page_size;
+}
+
+void Segment::PublishRev(u32 page, u64 version, PageRef data) {
+  CSQ_CHECK(data != nullptr);
+  {
+    std::unique_lock<std::shared_mutex> lk(chains_mu_);
+    auto& chain = chains_[page];
+    auto it = std::lower_bound(chain.begin(), chain.end(), version,
+                               [](const PageRev& r, u64 v) { return r.version < v; });
+    CSQ_CHECK_MSG(it != chain.end() && it->version == version,
+                  "publish of an uninstalled revision v" << version << " page " << page);
+    CSQ_CHECK_MSG(it->data == nullptr, "double publish v" << version << " page " << page);
+    it->data = std::move(data);
+  }
+  std::lock_guard<std::mutex> lk(pub_mu_);
+  pub_epoch_.fetch_add(1, std::memory_order_relaxed);
+  pub_cv_.notify_all();
 }
 
 usize Segment::DistinctPagesChanged(u64 from, u64 to) const {
@@ -182,11 +289,28 @@ void Segment::WaitInstalled(u64 version) {
   }
 }
 
+void Segment::WaitGcQuiesced() {
+  // Floor-held host wait: the eraser needs no floor (only gc_mu_/chains_mu_),
+  // so it always drains. No slot lending — the caller keeps the floor.
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  gc_cv_.wait(lk, [&] { return !gc_inflight_; });
+}
+
 usize Segment::Gc(u32 nthreads_for_amortization) {
   if (cfg_.gc_budget_per_call == 0 && !cfg_.multithreaded_gc) {
     return 0;
   }
   eng_.GateShared();
+  const bool offfloor = OffFloorActive();
+  if (offfloor) {
+    // A previous caller's deferred erase may still be running; the decision
+    // scan below must never observe a half-erased chain.
+    WaitGcQuiesced();
+  }
+  // Deferred (off-floor) reclaim list: page index + number of leading
+  // revisions to drop. Chain prefixes are stable against the concurrent
+  // phase-one installs (which only append) and there is a single eraser.
+  std::vector<std::pair<u32, usize>> pending;
   const u64 watermark = MinSnapshotVersion();
   const usize budget =
       cfg_.multithreaded_gc ? static_cast<usize>(-1) : cfg_.gc_budget_per_call;
@@ -217,7 +341,12 @@ usize Segment::Gc(u32 nthreads_for_amortization) {
     }
     if (keep_from > 0) {
       const usize drop = std::min(keep_from, budget - reclaimed);
-      {
+      if (offfloor) {
+        // Decision (and every simulated effect: reclaim count, byte
+        // accounting, the charge below) stays floor-held and bit-identical
+        // to the reference path; only the host-side erase is deferred.
+        pending.emplace_back(page, drop);
+      } else {
         // Exclusive vs concurrent snapshot readers; reclaimed revisions are
         // below every live snapshot, so no reader can be *using* them.
         std::unique_lock<std::shared_mutex> lk(chains_mu_);
@@ -237,6 +366,36 @@ usize Segment::Gc(u32 nthreads_for_amortization) {
                      std::max<u32>(1, cfg_.multithreaded_gc ? nthreads_for_amortization : 1);
     eng_.Charge(cost, sim::TimeCat::kGc);
   }
+  if (pending.empty()) {
+    return reclaimed;
+  }
+  // Off-floor reclaim: release the floor, erase (buffer deleters recycle into
+  // the pool), then re-gate so Gc keeps its returns-floor-held contract. The
+  // dropped revisions sit below every non-exempt snapshot, and an unpublished
+  // version's committer pins the watermark below it (its workspace is
+  // non-exempt until FinishCommit returns), so every dropped revision is
+  // published and unreachable.
+  {
+    std::lock_guard<std::mutex> lk(gc_mu_);
+    gc_inflight_ = true;
+  }
+  eng_.EndShared();
+  for (const auto& [page, drop] : pending) {
+    std::unique_lock<std::shared_mutex> lk(chains_mu_);
+    auto& chain = chains_[page];
+    for (usize k = 0; k < drop; ++k) {
+      CSQ_DCHECK(chain[k].data != nullptr);
+    }
+    chain.erase(chain.begin(), chain.begin() + static_cast<i64>(drop));
+  }
+  {
+    std::lock_guard<std::mutex> lk(gc_mu_);
+    gc_inflight_ = false;
+  }
+  // Notify before re-gating: a floor-held WaitGcQuiesced() caller would
+  // otherwise hold the floor we are about to wait for.
+  gc_cv_.notify_all();
+  eng_.GateShared();
   return reclaimed;
 }
 

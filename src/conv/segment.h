@@ -34,6 +34,8 @@
 // excluded from cross-engine equivalence comparisons.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <set>
@@ -58,6 +60,14 @@ struct SegmentConfig {
   // Models the paper's proposed multi-threaded collector: unlimited budget and
   // the reclamation cost amortized across threads.
   bool multithreaded_gc = false;
+  // Off-floor commit pipeline (DESIGN.md §12): on the host-parallel engine,
+  // FinishCommit holds the floor only for the order phase (charges + placeholder
+  // installs at the exact serial protocol points) and runs the byte work —
+  // diffs, merges, page copies — on the committer's own host thread, overlapped
+  // with other threads' chunk execution; Gc likewise defers its chain erases
+  // off the floor. Simulated results are bit-identical either way; the flag
+  // only moves host work off the critical path. No effect on the serial engine.
+  bool offfloor_commit = true;
   // TEST ONLY — deliberately breaks cross-run determinism so the TSO trace
   // oracle's divergence reporting can be exercised: when set, a multi-page
   // commit prepared at an odd virtual time reverses its page install order.
@@ -101,6 +111,13 @@ struct SegmentStats {
   u64 live_page_bytes = 0;    // committed revisions currently alive
   u64 peak_page_bytes = 0;    // including workspace-local copies (see NotePageAlloc)
   u64 cur_total_page_bytes = 0;
+  // Off-floor commit pipeline observability. The ns counters are host
+  // wall-clock (like peak_page_bytes they are host-dependent and excluded
+  // from determinism/equivalence comparisons); the page counter is 0 on the
+  // serial engine and pages_committed when the pipeline is active.
+  u64 offfloor_pages_installed = 0;  // pages published via the off-floor work phase
+  u64 floor_held_commit_ns = 0;      // FinishCommit wall time spent holding the floor
+  u64 offfloor_commit_ns = 0;        // FinishCommit byte work overlapped off the floor
 };
 
 class Segment {
@@ -168,14 +185,42 @@ class Segment {
   // so other threads' phase ones can proceed (the "parallel barrier commit"
   // optimization).
   PreparedCommit PrepareCommit(u32 tid, std::vector<u32> pages);
+
+  // Phase-two callbacks, split so the floor-held order phase and the byte
+  // work phase can be separated on the host-parallel engine (DESIGN.md §12).
+  struct CommitOps {
+    // Floor-held, at the page's version-ordered protocol point: apply the
+    // deterministic virtual-time charges (and any deterministic counters) for
+    // resolving `page` onto `prev_version`. Exactly one call per page, in
+    // pc.pages order.
+    std::function<void(u32 page, u64 prev_version)> charge;
+    // Produces the page's final bytes given the immediately preceding
+    // revision. Pure byte work: MUST NOT touch the engine (no charges, waits
+    // or notifies) — on the off-floor path it runs outside the floor,
+    // concurrently with other threads' chunk execution.
+    std::function<std::unique_ptr<PageBuf>(u32 page, const PageRef& prev, u64 prev_version)>
+        resolve;
+    // Floor-held completion fence, after every page of this commit is
+    // published: emit observer/trace events buffered by `resolve` so observer
+    // streams stay floor-ordered. May be null.
+    std::function<void()> fence;
+  };
+
   // Performs the (virtually parallel) merge+install of a prepared commit.
-  // `resolve` maps a page index to its final bytes given the immediately
-  // preceding revision of that page. Blocks until all earlier prepared
-  // versions have installed (installation is version-ordered; the expensive
-  // merge work overlaps).
-  void FinishCommit(const PreparedCommit& pc,
-                    const std::function<std::unique_ptr<PageBuf>(u32 page, const PageRef& prev)>&
-                        resolve);
+  // Blocks until all earlier prepared versions of each page have installed
+  // (installation is version-ordered; the expensive merge work overlaps).
+  // Serial engine (or offfloor_commit = false): charge + resolve + install run
+  // back-to-back under the gate per page — the reference behavior. Off-floor
+  // (threaded engine): the floor-held order phase installs placeholder
+  // revisions at the exact same protocol points, then the floor is released
+  // and `resolve` runs on the committer's host thread; readers that hit a
+  // placeholder block on its per-revision publish flag (PageRev.data == null
+  // until published). Returns floor-held in both modes.
+  void FinishCommit(const PreparedCommit& pc, const CommitOps& ops);
+
+  // True when FinishCommit/Gc run their work phases off the floor (threaded
+  // engine with offfloor_commit enabled).
+  bool OffFloorActive() const { return eng_.Threaded() && cfg_.offfloor_commit; }
 
   // --- Garbage collection ---------------------------------------------------
   // Reclaims revisions older than the minimum workspace snapshot. Returns
@@ -230,9 +275,13 @@ class Segment {
   void RecyclePageBuf(const PageBuf* buf);
 
   // Conflict-merge accounting (called by workspaces when they byte-merge).
+  // Split so the off-floor commit path can count the page at its floor-held
+  // protocol point (deterministic) and apply the byte count at the fence.
+  void NoteMergePage() { ++stats_.pages_merged; }
+  void NoteMergeBytes(usize bytes) { stats_.bytes_merged += bytes; }
   void NoteMerge(usize bytes) {
-    ++stats_.pages_merged;
-    stats_.bytes_merged += bytes;
+    NoteMergePage();
+    NoteMergeBytes(bytes);
   }
 
   // Zero page shared by all never-written pages.
@@ -251,7 +300,19 @@ class Segment {
   // retired buffers go back to the host allocator.
   static constexpr usize kMaxPooledBufs = 1024;
 
+  // Splices a revision into the page chain at the gate-ordered protocol
+  // point. `data` may be null: a placeholder whose bytes the off-floor work
+  // phase publishes later (PublishRev).
   void InstallRev(u32 page, u64 version, PageRef data);
+  // Fills a placeholder revision's bytes and wakes host-blocked readers.
+  // Needs no floor — only the publish epoch and an exclusive chain lock.
+  void PublishRev(u32 page, u64 version, PageRef data);
+  // Host-blocks until a publish lands (re-check the chain afterwards). `seen`
+  // is the publish epoch read while the unpublished revision was observed.
+  void WaitPublishEpoch(u64 seen) const;
+  // Floor-held: host-blocks until a previous caller's deferred GC erase has
+  // drained, so the decision scan never observes a half-erased chain.
+  void WaitGcQuiesced();
 
   sim::Engine& eng_;
   SegmentConfig cfg_;
@@ -279,6 +340,18 @@ class Segment {
   // Buffer pool + page-byte accounting (reached from un-gated local code via
   // CoW faults and the CountedDeleter path).
   std::mutex pool_mu_;
+  // Per-revision publish protocol (off-floor commit pipeline): a reader that
+  // finds a placeholder revision (data == null) under chains_mu_ records the
+  // epoch, re-checks, and waits for the epoch to move. Publishers bump the
+  // epoch under pub_mu_ after filling the bytes, so a missed notify is
+  // impossible. The members are mutable: Fetch/FetchRev are const.
+  mutable std::mutex pub_mu_;
+  mutable std::condition_variable pub_cv_;
+  mutable std::atomic<u64> pub_epoch_{0};
+  // Deferred GC reclaim drain (one eraser at a time; see Gc).
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_inflight_ = false;
 };
 
 }  // namespace csq::conv

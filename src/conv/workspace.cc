@@ -101,17 +101,34 @@ void Workspace::StoreBytesSlow(u64 addr, const void* in, usize n) {
   ++stats_.stores;
 }
 
-std::unique_ptr<PageBuf> Workspace::ResolvePage(u32 page, const PageRef& prev, u64 version) {
+void Workspace::ChargeCommitPage(u32 page, u64 prev_version) {
+  // Floor-held at the page's protocol point: exactly the one jittered charge
+  // the fused reference path drew, plus the deterministic conflict counters.
+  const LocalPage& lp = pages_.at(page);
+  CSQ_CHECK_MSG(lp.local != nullptr, "committing a non-dirty page");
+  if (prev_version == lp.base_version) {
+    eng_.Charge(eng_.Costs().commit_per_page, TimeCat::kCommit);
+    return;
+  }
+  eng_.Charge(eng_.Costs().page_diff + eng_.Costs().page_merge + eng_.Costs().commit_per_page,
+              TimeCat::kCommit);
+  ++stats_.pages_merged;
+  seg_.NoteMergePage();
+}
+
+std::unique_ptr<PageBuf> Workspace::ResolveCommitPage(u32 page, const PageRef& prev,
+                                                      u64 prev_version, u64 version,
+                                                      bool defer_events) {
+  // Pure byte work — no engine calls; on the off-floor path this runs
+  // concurrently with other threads' chunk execution.
   const LocalPage& lp = pages_.at(page);
   CSQ_CHECK_MSG(lp.local != nullptr, "resolving a non-dirty page");
   seg_.NotePageAlloc();
   bool pooled = false;
-  if ((prev == nullptr && lp.base_version == 0) ||
-      (prev != nullptr && prev.get() == lp.twin.get())) {
+  if (prev_version == lp.base_version) {
     // Fast path: nobody committed this page since our twin; publish our copy.
     auto out = seg_.AcquireCopyOf(*lp.local, &pooled);
     stats_.pool_reuses += pooled ? 1 : 0;
-    eng_.Charge(eng_.Costs().commit_per_page, TimeCat::kCommit);
     return out;
   }
   // Conflict: merge our changed words (vs. twin) onto the previous revision.
@@ -119,17 +136,29 @@ std::unique_ptr<PageBuf> Workspace::ResolvePage(u32 page, const PageRef& prev, u
   stats_.pool_reuses += pooled ? 1 : 0;
   const MergeResult mr = MergeIntoWords(*merged, *lp.local, *lp.twin, lp.dirty_words);
   stats_.words_merged += mr.words;
-  eng_.Charge(eng_.Costs().page_diff + eng_.Costs().page_merge + eng_.Costs().commit_per_page,
-              TimeCat::kCommit);
-  ++stats_.pages_merged;
-  seg_.NoteMerge(mr.bytes);
-  if (seg_.Hooks().on_merge) {
-    // FinishCommit calls resolve only once the page's chain tail equals the
-    // recorded predecessor, so the tail version IS the base we merged onto.
-    seg_.Hooks().on_merge(tid_, page, version, seg_.LatestVersionOf(page), mr.bytes,
-                          /*rebase=*/false);
+  if (defer_events) {
+    commit_merges_.push_back({page, prev_version, mr.bytes});
+  } else {
+    seg_.NoteMergeBytes(mr.bytes);
+    if (seg_.Hooks().on_merge) {
+      // FinishCommit resolves only once the page's chain tail equals the
+      // recorded predecessor, so prev_version IS the base we merged onto.
+      seg_.Hooks().on_merge(tid_, page, version, prev_version, mr.bytes, /*rebase=*/false);
+    }
   }
   return merged;
+}
+
+void Workspace::FlushCommitEvents(u64 version) {
+  // Floor-held fence: emit the buffered merge records in resolve order — the
+  // same per-thread event sequence the reference path emits inline.
+  for (const PendingMerge& m : commit_merges_) {
+    seg_.NoteMergeBytes(m.bytes);
+    if (seg_.Hooks().on_merge) {
+      seg_.Hooks().on_merge(tid_, m.page, version, m.base_version, m.bytes, /*rebase=*/false);
+    }
+  }
+  commit_merges_.clear();
 }
 
 PreparedCommit Workspace::PrepareTwoPhase() {
@@ -149,9 +178,14 @@ void Workspace::FinishTwoPhase(const PreparedCommit& pc) {
     last_commit_pages_.clear();
     return;
   }
-  seg_.FinishCommit(pc, [this, v = pc.version](u32 page, const PageRef& prev) {
-    return ResolvePage(page, prev, v);
-  });
+  Segment::CommitOps ops;
+  const bool defer = seg_.OffFloorActive();
+  ops.charge = [this](u32 page, u64 prev_version) { ChargeCommitPage(page, prev_version); };
+  ops.resolve = [this, v = pc.version, defer](u32 page, const PageRef& prev, u64 prev_version) {
+    return ResolveCommitPage(page, prev, prev_version, v, defer);
+  };
+  ops.fence = [this, v = pc.version] { FlushCommitEvents(v); };
+  seg_.FinishCommit(pc, ops);
   AfterCommitRefresh(pc);
   ++stats_.commits;
   stats_.pages_committed += pc.pages.size();

@@ -53,6 +53,11 @@ struct WorkspaceStats {
 
 class Workspace {
  public:
+  // Construction/destruction (un)registers the workspace with the segment's
+  // snapshot registry, which floor-held GC scans read for the reclamation
+  // watermark. Construct and destroy workspaces outside the simulation, or at
+  // floor-held points (the runtime layer registers inside the gated spawn
+  // path) — never on a sim thread that has released the floor.
   Workspace(Segment& seg, u32 tid);
   ~Workspace();
 
@@ -183,11 +188,29 @@ class Workspace {
     LocalPage* lp = nullptr;  // nullptr = invalid entry
   };
 
+  // A commit-time merge whose observer/accounting emission is deferred to the
+  // commit's floor-held completion fence (off-floor pipeline): the byte count
+  // only exists after the off-floor MergeIntoWords, but trace streams must
+  // stay floor-ordered.
+  struct PendingMerge {
+    u32 page = 0;
+    u64 base_version = 0;
+    u64 bytes = 0;
+  };
+
   void LoadBytesSlow(u64 addr, void* out, usize n);
   void StoreBytesSlow(u64 addr, const void* in, usize n);
   LocalPage& TouchPage(u32 page);
   LocalPage& WritableLocal(u32 page);
-  std::unique_ptr<PageBuf> ResolvePage(u32 page, const PageRef& prev, u64 version);
+  // Commit phase-two callbacks (Segment::CommitOps): the floor-held
+  // deterministic charges, the pure byte work, and the fence flush. A page
+  // conflicts iff phase one recorded a predecessor newer than our twin
+  // (prev_version != base_version — equivalent to the old pointer test, since
+  // a page's chain tail is never collected).
+  void ChargeCommitPage(u32 page, u64 prev_version);
+  std::unique_ptr<PageBuf> ResolveCommitPage(u32 page, const PageRef& prev, u64 prev_version,
+                                             u64 version, bool defer_events);
+  void FlushCommitEvents(u64 version);
   void AfterCommitRefresh(const PreparedCommit& pc);
   void ReleaseLocal(LocalPage& lp);
   void RefreshPage(u32 page, LocalPage& lp, u64 target);
@@ -207,6 +230,7 @@ class Workspace {
   std::vector<u32> cached_sorted_;  // cached page ids, ascending (incremental)
   std::vector<u32> update_scratch_; // reusable buffer for UpdateTo
   std::vector<u32> last_commit_pages_;
+  std::vector<PendingMerge> commit_merges_;  // deferred fence emissions
   WorkspaceStats stats_;
 };
 

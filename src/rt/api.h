@@ -236,6 +236,15 @@ struct RunResult {
   u64 host_wall_ns = 0;
 
   u64 peak_mem_bytes = 0;
+
+  // Off-floor commit pipeline (DESIGN.md §12) observability. All three are
+  // host/engine-dependent like host_wall_ns — the ns fields are wall-clock,
+  // and the page count is 0 on the serial engine — so they are excluded from
+  // determinism and engine-equivalence comparisons.
+  u64 floor_held_commit_ns = 0;      // commit protocol wall time under the floor
+  u64 offfloor_commit_ns = 0;        // commit byte work overlapped off the floor
+  u64 offfloor_pages_installed = 0;  // pages published via the off-floor path
+
   u64 pages_propagated = 0;  // TSO inter-thread page propagation (Fig 16)
   u64 commits = 0;
   u64 pages_committed = 0;

@@ -1019,6 +1019,9 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
   res.commits = st.seg.Stats().commits;
   res.pages_committed = st.seg.Stats().pages_committed;
   res.pages_merged = st.seg.Stats().pages_merged;
+  res.floor_held_commit_ns = st.seg.Stats().floor_held_commit_ns;
+  res.offfloor_commit_ns = st.seg.Stats().offfloor_commit_ns;
+  res.offfloor_pages_installed = st.seg.Stats().offfloor_pages_installed;
   res.token_acquires = st.clock.Stats().token_acquires;
   res.fast_forwards = st.clock.Stats().fast_forwards;
   res.overflows = st.clock.Stats().overflows;

@@ -360,7 +360,7 @@ void Engine::ReEvalGrantsLocked() {
   }
   if (!blocked) {
     w->want_gate = false;
-    w->has_floor = true;
+    w->has_floor.store(true, std::memory_order_release);
     floor_held_ = true;
     w->cv.notify_all();
   }
@@ -412,7 +412,7 @@ void Engine::GateShared() {
   t.want_gate = true;
   t.state = SimThreadState::kRunnable;
   ReEvalGrantsLocked();
-  t.cv.wait(lk, [&] { return t.has_floor; });
+  t.cv.wait(lk, [&] { return t.has_floor.load(std::memory_order_relaxed); });
   t.state = SimThreadState::kRunning;
 }
 
@@ -427,6 +427,31 @@ void Engine::EndShared() {
   }
   ReleaseFloorLocked(t);
   ReEvalGrantsLocked();
+  AcquireSlotLocked(lk, t);
+}
+
+bool Engine::BeginHostWait() {
+  if (!threaded_) {
+    return false;  // serial engine: one host thread, host waits cannot occur
+  }
+  SimThread* t = CurPtr();
+  if (t == nullptr) {
+    return false;  // outside the simulation (bench setup code)
+  }
+  std::lock_guard<std::mutex> lk(pmu_);
+  if (t->has_floor) {
+    return false;
+  }
+  ReleaseSlotLocked();
+  return true;
+}
+
+void Engine::EndHostWait(bool lent_slot) {
+  if (!lent_slot) {
+    return;
+  }
+  SimThread& t = Cur();
+  std::unique_lock<std::mutex> lk(pmu_);
   AcquireSlotLocked(lk, t);
 }
 

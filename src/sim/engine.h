@@ -174,6 +174,17 @@ class Engine {
   // Cooperative yield (stays runnable). Rarely needed outside GateShared.
   void YieldRunnable();
 
+  // Host-wait slot lending (off-floor commit pipeline). A thread about to
+  // block on a HOST-side condition — e.g. a page revision whose off-floor
+  // publish has not landed yet — returns its execution slot to the pool so a
+  // bounded worker pool cannot deadlock on host-level waits; the simulated
+  // clock is untouched (the wait is invisible to virtual time). Floor holders
+  // keep the floor: they are mid-shared-op, and the conditions they may host-
+  // wait on are resolved by threads that need only a slot, never the floor.
+  // Returns true iff a slot was lent; pass the result to EndHostWait.
+  bool BeginHostWait();
+  void EndHostWait(bool lent_slot);
+
   // Blocks on `ch`; wait time is attributed to `cat`. Returns the vtime at
   // which the thread was woken.
   u64 Wait(WaitChannel& ch, TimeCat cat);
@@ -247,7 +258,11 @@ class Engine {
     std::thread host;
     std::condition_variable cv;
     bool started = false;     // host thread has been released into fn()
-    bool has_floor = false;   // holds the shared-operation right
+    // Holds the shared-operation right. Written only under pmu_; atomic so
+    // a gate-waiter's cv predicate can read the grant without assuming the
+    // re-lock ordering — floor handoffs are the hot serial path of the
+    // commit pipeline.
+    std::atomic<bool> has_floor{false};
     bool want_gate = false;   // parked in GateShared awaiting the floor
     bool woken = false;       // Wait() wake handshake
   };

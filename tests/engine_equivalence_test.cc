@@ -19,6 +19,7 @@
 #include "src/tso/explorer.h"
 #include "src/tso/litmus.h"
 #include "src/tso/runner.h"
+#include "src/tso/trace.h"
 #include "src/tso/tso_model.h"
 #include "src/wl/workloads.h"
 
@@ -160,6 +161,105 @@ TEST(EngineEquivalence, AsyncLockCommitModeStaysEquivalent) {
     std::ostringstream label;
     label << "async host_workers=" << workers;
     ExpectResultsIdentical(serial, par, label.str());
+  }
+}
+
+TEST(EngineEquivalence, OffFloorCommitToggleBitIdentical) {
+  // The off-floor commit pipeline (DESIGN.md §12) defaults on for the threaded
+  // engine, so every case above already runs with it. This pins the toggle
+  // itself: with the pipeline explicitly enabled AND explicitly disabled, every
+  // flavor × worker count × jitter seed must reproduce the serial reference —
+  // the pipeline moves host work off the floor without touching any simulated
+  // result.
+  const wl::WorkloadInfo* w = wl::FindWorkload("ocean_cp");  // barrier-heavy:
+  ASSERT_NE(w, nullptr);                                     // overlapped arrivals
+  wl::WlParams p;
+  p.workers = 4;
+  for (Backend be : kDetBackends) {
+    for (u64 seed : {0ULL, 13ULL}) {
+      const RunResult serial = MakeRuntime(be, BaseCfg(1, seed))->Run(wl::Bind(*w, p));
+      for (u32 workers : {2u, 4u}) {
+        for (bool offfloor : {true, false}) {
+          RuntimeConfig cfg = BaseCfg(workers, seed);
+          cfg.segment.offfloor_commit = offfloor;
+          const RunResult par = MakeRuntime(be, cfg)->Run(wl::Bind(*w, p));
+          std::ostringstream label;
+          label << "ocean_cp " << BackendName(be) << " seed=" << seed
+                << " host_workers=" << workers << " offfloor=" << offfloor;
+          ExpectResultsIdentical(serial, par, label.str());
+          if (offfloor) {
+            // The pipeline really engaged: every committed page was published
+            // off the floor.
+            EXPECT_EQ(par.offfloor_pages_installed, par.pages_committed) << label.str();
+          } else {
+            EXPECT_EQ(par.offfloor_pages_installed, 0u) << label.str();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, OffFloorCommitOrdersMatchSerialTrace) {
+  // Full canonical-trace comparison with the pipeline active: commit versions
+  // with their install-ordered page sets, merge decisions and snapshot updates
+  // — not just digests — must match the serial reference event-for-event, and
+  // a regression names the first divergent event.
+  wl::WlParams p;
+  p.workers = 4;
+  for (const char* name : {"ferret", "ocean_cp"}) {
+    const wl::WorkloadInfo* w = wl::FindWorkload(name);
+    ASSERT_NE(w, nullptr) << name;
+    for (Backend be : {Backend::kConsequenceIC, Backend::kDwc}) {
+      for (u64 seed : {0ULL, 7ULL}) {
+        tso::TraceRecorder serial_rec;
+        RuntimeConfig scfg = BaseCfg(1, seed);
+        scfg.observer = &serial_rec;
+        MakeRuntime(be, scfg)->Run(wl::Bind(*w, p));
+
+        for (u32 workers : {2u, 4u}) {
+          tso::TraceRecorder par_rec;
+          RuntimeConfig pcfg = BaseCfg(workers, seed);
+          pcfg.segment.offfloor_commit = true;
+          pcfg.observer = &par_rec;
+          MakeRuntime(be, pcfg)->Run(wl::Bind(*w, p));
+
+          const tso::TraceDiff diff = tso::DiffTraces(serial_rec.Trace(), par_rec.Trace());
+          EXPECT_FALSE(diff.diverged)
+              << name << " " << BackendName(be) << " seed=" << seed
+              << " host_workers=" << workers << ": " << diff.description;
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, OffFloorCommitMoreThreadsThanWorkers) {
+  // Regression: with more simulated threads than host workers, commit
+  // pipelines overlap deeply enough that one committer's work phase can read
+  // a page whose owner is still ordering its later pages. An earlier pipeline
+  // shape that deferred all byte work past the whole order loop deadlocked
+  // here (lu_ncb, 8 threads, any worker count): the host-blocked reader's
+  // frozen virtual time withheld the floor from the very committer whose
+  // publish it was waiting on. The per-page work staging (DESIGN.md §12)
+  // keeps publish dependencies acyclic; this pins that at 8 threads, which
+  // the nthreads=4 cases above never reach.
+  const wl::WorkloadInfo* w = wl::FindWorkload("lu_ncb");
+  ASSERT_NE(w, nullptr);
+  wl::WlParams p;
+  p.workers = 8;
+  RuntimeConfig scfg = BaseCfg(1);
+  scfg.nthreads = 8;
+  const RunResult serial = MakeRuntime(Backend::kConsequenceIC, scfg)->Run(wl::Bind(*w, p));
+  for (u32 workers : {2u, 4u}) {
+    RuntimeConfig pcfg = BaseCfg(workers);
+    pcfg.nthreads = 8;
+    pcfg.segment.offfloor_commit = true;
+    const RunResult par = MakeRuntime(Backend::kConsequenceIC, pcfg)->Run(wl::Bind(*w, p));
+    std::ostringstream label;
+    label << "lu_ncb nthreads=8 host_workers=" << workers;
+    ExpectResultsIdentical(serial, par, label.str());
+    EXPECT_EQ(par.offfloor_pages_installed, par.pages_committed) << label.str();
   }
 }
 
