@@ -1,0 +1,133 @@
+// Race-analyzer bench (DESIGN.md §13): determinism identity + overhead.
+//
+// Runs canneal — the intentionally racy PARSEC workload whose lock-free swaps
+// the byte-granularity merge silently resolves — with the commit-time race
+// analyzer attached, and
+//
+//   1. asserts the canonical race report is byte-identical across the serial
+//      and host-parallel engines (1/2/4 workers), off-floor commit on/off —
+//      exits nonzero on any divergence, so CI catches nondeterminism;
+//   2. measures analyzer overhead: median-of-3 wall clock for analyzer off,
+//      WW-only, and WW+RW (track_reads) on the same configuration;
+//   3. writes BENCH_race_analyzer.json and the RACE_race_analyzer.json
+//      artifact, and prints the report table (the README quickstart).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "src/harness/harness.h"
+#include "src/race/report.h"
+#include "src/rt/api.h"
+#include "src/wl/workloads.h"
+
+namespace csq {
+namespace {
+
+rt::RuntimeConfig Cfg(u32 nthreads, u32 host_workers, bool offfloor, bool enabled,
+                      bool track_reads) {
+  rt::RuntimeConfig cfg = harness::DefaultConfig(nthreads);
+  cfg.host_workers = host_workers;
+  cfg.segment.offfloor_commit = offfloor;
+  cfg.race.enabled = enabled;
+  cfg.race.track_reads = track_reads;
+  return cfg;
+}
+
+rt::RunResult RunCanneal(const rt::RuntimeConfig& cfg) {
+  const wl::WorkloadInfo* w = wl::FindWorkload("canneal");
+  return harness::RunOne(*w, rt::Backend::kConsequenceIC, cfg.nthreads, &cfg);
+}
+
+double MedianOf3Ms(const rt::RuntimeConfig& cfg) {
+  std::vector<double> ms;
+  for (int i = 0; i < 3; ++i) {
+    ms.push_back(static_cast<double>(RunCanneal(cfg).host_wall_ns) / 1e6);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[1];
+}
+
+int Main() {
+  const u32 nthreads = 8;
+
+  // 1. Identity across engines / worker counts / off-floor commit.
+  const rt::RunResult ref = RunCanneal(Cfg(nthreads, 1, true, true, true));
+  const std::string canon = race::CanonicalLines(ref.races);
+  if (ref.races.empty()) {
+    std::fprintf(stderr, "race_analyzer: canneal produced no races — kernel regressed?\n");
+    return 1;
+  }
+  int divergences = 0;
+  for (u32 workers : {1u, 2u, 4u}) {
+    for (bool offfloor : {true, false}) {
+      const rt::RunResult r = RunCanneal(Cfg(nthreads, workers, offfloor, true, true));
+      if (race::CanonicalLines(r.races) != canon || r.race_ww != ref.race_ww ||
+          r.race_rw != ref.race_rw) {
+        std::fprintf(stderr,
+                     "race_analyzer: DIVERGED at host_workers=%u offfloor=%d "
+                     "(records %zu vs %zu, ww %llu vs %llu, rw %llu vs %llu)\n",
+                     workers, offfloor ? 1 : 0, r.races.size(), ref.races.size(),
+                     static_cast<unsigned long long>(r.race_ww),
+                     static_cast<unsigned long long>(ref.race_ww),
+                     static_cast<unsigned long long>(r.race_rw),
+                     static_cast<unsigned long long>(ref.race_rw));
+        ++divergences;
+      }
+    }
+  }
+
+  // 2. Overhead: analyzer off vs WW-only vs WW+RW, serial engine (stable
+  //    wall clock on small CI hosts).
+  const double off_ms = MedianOf3Ms(Cfg(nthreads, 1, true, false, false));
+  const double ww_ms = MedianOf3Ms(Cfg(nthreads, 1, true, true, false));
+  const double rw_ms = MedianOf3Ms(Cfg(nthreads, 1, true, true, true));
+
+  // 3. Artifacts + quickstart table.
+  std::printf("canneal, %u threads: %zu deduped race records "
+              "(%llu WW / %llu RW dynamic occurrences)\n",
+              nthreads, ref.races.size(), static_cast<unsigned long long>(ref.race_ww),
+              static_cast<unsigned long long>(ref.race_rw));
+  // Show a digestible slice; RACE_race_analyzer.json carries the full set.
+  constexpr usize kShown = 24;
+  if (ref.races.size() > kShown) {
+    std::printf("(first %zu records; full set in RACE_race_analyzer.json)\n", kShown);
+    race::RenderTable(std::cout,
+                      {ref.races.begin(), ref.races.begin() + static_cast<std::ptrdiff_t>(kShown)});
+  } else {
+    harness::PrintRaceReport(std::cout, ref);
+  }
+  std::printf("analyzer off %.2f ms | WW-only %.2f ms (%.3fx) | WW+RW %.2f ms (%.3fx)\n",
+              off_ms, ww_ms, ww_ms / off_ms, rw_ms, rw_ms / off_ms);
+
+  race::Report rep;
+  rep.records = ref.races;
+  rep.ww = ref.race_ww;
+  rep.rw = ref.race_rw;
+  rep.dropped = ref.race_dropped;
+  race::WriteRaceReport("race_analyzer", rep);
+
+  bench::JsonObj obj;
+  obj.Str("bench", "race_analyzer")
+      .Str("workload", "canneal")
+      .Int("nthreads", nthreads)
+      .Bool("identity_ok", divergences == 0)
+      .Int("records", ref.races.size())
+      .Int("ww_occurrences", ref.race_ww)
+      .Int("rw_occurrences", ref.race_rw)
+      .Int("dropped", ref.race_dropped)
+      .Num("analyzer_off_ms", off_ms, 3)
+      .Num("ww_only_ms", ww_ms, 3)
+      .Num("ww_rw_ms", rw_ms, 3)
+      .Num("ww_overhead_x", ww_ms / off_ms, 4)
+      .Num("ww_rw_overhead_x", rw_ms / off_ms, 4);
+  bench::WriteReport("race_analyzer", obj);
+  return divergences == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace csq
+
+int main() { return csq::Main(); }

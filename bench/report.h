@@ -16,33 +16,17 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/json.h"
 #include "src/util/types.h"
 
 namespace csq::bench {
 
-// Quotes + escapes a string for JSON.
+// Quotes + escapes a string for JSON. Delegates to util::JsonQuote, which
+// escapes ALL control characters below 0x20 (the old local escaper missed
+// everything except \n and \t, producing invalid JSON for, e.g., workload
+// names containing \r or \x1b).
 inline std::string JsonStr(std::string_view s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
-  return out;
+  return util::JsonQuote(s);
 }
 
 // Ordered key/value JSON object builder. Values are rendered on insert, so

@@ -4,7 +4,17 @@
 // Workloads allocate their shared structures through this before spawning
 // workers, so every backend sees an identical memory layout — a precondition
 // for comparing page-propagation counts across runtimes.
+//
+// Allocations may carry a site tag (e.g. "canneal.elements"). Tags are kept in
+// an ascending range list so the race analyzer can map a racy byte offset back
+// to the allocation it landed in; untagged allocations cost nothing beyond the
+// existing bump arithmetic.
 #pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/util/check.h"
 #include "src/util/types.h"
@@ -16,7 +26,8 @@ class BumpAllocator {
   explicit BumpAllocator(usize capacity, u64 base = 0) : base_(base), capacity_(capacity) {}
 
   // Returns the address of `n` zero-initialized bytes aligned to `align`.
-  u64 Alloc(usize n, usize align = 8) {
+  // A non-empty `tag` records [addr, addr+n) as a named allocation site.
+  u64 Alloc(usize n, usize align = 8, std::string_view tag = {}) {
     CSQ_CHECK_MSG((align & (align - 1)) == 0, "alignment must be a power of 2");
     u64 p = next_;
     p = (p + align - 1) & ~(static_cast<u64>(align) - 1);
@@ -24,21 +35,49 @@ class BumpAllocator {
                   "segment allocator out of space: want " << n << " at " << p << ", capacity "
                                                           << capacity_);
     next_ = p + n;
+    if (!tag.empty()) {
+      // Bump allocation is monotonic, so sites_ stays sorted by construction.
+      sites_.push_back(Site{p, p + n, std::string(tag)});
+    }
     return p;
   }
 
   // Aligns the next allocation to a page boundary — used to give per-thread
   // data structures private pages (false-sharing control, as real benchmarks
   // do with padding).
-  u64 AllocPageAligned(usize n, usize page_size) { return Alloc(n, page_size); }
+  u64 AllocPageAligned(usize n, usize page_size, std::string_view tag = {}) {
+    return Alloc(n, page_size, tag);
+  }
 
-  void Reset() { next_ = base_; }
+  // Returns the tag of the allocation containing `addr`, or "" if the address
+  // falls outside every tagged site.
+  std::string_view TagAt(u64 addr) const {
+    auto it = std::upper_bound(sites_.begin(), sites_.end(), addr,
+                               [](u64 a, const Site& s) { return a < s.begin; });
+    if (it == sites_.begin()) {
+      return {};
+    }
+    --it;
+    return addr < it->end ? std::string_view(it->tag) : std::string_view{};
+  }
+
+  void Reset() {
+    next_ = base_;
+    sites_.clear();
+  }
   u64 Used() const { return next_ - base_; }
 
  private:
+  struct Site {
+    u64 begin;
+    u64 end;
+    std::string tag;
+  };
+
   u64 base_;
   usize capacity_;
   u64 next_ = base_;
+  std::vector<Site> sites_;
 };
 
 }  // namespace csq::conv

@@ -92,6 +92,12 @@ class DirtyWords {
     bits_[i1] |= last;
   }
 
+  // Returns whether word `w` is marked. Out-of-range words read as unmarked.
+  bool Test(usize w) const {
+    const usize i = w >> 6;
+    return i < bits_.size() && ((bits_[i] >> (w & 63)) & 1) != 0;
+  }
+
   bool Empty() const {
     for (u64 b : bits_) {
       if (b) {

@@ -1,0 +1,66 @@
+// Conflict-observation interface between the Conversion substrate and the
+// deterministic race analyzer (src/race, DESIGN.md §13).
+//
+// The Conversion layer already computes everything a commit-time race
+// detector needs: phase one records every version's per-page predecessor
+// (the concurrent chain suffix), and the merge paths diff the committer's
+// dirty words against its twin — the committer's exact byte-level write set.
+// This interface hands those observations to a sink without adding any
+// dependency from csq_conv to the analyzer: the sink is an abstract class
+// over types page.h already defines.
+//
+// Threading contract:
+//   * OnVersionReserved fires floor-held from PrepareCommit.
+//   * OnCommitPageResolved fires from ResolveCommitPage, which the off-floor
+//     commit pipeline runs on the committer's own host thread — concurrently
+//     with other threads' resolves. Implementations synchronize internally.
+//     Ordering guarantee (what makes detection deterministic): same-page
+//     resolves run in version order (FinishCommit's chain-tail wait), and a
+//     version's sink call completes before its bytes publish, so when version
+//     v resolves page p, every version < v of p has already been reported.
+//   * OnRebase fires token-held from the update-time rebase path.
+//   * OnReadsValidated fires floor-held from read-window validation; callers
+//     fetch the page at the target version first, so the publish barrier
+//     extends the ordering guarantee above to every version <= to_version.
+//
+// No method may touch the engine (charge, wait, notify): the analyzer must
+// not perturb virtual time, so runs with the sink attached produce bit-equal
+// vtimes, checksums and traces to runs without it.
+#pragma once
+
+#include "src/conv/page.h"
+#include "src/util/types.h"
+
+namespace csq::conv {
+
+class RaceSink {
+ public:
+  virtual ~RaceSink() = default;
+
+  // Phase one reserved `version` for thread `tid` at virtual time `vtime`
+  // (the only jitter-dependent value the sink ever sees).
+  virtual void OnVersionReserved(u64 version, u32 tid, u64 vtime) = 0;
+
+  // Thread `tid` resolved `page` for commit `version`: its write set is the
+  // byte diff of `mine` vs `twin` restricted to `dirty` words, and the
+  // concurrent chain suffix for this page is versions in
+  // (base_version, prev_version].
+  virtual void OnCommitPageResolved(u32 page, u64 version, u32 tid, u64 base_version,
+                                    u64 prev_version, const PageBuf& mine, const PageBuf& twin,
+                                    const DirtyWords& dirty) = 0;
+
+  // Thread `tid` rebased its pending stores of `page` (diff of `mine` vs
+  // `twin` in `dirty` words) onto committed version `onto_version`; the
+  // concurrent suffix is versions in (base_version, onto_version].
+  virtual void OnRebase(u32 page, u32 tid, u64 base_version, u64 onto_version,
+                        const PageBuf& mine, const PageBuf& twin, const DirtyWords& dirty) = 0;
+
+  // Thread `tid` reached a synchronization point: the words of `page` it read
+  // since the previous one (`reads`, sized for `page_bytes`) were performed
+  // against content as of `from_version` and are concurrent with any commit
+  // in (from_version, to_version].
+  virtual void OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_version,
+                                const DirtyWords& reads, u32 page_bytes) = 0;
+};
+
+}  // namespace csq::conv

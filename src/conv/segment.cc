@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/conv/race_sink.h"
 #include "src/conv/workspace.h"
 #include "src/util/stats.h"
 
@@ -103,6 +104,11 @@ PreparedCommit Segment::PrepareCommit(u32 tid, std::vector<u32> pages) {
   std::sort(vi.sorted_prevs.begin(), vi.sorted_prevs.end());
   vi.cum_revs = by_version_.back().cum_revs + pc.pages.size();
   by_version_.push_back(std::move(vi));
+  if (race_ != nullptr) {
+    // Floor-held, token-ordered: the analyzer learns (version -> tid, vtime)
+    // before any resolve of this version can run. Pure observation, no charge.
+    race_->OnVersionReserved(pc.version, tid, eng_.Now());
+  }
   return pc;
 }
 

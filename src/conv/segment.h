@@ -50,6 +50,7 @@
 namespace csq::conv {
 
 class Workspace;
+class RaceSink;  // race_sink.h — optional commit-time conflict analyzer
 
 struct SegmentConfig {
   usize size_bytes = 16 * 1024 * 1024;
@@ -118,6 +119,10 @@ struct SegmentStats {
   u64 offfloor_pages_installed = 0;  // pages published via the off-floor work phase
   u64 floor_held_commit_ns = 0;      // FinishCommit wall time spent holding the floor
   u64 offfloor_commit_ns = 0;        // FinishCommit byte work overlapped off the floor
+  // Distinct deduped race records found by the attached RaceSink (0 when no
+  // analyzer is attached). Filled by the runtime at finalize time.
+  u64 race_ww_records = 0;
+  u64 race_rw_records = 0;
 };
 
 class Segment {
@@ -253,6 +258,18 @@ class Segment {
   void SetTraceHooks(TraceHooks hooks) { trace_hooks_ = std::move(hooks); }
   const TraceHooks& Hooks() const { return trace_hooks_; }
 
+  // Optional commit-time race analyzer (race_sink.h). Not owned; must outlive
+  // the segment's commits. Null (the default) keeps every analyzer call site
+  // a single predictable-branch pointer test — the no-analyzer fast paths are
+  // unchanged. The sink observes but never charges the engine, so vtimes,
+  // checksums and traces are bit-identical with or without it.
+  void SetRaceSink(RaceSink* sink) { race_ = sink; }
+  RaceSink* Race() const { return race_; }
+  void NoteRaceRecords(u64 ww, u64 rw) {
+    stats_.race_ww_records = ww;
+    stats_.race_rw_records = rw;
+  }
+
   const SegmentStats& Stats() const { return stats_; }
 
   // Memory accounting hooks (also called by workspaces for their local pages).
@@ -333,6 +350,7 @@ class Segment {
   PageRef zero_page_;
   CommitObserver observer_;
   TraceHooks trace_hooks_;
+  RaceSink* race_ = nullptr;
   sim::WaitChannel install_order_{{}, "segment.install"};  // FinishCommit version-ordering
   // Chain-vector storage lock: shared for snapshot reads (concurrent local
   // execution), exclusive for the gate-serialized install/GC mutations.

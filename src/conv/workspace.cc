@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "src/conv/race_sink.h"
+
 namespace csq::conv {
 
 using sim::TimeCat;
@@ -43,6 +45,9 @@ Workspace::LocalPage& Workspace::TouchPage(u32 page) {
     }
     eng_.Charge(eng_.Costs().page_fetch, TimeCat::kFault);
     ++stats_.pages_fetched;
+    if (track_reads_) {
+      lp.read_words.Reset(seg_.PageSize());
+    }
     it = pages_.emplace(page, std::move(lp)).first;
     cached_sorted_.insert(
         std::lower_bound(cached_sorted_.begin(), cached_sorted_.end(), page), page);
@@ -74,7 +79,10 @@ void Workspace::LoadBytesSlow(u64 addr, void* out, usize n) {
     const u32 page = static_cast<u32>(addr >> page_shift_);
     const u32 off = static_cast<u32>(addr) & page_mask_;
     const usize chunk = std::min<usize>(n, static_cast<usize>(page_mask_) + 1 - off);
-    const LocalPage& lp = TouchPage(page);
+    LocalPage& lp = TouchPage(page);
+    if (track_reads_) {
+      lp.read_words.MarkRange(off, chunk);
+    }
     const PageBuf& src = lp.local ? *lp.local : *lp.twin;
     std::copy_n(src.data() + off, chunk, dst);
     dst += chunk;
@@ -123,6 +131,14 @@ std::unique_ptr<PageBuf> Workspace::ResolveCommitPage(u32 page, const PageRef& p
   // concurrently with other threads' chunk execution.
   const LocalPage& lp = pages_.at(page);
   CSQ_CHECK_MSG(lp.local != nullptr, "resolving a non-dirty page");
+  if (RaceSink* rs = seg_.Race()) {
+    // Same-page resolves serialize in version order (FinishCommit waits for
+    // the recorded predecessor), so by the time this runs every write set in
+    // our conflict window (base_version, prev_version] has been recorded —
+    // deterministic even on the off-floor pipeline. No engine charges here.
+    rs->OnCommitPageResolved(page, version, tid_, lp.base_version, prev_version, *lp.local,
+                             *lp.twin, lp.dirty_words);
+  }
   seg_.NotePageAlloc();
   bool pooled = false;
   if (prev_version == lp.base_version) {
@@ -230,6 +246,12 @@ void Workspace::RefreshPage(u32 page, LocalPage& lp, u64 target) {
   }
   CSQ_CHECK(rev.data != nullptr);
   if (lp.local) {
+    if (RaceSink* rs = seg_.Race()) {
+      // Update-time rebase: our uncommitted stores meet the commits in
+      // (base_version, rev.version]. Must fire before the merge below swaps
+      // the twin — the write spans are defined against the OLD twin.
+      rs->OnRebase(page, tid_, lp.base_version, rev.version, *lp.local, *lp.twin, lp.dirty_words);
+    }
     // Rebase: remote bytes come in underneath, our pending stores stay on
     // top (TSO store-buffer semantics). Only our dirty words can differ from
     // the twin, so the bitmap merge rewrites exactly the bytes the reference
@@ -270,6 +292,9 @@ u64 Workspace::UpdateTo(u64 target) {
   if (seg_.Hooks().on_update) {
     seg_.Hooks().on_update(tid_, from, target, changed);
   }
+  // Race analyzer read validation runs BEFORE any refresh: RefreshPage
+  // overwrites base_version, which would shrink the read-vs-commit windows.
+  ValidateReads(target);
   if (discard_on_update_) {
     // mprotect-style fence: drop the whole cached working set (refetch lazily).
     CSQ_CHECK_MSG(dirty_.empty(), "DThreads update with uncommitted dirty pages");
@@ -309,6 +334,38 @@ u64 Workspace::UpdateTo(u64 target) {
   snapshot_ = target;
   ++stats_.updates;
   return target;
+}
+
+void Workspace::SetTrackReads(bool v) {
+  track_reads_ = v;
+  if (v) {
+    for (auto& [page, lp] : pages_) {
+      (void)page;
+      lp.read_words.Reset(seg_.PageSize());
+    }
+  }
+}
+
+void Workspace::ValidateReads(u64 target) {
+  RaceSink* rs = seg_.Race();
+  if (!track_reads_ || rs == nullptr) {
+    return;
+  }
+  for (u32 page : cached_sorted_) {
+    LocalPage& lp = pages_.at(page);
+    if (lp.read_words.Empty()) {
+      continue;
+    }
+    // FetchRev doubles as a publish barrier: it blocks until every revision
+    // of `page` up to `target` has published, so the analyzer has recorded
+    // all write sets in the window before we check reads against them.
+    const PageRev rev = seg_.FetchRev(page, target);
+    if (rev.version > lp.base_version) {
+      rs->OnReadsValidated(page, tid_, lp.base_version, target, lp.read_words,
+                           static_cast<u32>(seg_.PageSize()));
+    }
+    lp.read_words.Clear();
+  }
 }
 
 u64 Workspace::CommitAndUpdate() {

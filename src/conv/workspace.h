@@ -108,6 +108,9 @@ class Workspace {
       eng_.Charge(std::max<u64>(1, n / 8) * eng_.Costs().mem_op, sim::TimeCat::kChunk);
       const PageBuf& src = e.lp->local ? *e.lp->local : *e.lp->twin;
       std::memcpy(out, src.data() + off, n);
+      if (track_reads_) {
+        e.lp->read_words.MarkRange(off, n);
+      }
       ++stats_.loads;
       return;
     }
@@ -157,6 +160,19 @@ class Workspace {
   // incrementally refreshing changed ones.
   void SetDiscardOnUpdate(bool v) { discard_on_update_ = v; }
 
+  // Opt-in read tracking for the race analyzer (RaceConfig::track_reads):
+  // loads additionally mark per-page read-word bitmaps, and every UpdateTo
+  // validates the recorded reads against the commit window being propagated
+  // in (RaceSink::OnReadsValidated) before the bitmaps are cleared. Off (the
+  // default) the load paths carry only the `track_reads_` branch.
+  void SetTrackReads(bool v);
+
+  // Reports read/write races between this workspace's recorded reads and the
+  // commits in (base_version, target] of each read page, then clears the read
+  // bitmaps. Called by UpdateTo; also called directly by the runtime's exit
+  // protocol (floor-held) so reads after a thread's last sync op are checked.
+  void ValidateReads(u64 target);
+
   // Two-phase variant for the deterministic barrier: phase one (serial, token
   // held) reserves the version; phase two (token released) merges + installs.
   PreparedCommit PrepareTwoPhase();
@@ -175,6 +191,9 @@ class Workspace {
     // bitmap survives rebases: a rebase only rewrites bytes inside marked
     // words, onto a new twin).
     DirtyWords dirty_words;
+    // Words our loads touched since the last ValidateReads (race analyzer's
+    // read tracking; sized only when track_reads_ is on).
+    DirtyWords read_words;
   };
 
   // Direct-mapped page-translation cache in front of pages_: the common
@@ -223,6 +242,7 @@ class Workspace {
   u64 size_bytes_;  // segment size (cached: bounds check without pointer chase)
   bool discard_on_update_ = false;
   bool gc_exempt_ = false;
+  bool track_reads_ = false;
   u64 snapshot_ = 0;
   std::unordered_map<u32, LocalPage> pages_;
   std::array<TlbEntry, kTlbSize> tlb_{};

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <ostream>
 
+#include "src/race/report.h"
 #include "src/util/check.h"
 
 namespace csq::harness {
@@ -77,6 +79,20 @@ double GeoMean(const std::vector<double>& xs) {
     acc += std::log(x);
   }
   return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+void PrintRaceReport(std::ostream& os, const rt::RunResult& r) {
+  if (r.races.empty() && r.race_ww == 0 && r.race_rw == 0) {
+    os << "races: none detected (or analyzer disabled)\n";
+    return;
+  }
+  race::RenderTable(os, r.races);
+  os << "races: " << r.races.size() << " distinct (" << r.race_ww << " WW + " << r.race_rw
+     << " RW dynamic occurrences";
+  if (r.race_dropped > 0) {
+    os << ", " << r.race_dropped << " records dropped — report is partial";
+  }
+  os << ")\n";
 }
 
 }  // namespace csq::harness

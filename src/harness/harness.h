@@ -9,6 +9,7 @@
 //     with the CSQ_QUICK=1 environment variable for smoke runs.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -46,5 +47,9 @@ const std::vector<rt::Backend>& FigureBackends();  // pthreads..cons-ic
 
 // Geometric mean of a vector of ratios.
 double GeoMean(const std::vector<double>& xs);
+
+// Renders a run's race-analyzer output (src/race) as a table plus dynamic
+// totals. Prints a one-line "analyzer disabled / no races" note when empty.
+void PrintRaceReport(std::ostream& os, const rt::RunResult& r);
 
 }  // namespace csq::harness

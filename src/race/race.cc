@@ -1,0 +1,243 @@
+#include "src/race/race.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace csq::race {
+
+namespace {
+
+using conv::DirtyWords;
+using conv::kMergeWordBytes;
+using conv::PageBuf;
+
+u64 Fnv1a(const u8* p, usize n) {
+  u64 h = 14695981039346656037ULL;
+  for (usize i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view KindName(AccessKind k) {
+  return k == AccessKind::kWriteWrite ? "WW" : "RW";
+}
+
+Analyzer::Analyzer(RaceConfig cfg) : cfg_(cfg) {}
+
+std::vector<Analyzer::Span> Analyzer::CollectWriteSpans(const PageBuf& mine, const PageBuf& twin,
+                                                        const DirtyWords& dirty) {
+  std::vector<Analyzer::Span> spans;
+  const usize n = mine.size();
+  dirty.ForEachSetWord([&](usize w) {
+    const usize off = w * kMergeWordBytes;
+    if (off >= n) {
+      return;
+    }
+    const usize end = std::min(off + kMergeWordBytes, n);
+    for (usize i = off; i < end; ++i) {
+      if (mine[i] == twin[i]) {
+        continue;
+      }
+      if (!spans.empty() &&
+          static_cast<usize>(spans.back().off) + spans.back().len == i) {
+        ++spans.back().len;  // words arrive ascending: adjacent runs coalesce
+      } else {
+        spans.push_back({static_cast<u32>(i), 1});
+      }
+    }
+  });
+  return spans;
+}
+
+void Analyzer::OnVersionReserved(u64 version, u32 tid, u64 vtime) {
+  std::lock_guard<std::mutex> lk(mu_);
+  vmeta_[version] = VersionMeta{tid, vtime};
+}
+
+u64 Analyzer::VtimeOfLocked(u64 version) const {
+  const auto it = vmeta_.find(version);
+  return it == vmeta_.end() ? 0 : it->second.vtime;
+}
+
+void Analyzer::EmitLocked(const Key& k, u64 version_a, u64 version_b, u64 winner_hash) {
+  (k.kind == static_cast<u8>(AccessKind::kWriteWrite) ? ww_ : rw_) += 1;
+  auto it = records_.find(k);
+  if (it == records_.end()) {
+    if (cfg_.max_records != 0 && records_.size() >= cfg_.max_records) {
+      ++dropped_;
+      return;
+    }
+    RaceRecord r;
+    r.kind = static_cast<AccessKind>(k.kind);
+    r.rebase = k.rebase != 0;
+    r.page = k.page;
+    r.offset = static_cast<u64>(k.page) * page_size_ + k.off;
+    r.len = k.len;
+    r.tid_a = k.tid_a;
+    r.tid_b = k.tid_b;
+    r.version_a = version_a;
+    r.version_b = version_b;
+    r.vtime_a = VtimeOfLocked(version_a);
+    r.vtime_b = version_b == 0 ? 0 : VtimeOfLocked(version_b);
+    r.winner_hash = winner_hash;
+    r.count = 1;
+    records_.emplace(k, std::move(r));
+    return;
+  }
+  RaceRecord& r = it->second;
+  ++r.count;
+  r.winner_hash += winner_hash;  // wrapping sum: order-independent fold
+  if (version_a < r.version_a) {
+    r.version_a = version_a;
+    r.vtime_a = VtimeOfLocked(version_a);
+  }
+  if (version_b != 0 && (r.version_b == 0 || version_b < r.version_b)) {
+    r.version_b = version_b;
+    r.vtime_b = VtimeOfLocked(version_b);
+  }
+}
+
+void Analyzer::CheckWriteWindowLocked(u32 page, u32 tid, u64 base_version, u64 upto, u64 version,
+                                      bool rebase, const std::vector<Span>& spans,
+                                      const PageBuf& mine) {
+  if (upto <= base_version || spans.empty()) {
+    return;
+  }
+  const auto pit = writes_.find(page);
+  if (pit == writes_.end()) {
+    return;
+  }
+  const std::vector<VersionWrites>& vec = pit->second;
+  auto lo = std::upper_bound(vec.begin(), vec.end(), base_version,
+                             [](u64 v, const VersionWrites& w) { return v < w.version; });
+  for (auto wit = lo; wit != vec.end() && wit->version <= upto; ++wit) {
+    if (wit->tid == tid) {
+      continue;  // a thread never races with its own committed writes
+    }
+    // Two-pointer intersection of the sorted, disjoint span lists.
+    auto a = wit->spans.begin();
+    auto b = spans.begin();
+    while (a != wit->spans.end() && b != spans.end()) {
+      const u32 lo_off = std::max(a->off, b->off);
+      const u32 hi_off = std::min(a->off + a->len, b->off + b->len);
+      if (lo_off < hi_off) {
+        Key k;
+        k.kind = static_cast<u8>(AccessKind::kWriteWrite);
+        k.rebase = rebase ? 1 : 0;
+        k.page = page;
+        k.off = lo_off;
+        k.len = hi_off - lo_off;
+        k.tid_a = wit->tid;
+        k.tid_b = tid;
+        EmitLocked(k, wit->version, rebase ? 0 : version,
+                   Fnv1a(mine.data() + lo_off, hi_off - lo_off));
+      }
+      if (a->off + a->len <= b->off + b->len) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+  }
+}
+
+void Analyzer::OnCommitPageResolved(u32 page, u64 version, u32 tid, u64 base_version,
+                                    u64 prev_version, const PageBuf& mine, const PageBuf& twin,
+                                    const DirtyWords& dirty) {
+  std::vector<Span> spans = CollectWriteSpans(mine, twin, dirty);
+  std::lock_guard<std::mutex> lk(mu_);
+  CheckWriteWindowLocked(page, tid, base_version, prev_version, version, /*rebase=*/false, spans,
+                         mine);
+  std::vector<VersionWrites>& vec = writes_[page];
+  CSQ_DCHECK(vec.empty() || vec.back().version < version);
+  vec.push_back(VersionWrites{version, tid, std::move(spans)});
+}
+
+void Analyzer::OnRebase(u32 page, u32 tid, u64 base_version, u64 onto_version,
+                        const PageBuf& mine, const PageBuf& twin, const DirtyWords& dirty) {
+  const std::vector<Span> spans = CollectWriteSpans(mine, twin, dirty);
+  std::lock_guard<std::mutex> lk(mu_);
+  CheckWriteWindowLocked(page, tid, base_version, onto_version, /*version=*/0, /*rebase=*/true,
+                         spans, mine);
+}
+
+void Analyzer::OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_version,
+                                const DirtyWords& reads, u32 page_bytes) {
+  if (to_version <= from_version) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto pit = writes_.find(page);
+  if (pit == writes_.end()) {
+    return;
+  }
+  const std::vector<VersionWrites>& vec = pit->second;
+  auto lo = std::upper_bound(vec.begin(), vec.end(), from_version,
+                             [](u64 v, const VersionWrites& w) { return v < w.version; });
+  for (auto wit = lo; wit != vec.end() && wit->version <= to_version; ++wit) {
+    if (wit->tid == tid) {
+      continue;
+    }
+    for (const Span& s : wit->spans) {
+      // Clip the writer's span to the words the reader touched. Reads are
+      // word-granular (the load path marks whole words), so the reported
+      // range can cover up to a word more than the precise read bytes.
+      const u32 end = std::min<u32>(s.off + s.len, page_bytes);
+      u32 run_start = 0;
+      u32 run_len = 0;
+      for (u32 i = s.off; i < end; ++i) {
+        if (reads.Test(i / kMergeWordBytes)) {
+          if (run_len == 0) {
+            run_start = i;
+          }
+          ++run_len;
+          continue;
+        }
+        if (run_len != 0) {
+          Key k;
+          k.kind = static_cast<u8>(AccessKind::kReadWrite);
+          k.page = page;
+          k.off = run_start;
+          k.len = run_len;
+          k.tid_a = wit->tid;
+          k.tid_b = tid;
+          EmitLocked(k, wit->version, to_version, 0);
+          run_len = 0;
+        }
+      }
+      if (run_len != 0) {
+        Key k;
+        k.kind = static_cast<u8>(AccessKind::kReadWrite);
+        k.page = page;
+        k.off = run_start;
+        k.len = run_len;
+        k.tid_a = wit->tid;
+        k.tid_b = tid;
+        EmitLocked(k, wit->version, to_version, 0);
+      }
+    }
+  }
+}
+
+Report Analyzer::Finalize() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Report rep;
+  rep.ww = ww_;
+  rep.rw = rw_;
+  rep.dropped = dropped_;
+  rep.records.reserve(records_.size());
+  for (const auto& [key, rec] : records_) {
+    rep.records.push_back(rec);
+    if (site_resolver_) {
+      rep.records.back().site = site_resolver_(rec.offset);
+    }
+  }
+  return rep;
+}
+
+}  // namespace csq::race

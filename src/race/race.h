@@ -1,0 +1,181 @@
+// Deterministic commit-time race analyzer (DESIGN.md §13).
+//
+// Consequence's byte-granularity last-writer-wins merge makes racy programs
+// deterministic but *silently* resolves every data race. This subsystem turns
+// the commit path into a detector: it piggybacks on the conflict information
+// the Conversion layer already computes (per-version page predecessors, dirty
+// word bitmaps, merge diffs) and reports
+//
+//   * write-write races: a committing (or rebasing) thread's byte-level write
+//     set intersects the write set of a version in its concurrent chain
+//     suffix — exactly the bytes MergeInto/MergeIntoWords overwrote;
+//   * read-write races (opt-in, RaceConfig::track_reads): a thread read words
+//     that a commit concurrent with the read's snapshot interval wrote.
+//
+// Because the runtime is deterministic, every reported race is perfectly
+// reproducible — unlike TSan on native pthreads — and the report itself is
+// deterministic: records are deduped under an order-independent fold keyed by
+// (kind, rebase, segment offset, length, tid pair), so serial and
+// host-parallel engines, any worker count, and off-floor commit on/off all
+// produce byte-identical record sets. Commit vtimes are carried per record
+// but excluded from the canonical form: they are the one jitter-dependent
+// field (versions, tids, offsets and winning bytes are jitter-invariant
+// because token grant order uses unjittered instruction counts).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/conv/race_sink.h"
+#include "src/util/types.h"
+
+namespace csq::race {
+
+struct RaceConfig {
+  // Master switch: when false, the runtime attaches no sink and the commit
+  // paths are untouched.
+  bool enabled = false;
+  // Read-write detection: mark per-page read-word bitmaps in the workspace
+  // load paths and validate them at synchronization points. Off by default so
+  // the inline load hot path stays branch-predictable-cheap.
+  bool track_reads = false;
+  // Safety valve on distinct deduped records (dynamic occurrences keep
+  // folding into existing records). 0 = unlimited. When the cap is hit the
+  // set of *kept* records can depend on host scheduling (off-floor resolves
+  // race to insert) — Report::dropped says the report is partial.
+  usize max_records = usize{1} << 16;
+};
+
+enum class AccessKind : u8 { kWriteWrite = 0, kReadWrite = 1 };
+
+std::string_view KindName(AccessKind k);
+
+// One deduped conflict. `a` is the earlier access (always a committed
+// version); `b` is the later one: the committing/rebasing writer for WW, the
+// reader for RW. Dynamic duplicates fold in order-independently: versions
+// keep the minimum observed, `count` sums, `winner_hash` wrapping-adds.
+struct RaceRecord {
+  AccessKind kind = AccessKind::kWriteWrite;
+  bool rebase = false;  // WW caught at update-time rebase (b not yet committed)
+  u32 page = 0;
+  u64 offset = 0;  // segment byte offset of the overlapping range
+  u32 len = 0;     // bytes (RW ranges are read-word granular, see DESIGN.md §13)
+  u32 tid_a = 0;
+  u32 tid_b = 0;
+  u64 version_a = 0;  // min committed version of `a` observed at this range
+  u64 version_b = 0;  // min commit (WW) / validation-target (RW) version of `b`; 0 for rebase
+  u64 vtime_a = 0;    // reserve-time vtime of version_a — jitter-dependent,
+  u64 vtime_b = 0;    // excluded from the canonical form
+  u64 winner_hash = 0;  // wrapping sum of FNV-1a over the winning bytes (WW only)
+  u64 count = 0;        // dynamic occurrences folded into this record
+  std::string site;     // allocation-site tag covering `offset` ("" = untagged)
+};
+
+struct Report {
+  std::vector<RaceRecord> records;  // sorted by the canonical dedupe key
+  u64 ww = 0;       // dynamic WW occurrences (sum of counts)
+  u64 rw = 0;       // dynamic RW occurrences
+  u64 dropped = 0;  // distinct records not kept (RaceConfig::max_records hit)
+};
+
+// The conv::RaceSink implementation. One instance per run; all hooks
+// synchronize on an internal mutex (OnCommitPageResolved runs concurrently on
+// committers' host threads under the off-floor pipeline). Determinism does
+// not depend on hook arrival order: the fold is commutative.
+class Analyzer final : public conv::RaceSink {
+ public:
+  explicit Analyzer(RaceConfig cfg = {});
+
+  const RaceConfig& Config() const { return cfg_; }
+
+  // Segment page size, for page-relative -> segment offsets. Set at wiring
+  // time, before the run.
+  void SetPageSize(u32 bytes) { page_size_ = bytes; }
+
+  // Maps a segment offset to an allocation-site tag (conv::BumpAllocator
+  // tags). Consulted once per distinct record, at Finalize.
+  void SetSiteResolver(std::function<std::string(u64 offset)> fn) {
+    site_resolver_ = std::move(fn);
+  }
+
+  // conv::RaceSink
+  void OnVersionReserved(u64 version, u32 tid, u64 vtime) override;
+  void OnCommitPageResolved(u32 page, u64 version, u32 tid, u64 base_version, u64 prev_version,
+                            const conv::PageBuf& mine, const conv::PageBuf& twin,
+                            const conv::DirtyWords& dirty) override;
+  void OnRebase(u32 page, u32 tid, u64 base_version, u64 onto_version, const conv::PageBuf& mine,
+                const conv::PageBuf& twin, const conv::DirtyWords& dirty) override;
+  void OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_version,
+                        const conv::DirtyWords& reads, u32 page_bytes) override;
+
+  // Deterministic snapshot of the deduped records, sorted by key, with
+  // allocation sites resolved. Callable any time (takes the mutex).
+  Report Finalize() const;
+
+ private:
+  // A maximal run of bytes the access wrote (page-relative).
+  struct Span {
+    u32 off = 0;
+    u32 len = 0;
+  };
+  // One committed version's write set on one page. Per page these are
+  // version-ascending: same-page resolves serialize in version order.
+  struct VersionWrites {
+    u64 version = 0;
+    u32 tid = 0;
+    std::vector<Span> spans;
+  };
+  struct VersionMeta {
+    u32 tid = 0;
+    u64 vtime = 0;
+  };
+  struct Key {
+    u8 kind = 0;
+    u8 rebase = 0;
+    u32 page = 0;
+    u32 off = 0;
+    u32 len = 0;
+    u32 tid_a = 0;
+    u32 tid_b = 0;
+    bool operator<(const Key& o) const {
+      return std::tie(kind, rebase, page, off, len, tid_a, tid_b) <
+             std::tie(o.kind, o.rebase, o.page, o.off, o.len, o.tid_a, o.tid_b);
+    }
+  };
+
+  // The access's byte-exact write set: bytes where `mine` differs from `twin`
+  // restricted to `dirty` words (the workspace invariant makes the
+  // restriction lossless), as maximal runs — exactly the bytes the access
+  // wins in a last-writer-wins merge.
+  static std::vector<Span> CollectWriteSpans(const conv::PageBuf& mine,
+                                             const conv::PageBuf& twin,
+                                             const conv::DirtyWords& dirty);
+
+  u64 VtimeOfLocked(u64 version) const;
+  void EmitLocked(const Key& k, u64 version_a, u64 version_b, u64 winner_hash);
+  // WW check of `spans` (belonging to `tid`, committing `version` or rebasing
+  // with version 0) against the recorded write sets of versions in
+  // (base_version, upto] on `page`.
+  void CheckWriteWindowLocked(u32 page, u32 tid, u64 base_version, u64 upto, u64 version,
+                              bool rebase, const std::vector<Span>& spans,
+                              const conv::PageBuf& mine);
+
+  mutable std::mutex mu_;
+  RaceConfig cfg_;
+  u32 page_size_ = 4096;
+  std::function<std::string(u64)> site_resolver_;
+  std::unordered_map<u64, VersionMeta> vmeta_;                // version -> reserve metadata
+  std::unordered_map<u32, std::vector<VersionWrites>> writes_;  // page -> committed write sets
+  std::map<Key, RaceRecord> records_;
+  u64 ww_ = 0;
+  u64 rw_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace csq::race

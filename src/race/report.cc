@@ -1,0 +1,131 @@
+#include "src/race/report.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/json.h"
+#include "src/util/table.h"
+
+namespace csq::race {
+
+namespace {
+
+std::string HexU64(u64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string CanonicalLines(const std::vector<RaceRecord>& records, bool include_vtimes) {
+  std::ostringstream oss;
+  for (const RaceRecord& r : records) {
+    oss << KindName(r.kind) << (r.rebase ? "/rebase" : "") << " page=" << r.page
+        << " off=" << r.offset << " len=" << r.len << " tids=" << r.tid_a << "->" << r.tid_b
+        << " versions=" << r.version_a << "->" << r.version_b
+        << " winner=" << HexU64(r.winner_hash) << " count=" << r.count << " site="
+        << (r.site.empty() ? "-" : r.site);
+    if (include_vtimes) {
+      oss << " vtimes=" << r.vtime_a << "->" << r.vtime_b;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+void RenderTable(std::ostream& os, const std::vector<RaceRecord>& records) {
+  if (records.empty()) {
+    os << "no races detected\n";
+    return;
+  }
+  TablePrinter t({"kind", "offset", "len", "tid a->b", "versions a->b", "count", "site"});
+  for (const RaceRecord& r : records) {
+    std::string kind(KindName(r.kind));
+    if (r.rebase) {
+      kind += "/rebase";
+    }
+    t.AddRow({kind, std::to_string(r.offset), std::to_string(r.len),
+              std::to_string(r.tid_a) + "->" + std::to_string(r.tid_b),
+              std::to_string(r.version_a) + "->" + std::to_string(r.version_b),
+              std::to_string(r.count), r.site.empty() ? "-" : r.site});
+  }
+  t.Print(os);
+}
+
+std::string ReportJson(std::string_view name, const Report& rep) {
+  std::string out = "{";
+  out += util::JsonQuote("name");
+  out += ":";
+  out += util::JsonQuote(name);
+  out += ",";
+  out += util::JsonQuote("ww");
+  out += ":" + std::to_string(rep.ww) + ",";
+  out += util::JsonQuote("rw");
+  out += ":" + std::to_string(rep.rw) + ",";
+  out += util::JsonQuote("dropped");
+  out += ":" + std::to_string(rep.dropped) + ",";
+  out += util::JsonQuote("records");
+  out += ":[";
+  for (usize i = 0; i < rep.records.size(); ++i) {
+    const RaceRecord& r = rep.records[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{";
+    out += util::JsonQuote("kind");
+    out += ":";
+    out += util::JsonQuote(KindName(r.kind));
+    out += ",";
+    out += util::JsonQuote("rebase");
+    out += r.rebase ? ":true," : ":false,";
+    out += util::JsonQuote("page");
+    out += ":" + std::to_string(r.page) + ",";
+    out += util::JsonQuote("offset");
+    out += ":" + std::to_string(r.offset) + ",";
+    out += util::JsonQuote("len");
+    out += ":" + std::to_string(r.len) + ",";
+    out += util::JsonQuote("tid_a");
+    out += ":" + std::to_string(r.tid_a) + ",";
+    out += util::JsonQuote("tid_b");
+    out += ":" + std::to_string(r.tid_b) + ",";
+    out += util::JsonQuote("version_a");
+    out += ":" + std::to_string(r.version_a) + ",";
+    out += util::JsonQuote("version_b");
+    out += ":" + std::to_string(r.version_b) + ",";
+    out += util::JsonQuote("vtime_a");
+    out += ":" + std::to_string(r.vtime_a) + ",";
+    out += util::JsonQuote("vtime_b");
+    out += ":" + std::to_string(r.vtime_b) + ",";
+    out += util::JsonQuote("winner_hash");
+    out += ":";
+    out += util::JsonQuote(HexU64(r.winner_hash));
+    out += ",";
+    out += util::JsonQuote("count");
+    out += ":" + std::to_string(r.count) + ",";
+    out += util::JsonQuote("site");
+    out += ":";
+    out += util::JsonQuote(r.site);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteRaceReport(std::string_view name, const Report& rep) {
+  const std::string path = "RACE_" + std::string(name) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "race report: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = ReportJson(name, rep);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "race report: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace csq::race

@@ -1,0 +1,31 @@
+// Race-report rendering: canonical text form, harness-style table, and the
+// RACE_<name>.json artifact (the BENCH_*.json convention applied to race
+// reports, so CI uploads them side by side).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/race/race.h"
+
+namespace csq::race {
+
+// One line per record, sorted (records come sorted from Analyzer::Finalize).
+// Deliberately EXCLUDES vtimes: every field in the canonical form is
+// jitter-invariant and engine-invariant, so two runs of the same program
+// either produce byte-identical canonical strings or genuinely diverged.
+// `include_vtimes` appends them for human consumption.
+std::string CanonicalLines(const std::vector<RaceRecord>& records, bool include_vtimes = false);
+
+// Harness-style table of the deduped records.
+void RenderTable(std::ostream& os, const std::vector<RaceRecord>& records);
+
+// Full report as a JSON object string (includes vtimes and totals).
+std::string ReportJson(std::string_view name, const Report& rep);
+
+// Writes ReportJson to RACE_<name>.json in the working directory.
+bool WriteRaceReport(std::string_view name, const Report& rep);
+
+}  // namespace csq::race

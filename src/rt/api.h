@@ -29,6 +29,7 @@
 
 #include "src/clock/det_clock.h"
 #include "src/conv/segment.h"
+#include "src/race/race.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/time_category.h"
 #include "src/util/types.h"
@@ -91,7 +92,9 @@ class ThreadApi {
   virtual void Fence() = 0;
 
   // Allocates zeroed shared memory; deterministic layout across backends.
-  virtual u64 SharedAlloc(usize n, usize align = 8) = 0;
+  // A non-empty `tag` names the allocation site so race reports can attribute
+  // conflicting byte ranges (e.g. "canneal.elements").
+  virtual u64 SharedAlloc(usize n, usize align = 8, std::string_view tag = {}) = 0;
 
   // ---- Synchronization ------------------------------------------------------
   virtual MutexId CreateMutex() = 0;
@@ -213,6 +216,11 @@ struct RuntimeConfig {
   // targets a version reserved under the token.
   bool async_lock_commit = false;
 
+  // Commit-time race analyzer (src/race, DESIGN.md §13). Deterministic
+  // backends only; the pthreads baseline ignores it. With race.enabled off
+  // (the default) no sink is attached and the commit paths are untouched.
+  race::RaceConfig race;
+
   // Optional happens-before observer (not owned; must outlive the Run).
   SyncObserver* observer = nullptr;
 
@@ -257,6 +265,16 @@ struct RunResult {
   // Per-category virtual time, summed over threads and per thread (Fig 15).
   std::array<u64, sim::kNumTimeCats> cat_totals{};
   std::vector<std::array<u64, sim::kNumTimeCats>> cat_by_thread;
+
+  // Race-analyzer output (empty unless RuntimeConfig::race.enabled). The
+  // deduped record set is deterministic: byte-identical canonical form across
+  // engines, worker counts, off-floor commit on/off and jitter seeds (record
+  // vtimes are the one jitter-dependent field; see race::CanonicalLines).
+  // Attaching the analyzer never perturbs vtime/checksum/trace_digest.
+  std::vector<race::RaceRecord> races;
+  u64 race_ww = 0;       // dynamic WW occurrences
+  u64 race_rw = 0;       // dynamic RW occurrences
+  u64 race_dropped = 0;  // distinct records dropped at RaceConfig::max_records
 };
 
 // A workload entry point: runs on the main logical thread, may spawn workers,

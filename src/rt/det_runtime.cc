@@ -277,9 +277,9 @@ class DApi final : public ThreadApi {
     ExitLib();
   }
 
-  u64 SharedAlloc(usize n, usize align) override {
+  u64 SharedAlloc(usize n, usize align, std::string_view tag) override {
     st_.eng.GateShared();
-    const u64 addr = st_.alloc.Alloc(n, align);
+    const u64 addr = st_.alloc.Alloc(n, align, tag);
     st_.eng.EndShared();
     return addr;
   }
@@ -565,6 +565,9 @@ class DApi final : public ThreadApi {
     ThreadRec& rec = st_.threads.EmplaceBack();
     rec.ws = std::make_unique<conv::Workspace>(st_.seg, child);
     rec.ws->SetDiscardOnUpdate(st_.fl.discard_update);
+    if (st_.cfg.race.enabled && st_.cfg.race.track_reads) {
+      rec.ws->SetTrackReads(true);
+    }
     rec.api = std::make_unique<DApi>(st_, child);
     rec.chunk_begin_count = st_.clock.Count(tid_);
     rec.last_commit_count = rec.chunk_begin_count;
@@ -661,6 +664,13 @@ class DApi final : public ThreadApi {
     // (floor-ordered stream), the done flag and the wake loop (a joiner parks
     // on done_ch holding only the floor) all need an explicit gate.
     st_.eng.GateShared();
+    if (st_.cfg.race.enabled && st_.cfg.race.track_reads) {
+      // Final read sweep (floor-held): reads since the thread's last sync op
+      // are validated against everything committed so far. For synchronous
+      // commits CommittedVersion() here equals the reserved version at this
+      // token-held point, so the sweep target is deterministic.
+      Ws().ValidateReads(st_.seg.CommittedVersion());
+    }
     if (st_.cfg.observer) {
       st_.cfg.observer->OnCommit(tid_, Ws().LastCommitPages());
       st_.cfg.observer->OnRelease(tid_, SyncObjId(SyncObjKind::kThread, tid_));
@@ -995,10 +1005,19 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
     };
     st.seg.SetTraceHooks(std::move(hooks));
   }
+  std::unique_ptr<race::Analyzer> analyzer;
+  if (cfg_.race.enabled) {
+    analyzer = std::make_unique<race::Analyzer>(cfg_.race);
+    analyzer->SetPageSize(cfg_.segment.page_size);
+    st.seg.SetRaceSink(analyzer.get());
+  }
   st.clock.RegisterThread(0, 0);
   ThreadRec& main_rec = st.threads.EmplaceBack();
   main_rec.ws = std::make_unique<conv::Workspace>(st.seg, 0);
   main_rec.ws->SetDiscardOnUpdate(flavor_.discard_update);
+  if (cfg_.race.enabled && cfg_.race.track_reads) {
+    main_rec.ws->SetTrackReads(true);
+  }
   main_rec.api = std::make_unique<DApi>(st, 0);
   u64 checksum = 0;
   const u32 main_tid = st.eng.Spawn([&] {
@@ -1039,6 +1058,21 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
       res.cat_by_thread[t][c] = v;
       res.cat_totals[c] += v;
     }
+  }
+  if (analyzer) {
+    analyzer->SetSiteResolver(
+        [&st](u64 offset) { return std::string(st.alloc.TagAt(offset)); });
+    race::Report rep = analyzer->Finalize();
+    u64 ww_records = 0;
+    u64 rw_records = 0;
+    for (const race::RaceRecord& r : rep.records) {
+      (r.kind == race::AccessKind::kWriteWrite ? ww_records : rw_records) += 1;
+    }
+    st.seg.NoteRaceRecords(ww_records, rw_records);
+    res.races = std::move(rep.records);
+    res.race_ww = rep.ww;
+    res.race_rw = rep.rw;
+    res.race_dropped = rep.dropped;
   }
   res.host_wall_ns = static_cast<u64>(wall.ElapsedNs());
   return res;

@@ -110,9 +110,9 @@ class PtApi final : public ThreadApi {
     st_.eng.Charge(st_.eng.Costs().pthread_lock_op, TimeCat::kLibrary);
   }
 
-  u64 SharedAlloc(usize n, usize align) override {
+  u64 SharedAlloc(usize n, usize align, std::string_view tag) override {
     st_.eng.GateShared();
-    return st_.alloc.Alloc(n, align);
+    return st_.alloc.Alloc(n, align, tag);
   }
 
   MutexId CreateMutex() override {

@@ -1,0 +1,56 @@
+// Minimal JSON string escaping, shared by the bench report emitter
+// (bench/report.h) and the race-report writer (src/race/report.h).
+//
+// Escapes everything RFC 8259 requires: quote, backslash, and ALL control
+// characters below 0x20 (named escapes for \b \f \n \r \t, \u00XX for the
+// rest). Bytes >= 0x20 pass through untouched, so UTF-8 payloads survive.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace csq::util {
+
+// Returns `s` quoted and escaped as a JSON string literal.
+inline std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace csq::util

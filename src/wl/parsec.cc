@@ -20,9 +20,9 @@ u64 Canneal(rt::ThreadApi& api, const WlParams& p) {
   const u64 nelem = 8192 * p.scale;  // element positions, 16 pages
   const u32 steps = 6;
   const u64 swaps_per_step = 384;
-  const u64 pos = api.SharedAlloc(nelem * 8, 4096);
+  const u64 pos = api.SharedAlloc(nelem * 8, 4096, "canneal.pos");
   FillSharedU64(api, pos, nelem, 0xca41, 1 << 20);
-  const u64 accepted = api.SharedAlloc(8);
+  const u64 accepted = api.SharedAlloc(8, 8, "canneal.accepted");
   const rt::MutexId merge = api.CreateMutex();
   const rt::BarrierId bar = api.CreateBarrier(p.workers);
   ParallelFor(api, p.workers, [&](rt::ThreadApi& t, u32 w) {

@@ -1,0 +1,418 @@
+// Deterministic race analyzer (src/race, DESIGN.md §13).
+//
+// Two layers of coverage:
+//   * conv-level golden tests: Engine + Segment + workspaces driven from one
+//     simulated thread with an Analyzer attached directly — fully
+//     deterministic down to version numbers, so the expected RaceRecord sets
+//     are asserted exactly (byte-precise WW, word-granular RW, and the
+//     no-report cases: same word different bytes, false sharing).
+//   * rt-level identity tests: a racy workload on the full runtime, pinning
+//     that the canonical report is byte-identical across serial vs
+//     host-parallel engines, worker counts, off-floor commit on/off and
+//     jitter seeds — and that attaching the analyzer never perturbs vtime,
+//     checksum or the canonical TSO trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/conv/segment.h"
+#include "src/conv/workspace.h"
+#include "src/race/race.h"
+#include "src/race/report.h"
+#include "src/rt/api.h"
+#include "src/tso/trace.h"
+#include "src/tso/tso_model.h"
+
+namespace csq::race {
+namespace {
+
+using conv::Segment;
+using conv::SegmentConfig;
+using conv::Workspace;
+using sim::Engine;
+
+// ---- conv-level golden catalog ---------------------------------------------
+
+void RunSim(Engine& eng, std::function<void()> fn) {
+  eng.Spawn(std::move(fn));
+  eng.Run();
+}
+
+SegmentConfig SmallSeg() {
+  SegmentConfig cfg;
+  cfg.size_bytes = 1 << 20;
+  return cfg;
+}
+
+// A value whose every byte differs from zero, so an 8-byte store produces an
+// 8-byte write span against the zero twin.
+constexpr u64 kAllBytes1 = 0x0101010101010101ULL;
+constexpr u64 kAllBytes2 = 0x0202020202020202ULL;
+
+TEST(RaceAnalyzerConv, WriteWriteSameBytesOneExactRecord) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  const u64 addr = 3 * 4096 + 64;  // page 3, offset 64
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(addr, kAllBytes1);
+    b.Store<u64>(addr, kAllBytes2);
+    a.Commit();  // version 1
+    b.Commit();  // version 2, window (0, 1] -> conflict with version 1
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  const RaceRecord& r = rep.records[0];
+  EXPECT_EQ(r.kind, AccessKind::kWriteWrite);
+  EXPECT_FALSE(r.rebase);
+  EXPECT_EQ(r.page, 3u);
+  EXPECT_EQ(r.offset, addr);
+  EXPECT_EQ(r.len, 8u);
+  EXPECT_EQ(r.tid_a, 0u);
+  EXPECT_EQ(r.tid_b, 1u);
+  EXPECT_EQ(r.version_a, 1u);
+  EXPECT_EQ(r.version_b, 2u);
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(rep.ww, 1u);
+  EXPECT_EQ(rep.rw, 0u);
+  EXPECT_EQ(seg.Stats().race_ww_records, 0u);  // runtime fills this, not conv
+}
+
+TEST(RaceAnalyzerConv, SameWordDifferentBytesNoReport) {
+  // Byte-exact detection: two stores into the SAME 8-byte merge word but
+  // disjoint bytes are not a race — the LWW merge preserves both.
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u8>(100, 7);  // word 12, byte 100
+    b.Store<u8>(101, 9);  // word 12, byte 101
+    a.Commit();
+    b.Commit();
+  });
+  const Report rep = an.Finalize();
+  EXPECT_TRUE(rep.records.empty());
+  EXPECT_EQ(rep.ww, 0u);
+}
+
+TEST(RaceAnalyzerConv, FalseSharingSamePageNoReport) {
+  // Page-level conflict (both commits touch page 0, second one byte-merges)
+  // but no byte overlap: not a race.
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(0, kAllBytes1);
+    b.Store<u64>(512, kAllBytes2);
+    a.Commit();
+    b.Commit();
+  });
+  EXPECT_EQ(seg.Stats().pages_merged, 1u);  // the merge DID happen...
+  const Report rep = an.Finalize();
+  EXPECT_TRUE(rep.records.empty());  // ...but it resolved no racing bytes
+}
+
+TEST(RaceAnalyzerConv, ReadWriteRaceWordGranular) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.SetTrackReads(true);
+    (void)b.Load<u64>(128);        // read against snapshot 0
+    a.Store<u64>(128, kAllBytes1);
+    a.Commit();                    // version 1, concurrent with b's read
+    b.Update();                    // validates reads over (0, 1]
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  const RaceRecord& r = rep.records[0];
+  EXPECT_EQ(r.kind, AccessKind::kReadWrite);
+  EXPECT_EQ(r.page, 0u);
+  EXPECT_EQ(r.offset, 128u);
+  EXPECT_EQ(r.len, 8u);
+  EXPECT_EQ(r.tid_a, 0u);  // the writer
+  EXPECT_EQ(r.tid_b, 1u);  // the reader
+  EXPECT_EQ(r.version_a, 1u);
+  EXPECT_EQ(rep.rw, 1u);
+  EXPECT_EQ(rep.ww, 0u);
+}
+
+TEST(RaceAnalyzerConv, ReadClearedAtUpdateNoDuplicate) {
+  // Interval semantics: an update is a sync point — reads validated up to the
+  // target are no longer concurrent with later commits.
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.SetTrackReads(true);
+    (void)b.Load<u64>(128);
+    a.Store<u64>(128, kAllBytes1);
+    a.Commit();
+    b.Update();  // reports the RW race, clears the read bitmap
+    a.Store<u64>(128, kAllBytes2);
+    a.Commit();
+    b.Update();  // no re-read since last update: nothing new to report
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_EQ(rep.rw, 1u);
+}
+
+TEST(RaceAnalyzerConv, RebaseWriteWriteCaughtAtUpdate) {
+  // Update-time rebase: b holds an uncommitted store that overlaps a commit
+  // it is updating past — a WW race caught before b even commits.
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.Store<u64>(64, kAllBytes2);  // pending, uncommitted
+    a.Store<u64>(64, kAllBytes1);
+    a.Commit();  // version 1
+    b.Update();  // rebases b's page onto version 1
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  const RaceRecord& r = rep.records[0];
+  EXPECT_EQ(r.kind, AccessKind::kWriteWrite);
+  EXPECT_TRUE(r.rebase);
+  EXPECT_EQ(r.offset, 64u);
+  EXPECT_EQ(r.len, 8u);
+  EXPECT_EQ(r.tid_a, 0u);
+  EXPECT_EQ(r.tid_b, 1u);
+  EXPECT_EQ(r.version_a, 1u);
+  EXPECT_EQ(r.version_b, 0u);  // b's write is not a committed version yet
+}
+
+TEST(RaceAnalyzerConv, DuplicateOccurrencesFoldIntoOneRecord) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    for (int i = 0; i < 3; ++i) {
+      // Repeated-byte values: every byte of each round's store differs from
+      // the twin (adding i instead would leave bytes equal to the previous
+      // round's merge result, shrinking the write spans to a partial word).
+      a.Store<u64>(64, (0x10u + static_cast<u64>(i)) * kAllBytes1);
+      b.Store<u64>(64, (0x20u + static_cast<u64>(i)) * kAllBytes1);
+      a.Commit();
+      b.Commit();
+      a.Update();
+      b.Update();
+    }
+  });
+  const Report rep = an.Finalize();
+  // All occurrences share (WW, page 0, off 64, len 8, tids 0->1): one record.
+  // (The reverse direction 1->0 never occurs: a commits first each round, so
+  // only b's window ever contains the other thread's version.)
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_EQ(rep.records[0].count, 3u);
+  EXPECT_EQ(rep.records[0].version_a, 1u);  // min over folds
+  EXPECT_EQ(rep.records[0].version_b, 2u);
+  EXPECT_EQ(rep.ww, 3u);
+}
+
+TEST(RaceAnalyzerConv, MaxRecordsCapCountsDrops) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RaceConfig cfg;
+  cfg.enabled = true;
+  cfg.max_records = 1;
+  Analyzer an(cfg);
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(0, kAllBytes1);
+    a.Store<u64>(256, kAllBytes1);
+    b.Store<u64>(0, kAllBytes2);
+    b.Store<u64>(256, kAllBytes2);
+    a.Commit();
+    b.Commit();  // two distinct overlapping ranges, cap keeps one
+  });
+  const Report rep = an.Finalize();
+  EXPECT_EQ(rep.records.size(), 1u);
+  EXPECT_EQ(rep.dropped, 1u);
+  EXPECT_EQ(rep.ww, 2u);  // dynamic totals still count everything
+}
+
+// ---- rt-level identity -----------------------------------------------------
+
+// A deliberately racy kernel: every worker read-modify-writes the same shared
+// word (unsynchronized) plus one private word, with a fence per iteration so
+// commit windows from different workers interleave.
+rt::WorkloadFn RacyKernel(u32 workers) {
+  return [workers](rt::ThreadApi& api) -> u64 {
+    const u64 shared = api.SharedAlloc(4096, 4096, "racy.shared");
+    const u64 slots = api.SharedAlloc(4096, 4096, "racy.slots");
+    std::vector<rt::ThreadHandle> hs;
+    for (u32 t = 0; t < workers; ++t) {
+      hs.push_back(api.SpawnThread([shared, slots, t](rt::ThreadApi& a) {
+        for (u32 i = 0; i < 8; ++i) {
+          const u64 v = a.Load<u64>(shared);                    // racy read
+          a.Store<u64>(shared, v + (t + 1) * kAllBytes1);       // racy write
+          a.Store<u64>(slots + 64 * t, v + i);                  // private word
+          a.Work(200 + 37 * t);
+          a.Fence();
+        }
+      }));
+    }
+    for (rt::ThreadHandle h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(shared);
+  };
+}
+
+rt::RuntimeConfig RacyCfg(u32 host_workers, u64 jitter_seed, bool offfloor,
+                          bool track_reads) {
+  rt::RuntimeConfig cfg;
+  cfg.nthreads = 3;
+  cfg.segment.size_bytes = 1 << 20;
+  cfg.host_workers = host_workers;
+  cfg.segment.offfloor_commit = offfloor;
+  cfg.race.enabled = true;
+  cfg.race.track_reads = track_reads;
+  if (jitter_seed != 0) {
+    cfg.costs.jitter_bp = 900;
+    cfg.costs.jitter_seed = jitter_seed;
+  }
+  return cfg;
+}
+
+TEST(RaceAnalyzerRt, CanonicalReportIdenticalAcrossEnginesWorkersOffFloorAndJitter) {
+  const rt::RunResult ref =
+      rt::MakeRuntime(rt::Backend::kConsequenceIC, RacyCfg(1, 0, true, true))
+          ->Run(RacyKernel(3));
+  ASSERT_FALSE(ref.races.empty());
+  EXPECT_GT(ref.race_ww, 0u);
+  const std::string canon = CanonicalLines(ref.races);
+  EXPECT_NE(canon.find("WW"), std::string::npos);
+  for (u32 workers : {1u, 2u, 4u}) {
+    for (bool offfloor : {true, false}) {
+      for (u64 seed : {0ULL, 7ULL, 99ULL}) {
+        const rt::RunResult r =
+            rt::MakeRuntime(rt::Backend::kConsequenceIC, RacyCfg(workers, seed, offfloor, true))
+                ->Run(RacyKernel(3));
+        std::ostringstream label;
+        label << "host_workers=" << workers << " offfloor=" << offfloor << " seed=" << seed;
+        EXPECT_EQ(CanonicalLines(r.races), canon) << label.str();
+        EXPECT_EQ(r.race_ww, ref.race_ww) << label.str();
+        EXPECT_EQ(r.race_rw, ref.race_rw) << label.str();
+        EXPECT_EQ(r.race_dropped, 0u) << label.str();
+      }
+    }
+  }
+}
+
+TEST(RaceAnalyzerRt, AnalyzerNeverPerturbsSimulatedResults) {
+  // The analyzer observes but never charges: vtime, checksum and the schedule
+  // digest must be bit-identical analyzer-off vs analyzer-on vs
+  // analyzer-on+track_reads, on both engines.
+  for (u32 workers : {1u, 4u}) {
+    rt::RuntimeConfig off = RacyCfg(workers, 0, true, false);
+    off.race.enabled = false;
+    const rt::RunResult base =
+        rt::MakeRuntime(rt::Backend::kConsequenceIC, off)->Run(RacyKernel(3));
+    for (bool reads : {false, true}) {
+      const rt::RunResult on =
+          rt::MakeRuntime(rt::Backend::kConsequenceIC, RacyCfg(workers, 0, true, reads))
+              ->Run(RacyKernel(3));
+      std::ostringstream label;
+      label << "host_workers=" << workers << " track_reads=" << reads;
+      EXPECT_EQ(base.vtime, on.vtime) << label.str();
+      EXPECT_EQ(base.checksum, on.checksum) << label.str();
+      EXPECT_EQ(base.trace_digest, on.trace_digest) << label.str();
+      EXPECT_EQ(base.trace_events, on.trace_events) << label.str();
+      EXPECT_EQ(base.commits, on.commits) << label.str();
+      EXPECT_EQ(base.cat_totals, on.cat_totals) << label.str();
+    }
+  }
+}
+
+TEST(RaceAnalyzerRt, CanonicalTsoTraceIdenticalWithAnalyzerOn) {
+  // Cross-check with the TSO determinism oracle: the full canonical trace —
+  // token grants, commit versions, updates, merge decisions — must match
+  // serial vs host-parallel with the analyzer attached.
+  tso::TraceRecorder serial_rec;
+  rt::RuntimeConfig scfg = RacyCfg(1, 0, true, true);
+  scfg.observer = &serial_rec;
+  rt::MakeRuntime(rt::Backend::kConsequenceIC, scfg)->Run(RacyKernel(3));
+  for (u32 workers : {2u, 4u}) {
+    tso::TraceRecorder par_rec;
+    rt::RuntimeConfig pcfg = RacyCfg(workers, 0, true, true);
+    pcfg.observer = &par_rec;
+    rt::MakeRuntime(rt::Backend::kConsequenceIC, pcfg)->Run(RacyKernel(3));
+    const tso::TraceDiff diff = tso::DiffTraces(serial_rec.Trace(), par_rec.Trace());
+    EXPECT_FALSE(diff.diverged) << "host_workers=" << workers << ": " << diff.description;
+  }
+}
+
+TEST(RaceAnalyzerRt, AllocationSiteTagsResolveInRecords) {
+  const rt::RunResult r =
+      rt::MakeRuntime(rt::Backend::kConsequenceIC, RacyCfg(1, 0, true, true))
+          ->Run(RacyKernel(3));
+  ASSERT_FALSE(r.races.empty());
+  for (const RaceRecord& rec : r.races) {
+    EXPECT_EQ(rec.site, "racy.shared") << "offset=" << rec.offset;
+  }
+  EXPECT_GT(r.race_ww, 0u);
+}
+
+TEST(RaceAnalyzerRt, QuietWorkloadReportsNothing) {
+  // Disjoint pages per worker: analyzer on, zero records.
+  auto quiet = [](rt::ThreadApi& api) -> u64 {
+    const u64 base = api.SharedAlloc(4 * 4096, 4096, "quiet.slots");
+    std::vector<rt::ThreadHandle> hs;
+    for (u32 t = 0; t < 3; ++t) {
+      hs.push_back(api.SpawnThread([base, t](rt::ThreadApi& a) {
+        for (u32 i = 0; i < 4; ++i) {
+          a.Store<u64>(base + 4096 * t, i);
+          a.Fence();
+        }
+      }));
+    }
+    for (rt::ThreadHandle h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(base);
+  };
+  const rt::RunResult r =
+      rt::MakeRuntime(rt::Backend::kConsequenceIC, RacyCfg(1, 0, true, true))->Run(quiet);
+  EXPECT_TRUE(r.races.empty());
+  EXPECT_EQ(r.race_ww, 0u);
+  EXPECT_EQ(r.race_rw, 0u);
+}
+
+}  // namespace
+}  // namespace csq::race

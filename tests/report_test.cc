@@ -1,0 +1,127 @@
+// JSON report emitters: util::JsonQuote escaping (the RFC 8259 control-char
+// fix shared by bench/report.h and src/race/report.h), the bench JsonObj
+// round-trip, and the race-report renderers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/report.h"
+#include "src/race/race.h"
+#include "src/race/report.h"
+#include "src/util/json.h"
+
+namespace csq {
+namespace {
+
+TEST(JsonQuote, PassesPlainStringsThrough) {
+  EXPECT_EQ(util::JsonQuote("hello"), "\"hello\"");
+  EXPECT_EQ(util::JsonQuote(""), "\"\"");
+  EXPECT_EQ(util::JsonQuote("a b/c.d-e_f"), "\"a b/c.d-e_f\"");
+}
+
+TEST(JsonQuote, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(util::JsonQuote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(util::JsonQuote("a\\b"), "\"a\\\\b\"");
+}
+
+TEST(JsonQuote, EscapesNamedControlCharacters) {
+  EXPECT_EQ(util::JsonQuote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(util::JsonQuote("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(util::JsonQuote("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(util::JsonQuote("a\bb"), "\"a\\bb\"");
+  EXPECT_EQ(util::JsonQuote("a\fb"), "\"a\\fb\"");
+}
+
+TEST(JsonQuote, EscapesRemainingControlCharactersAsUnicode) {
+  // The bug the shared escaper fixes: bench/report.h's old local escaper let
+  // \x00..\x1f (minus \n and \t) through raw, producing invalid JSON.
+  // Note the split literals: "\x01b" would parse as the single byte 0x1b.
+  EXPECT_EQ(util::JsonQuote(std::string("a\x01" "b", 3)), "\"a\\u0001b\"");
+  EXPECT_EQ(util::JsonQuote(std::string("a\x1b" "[0m", 5)), "\"a\\u001b[0m\"");
+  EXPECT_EQ(util::JsonQuote(std::string("\0", 1)), "\"\\u0000\"");
+}
+
+TEST(JsonQuote, LeavesHighBytesAlone) {
+  // UTF-8 payloads survive: bytes >= 0x20 pass through untouched.
+  const std::string utf8 = "caf\xc3\xa9";
+  EXPECT_EQ(util::JsonQuote(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(BenchReport, JsonStrUsesSharedEscaper) {
+  EXPECT_EQ(bench::JsonStr("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(bench::JsonStr(std::string("x\x02", 2)), "\"x\\u0002\"");
+}
+
+TEST(BenchReport, JsonObjRendersOrderedFields) {
+  bench::JsonObj obj;
+  obj.Str("name", "wl\nx").Int("n", 42).Bool("ok", true).Num("ratio", 1.5, 2);
+  EXPECT_EQ(obj.Render(), "{\"name\":\"wl\\nx\",\"n\":42,\"ok\":true,\"ratio\":1.50}");
+}
+
+race::Report SampleReport() {
+  race::Report rep;
+  race::RaceRecord r;
+  r.kind = race::AccessKind::kWriteWrite;
+  r.page = 3;
+  r.offset = 3 * 4096 + 64;
+  r.len = 8;
+  r.tid_a = 1;
+  r.tid_b = 2;
+  r.version_a = 4;
+  r.version_b = 5;
+  r.vtime_a = 1000;
+  r.vtime_b = 2000;
+  r.winner_hash = 0xabcdef;
+  r.count = 2;
+  r.site = "wl \"tag\"";
+  rep.records.push_back(r);
+  rep.ww = 2;
+  return rep;
+}
+
+TEST(RaceReport, CanonicalLinesExcludeVtimesByDefault) {
+  const race::Report rep = SampleReport();
+  const std::string canon = race::CanonicalLines(rep.records);
+  EXPECT_NE(canon.find("WW page=3 off=12352 len=8 tids=1->2 versions=4->5"), std::string::npos)
+      << canon;
+  EXPECT_EQ(canon.find("vtimes"), std::string::npos);
+  const std::string with = race::CanonicalLines(rep.records, /*include_vtimes=*/true);
+  EXPECT_NE(with.find("vtimes=1000->2000"), std::string::npos) << with;
+}
+
+TEST(RaceReport, JsonIsEscapedAndRoundTrips) {
+  const race::Report rep = SampleReport();
+  const std::string json = race::ReportJson("unit", rep);
+  // The site tag's embedded quotes must be escaped.
+  EXPECT_NE(json.find("\"wl \\\"tag\\\"\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ww\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"offset\":12352"), std::string::npos);
+  EXPECT_NE(json.find("\"vtime_a\":1000"), std::string::npos);
+
+  ASSERT_TRUE(race::WriteRaceReport("unit", rep));
+  std::ifstream in("RACE_unit.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), json + "\n");
+  std::remove("RACE_unit.json");
+}
+
+TEST(RaceReport, TableRendersEveryRecord) {
+  const race::Report rep = SampleReport();
+  std::ostringstream os;
+  race::RenderTable(os, rep.records);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("WW"), std::string::npos);
+  EXPECT_NE(out.find("12352"), std::string::npos);
+
+  std::ostringstream empty;
+  race::RenderTable(empty, {});
+  EXPECT_EQ(empty.str(), "no races detected\n");
+}
+
+}  // namespace
+}  // namespace csq

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Floor-discipline lint: observer/trace emissions must be floor-held.
+
+Background (PR 3 bug class): observer streams — SyncObserver events, the
+segment's TraceHooks, the clock's grant/release callbacks — are defined to be
+floor-ordered: every emission must happen while the emitting thread holds the
+simulation floor (the shared gate). Engine Wait() parks floor-less, so any
+emission that follows a Wait or an explicit EndShared without an intervening
+re-gate races with other threads' emissions on the host-parallel engine.
+Three such sites were fixed by hand in PR 3; this tool keeps the class from
+coming back.
+
+Heuristic (line-based, per function body):
+  * Track a floor state through each function: ACQUIRE patterns (GateShared,
+    WaitToken, WaitInstalled) set HELD; RELEASE patterns (EndShared, engine
+    Wait(), ReleaseToken) set RELEASED.
+  * An emission while the state is RELEASED is a violation. An emission with
+    no preceding event in the function is fine — helper functions are called
+    floor-held by convention, and flagging them would drown the signal.
+  * Lambdas reset the state to unknown (their bodies run elsewhere).
+
+Suppression: a `// lint-floor: <reason>` comment on the emission line or the
+line directly above it suppresses that emission. Use it only with a reason
+that explains why the floor is actually held.
+
+Exit status: number of violations (0 = clean). Run from anywhere; scans the
+src/ tree next to this script's repository root.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+EMISSION = re.compile(
+    r"(->\s*On(Acquire|Release|Commit|CommitVersion|Update|MergeDecision|TokenGrant|TokenRelease)\s*\()"
+    r"|(\bobserver_\s*\()"
+    r"|(Hooks\(\)\.on_(update|merge)\s*\()"
+    r"|(\bcfg_\.on_(grant|release)\s*\()"
+)
+ACQUIRE = re.compile(r"\b(GateShared|WaitToken|WaitInstalled)\s*\(")
+RELEASE = re.compile(r"\b(EndShared|ReleaseToken)\s*\(|\beng_?\s*(\.|->)\s*Wait\s*\(|\.eng\.Wait\s*\(")
+SUPPRESS = re.compile(r"//\s*lint-floor:")
+LAMBDA_OPEN = re.compile(r"\[[^\]]*\]\s*(\([^)]*\))?\s*(->\s*[\w:<>]+\s*)?\{")
+
+HELD, RELEASED, UNKNOWN = "held", "released", "unknown"
+
+
+def strip_comment(line: str) -> str:
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def scan_file(path: Path):
+    violations = []
+    lines = path.read_text().splitlines()
+    # Floor state per brace depth. Function bodies start at depth >= 1; a
+    # lambda introduces a fresh UNKNOWN state for its own depth.
+    state_stack = [UNKNOWN]
+    depth = 0
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comment(raw)
+        opens_lambda = bool(LAMBDA_OPEN.search(code))
+        emission = EMISSION.search(code)
+        if emission:
+            state = state_stack[-1]
+            suppressed = SUPPRESS.search(raw) or (lineno >= 2 and SUPPRESS.search(lines[lineno - 2]))
+            if state == RELEASED and not suppressed:
+                violations.append((path, lineno, raw.strip()))
+        # Events update the innermost state AFTER the emission check so that
+        # `GateShared(); observer->...` on one line counts as held, while
+        # `observer->...; EndShared();` still checks the pre-release state.
+        # (Acquire first: re-gate lines acquire before any same-line emission.)
+        if ACQUIRE.search(code):
+            state_stack[-1] = HELD
+            # Re-check an emission on the same line: held now.
+            if emission and violations and violations[-1][1] == lineno:
+                violations.pop()
+        elif RELEASE.search(code):
+            state_stack[-1] = RELEASED
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                # A lambda body starts with a clean slate; plain blocks
+                # inherit the enclosing state.
+                state_stack.append(UNKNOWN if opens_lambda else state_stack[-1])
+                opens_lambda = False
+            elif ch == "}":
+                if depth > 0:
+                    depth -= 1
+                    # Inner state is discarded, NOT propagated outward: an `if`
+                    # branch ending in ReleaseToken must not poison its `else`
+                    # branch or the code after the conditional. The cost is
+                    # missing a release buried in a conditional block — the
+                    # PR 3 bug class (Wait + emission at the same depth) is
+                    # still caught.
+                    state_stack.pop()
+        if not state_stack:
+            state_stack = [UNKNOWN]
+    return violations
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_floor: no src/ under {root}", file=sys.stderr)
+        return 1
+    violations = []
+    for path in sorted(src.rglob("*.cc")) + sorted(src.rglob("*.h")):
+        violations.extend(scan_file(path))
+    for path, lineno, text in violations:
+        print(f"{path.relative_to(root)}:{lineno}: emission while floor released: {text}")
+    if violations:
+        print(
+            f"lint_floor: {len(violations)} violation(s). Re-gate with GateShared() before "
+            "emitting, or suppress with '// lint-floor: <why the floor is held>'.",
+            file=sys.stderr,
+        )
+    else:
+        print("lint_floor: clean")
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
