@@ -34,8 +34,12 @@ struct Headline {
 // returns the headline aggregates. When `rows_json` is non-null, each
 // benchmark's normalized runtimes are appended to it as a rendered JSON
 // object (for the BENCH_fig10_overall.json perf-trajectory report).
+// When `floor_sum` is non-null, each best run's floor-handoff stats and
+// per-domain occupancy are accumulated into it (parallel-engine sweeps only;
+// serial sweeps contribute zeros).
 Headline Sweep(const std::vector<u32>& threads, bool print_table, u32 host_workers,
-               std::vector<std::string>* rows_json = nullptr) {
+               std::vector<std::string>* rows_json = nullptr,
+               rt::RunResult* floor_sum = nullptr) {
   TablePrinter tp(
       {"benchmark", "suite", "dthreads", "dwc", "cons-rr", "cons-ic", "best@thr", "wall(ms)"});
   rt::RuntimeConfig base = DefaultConfig(0);
@@ -57,6 +61,32 @@ Headline Sweep(const std::vector<u32>& threads, bool print_table, u32 host_worke
     const BestResult rr = BestOverThreads(w, rt::Backend::kConsequenceRR, threads, &base);
     const BestResult ic = BestOverThreads(w, rt::Backend::kConsequenceIC, threads, &base);
     const double wall_ms = row_wall.ElapsedNs() / 1e6;
+    if (floor_sum != nullptr) {
+      for (const BestResult* br : {&dt, &dwc, &rr, &ic}) {
+        const sim::EngineFloorStats& f = br->result.floor;
+        floor_sum->floor.floor_grants += f.floor_grants;
+        floor_sum->floor.lease_hits += f.lease_hits;
+        floor_sum->floor.lazy_retains += f.lazy_retains;
+        floor_sum->floor.lease_revocations += f.lease_revocations;
+        floor_sum->floor.wakeup_free_handoffs += f.wakeup_free_handoffs;
+        floor_sum->floor.condvar_handoffs += f.condvar_handoffs;
+        floor_sum->floor.gate_reevals += f.gate_reevals;
+        for (const sim::EngineDomainFloorStat& d : br->result.domain_floors) {
+          bool merged = false;
+          for (sim::EngineDomainFloorStat& acc : floor_sum->domain_floors) {
+            if (acc.label == d.label) {
+              acc.grants += d.grants;
+              acc.floor_held_ns += d.floor_held_ns;
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) {
+            floor_sum->domain_floors.push_back(d);
+          }
+        }
+      }
+    }
     const double s_dt = Slowdown(dt.vtime, pt.vtime);
     const double s_dwc = Slowdown(dwc.vtime, pt.vtime);
     const double s_rr = Slowdown(rr.vtime, pt.vtime);
@@ -133,16 +163,28 @@ int main() {
   // this binary's own parallel run reproduced the serial aggregates.
   constexpr u32 kParWorkers = 4;
   WallTimer par_wall;
-  const Headline par = Sweep(threads, /*print_table=*/false, kParWorkers);
+  rt::RunResult floor_sum;
+  const Headline par = Sweep(threads, /*print_table=*/false, kParWorkers, nullptr, &floor_sum);
   const double par_ns = par_wall.ElapsedNs();
   const bool par_matches = par.worst_ic == full.worst_ic &&
                            par.at_or_below_25 == full.at_or_below_25 &&
                            par.vs_dthreads == full.vs_dthreads && par.vs_dwc == full.vs_dwc;
+  const double speedup = serial_ns / par_ns;
+  const u32 host_cores = bench::HostCores();
+  const bool meets_target = speedup >= 1.5;
   std::printf(
       "\nHost engine wall-clock (full sweep): serial %.2fs, %u workers %.2fs -> %.2fx speedup"
       " (parallel results %s serial)\n",
-      serial_ns / 1e9, kParWorkers, par_ns / 1e9, serial_ns / par_ns,
+      serial_ns / 1e9, kParWorkers, par_ns / 1e9, speedup,
       par_matches ? "identical to" : "DIVERGED from");
+  if (host_cores < 2) {
+    std::printf("host cores: %u — single-core host, wall-clock speedup target not applicable\n",
+                host_cores);
+  } else {
+    std::printf("host cores: %u — 1.5x-at-%u-workers target %s\n", host_cores, kParWorkers,
+                meets_target ? "MET" : "not met");
+  }
+  harness::PrintFloorStats(std::cout, floor_sum);
 
   bench::JsonObj report;
   report.Str("bench", "fig10_overall")
@@ -150,8 +192,16 @@ int main() {
       .Int("serial_wall_ns", static_cast<u64>(serial_ns))
       .Int("parallel_wall_ns", static_cast<u64>(par_ns))
       .Int("parallel_host_workers", kParWorkers)
-      .Num("speedup", serial_ns / par_ns)
+      .Num("speedup", speedup)
+      .Bool("meets_1p5x_target", meets_target)
       .Bool("parallel_matches_serial", par_matches)
+      .Int("floor_grants", floor_sum.floor.floor_grants)
+      .Int("lease_hits", floor_sum.floor.lease_hits)
+      .Int("lazy_retains", floor_sum.floor.lazy_retains)
+      .Int("lease_revocations", floor_sum.floor.lease_revocations)
+      .Int("wakeup_free_handoffs", floor_sum.floor.wakeup_free_handoffs)
+      .Int("condvar_handoffs", floor_sum.floor.condvar_handoffs)
+      .Int("gate_reevals", floor_sum.floor.gate_reevals)
       .Num("worst_ic_slowdown", full.worst_ic)
       .Int("at_or_below_2_5x", full.at_or_below_25)
       .Num("vs_dthreads_5_hardest", full.vs_dthreads)

@@ -35,6 +35,7 @@ struct ModeResult {
   u64 pages_committed = 0;
   u64 offfloor_pages = 0;
   u64 gc_reclaimed = 0;
+  sim::EngineFloorStats floor;
 };
 
 ModeResult RunMode(u32 committers, u32 dirty_pages, u32 reps, bool offfloor) {
@@ -83,6 +84,7 @@ ModeResult RunMode(u32 committers, u32 dirty_pages, u32 reps, bool offfloor) {
   WallTimer timer;
   eng.Run();
   r.wall_ns = timer.ElapsedNs();
+  r.floor = eng.FloorStats();
   r.commits = seg.Stats().commits;
   r.pages_committed = seg.Stats().pages_committed;
   r.offfloor_pages = seg.Stats().offfloor_pages_installed;
@@ -107,6 +109,7 @@ int main() {
   std::vector<std::string> rows;
   double best_speedup_4p = 0.0;   // best at >= 4 committers, >= 64 dirty pages
   bool vtimes_ok = true;
+  sim::EngineFloorStats floor_total;  // off-floor modes, summed over the sweep
   for (u32 committers : {1u, 2u, 4u, 8u}) {
     for (u32 dirty : {1u, 8u, 64u, 512u}) {
       if (const char* only = std::getenv("CSQ_ONLY")) {
@@ -181,24 +184,54 @@ int main() {
                secs_of > 0 ? static_cast<double>(off_floor.commits) / secs_of : 0.0, 0)
           .Int("pages_committed", off_floor.pages_committed)
           .Int("offfloor_pages_installed", off_floor.offfloor_pages)
+          .Int("floor_grants", off_floor.floor.floor_grants)
+          .Int("lease_hits", off_floor.floor.lease_hits)
+          .Int("lazy_retains", off_floor.floor.lazy_retains)
+          .Int("wakeup_free_handoffs", off_floor.floor.wakeup_free_handoffs)
+          .Int("condvar_handoffs", off_floor.floor.condvar_handoffs)
+          .Int("gate_reevals", off_floor.floor.gate_reevals)
           .Num("speedup", speedup, 3);
       rows.push_back(row.Render());
+      floor_total.floor_grants += off_floor.floor.floor_grants;
+      floor_total.lease_hits += off_floor.floor.lease_hits;
+      floor_total.lazy_retains += off_floor.floor.lazy_retains;
+      floor_total.lease_revocations += off_floor.floor.lease_revocations;
+      floor_total.wakeup_free_handoffs += off_floor.floor.wakeup_free_handoffs;
+      floor_total.condvar_handoffs += off_floor.floor.condvar_handoffs;
+      floor_total.gate_reevals += off_floor.floor.gate_reevals;
     }
   }
   std::printf("best commit-throughput speedup at >=4 committers, >=64 dirty pages: %.2fx\n",
               best_speedup_4p);
 
+  std::printf(
+      "floor (off-floor modes): %llu grants, %llu lease hits, %llu lazy retains, "
+      "%llu revocations, %llu wakeup-free + %llu condvar handoffs, %llu re-evals\n",
+      static_cast<unsigned long long>(floor_total.floor_grants),
+      static_cast<unsigned long long>(floor_total.lease_hits),
+      static_cast<unsigned long long>(floor_total.lazy_retains),
+      static_cast<unsigned long long>(floor_total.lease_revocations),
+      static_cast<unsigned long long>(floor_total.wakeup_free_handoffs),
+      static_cast<unsigned long long>(floor_total.condvar_handoffs),
+      static_cast<unsigned long long>(floor_total.gate_reevals));
+
   // Overlap needs host parallelism: on a single-core host the pipeline can
   // only remove floor convoying, so the speedup target is unreachable there.
-  const unsigned host_cores = std::thread::hardware_concurrency();
+  const unsigned host_cores = bench::HostCores();
   std::printf("host cores: %u%s\n", host_cores,
               host_cores < 2 ? " (single core: no physical overlap possible)" : "");
 
   bench::JsonObj report;
   report.Str("bench", "micro_commit")
       .Bool("quick", quick)
-      .Int("host_cores", host_cores)
       .Raw("rows", bench::JsonArr(rows))
+      .Int("floor_grants", floor_total.floor_grants)
+      .Int("lease_hits", floor_total.lease_hits)
+      .Int("lazy_retains", floor_total.lazy_retains)
+      .Int("lease_revocations", floor_total.lease_revocations)
+      .Int("wakeup_free_handoffs", floor_total.wakeup_free_handoffs)
+      .Int("condvar_handoffs", floor_total.condvar_handoffs)
+      .Int("gate_reevals", floor_total.gate_reevals)
       .Num("best_speedup_4plus_committers_large_footprint", best_speedup_4p, 3)
       .Bool("meets_1p5x_target", best_speedup_4p >= 1.5)
       .Bool("vtimes_identical", vtimes_ok);

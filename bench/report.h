@@ -8,11 +8,13 @@
 // beyond the standard library.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <iomanip>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -20,6 +22,16 @@
 #include "src/util/types.h"
 
 namespace csq::bench {
+
+// Honest host-parallelism reporting: every BENCH_*.json records how many
+// hardware threads the machine that produced it actually had. Wall-clock
+// speedup claims (parallel vs serial) are meaningless on a single-core host —
+// single_core_caveat flags those runs so downstream comparisons (CI's
+// bench_diff gate, PR descriptions) can skip or annotate them instead of
+// reporting a fake regression.
+inline u32 HostCores() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
 // Quotes + escapes a string for JSON. Delegates to util::JsonQuote, which
 // escapes ALL control characters below 0x20 (the old local escaper missed
@@ -85,14 +97,20 @@ inline std::string JsonArr(const std::vector<std::string>& items) {
 }
 
 // Writes the report to BENCH_<name>.json. The path echo goes to stderr so
-// benches whose stdout is a machine-parsed JSON line stay parseable.
-inline bool WriteReport(std::string_view name, const JsonObj& obj) {
+// benches whose stdout is a machine-parsed JSON line stay parseable. Every
+// report is stamped with host_cores / single_core_caveat (by value: the
+// caller's object is not mutated); benches must not add those keys
+// themselves.
+inline bool WriteReport(std::string_view name, JsonObj obj) {
   const std::string path = "BENCH_" + std::string(name) + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "report: cannot open %s for writing\n", path.c_str());
     return false;
   }
+  const u32 cores = HostCores();
+  obj.Int("host_cores", cores);
+  obj.Bool("single_core_caveat", cores < 2);
   const std::string body = obj.Render();
   std::fwrite(body.data(), 1, body.size(), f);
   std::fputc('\n', f);

@@ -43,7 +43,33 @@ void DetClock::FinishThread(u32 tid) {
   if (rr_turn_ == tid) {
     AdvanceRrTurn();
   }
-  eng_.NotifyAll(token_ch_);
+  NotifyTokenWaiters();
+}
+
+void DetClock::NotifyTokenWaiters() {
+  if (cfg_.arbiter != nullptr) {
+    // The arbiter's Pick is stateful (exploration replay): every waiter must
+    // re-poll it on every event, so keep the broadcast.
+    for (u32 u = 0; u < threads_.size(); ++u) {
+      if (threads_[u].waiting_for_token) {
+        eng_.NotifyOne(threads_[u].token_ch);
+      }
+    }
+    return;
+  }
+  if (holder_ != sim::kInvalidThread) {
+    return;  // nobody can take the token until the holder releases
+  }
+  for (u32 u = 0; u < threads_.size(); ++u) {
+    ThreadClock& o = threads_[u];
+    if (o.waiting_for_token && Eligible(u)) {
+      // At most one thread is eligible (unique GMIC minimum / round-robin
+      // turn). If it is mid-wake (awake but not yet re-parked) the channel is
+      // empty and NotifyOne is a no-op — it re-checks eligibility itself.
+      eng_.NotifyOne(o.token_ch);
+      return;
+    }
+  }
 }
 
 void DetClock::AdvanceWork(u32 tid, u64 n) {
@@ -86,7 +112,7 @@ void DetClock::ForceAdvance(u32 tid, u64 n) {
   tc.count += n;
   tc.published = tc.count;
   tc.next_overflow = tc.count + tc.overflow_period;
-  eng_.NotifyAll(token_ch_);
+  NotifyTokenWaiters();
 }
 
 void DetClock::Pause(u32 tid) {
@@ -135,9 +161,7 @@ void DetClock::Publish(u32 tid, bool interrupt) {
     ++stats_.overflows;
   }
   tc.published = tc.count;
-  if (!token_ch_.Empty()) {
-    eng_.NotifyAll(token_ch_);
-  }
+  NotifyTokenWaiters();
 }
 
 void DetClock::AdaptOverflow(u32 tid) {
@@ -217,11 +241,11 @@ void DetClock::WaitToken(u32 tid) {
   CSQ_CHECK_MSG(tc.participating, "WaitToken by a departed thread");
   eng_.GateShared();
   tc.published = tc.count;  // arriving at a sync op publishes the exact count
-  eng_.NotifyAll(token_ch_);  // a higher published count can make others GMIC
+  NotifyTokenWaiters();     // a higher published count can make others GMIC
   tc.waiting_for_token = true;
   while (holder_ != sim::kInvalidThread ||
          (cfg_.arbiter ? !ArbiterGrants(tid) : !Eligible(tid))) {
-    eng_.Wait(token_ch_, TimeCat::kDetermWait);
+    eng_.Wait(tc.token_ch, TimeCat::kDetermWait);
     eng_.GateShared();
   }
   tc.waiting_for_token = false;
@@ -251,7 +275,7 @@ void DetClock::ReleaseToken(u32 tid) {
   if (cfg_.on_release) {
     cfg_.on_release(tid, last_release_count_, grant_seq_);
   }
-  eng_.NotifyAll(token_ch_);
+  NotifyTokenWaiters();
 }
 
 void DetClock::Depart(u32 tid) {
@@ -263,7 +287,7 @@ void DetClock::Depart(u32 tid) {
   if (rr_turn_ == tid) {
     AdvanceRrTurn();
   }
-  eng_.NotifyAll(token_ch_);
+  NotifyTokenWaiters();
 }
 
 void DetClock::ArriveAt(u32 tid, u64 ff_count) {

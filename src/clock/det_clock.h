@@ -169,11 +169,21 @@ class DetClock {
     u64 published = 0;
     u64 next_overflow = 0;
     u64 overflow_period = 5000;
+    // Per-thread token wait channel (wakeup-free handoff, DESIGN.md §14):
+    // eligibility events wake exactly the unique next-eligible waiter instead
+    // of broadcasting to every parked thread.
+    sim::WaitChannel token_ch{{}, "clock.token"};
   };
 
   bool Eligible(u32 tid) const;
   bool ArbiterGrants(u32 tid);
   bool IsGmicByPublished(u32 tid) const;
+  // Wakes the unique waiter that can now take the token, if any (gate-held).
+  // Both deterministic policies have at most one eligible thread — the GMIC
+  // (published, tid) minimum or the round-robin turn — so every other parked
+  // thread would only wake to re-park. Arbiter runs still broadcast: Pick is
+  // stateful and every arrival must re-poll it.
+  void NotifyTokenWaiters();
   void Publish(u32 tid, bool interrupt);
   void AdaptOverflow(u32 tid);
   void AdvanceRrTurn();
@@ -190,7 +200,6 @@ class DetClock {
   u32 rr_turn_ = sim::kInvalidThread;
   u64 last_release_count_ = 0;
   u64 grant_seq_ = 0;
-  sim::WaitChannel token_ch_{{}, "clock.token"};
   ClockStats stats_;
 };
 

@@ -80,7 +80,7 @@ u64 Segment::LatestVersionOf(u32 page) const {
 }
 
 PreparedCommit Segment::PrepareCommit(u32 tid, std::vector<u32> pages) {
-  eng_.GateShared();
+  eng_.GateShared(cfg_.floor_domain);
   PreparedCommit pc;
   pc.version = ++next_reserved_version_;
   pc.tid = tid;
@@ -124,10 +124,10 @@ void Segment::FinishCommit(const PreparedCommit& pc, const CommitOps& ops) {
     for (usize i = 0; i < pc.pages.size(); ++i) {
       const u32 page = pc.pages[i];
       const u64 prev = pc.prev_versions[i];
-      eng_.GateShared();
+      eng_.GateShared(cfg_.floor_domain);
       while (LatestVersionOf(page) != prev) {
         eng_.Wait(install_order_, sim::TimeCat::kCommit);
-        eng_.GateShared();
+        eng_.GateShared(cfg_.floor_domain);
       }
       ops.charge(page, prev);
       auto buf = ops.resolve(page, Fetch(page, prev), prev);
@@ -135,7 +135,7 @@ void Segment::FinishCommit(const PreparedCommit& pc, const CommitOps& ops) {
       eng_.NotifyAll(install_order_);
     }
     // Mark this version complete and advance the contiguous-prefix watermark.
-    eng_.GateShared();
+    eng_.GateShared(cfg_.floor_domain);
     installed_ahead_.insert(pc.version);
     while (!installed_ahead_.empty() && *installed_ahead_.begin() == installed_upto_ + 1) {
       ++installed_upto_;
@@ -180,10 +180,10 @@ void Segment::FinishCommit(const PreparedCommit& pc, const CommitOps& ops) {
   for (usize i = 0; i < pc.pages.size(); ++i) {
     const u32 page = pc.pages[i];
     const u64 prev = pc.prev_versions[i];
-    eng_.GateShared();
+    eng_.GateShared(cfg_.floor_domain);
     while (LatestVersionOf(page) != prev) {
       eng_.Wait(install_order_, sim::TimeCat::kCommit);
-      eng_.GateShared();
+      eng_.GateShared(cfg_.floor_domain);
     }
     ops.charge(page, prev);
     InstallRev(page, pc.version, nullptr);
@@ -199,7 +199,7 @@ void Segment::FinishCommit(const PreparedCommit& pc, const CommitOps& ops) {
   // with every other floor holder. The closing gate performs no engine
   // mutation beyond the reference path's own closing block, and FinishCommit
   // keeps its returns-floor-held contract.
-  eng_.GateShared();
+  eng_.GateShared(cfg_.floor_domain);
   installed_ahead_.insert(pc.version);
   while (!installed_ahead_.empty() && *installed_ahead_.begin() == installed_upto_ + 1) {
     ++installed_upto_;
@@ -288,10 +288,10 @@ const std::vector<u32>& Segment::PagesOfVersion(u64 version) const {
 }
 
 void Segment::WaitInstalled(u64 version) {
-  eng_.GateShared();
+  eng_.GateShared(cfg_.floor_domain);
   while (installed_upto_ < version) {
     eng_.Wait(install_order_, sim::TimeCat::kCommit);
-    eng_.GateShared();
+    eng_.GateShared(cfg_.floor_domain);
   }
 }
 
@@ -306,7 +306,7 @@ usize Segment::Gc(u32 nthreads_for_amortization) {
   if (cfg_.gc_budget_per_call == 0 && !cfg_.multithreaded_gc) {
     return 0;
   }
-  eng_.GateShared();
+  eng_.GateShared(cfg_.floor_domain);
   const bool offfloor = OffFloorActive();
   if (offfloor) {
     // A previous caller's deferred erase may still be running; the decision
@@ -401,7 +401,7 @@ usize Segment::Gc(u32 nthreads_for_amortization) {
   // Notify before re-gating: a floor-held WaitGcQuiesced() caller would
   // otherwise hold the floor we are about to wait for.
   gc_cv_.notify_all();
-  eng_.GateShared();
+  eng_.GateShared(cfg_.floor_domain);
   return reclaimed;
 }
 

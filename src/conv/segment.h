@@ -69,6 +69,13 @@ struct SegmentConfig {
   // off the floor. Simulated results are bit-identical either way; the flag
   // only moves host work off the critical path. No effect on the serial engine.
   bool offfloor_commit = true;
+  // Floor domain that orders this segment's shared operations (DESIGN.md
+  // §14). Default 0 = the engine's global domain. A multi-segment setup may
+  // give each segment its own Engine::CreateFloorDomain id so threads
+  // touching disjoint segments hold disjoint floors concurrently; the
+  // lexicographic (vtime, domain, tid) rule merges the per-domain commit
+  // streams back into the single deterministic total order.
+  u32 floor_domain = sim::kGlobalFloorDomain;
   // TEST ONLY — deliberately breaks cross-run determinism so the TSO trace
   // oracle's divergence reporting can be exercised: when set, a multi-page
   // commit prepared at an odd virtual time reverses its page install order.
@@ -135,6 +142,8 @@ class Segment {
 
   sim::Engine& Eng() { return eng_; }
   const SegmentConfig& Config() const { return cfg_; }
+  // The floor domain all of this segment's shared ops gate on.
+  u32 FloorDomain() const { return cfg_.floor_domain; }
   u32 PageSize() const { return cfg_.page_size; }
   u32 PageCount() const { return page_count_; }
   usize SizeBytes() const { return cfg_.size_bytes; }

@@ -235,7 +235,7 @@ u64 Workspace::Commit() {
 }
 
 u64 Workspace::Update() {
-  eng_.GateShared();
+  eng_.GateShared(seg_.FloorDomain());
   return UpdateTo(seg_.ReservedVersion());
 }
 

@@ -95,4 +95,20 @@ void PrintRaceReport(std::ostream& os, const rt::RunResult& r) {
   os << ")\n";
 }
 
+void PrintFloorStats(std::ostream& os, const rt::RunResult& r) {
+  const sim::EngineFloorStats& f = r.floor;
+  if (f.floor_grants == 0 && f.lease_hits == 0 && f.gate_reevals == 0) {
+    os << "floor: serial engine (no handoff machinery engaged)\n";
+    return;
+  }
+  os << "floor: " << f.floor_grants << " grants, " << f.lease_hits << " lease hits, "
+     << f.lazy_retains << " lazy retains, " << f.lease_revocations << " revocations, "
+     << f.wakeup_free_handoffs << " wakeup-free + " << f.condvar_handoffs
+     << " condvar handoffs, " << f.gate_reevals << " re-evals\n";
+  for (const sim::EngineDomainFloorStat& d : r.domain_floors) {
+    os << "  domain '" << d.label << "': " << d.grants << " grants, floor held "
+       << (static_cast<double>(d.floor_held_ns) / 1e6) << " ms\n";
+  }
+}
+
 }  // namespace csq::harness

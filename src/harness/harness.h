@@ -52,4 +52,9 @@ double GeoMean(const std::vector<double>& xs);
 // totals. Prints a one-line "analyzer disabled / no races" note when empty.
 void PrintRaceReport(std::ostream& os, const rt::RunResult& r);
 
+// Renders a run's floor-handoff statistics (DESIGN.md §14): grant/lease/
+// handoff counters plus per-domain floor occupancy. Prints a one-line note
+// for serial-engine runs (all counters zero there).
+void PrintFloorStats(std::ostream& os, const rt::RunResult& r);
+
 }  // namespace csq::harness

@@ -181,6 +181,13 @@ struct RuntimeConfig {
   // so it has no isolated local segments to parallelize.
   u32 host_workers = 1;
 
+  // Batched floor grants (DESIGN.md §14): on the host-parallel engine, grant
+  // the shared-op floor with a lease up to the next competitor's key so runs
+  // of same-thread shared ops skip re-arbitration. A pure host-scheduling
+  // optimization — results are bit-identical on/off (the equivalence suite
+  // toggles it); off mainly for A/B measurement.
+  bool floor_lease = true;
+
   // Clock knobs (policy is forced per backend; overflow knobs apply to
   // Consequence only).
   bool adaptive_overflow = true;
@@ -252,6 +259,13 @@ struct RunResult {
   u64 floor_held_commit_ns = 0;      // commit protocol wall time under the floor
   u64 offfloor_commit_ns = 0;        // commit byte work overlapped off the floor
   u64 offfloor_pages_installed = 0;  // pages published via the off-floor path
+
+  // Floor-handoff observability (DESIGN.md §14): grant/lease/handoff counters
+  // and per-domain floor occupancy. Host-engine scheduling facts (all zero on
+  // the serial engine), excluded from determinism and engine-equivalence
+  // comparisons like host_wall_ns.
+  sim::EngineFloorStats floor;
+  std::vector<sim::EngineDomainFloorStat> domain_floors;
 
   u64 pages_propagated = 0;  // TSO inter-thread page propagation (Fig 16)
   u64 commits = 0;

@@ -125,6 +125,7 @@ struct State {
     sim::SimConfig sc;
     sc.costs = c.costs;
     sc.host_workers = c.host_workers;
+    sc.floor_lease = c.floor_lease;
     return sc;
   }
 
@@ -1041,6 +1042,8 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
   res.floor_held_commit_ns = st.seg.Stats().floor_held_commit_ns;
   res.offfloor_commit_ns = st.seg.Stats().offfloor_commit_ns;
   res.offfloor_pages_installed = st.seg.Stats().offfloor_pages_installed;
+  res.floor = st.eng.FloorStats();
+  res.domain_floors = st.eng.DomainFloorStats();
   res.token_acquires = st.clock.Stats().token_acquires;
   res.fast_forwards = st.clock.Stats().fast_forwards;
   res.overflows = st.clock.Stats().overflows;

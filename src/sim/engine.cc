@@ -1,6 +1,7 @@
 #include "src/sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <string>
 
@@ -27,6 +28,12 @@ const char* StateName(SimThreadState s) {
   return "?";
 }
 
+u64 MonotonicNowNs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
 }  // namespace
 
 Engine::Engine(SimConfig cfg) : cfg_(cfg) {
@@ -38,6 +45,9 @@ Engine::Engine(SimConfig cfg) : cfg_(cfg) {
   threaded_ = cfg_.host_workers > 1 || cfg_.force_threaded;
 #endif
   free_slots_ = std::max<u32>(1, cfg_.host_workers);
+  domains_.push_back(FloorDomain{});
+  lease_on_ = threaded_ && cfg_.floor_lease;
+  spin_handoff_ = threaded_ && std::thread::hardware_concurrency() > 1;
 }
 
 Engine::~Engine() {
@@ -65,6 +75,30 @@ Engine::SimThread* Engine::CurPtr() const {
 }
 
 // ---------------------------------------------------------------------------
+// Floor domains
+// ---------------------------------------------------------------------------
+
+u32 Engine::CreateFloorDomain(const char* label) {
+  CSQ_CHECK_MSG(!running_, "floor domains must be created before Run()");
+  CSQ_CHECK_MSG(domains_.size() < kMaxFloorDomains,
+                "at most " << kMaxFloorDomains << " floor domains (u64 affinity mask)");
+  FloorDomain d;
+  d.label = label != nullptr ? label : "domain";
+  domains_.push_back(d);
+  // The batched-grant lease is sound only with a single domain: a domain-e
+  // holder's wakeups could otherwise admit competitors below a domain-d
+  // lease bound with nobody positioned to revoke it (DESIGN.md §14).
+  lease_on_ = threaded_ && cfg_.floor_lease && domains_.size() == 1;
+  return static_cast<u32>(domains_.size() - 1);
+}
+
+void Engine::SetDomainAffinity(ThreadId t, u64 mask) {
+  CSQ_CHECK_MSG(mask != 0, "a thread needs at least one floor domain");
+  CSQ_CHECK_MSG(!running_, "domain affinity must be set before Run()");
+  threads_[t]->domain_affinity = mask;
+}
+
+// ---------------------------------------------------------------------------
 // Spawn
 // ---------------------------------------------------------------------------
 
@@ -74,12 +108,18 @@ ThreadId Engine::Spawn(std::function<void()> fn) {
     auto t = std::make_unique<SimThread>();
     t->id = static_cast<ThreadId>(threads_.size());
     t->state = SimThreadState::kRunnable;
-    const SimThread* cur = CurPtr();
+    SimThread* cur = CurPtr();
     t->vtime.store(cur != nullptr ? cur->vtime.load(std::memory_order_relaxed) : 0,
                    std::memory_order_relaxed);
     t->jitter.Seed(cfg_.costs.jitter_seed * 0x9e3779b97f4a7c15ULL + t->id + 1);
     t->fn = std::move(fn);
     SimThread* raw = threads_.EmplaceBack(std::move(t)).get();
+    // The child is a new competitor at our own vtime (its id is larger, so
+    // its key is ours + the tie-break): a live lease must not outlast it.
+    if (lease_on_ && cur != nullptr && cur->has_floor.load(std::memory_order_relaxed)) {
+      cur->lease_until =
+          std::min(cur->lease_until, raw->vtime.load(std::memory_order_relaxed) + 1);
+    }
     LaunchHostThread(raw);
     return raw->id;
   }
@@ -121,11 +161,14 @@ std::string Engine::BuildDeadlockReport() const {
                                                                   : "<unnamed channel>")
           << " wait_cat=" << TimeCatName(t.wait_cat);
     }
-    if (t.want_gate) {
-      oss << " (waiting for shared-state gate)";
+    if (t.want_dom != kInvalidFloorDomain) {
+      oss << " (waiting for floor of domain " << t.want_dom << " '"
+          << domains_[t.want_dom].label << "')";
     }
-    if (t.has_floor) {
-      oss << " (holds shared-state gate)";
+    if (t.has_floor.load(std::memory_order_relaxed) && t.floor_dom != kInvalidFloorDomain) {
+      oss << " (holds floor of domain " << t.floor_dom << " '" << domains_[t.floor_dom].label
+          << "'" << (t.lazy_floor.load(std::memory_order_relaxed) ? ", lazily retained" : "")
+          << ")";
     }
   }
   return oss.str();
@@ -273,7 +316,7 @@ void Engine::HostThreadBody(SimThread* t) {
   tls_eng = nullptr;
   tls_thread = nullptr;
   std::lock_guard<std::mutex> lk(pmu_);
-  if (t->has_floor) {
+  if (t->has_floor.load(std::memory_order_relaxed)) {
     ReleaseFloorLocked(*t);
   } else {
     ReleaseSlotLocked();
@@ -295,9 +338,16 @@ void Engine::ReleaseSlotLocked() {
 }
 
 void Engine::ReleaseFloorLocked(SimThread& t) {
-  CSQ_DCHECK(t.has_floor && floor_held_);
-  t.has_floor = false;
-  floor_held_ = false;
+  CSQ_DCHECK(t.has_floor.load(std::memory_order_relaxed) && t.floor_dom < domains_.size());
+  FloorDomain& dom = domains_[t.floor_dom];
+  CSQ_DCHECK(dom.held && dom.holder == t.id);
+  t.has_floor.store(false, std::memory_order_relaxed);
+  t.lazy_floor.store(false, std::memory_order_relaxed);
+  t.lease_until = 0;
+  t.floor_dom = kInvalidFloorDomain;
+  dom.held = false;
+  dom.holder = kInvalidThread;
+  dom.held_ns += MonotonicNowNs() - dom.held_since_ns;
 }
 
 void Engine::ParkEpilogueLocked() {
@@ -316,23 +366,81 @@ void Engine::ParkEpilogueLocked() {
   run_cv_.notify_all();
 }
 
-void Engine::ReEvalGrantsLocked() {
-  if (floor_held_) {
-    return;  // release/park re-evaluates
+void Engine::ArmTriggerLocked(SimThread& u, u64 trigger) {
+  // MIN, not overwrite: with several domains, multiple grant evaluations may
+  // block on the same thread and the earliest boundary must win. A stale low
+  // trigger self-heals: GateTriggerSlow resets to kNoTrigger and re-arms.
+  if (trigger < u.gate_trigger.load(std::memory_order_relaxed)) {
+    u.gate_trigger.store(trigger, std::memory_order_relaxed);
   }
-  // The grant rule mirrors the serial scheduler exactly: the floor goes to the
-  // minimum-(vtime, tid) gate-waiter W, but only once no other active thread
-  // could still reach a shared operation at a smaller key. An active thread U
-  // mid-local-segment blocks W while key(U) < key(W); its clock only grows, so
-  // we arm a gate trigger that fires the moment U's own AdvanceRaw crosses the
-  // boundary. Relaxed vtime reads are stale-low at worst, which delays (never
-  // reorders) a grant; U's own trigger/park path re-evaluates with its exact
-  // clock.
+}
+
+void Engine::GrantFloorLocked(u32 d, SimThread& w, u64 lease) {
+  FloorDomain& dom = domains_[d];
+  CSQ_DCHECK(!dom.held && w.want_dom == d);
+  w.want_dom = kInvalidFloorDomain;
+  CSQ_DCHECK(dom.waiters > 0);
+  --dom.waiters;
+  gate_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  w.floor_dom = d;
+  w.lease_until = lease_on_ ? lease : 0;
+  w.lazy_floor.store(false, std::memory_order_relaxed);
+  w.state = SimThreadState::kRunning;
+  dom.held = true;
+  dom.holder = w.id;
+  ++dom.grants;
+  dom.held_since_ns = MonotonicNowNs();
+  ++fstats_.floor_grants;
+  w.has_floor.store(true, std::memory_order_release);
+  // Wakeup-free handoff: a waiter inside its spin window (or the granter
+  // itself, on a synchronous grant) observes the has_floor store directly;
+  // only a waiter that already parked on its condvar needs a notify.
+  if (w.gate_parked) {
+    ++fstats_.condvar_handoffs;
+    w.cv.notify_one();
+  } else {
+    ++fstats_.wakeup_free_handoffs;
+  }
+}
+
+void Engine::ReEvalGrantsLocked() {
+  ++fstats_.gate_reevals;
+  for (u32 d = 0; d < domains_.size(); ++d) {
+    ReEvalDomainLocked(d);
+  }
+}
+
+void Engine::ReEvalDomainLocked(u32 d) {
+  FloorDomain& dom = domains_[d];
+  if (dom.waiters == 0) {
+    return;
+  }
+  if (dom.held) {
+    // A lazily retained floor (EndShared under a live lease) starves the
+    // domain's waiters without the holder being in a shared section. Revoke
+    // by arming a zero trigger: the holder's own next AdvanceRaw releases
+    // and re-arbitrates. Owner-only revocation keeps the handoff race-free —
+    // the floor is never yanked out from under a thread mid-shared-op.
+    SimThread& h = *threads_[dom.holder];
+    if (h.lazy_floor.load(std::memory_order_seq_cst)) {
+      ArmTriggerLocked(h, 0);
+    }
+    return;
+  }
+  // The grant rule mirrors the serial scheduler exactly, restricted to the
+  // domain: the floor goes to the minimum-(vtime, tid) gate-waiter W of d,
+  // but only once no other active thread with affinity to d could still
+  // reach one of d's shared operations at a smaller key. An active thread U
+  // mid-local-segment blocks W while key(U) < key(W); its clock only grows,
+  // so we arm a gate trigger that fires the moment U's own AdvanceRaw
+  // crosses the boundary. Relaxed vtime reads are stale-low at worst, which
+  // delays (never reorders) a grant; U's own trigger/park path re-evaluates
+  // with its exact clock.
   SimThread* w = nullptr;
   u64 wv = 0;
   for (usize i = 0; i < threads_.size(); ++i) {
     SimThread& u = *threads_[i];
-    if (!u.want_gate) {
+    if (u.want_dom != d) {
       continue;
     }
     const u64 uv = u.vtime.load(std::memory_order_relaxed);
@@ -345,30 +453,49 @@ void Engine::ReEvalGrantsLocked() {
     return;
   }
   bool blocked = false;
+  u64 lease = kNoTrigger;
   for (usize i = 0; i < threads_.size(); ++i) {
     SimThread& u = *threads_[i];
-    if (&u == w || u.want_gate || u.state == SimThreadState::kBlocked ||
-        u.state == SimThreadState::kFinished) {
+    if (&u == w || u.state == SimThreadState::kBlocked || u.state == SimThreadState::kFinished ||
+        (u.domain_affinity & (1ULL << d)) == 0) {
+      continue;
+    }
+    const u64 uv = u.vtime.load(std::memory_order_relaxed);
+    if (u.want_dom == d) {
+      // A losing same-domain waiter is frozen at its key: it cannot overtake
+      // the grant, but it bounds the winner's lease.
+      lease = std::min(lease, uv + (u.id > w->id ? 1 : 0));
       continue;
     }
     const u64 trigger = wv + (u.id < w->id ? 1 : 0);
-    const u64 uv = u.vtime.load(std::memory_order_relaxed);
     if (uv < trigger) {
       blocked = true;
-      u.gate_trigger.store(trigger, std::memory_order_relaxed);
+      ArmTriggerLocked(u, trigger);
+    } else {
+      // U's key already exceeds W's and can only grow: it bounds the lease.
+      lease = std::min(lease, uv + (u.id > w->id ? 1 : 0));
     }
   }
   if (!blocked) {
-    w->want_gate = false;
-    w->has_floor.store(true, std::memory_order_release);
-    floor_held_ = true;
-    w->cv.notify_all();
+    GrantFloorLocked(d, *w, lease);
   }
 }
 
 void Engine::GateTriggerSlow(SimThread& t) {
-  std::lock_guard<std::mutex> lk(pmu_);
+  std::unique_lock<std::mutex> lk(pmu_);
   t.gate_trigger.store(kNoTrigger, std::memory_order_relaxed);
+  if (t.has_floor.load(std::memory_order_relaxed) &&
+      t.lazy_floor.load(std::memory_order_relaxed)) {
+    // Lazy-floor revocation (owner side): a waiter armed our zero trigger
+    // while we held the floor across EndShared. We are mid-local-segment
+    // (lazy_floor is cleared before every shared section), so releasing here
+    // never interrupts a shared op. Trade the floor back for a plain slot.
+    ReleaseFloorLocked(t);
+    ++fstats_.lease_revocations;
+    ReEvalGrantsLocked();
+    AcquireSlotLocked(lk, t);
+    return;
+  }
   ReEvalGrantsLocked();
 }
 
@@ -376,24 +503,37 @@ void Engine::GateTriggerSlow(SimThread& t) {
 // Gate / EndShared
 // ---------------------------------------------------------------------------
 
-void Engine::GateShared() {
+void Engine::GateSharedSlow(u32 domain) {
   SimThread& t = Cur();
   if (!threaded_) {
+    // Serial reference: one scheduler already orders all domains; GateShared
+    // on any domain is the global minimality wait (DESIGN.md §14's merge
+    // rule makes sharding a pure parallelism change, never an ordering one).
     while (!IsMinRunnable(t.id)) {
       YieldRunnable();
     }
     return;
   }
+  CSQ_DCHECK(domain < domains_.size());
+  CSQ_DCHECK((t.domain_affinity & (1ULL << domain)) != 0);
   std::unique_lock<std::mutex> lk(pmu_);
-  if (t.has_floor) {
+  if (t.has_floor.load(std::memory_order_relaxed)) {
+    CSQ_CHECK_MSG(t.floor_dom == domain,
+                  "thread " << t.id << " holds the domain-" << t.floor_dom
+                            << " floor while gating on domain " << domain
+                            << " (nested cross-domain shared sections are unsupported)");
+    t.lazy_floor.store(false, std::memory_order_relaxed);
     // Consecutive shared operations: keep the floor while still the minimum
-    // active thread (what the serial gate re-check does).
+    // active thread of the domain (what the serial gate re-check does), and
+    // renew the lease up to the next competitor's key.
     const u64 mv = t.vtime.load(std::memory_order_relaxed);
     bool still_min = true;
+    u64 lease = kNoTrigger;
     for (usize i = 0; i < threads_.size(); ++i) {
       const SimThread& u = *threads_[i];
       if (u.id == t.id || u.state == SimThreadState::kBlocked ||
-          u.state == SimThreadState::kFinished) {
+          u.state == SimThreadState::kFinished ||
+          (u.domain_affinity & (1ULL << domain)) == 0) {
         continue;
       }
       const u64 uv = u.vtime.load(std::memory_order_relaxed);
@@ -401,28 +541,48 @@ void Engine::GateShared() {
         still_min = false;
         break;
       }
+      lease = std::min(lease, uv + (u.id > t.id ? 1 : 0));
     }
     if (still_min) {
+      t.lease_until = lease_on_ ? lease : 0;
       return;
     }
     ReleaseFloorLocked(t);
   } else {
     ReleaseSlotLocked();
   }
-  t.want_gate = true;
+  t.want_dom = domain;
+  ++domains_[domain].waiters;
+  gate_waiters_.fetch_add(1, std::memory_order_seq_cst);
   t.state = SimThreadState::kRunnable;
   ReEvalGrantsLocked();
-  t.cv.wait(lk, [&] { return t.has_floor.load(std::memory_order_relaxed); });
-  t.state = SimThreadState::kRunning;
+  if (t.has_floor.load(std::memory_order_relaxed)) {
+    return;  // granted synchronously; the granter restored our state
+  }
+  lk.unlock();
+  if (spin_handoff_) {
+    // Wakeup-free handoff, waiter side: poll the grant flag briefly before
+    // paying the condvar round-trip. The granter publishes everything we
+    // need before the release-store of has_floor.
+    for (int spin = 0; spin < kHandoffSpins; ++spin) {
+      if (t.has_floor.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+  lk.lock();
+  if (!t.has_floor.load(std::memory_order_relaxed)) {
+    t.gate_parked = true;
+    t.cv.wait(lk, [&] { return t.has_floor.load(std::memory_order_relaxed); });
+    t.gate_parked = false;
+  }
 }
 
-void Engine::EndShared() {
-  if (!threaded_) {
-    return;
-  }
+void Engine::EndSharedSlow() {
   SimThread& t = Cur();
   std::unique_lock<std::mutex> lk(pmu_);
-  if (!t.has_floor) {
+  if (!t.has_floor.load(std::memory_order_relaxed)) {
     return;
   }
   ReleaseFloorLocked(t);
@@ -439,7 +599,7 @@ bool Engine::BeginHostWait() {
     return false;  // outside the simulation (bench setup code)
   }
   std::lock_guard<std::mutex> lk(pmu_);
-  if (t->has_floor) {
+  if (t->has_floor.load(std::memory_order_relaxed)) {
     return false;
   }
   ReleaseSlotLocked();
@@ -471,7 +631,7 @@ u64 Engine::Wait(WaitChannel& ch, TimeCat cat) {
     return t.vtime.load(std::memory_order_relaxed);
   }
   std::unique_lock<std::mutex> lk(pmu_);
-  if (t.has_floor) {
+  if (t.has_floor.load(std::memory_order_relaxed)) {
     ReleaseFloorLocked(t);
   } else {
     ReleaseSlotLocked();
@@ -528,7 +688,15 @@ usize Engine::NotifyOneLocked(WaitChannel& ch) {
   t.wait_ch = nullptr;
   t.state = SimThreadState::kRunnable;  // active again; runs once it has a slot
   t.woken = true;
-  t.cv.notify_all();
+  t.cv.notify_one();
+  // The woken thread re-enters competition at wake_vt: if we hold a lease,
+  // it must not extend past the new competitor's key.
+  if (lease_on_) {
+    SimThread* me = CurPtr();
+    if (me != nullptr && me->has_floor.load(std::memory_order_relaxed)) {
+      me->lease_until = std::min(me->lease_until, wake_vt + (t.id > me->id ? 1 : 0));
+    }
+  }
   return 1;
 }
 
@@ -566,6 +734,28 @@ u64 Engine::CompletionVtime() const {
     max_vt = std::max(max_vt, threads_[i]->finish_vtime);
   }
   return max_vt;
+}
+
+EngineFloorStats Engine::FloorStats() const {
+  EngineFloorStats s = fstats_;
+  for (usize i = 0; i < threads_.size(); ++i) {
+    s.lease_hits += threads_[i]->lease_hits;
+    s.lazy_retains += threads_[i]->lazy_retains;
+  }
+  return s;
+}
+
+std::vector<EngineDomainFloorStat> Engine::DomainFloorStats() const {
+  std::vector<EngineDomainFloorStat> out;
+  out.reserve(domains_.size());
+  for (const FloorDomain& d : domains_) {
+    EngineDomainFloorStat s;
+    s.label = d.label;
+    s.grants = d.grants;
+    s.floor_held_ns = d.held_ns;
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace csq::sim

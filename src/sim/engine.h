@@ -28,12 +28,26 @@
 //   * host-parallel (host_workers > 1): each simulated thread is a dedicated
 //     host thread; local segments (everything between shared operations) run
 //     concurrently, bounded by a pool of `host_workers` execution slots, while
-//     a single "floor" — the exclusive right to execute shared operations — is
-//     granted in exactly the serial engine's (vtime, tid) order. This is
-//     classic conservative PDES: isolation makes local segments commute, so
-//     only shared operations need ordering, and the results (checksums, trace
-//     digests, commit orders, per-category virtual times) are bit-identical to
-//     the serial engine.
+//     "floors" — the exclusive right to execute shared operations, one per
+//     floor *domain* — are granted in exactly the serial engine's (vtime, tid)
+//     order. This is classic conservative PDES: isolation makes local segments
+//     commute, so only shared operations need ordering, and the results
+//     (checksums, trace digests, commit orders, per-category virtual times)
+//     are bit-identical to the serial engine.
+//
+// Three mechanisms keep the floor off the critical path (DESIGN.md §14):
+//
+//   * batched grants — a floor grant carries a *lease* up to the next
+//     competitor's key, so consecutive shared ops of the same thread skip
+//     re-arbitration entirely while the lease is live;
+//   * sharded floor domains — layers may partition shared ops into
+//     independently ordered domains (one per segment); threads touching
+//     disjoint domains hold disjoint floors concurrently, and the
+//     lexicographic (vtime, domain, tid) merge rule reconstructs the single
+//     deterministic total order;
+//   * wakeup-free handoff — grants land in a briefly spinning waiter through
+//     an atomic flag, skipping the condvar round-trip, and wake notifications
+//     are targeted per-thread instead of broadcast.
 //
 // Under ThreadSanitizer the engine always uses the threaded substrate (TSan
 // cannot follow ucontext stack switches); with host_workers == 1 that is a
@@ -73,6 +87,14 @@ namespace csq::sim {
 using ThreadId = u32;
 inline constexpr ThreadId kInvalidThread = 0xffffffffu;
 
+// Floor domains (DESIGN.md §14). Domain 0 always exists and is the global
+// default; layers carve out additional domains with Engine::CreateFloorDomain
+// and scope threads with SetDomainAffinity. Affinity is a u64 bitmask, hence
+// the domain-count cap.
+inline constexpr u32 kGlobalFloorDomain = 0;
+inline constexpr u32 kInvalidFloorDomain = 0xffffffffu;
+inline constexpr u32 kMaxFloorDomains = 64;
+
 // A deterministic FIFO wait queue. Engine::Wait enqueues the calling thread;
 // Engine::NotifyOne/NotifyAll dequeue and wake. The label names the channel in
 // deadlock reports.
@@ -92,6 +114,14 @@ struct SimConfig {
   u32 host_workers = 1;
   // Tests only: use the threaded substrate even at host_workers == 1.
   bool force_threaded = false;
+  // Batched floor grants (DESIGN.md §14): grant the floor together with a
+  // lease up to the next competitor's key so a run of same-thread shared ops
+  // amortizes one grant arbitration instead of re-arbitrating per op. A pure
+  // host-scheduling optimization — simulated results are bit-identical with
+  // the lease on or off (the equivalence suite toggles it). Active only on
+  // the threaded substrate with a single floor domain: a multi-domain lease
+  // would race against cross-domain wakeups, so sharding disables it.
+  bool floor_lease = true;
 };
 
 enum class SimThreadState : u8 {
@@ -99,6 +129,26 @@ enum class SimThreadState : u8 {
   kRunning,
   kBlocked,
   kFinished,
+};
+
+// Floor-handoff observability (DESIGN.md §14). All counters are host-engine
+// scheduling facts — 0 on the serial substrate — and are excluded from
+// determinism and engine-equivalence comparisons, like host_wall_ns.
+struct EngineFloorStats {
+  u64 floor_grants = 0;        // grants issued by ReEvalGrants arbitration
+  u64 lease_hits = 0;          // GateShared satisfied by a live lease (no lock)
+  u64 lazy_retains = 0;        // EndShared kept the floor under a live lease
+  u64 lease_revocations = 0;   // lazily retained floors reclaimed by a waiter
+  u64 wakeup_free_handoffs = 0;  // grants landing without a condvar wakeup
+  u64 condvar_handoffs = 0;      // grants that had to notify a parked waiter
+  u64 gate_reevals = 0;          // grant re-evaluation passes
+};
+
+// Per-domain floor occupancy, labelled for the harness table.
+struct EngineDomainFloorStat {
+  std::string label;
+  u64 grants = 0;
+  u64 floor_held_ns = 0;  // host wall time this domain's floor was held
 };
 
 class Engine {
@@ -120,6 +170,22 @@ class Engine {
   // deadlock (all remaining threads blocked), dumping every non-finished
   // thread with its state, vtime and the channel it is parked on.
   void Run();
+
+  // ---- Floor domains (DESIGN.md §14) ---------------------------------------
+
+  // Creates a new floor domain (before Run()). Returns its id, usable as the
+  // argument of GateShared. On the serial substrate domains are a pure
+  // annotation — one scheduler already orders everything — but ids are still
+  // allocated so layer code is substrate-agnostic.
+  u32 CreateFloorDomain(const char* label);
+
+  // Restricts thread `t` to the given domain bitmask (bit d = may gate on
+  // domain d). Defaults to all domains. A thread must never GateShared on a
+  // domain outside its mask: the mask is what lets the grant rule ignore it
+  // as a blocker for foreign domains. Call before Run().
+  void SetDomainAffinity(ThreadId t, u64 mask);
+
+  u32 FloorDomainCount() const { return static_cast<u32>(domains_.size()); }
 
   // ---- In-thread API -------------------------------------------------------
 
@@ -157,19 +223,59 @@ class Engine {
   }
 
   // Blocks until the current thread is the minimum-(vtime, tid) active thread
-  // and acquires the exclusive right to touch shared simulation state. All
-  // shared-state operations (in the engine and in the layers above) must be
-  // performed under this gate. The right is held across consecutive
-  // GateShared() calls (each re-checks minimality) and released by
-  // EndShared() or by any park (Wait / thread exit).
-  void GateShared();
+  // of `domain` and acquires the exclusive right to touch that domain's
+  // shared simulation state. All shared-state operations (in the engine and
+  // in the layers above) must be performed under this gate, on the domain
+  // that owns the state (engine-internal state — wait channels, Trace —
+  // belongs to domain 0). The right is held across consecutive GateShared()
+  // calls (each re-checks minimality) and released by EndShared() or by any
+  // park (Wait / thread exit).
+  //
+  // Batched-grant fast path: while the floor lease is live (this thread's
+  // vtime is below the next competitor's key at grant time), minimality
+  // cannot have been lost, so the re-check — and its lock — is skipped.
+  void GateShared(u32 domain = kGlobalFloorDomain) {
+    if (lease_on_) {
+      SimThread& t = Cur();
+      if (t.has_floor.load(std::memory_order_relaxed) && t.floor_dom == domain &&
+          t.vtime.load(std::memory_order_relaxed) < t.lease_until) {
+        t.lazy_floor.store(false, std::memory_order_relaxed);
+        ++t.lease_hits;
+        return;
+      }
+    }
+    GateSharedSlow(domain);
+  }
 
   // Declares the end of a shared section: the calling thread is returning to
   // purely local execution. A no-op on the serial engine; on the parallel
   // engine it releases the floor so the next minimum-(vtime, tid) thread can
   // run its shared operation concurrently with this thread's local segment.
   // Missing calls cost parallelism, never correctness.
-  void EndShared();
+  //
+  // Lazy release under a live lease: this thread is still ahead of every
+  // competitor, so handing the floor back just to re-win it at the next
+  // shared op is pure churn. The floor is kept (flagged lazy) and doubles as
+  // the execution permit; a later waiter revokes it by arming a zero gate
+  // trigger. The seq_cst pairing with gate_waiters_ closes the store-buffer
+  // race: either this thread sees the waiter (and releases properly), or the
+  // waiter's re-evaluation sees lazy_floor and revokes.
+  void EndShared() {
+    if (!threaded_) {
+      return;
+    }
+    SimThread& t = Cur();
+    if (lease_on_ && t.has_floor.load(std::memory_order_relaxed) &&
+        t.vtime.load(std::memory_order_relaxed) < t.lease_until) {
+      t.lazy_floor.store(true, std::memory_order_seq_cst);
+      if (gate_waiters_.load(std::memory_order_seq_cst) == 0) {
+        ++t.lazy_retains;
+        return;
+      }
+      t.lazy_floor.store(false, std::memory_order_relaxed);
+    }
+    EndSharedSlow();
+  }
 
   // Cooperative yield (stays runnable). Rarely needed outside GateShared.
   void YieldRunnable();
@@ -210,11 +316,18 @@ class Engine {
   // Virtual completion time of the whole program: max finish vtime.
   u64 CompletionVtime() const;
 
+  // Floor-handoff statistics. Call after Run() (no synchronization: summing
+  // the owner-written per-thread fast-path counters is only safe once the
+  // host threads have been joined).
+  EngineFloorStats FloorStats() const;
+  std::vector<EngineDomainFloorStat> DomainFloorStats() const;
+
   // Deterministic schedule fingerprinting. Layers above mix every ordering
   // decision (sync op grants, commit order, ...) into this digest; determinism
   // tests assert it is identical across runs/jitter seeds, and the
   // engine-equivalence suite asserts it is identical across host_workers
-  // settings. Callers hold the gate (all call sites are token-held), which
+  // settings. Callers hold the gate (all call sites are token-held, hence
+  // domain 0 — sharded domains must not Trace, see DESIGN.md §14), which
   // serializes the mixes on the parallel engine.
   void Trace(u64 tag, u64 a, u64 b, u64 c) {
     trace_.Mix(tag);
@@ -233,6 +346,10 @@ class Engine {
 
  private:
   static constexpr u64 kNoTrigger = ~0ULL;
+  // Spin budget of the wakeup-free handoff path: how long a gate-waiter polls
+  // its has_floor flag before parking on its condvar. Yield every iteration —
+  // on an oversubscribed host that lets the (likely) current floor holder run.
+  static constexpr int kHandoffSpins = 128;
 
   struct SimThread {
     ThreadId id = kInvalidThread;
@@ -243,6 +360,9 @@ class Engine {
     std::atomic<u64> vtime{0};
     // When this thread's vtime reaches the trigger, it stops blocking the
     // minimum parked gate-waiter and must re-evaluate grants (parallel only).
+    // Granters arm it to the MIN of its current value (several domains may
+    // block on the same thread); 0 forces the next AdvanceRaw into the slow
+    // path, which is how lazily retained floors are revoked.
     std::atomic<u64> gate_trigger{kNoTrigger};
     u64 finish_vtime = 0;
     TimeCat wait_cat = TimeCat::kChunk;
@@ -253,18 +373,46 @@ class Engine {
     // Serial substrate.
     std::unique_ptr<Fiber> fiber;
 
-    // Threaded substrate. All flags below are guarded by Engine::pmu_.
+    // Threaded substrate. Flags below are guarded by Engine::pmu_ unless
+    // noted otherwise.
     std::function<void()> fn;
     std::thread host;
     std::condition_variable cv;
     bool started = false;     // host thread has been released into fn()
-    // Holds the shared-operation right. Written only under pmu_; atomic so
-    // a gate-waiter's cv predicate can read the grant without assuming the
-    // re-lock ordering — floor handoffs are the hot serial path of the
-    // commit pipeline.
+    // Holds the shared-operation right of floor_dom. Written under pmu_ by
+    // the granter (release) and by the owner's release paths; atomic so the
+    // owner's lock-free lease fast paths and the spinning-handoff poll can
+    // read it — floor handoffs are the hot serial path of the commit
+    // pipeline.
     std::atomic<bool> has_floor{false};
-    bool want_gate = false;   // parked in GateShared awaiting the floor
-    bool woken = false;       // Wait() wake handshake
+    // Batched-grant lease. `lease_until` is written by the granter under
+    // pmu_ before the has_floor handoff (the release/acquire pair orders it)
+    // and clamped by the owner when it wakes or spawns a competitor;
+    // owner-read on the lock-free fast paths — no other thread reads it.
+    u64 lease_until = 0;
+    // Floor retained across EndShared under a live lease. Owner-written
+    // lock-free; read by revokers under pmu_ (see EndShared for the seq_cst
+    // pairing with gate_waiters_).
+    std::atomic<bool> lazy_floor{false};
+    u32 floor_dom = kInvalidFloorDomain;  // domain of the held floor
+    u32 want_dom = kInvalidFloorDomain;   // domain awaited in GateShared
+    u64 domain_affinity = ~0ULL;  // domains this thread may gate on
+    bool gate_parked = false;     // parked on cv awaiting the floor
+    bool woken = false;           // Wait() wake handshake
+    // Owner-written fast-path counters; summed by FloorStats() after Run().
+    u64 lease_hits = 0;
+    u64 lazy_retains = 0;
+  };
+
+  // One floor per domain (threaded substrate). Guarded by pmu_.
+  struct FloorDomain {
+    const char* label = "global";
+    bool held = false;
+    ThreadId holder = kInvalidThread;
+    u32 waiters = 0;  // threads in GateSharedSlow awaiting this domain
+    u64 grants = 0;
+    u64 held_since_ns = 0;
+    u64 held_ns = 0;
   };
 
   // ---- Shared helpers ------------------------------------------------------
@@ -274,6 +422,8 @@ class Engine {
     CSQ_CHECK_MSG(t != nullptr, "in-thread API called outside the simulation");
     return *t;
   }
+  void GateSharedSlow(u32 domain);
+  void EndSharedSlow();
   void GateTriggerSlow(SimThread& t);
   [[noreturn]] void DieOfDeadlock() const;
   std::string BuildDeadlockReport() const;
@@ -288,10 +438,14 @@ class Engine {
   void RunThreaded();
   void HostThreadBody(SimThread* t);
   void LaunchHostThread(SimThread* t);
-  // Grant the floor to the minimum-(vtime, tid) gate-waiter if no active
-  // thread with a smaller key can still reach shared state first; otherwise
-  // arm gate triggers on the blockers. Requires pmu_.
+  // Per-domain grant rule: grant domain d's floor to its minimum-(vtime, tid)
+  // gate-waiter if no active thread with affinity to d and a smaller key can
+  // still reach d's shared state first; otherwise arm gate triggers on the
+  // blockers. Requires pmu_.
   void ReEvalGrantsLocked();
+  void ReEvalDomainLocked(u32 d);
+  void GrantFloorLocked(u32 d, SimThread& w, u64 lease);
+  void ArmTriggerLocked(SimThread& u, u64 trigger);
   void AcquireSlotLocked(std::unique_lock<std::mutex>& lk, SimThread& t);
   void ReleaseSlotLocked();
   void ReleaseFloorLocked(SimThread& t);
@@ -323,7 +477,14 @@ class Engine {
   std::condition_variable run_cv_;    // Run() waits for completion/deadlock
   std::condition_variable slot_cv_;   // local-segment slot pool
   u32 free_slots_ = 0;
-  bool floor_held_ = false;
+  std::vector<FloorDomain> domains_;  // [0] = global; created before Run()
+  bool lease_on_ = false;       // threaded && floor_lease && single domain
+  bool spin_handoff_ = false;   // multi-core host: spin before parking
+  // Threads currently in GateSharedSlow between enqueue and grant, any
+  // domain. Read lock-free by EndShared's lazy fast path (seq_cst, paired
+  // with lazy_floor).
+  std::atomic<u32> gate_waiters_{0};
+  EngineFloorStats fstats_;     // slow-path counters (pmu_)
   bool deadlocked_ = false;
   bool shutdown_ = false;             // ~Engine with never-started threads
   usize finished_count_ = 0;

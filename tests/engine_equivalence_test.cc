@@ -10,10 +10,17 @@
 // synchronization event instead of just a mismatched digest.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "src/conv/segment.h"
+#include "src/conv/workspace.h"
+#include "src/race/race.h"
+#include "src/race/report.h"
 #include "src/rt/api.h"
 #include "src/rt/schedule_recorder.h"
 #include "src/tso/explorer.h"
@@ -312,6 +319,239 @@ TEST(EngineEquivalence, ExplorerSchedulesReproduceOnParallelEngine) {
     EXPECT_TRUE(serial.outcomes == par.outcomes)
         << name << "\nserial: " << ToString(serial.outcomes)
         << "\nparallel: " << ToString(par.outcomes);
+  }
+}
+
+TEST(EngineEquivalence, BatchedGrantLeaseToggleBitIdentical) {
+  // The batched-grant lease (DESIGN.md §14) lets a floor holder re-enter
+  // shared sections without touching the scheduler mutex while its virtual
+  // time stays below the granted lease. Pure wall-clock machinery: with the
+  // lease explicitly enabled AND explicitly disabled, every flavor × worker
+  // count × jitter seed × off-floor toggle must reproduce the serial
+  // reference bit-for-bit.
+  const wl::WorkloadInfo* w = wl::FindWorkload("reverse_index");  // lock-heavy:
+  ASSERT_NE(w, nullptr);                                          // floor churn
+  wl::WlParams p;
+  p.workers = 4;
+  for (Backend be : {Backend::kConsequenceIC, Backend::kDThreads}) {
+    for (u64 seed : {0ULL, 13ULL}) {
+      const RunResult serial = MakeRuntime(be, BaseCfg(1, seed))->Run(wl::Bind(*w, p));
+      for (u32 workers : {2u, 4u}) {
+        for (bool lease : {true, false}) {
+          for (bool offfloor : {true, false}) {
+            RuntimeConfig cfg = BaseCfg(workers, seed);
+            cfg.floor_lease = lease;
+            cfg.segment.offfloor_commit = offfloor;
+            const RunResult par = MakeRuntime(be, cfg)->Run(wl::Bind(*w, p));
+            std::ostringstream label;
+            label << "reverse_index " << BackendName(be) << " seed=" << seed
+                  << " host_workers=" << workers << " lease=" << lease
+                  << " offfloor=" << offfloor;
+            ExpectResultsIdentical(serial, par, label.str());
+            if (!lease) {
+              // Lease disabled really means disabled: no fast-path hits.
+              EXPECT_EQ(par.floor.lease_hits + par.floor.lazy_retains, 0u) << label.str();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- Sharded floor domains (DESIGN.md §14): conv-layer matrix ------------
+//
+// Two independent segments, two simulated threads each. In the sharded
+// variant each segment gets its own floor domain and each thread's affinity
+// is restricted to its segment's domain; in the unsharded variant everything
+// competes for the global floor. Observer streams (recorded floor-held, so
+// per-segment recording is race-free even when both domain floors are held
+// concurrently) must be bit-identical per segment, and the canonical merged
+// stream — sorted by the deterministic (vtime, domain, tid) rule — must be
+// identical across serial reference, worker counts, and the sharding toggle.
+
+struct CommitEvt {
+  u64 vtime;
+  u32 seg;
+  u32 tid;
+  u64 version;
+  bool operator==(const CommitEvt& o) const {
+    return vtime == o.vtime && seg == o.seg && tid == o.tid && version == o.version;
+  }
+};
+
+std::string EvtString(const std::vector<CommitEvt>& evts) {
+  std::ostringstream oss;
+  for (const CommitEvt& e : evts) {
+    oss << "(v=" << e.vtime << " seg=" << e.seg << " tid=" << e.tid << " ver=" << e.version
+        << ")";
+  }
+  return oss.str();
+}
+
+struct ConvRun {
+  std::vector<std::vector<CommitEvt>> per_seg;  // observer stream per segment
+  std::vector<u64> final_vtimes;                // per simulated thread
+  sim::EngineFloorStats floor;
+  std::vector<sim::EngineDomainFloorStat> domain_floors;
+  std::vector<std::string> races;  // CanonicalLines per segment
+};
+
+ConvRun RunTwoSegmentConv(u32 host_workers, bool threaded, bool sharded, bool overlap_words) {
+  constexpr u32 kSegs = 2;
+  constexpr u32 kPerSeg = 2;
+  constexpr u32 kThreads = kSegs * kPerSeg;
+  constexpr u32 kReps = 8;
+  constexpr u32 kPages = 3;  // pages touched per commit
+
+  sim::SimConfig sc;
+  sc.host_workers = host_workers;
+  sc.force_threaded = threaded;
+  sim::Engine eng(sc);
+
+  std::vector<u32> dom(kSegs, sim::kGlobalFloorDomain);
+  if (sharded) {
+    dom[0] = eng.CreateFloorDomain("segA");
+    dom[1] = eng.CreateFloorDomain("segB");
+  }
+
+  ConvRun out;
+  out.per_seg.resize(kSegs);
+  out.final_vtimes.resize(kThreads);
+  std::vector<std::unique_ptr<conv::Segment>> segs;
+  std::vector<std::unique_ptr<race::Analyzer>> analyzers;
+  for (u32 s = 0; s < kSegs; ++s) {
+    conv::SegmentConfig cfg;
+    cfg.size_bytes = 1 << 20;
+    cfg.floor_domain = dom[s];
+    segs.push_back(std::make_unique<conv::Segment>(eng, cfg));
+    conv::Segment& seg = *segs.back();
+    seg.SetCommitObserver([&eng, &out, s](const conv::CommitRecord& rec) {
+      out.per_seg[s].push_back(CommitEvt{eng.Now(), s, rec.tid, rec.version});
+    });
+    analyzers.push_back(std::make_unique<race::Analyzer>());
+    analyzers.back()->SetPageSize(seg.PageSize());
+    seg.SetRaceSink(analyzers.back().get());
+  }
+
+  std::vector<std::unique_ptr<conv::Workspace>> wss;
+  for (u32 t = 0; t < kThreads; ++t) {
+    wss.push_back(std::make_unique<conv::Workspace>(*segs[t / kPerSeg], t));
+  }
+  for (u32 t = 0; t < kThreads; ++t) {
+    const u32 s = t / kPerSeg;
+    const u32 lane = t % kPerSeg;
+    eng.Spawn([&, t, s, lane] {
+      conv::Workspace& w = *wss[t];
+      const u32 page_size = segs[s]->PageSize();
+      for (u32 rep = 0; rep < kReps; ++rep) {
+        for (u32 p = 0; p < kPages; ++p) {
+          // overlap_words: both lanes hammer the same words -> WW races.
+          // Otherwise lanes write disjoint pages (clean streams).
+          const u64 page = overlap_words ? p : lane * kPages + p;
+          const u64 off = overlap_words ? 0 : lane * 8u;
+          w.Store<u64>(page * page_size + off,
+                       (static_cast<u64>(t) << 48) | (static_cast<u64>(rep) << 16) | p);
+        }
+        w.CommitAndUpdate();
+        eng.EndShared();
+      }
+      out.final_vtimes[t] = eng.Now();
+    });
+    if (sharded) {
+      eng.SetDomainAffinity(t, 1ULL << dom[s]);
+    }
+  }
+  eng.Run();
+  out.floor = eng.FloorStats();
+  out.domain_floors = eng.DomainFloorStats();
+  for (u32 s = 0; s < kSegs; ++s) {
+    out.races.push_back(race::CanonicalLines(analyzers[s]->Finalize().records));
+  }
+  wss.clear();
+  return out;
+}
+
+// The deterministic merge rule for cross-domain observer streams.
+std::vector<CommitEvt> MergeByVtimeDomainTid(const ConvRun& r) {
+  std::vector<CommitEvt> merged;
+  for (const auto& stream : r.per_seg) {
+    merged.insert(merged.end(), stream.begin(), stream.end());
+  }
+  std::sort(merged.begin(), merged.end(), [](const CommitEvt& a, const CommitEvt& b) {
+    return std::tie(a.vtime, a.seg, a.tid) < std::tie(b.vtime, b.seg, b.tid);
+  });
+  return merged;
+}
+
+TEST(EngineEquivalence, ShardedDomainsMergeRuleBitIdentical) {
+  // Serial unsharded run is the reference universe.
+  const ConvRun ref = RunTwoSegmentConv(1, /*threaded=*/false, /*sharded=*/false,
+                                        /*overlap_words=*/false);
+  ASSERT_EQ(ref.per_seg[0].size(), 16u);  // 2 threads x 8 reps
+  ASSERT_EQ(ref.per_seg[1].size(), 16u);
+  const std::vector<CommitEvt> ref_merged = MergeByVtimeDomainTid(ref);
+
+  struct Variant {
+    u32 workers;
+    bool threaded;
+    bool sharded;
+  };
+  const Variant variants[] = {
+      {1, false, true},   // serial engine: domains are pure annotation
+      {1, true, false}, {1, true, true},
+      {2, true, false}, {2, true, true},
+      {4, true, false}, {4, true, true},
+  };
+  for (const Variant& v : variants) {
+    const ConvRun run = RunTwoSegmentConv(v.workers, v.threaded, v.sharded,
+                                          /*overlap_words=*/false);
+    std::ostringstream label;
+    label << "workers=" << v.workers << " threaded=" << v.threaded
+          << " sharded=" << v.sharded;
+    for (u32 s = 0; s < 2; ++s) {
+      EXPECT_EQ(run.per_seg[s], ref.per_seg[s])
+          << label.str() << " seg=" << s << "\nref: " << EvtString(ref.per_seg[s])
+          << "\ngot: " << EvtString(run.per_seg[s]);
+    }
+    EXPECT_EQ(MergeByVtimeDomainTid(run), ref_merged) << label.str();
+    EXPECT_EQ(run.final_vtimes, ref.final_vtimes) << label.str();
+    if (v.sharded && v.threaded) {
+      // The sharded grant rule really ran: both domains granted floors.
+      ASSERT_EQ(run.domain_floors.size(), 3u) << label.str();
+      EXPECT_GT(run.domain_floors[1].grants, 0u) << label.str();  // segA
+      EXPECT_GT(run.domain_floors[2].grants, 0u) << label.str();  // segB
+    }
+  }
+}
+
+TEST(EngineEquivalence, RaceAnalyzerIdenticalAcrossShardedFloors) {
+  // Overlapping same-word writes inside each segment produce WW race records;
+  // the analyzer's canonical report must be byte-identical whether the two
+  // segments share the global floor or run on sharded domains, at every
+  // worker count.
+  const ConvRun ref = RunTwoSegmentConv(1, /*threaded=*/false, /*sharded=*/false,
+                                        /*overlap_words=*/true);
+  for (const std::string& lines : ref.races) {
+    EXPECT_FALSE(lines.empty()) << "workload produced no races; test is vacuous";
+  }
+  struct Variant {
+    u32 workers;
+    bool sharded;
+  };
+  for (const Variant& v :
+       {Variant{1, true}, Variant{2, false}, Variant{2, true}, Variant{4, false},
+        Variant{4, true}}) {
+    const ConvRun run = RunTwoSegmentConv(v.workers, /*threaded=*/true, v.sharded,
+                                          /*overlap_words=*/true);
+    std::ostringstream label;
+    label << "workers=" << v.workers << " sharded=" << v.sharded;
+    for (u32 s = 0; s < 2; ++s) {
+      EXPECT_EQ(run.races[s], ref.races[s]) << label.str() << " seg=" << s;
+    }
+    for (u32 s = 0; s < 2; ++s) {
+      EXPECT_EQ(run.per_seg[s], ref.per_seg[s]) << label.str() << " seg=" << s;
+    }
   }
 }
 

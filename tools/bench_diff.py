@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare freshly emitted BENCH_*.json reports against committed baselines.
+
+Usage:
+    bench_diff.py --fresh <dir-with-fresh-jsons> [--baseline bench/baselines]
+                  [--max-regression 0.10]
+
+For each report the tool checks two things:
+
+1.  Correctness flags — always enforced, on every host:
+      * fig10_overall:  parallel_matches_serial must be true
+      * micro_commit:   vtimes_identical must be true
+
+2.  Parallel-vs-serial wall-clock ratios — enforced only when BOTH the fresh
+    report and the baseline were produced on multi-core hosts
+    (single_core_caveat == false).  Wall-clock speedups measured on a
+    single-core box are noise, not signal (DESIGN.md §14), so any comparison
+    involving one is reported as SKIPPED rather than failed.
+
+      * fig10_overall:  "speedup" (serial wall / parallel wall)
+      * micro_commit:   "best_speedup_4plus_committers_large_footprint"
+
+    A fresh ratio more than --max-regression (default 10%) below the
+    baseline ratio is a regression.
+
+Exit status is the number of regressions + correctness failures, so CI can
+gate directly on it.  Missing fresh reports are failures (the bench did not
+run); missing baselines are skips (first PR that adds a bench has nothing to
+compare against yet).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# (report basename, perf ratio key, correctness key expected true)
+CHECKS = [
+    ("BENCH_fig10_overall.json", "speedup", "parallel_matches_serial"),
+    (
+        "BENCH_micro_commit.json",
+        "best_speedup_4plus_committers_large_footprint",
+        "vtimes_identical",
+    ),
+]
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as e:
+        print(f"FAIL  {path}: invalid JSON ({e})")
+        return "invalid"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", required=True, help="directory with freshly emitted BENCH_*.json")
+    ap.add_argument("--baseline", default="bench/baselines", help="directory with committed baselines")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.10,
+        help="fail when a fresh ratio drops more than this fraction below baseline",
+    )
+    args = ap.parse_args()
+
+    failures = 0
+    for name, perf_key, ok_key in CHECKS:
+        fresh_path = os.path.join(args.fresh, name)
+        base_path = os.path.join(args.baseline, name)
+        fresh = load(fresh_path)
+        if fresh is None:
+            print(f"FAIL  {name}: fresh report missing at {fresh_path} (bench did not run?)")
+            failures += 1
+            continue
+        if fresh == "invalid":
+            failures += 1
+            continue
+
+        # Correctness gate: unconditional.
+        if fresh.get(ok_key) is not True:
+            print(f"FAIL  {name}: {ok_key}={fresh.get(ok_key)!r} (must be true)")
+            failures += 1
+        else:
+            print(f"ok    {name}: {ok_key}=true")
+
+        base = load(base_path)
+        if base is None:
+            print(f"skip  {name}: no committed baseline at {base_path}")
+            continue
+        if base == "invalid":
+            failures += 1
+            continue
+
+        # Perf gate: only meaningful multi-core vs multi-core.
+        fresh_caveat = fresh.get("single_core_caveat", True)
+        base_caveat = base.get("single_core_caveat", True)
+        if fresh_caveat or base_caveat:
+            who = []
+            if fresh_caveat:
+                who.append(f"fresh host_cores={fresh.get('host_cores', '?')}")
+            if base_caveat:
+                who.append(f"baseline host_cores={base.get('host_cores', '?')}")
+            print(f"skip  {name}: {perf_key} comparison ({'; '.join(who)}: single-core wall-clock is noise)")
+            continue
+
+        fresh_v = fresh.get(perf_key)
+        base_v = base.get(perf_key)
+        if not isinstance(fresh_v, (int, float)) or not isinstance(base_v, (int, float)):
+            print(f"FAIL  {name}: {perf_key} missing or non-numeric (fresh={fresh_v!r}, baseline={base_v!r})")
+            failures += 1
+            continue
+        floor = base_v * (1.0 - args.max_regression)
+        if fresh_v < floor:
+            print(
+                f"FAIL  {name}: {perf_key} regressed {fresh_v:.3f} < {floor:.3f} "
+                f"(baseline {base_v:.3f}, tolerance {args.max_regression:.0%})"
+            )
+            failures += 1
+        else:
+            print(f"ok    {name}: {perf_key} {fresh_v:.3f} vs baseline {base_v:.3f} (floor {floor:.3f})")
+
+    print(f"bench_diff: {failures} failure(s)")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

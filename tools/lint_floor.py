@@ -10,18 +10,30 @@ re-gate races with other threads' emissions on the host-parallel engine.
 Three such sites were fixed by hand in PR 3; this tool keeps the class from
 coming back.
 
+Sharded-floor discipline (DESIGN.md §14): floor domains split the floor, so
+holding a *sharded* domain's floor (GateShared with a non-global domain
+argument — `cfg_.floor_domain`, `FloorDomain()`, a created domain id) no
+longer serializes against domain-0 code. Global streams — `Engine::Trace`
+and the clock's grant/release callbacks — are domain-0 ordered by contract,
+so emitting them under a sharded floor races with every other domain's
+emissions. Per-segment streams (the segment's own observer/TraceHooks) are
+domain-ordered and stay legal under their segment's floor.
+
 Heuristic (line-based, per function body):
   * Track a floor state through each function: ACQUIRE patterns (GateShared,
-    WaitToken, WaitInstalled) set HELD; RELEASE patterns (EndShared, engine
-    Wait(), ReleaseToken) set RELEASED.
-  * An emission while the state is RELEASED is a violation. An emission with
-    no preceding event in the function is fine — helper functions are called
-    floor-held by convention, and flagging them would drown the signal.
+    WaitToken, WaitInstalled) set HELD — or HELD_SHARDED when GateShared's
+    argument names a possibly non-global domain; RELEASE patterns
+    (EndShared, engine Wait(), ReleaseToken) set RELEASED.
+  * An emission while the state is RELEASED is a violation; a *global*
+    emission (engine Trace, clock grant/release callbacks) while the state
+    is HELD_SHARDED is a violation. An emission with no preceding event in
+    the function is fine — helper functions are called floor-held by
+    convention, and flagging them would drown the signal.
   * Lambdas reset the state to unknown (their bodies run elsewhere).
 
 Suppression: a `// lint-floor: <reason>` comment on the emission line or the
 line directly above it suppresses that emission. Use it only with a reason
-that explains why the floor is actually held.
+that explains why the floor is actually held (or why the domain is global).
 
 Exit status: number of violations (0 = clean). Run from anywhere; scans the
 src/ tree next to this script's repository root.
@@ -37,17 +49,36 @@ EMISSION = re.compile(
     r"|(Hooks\(\)\.on_(update|merge)\s*\()"
     r"|(\bcfg_\.on_(grant|release)\s*\()"
 )
-ACQUIRE = re.compile(r"\b(GateShared|WaitToken|WaitInstalled)\s*\(")
+# Domain-0-ordered streams: never legal under a sharded domain's floor.
+GLOBAL_EMISSION = re.compile(
+    r"\beng_?\s*(\.|->)\s*Trace\s*\(|\.eng\.Trace\s*\(|\bcfg_\.on_(grant|release)\s*\("
+)
+ACQUIRE = re.compile(r"\b(GateShared|WaitToken|WaitInstalled)\s*\(([^)]*)\)")
 RELEASE = re.compile(r"\b(EndShared|ReleaseToken)\s*\(|\beng_?\s*(\.|->)\s*Wait\s*\(|\.eng\.Wait\s*\(")
 SUPPRESS = re.compile(r"//\s*lint-floor:")
 LAMBDA_OPEN = re.compile(r"\[[^\]]*\]\s*(\([^)]*\))?\s*(->\s*[\w:<>]+\s*)?\{")
 
-HELD, RELEASED, UNKNOWN = "held", "released", "unknown"
+# GateShared arguments that still name the global floor domain.
+GLOBAL_DOMAIN_ARGS = {"", "0", "kGlobalFloorDomain", "sim::kGlobalFloorDomain"}
+
+HELD, HELD_SHARDED, RELEASED, UNKNOWN = "held", "held-sharded", "released", "unknown"
 
 
 def strip_comment(line: str) -> str:
     idx = line.find("//")
     return line if idx < 0 else line[:idx]
+
+
+def acquire_state(match: re.Match) -> str:
+    """HELD for the global floor, HELD_SHARDED for a (possibly) sharded one."""
+    if match.group(1) != "GateShared":
+        return HELD  # token/install waits are domain-0 machinery
+    arg = match.group(2).strip()
+    # Declarations/definitions ("u32 domain = kGlobalFloorDomain") and
+    # explicit global-domain gates keep the global state.
+    if arg in GLOBAL_DOMAIN_ARGS or "kGlobalFloorDomain" in arg:
+        return HELD
+    return HELD_SHARDED
 
 
 def scan_file(path: Path):
@@ -61,20 +92,37 @@ def scan_file(path: Path):
         code = strip_comment(raw)
         opens_lambda = bool(LAMBDA_OPEN.search(code))
         emission = EMISSION.search(code)
-        if emission:
-            state = state_stack[-1]
-            suppressed = SUPPRESS.search(raw) or (lineno >= 2 and SUPPRESS.search(lines[lineno - 2]))
-            if state == RELEASED and not suppressed:
-                violations.append((path, lineno, raw.strip()))
+        global_emission = GLOBAL_EMISSION.search(code)
+        suppressed = SUPPRESS.search(raw) or (lineno >= 2 and SUPPRESS.search(lines[lineno - 2]))
+        state = state_stack[-1]
+        if emission and state == RELEASED and not suppressed:
+            violations.append((path, lineno, "emission while floor released", raw.strip()))
+        if global_emission and state == HELD_SHARDED and not suppressed:
+            violations.append(
+                (path, lineno, "global (domain-0) emission under sharded floor", raw.strip())
+            )
         # Events update the innermost state AFTER the emission check so that
         # `GateShared(); observer->...` on one line counts as held, while
         # `observer->...; EndShared();` still checks the pre-release state.
         # (Acquire first: re-gate lines acquire before any same-line emission.)
-        if ACQUIRE.search(code):
-            state_stack[-1] = HELD
-            # Re-check an emission on the same line: held now.
-            if emission and violations and violations[-1][1] == lineno:
+        acq = ACQUIRE.search(code)
+        if acq:
+            new_state = acquire_state(acq)
+            state_stack[-1] = new_state
+            # Re-check a released-state emission on the same line: held now.
+            # (A global emission on a sharded re-gate line stays a violation.)
+            if (
+                emission
+                and violations
+                and violations[-1][1] == lineno
+                and violations[-1][2] == "emission while floor released"
+            ):
                 violations.pop()
+                if global_emission and new_state == HELD_SHARDED and not suppressed:
+                    violations.append(
+                        (path, lineno, "global (domain-0) emission under sharded floor",
+                         raw.strip())
+                    )
         elif RELEASE.search(code):
             state_stack[-1] = RELEASED
         for ch in code:
@@ -108,12 +156,13 @@ def main() -> int:
     violations = []
     for path in sorted(src.rglob("*.cc")) + sorted(src.rglob("*.h")):
         violations.extend(scan_file(path))
-    for path, lineno, text in violations:
-        print(f"{path.relative_to(root)}:{lineno}: emission while floor released: {text}")
+    for path, lineno, why, text in violations:
+        print(f"{path.relative_to(root)}:{lineno}: {why}: {text}")
     if violations:
         print(
             f"lint_floor: {len(violations)} violation(s). Re-gate with GateShared() before "
-            "emitting, or suppress with '// lint-floor: <why the floor is held>'.",
+            "emitting (global streams need the *global* floor, not a sharded domain), or "
+            "suppress with '// lint-floor: <why this is safe>'.",
             file=sys.stderr,
         )
     else:
