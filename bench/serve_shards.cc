@@ -1,0 +1,147 @@
+// serve_shards — serving-layer throughput/latency sweep (DESIGN.md §15).
+//
+// Drives a Zipf-skewed multi-tenant request log (millions of logical users,
+// hot-tenant popularity skew, connection churn through the thread-reuse pool)
+// through the sharded deterministic serving runtime, sweeping shard count ×
+// front-end host worker count, and reports per-configuration throughput plus
+// p50/p95/p99 per-request latency (virtual time, so the tail includes
+// deterministic lock-wait/queueing delay inside each universe).
+//
+// Built-in correctness gate: for a fixed shard count, the combined
+// response+state digest must be identical across every host worker count —
+// host parallelism is a throughput knob, never a semantic one. The binary
+// exits nonzero on a digest mismatch, and BENCH_serve_shards.json carries
+// `digest_stable` for the CI bench-diff gate plus `multi_shard_scaling`
+// (peak throughput over the 1-shard/1-worker floor) as the perf trajectory.
+//
+// CSQ_QUICK=1 shrinks the log and the sweep for smoke runs.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "src/harness/harness.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/serve.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace csq;  // NOLINT
+
+namespace {
+
+serve::LoadSpec BenchLoad(bool quick) {
+  serve::LoadSpec spec;
+  spec.tenants = 96;
+  spec.tenant_zipf_s = 1.1;
+  spec.users = 2 << 20;  // logical user population the session ids draw from
+  spec.sessions = quick ? 240 : 1200;
+  spec.min_requests = 4;
+  spec.max_requests = 28;
+  spec.keys_per_tenant = 512;
+  spec.put_pct = 25;
+  spec.scan_pct = 5;
+  spec.churn_window = 48;
+  spec.seed = 2026;
+  return spec;
+}
+
+serve::ServeConfig BenchConfig(u32 shards, u32 serve_threads) {
+  serve::ServeConfig cfg;
+  cfg.shards = shards;
+  cfg.serve_threads = serve_threads;
+  cfg.max_live_sessions = 8;
+  cfg.kv_buckets = 512;
+  cfg.record_trace = false;  // throughput configuration: no recording overhead
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = harness::QuickMode();
+  const serve::LoadSpec spec = BenchLoad(quick);
+  const std::vector<serve::Request> log = serve::GenerateLoad(spec);
+
+  const std::vector<u32> shard_counts =
+      quick ? std::vector<u32>{1, 4} : std::vector<u32>{1, 2, 4, 8};
+  std::vector<u32> worker_counts = quick ? std::vector<u32>{1, 2} : std::vector<u32>{1, 2, 4};
+  worker_counts.erase(
+      std::remove_if(worker_counts.begin(), worker_counts.end(),
+                     [](u32 w) { return w > 1 && w > bench::HostCores(); }),
+      worker_counts.end());
+
+  TablePrinter tp({"shards", "workers", "requests", "wall(ms)", "krps", "p50(vt)", "p95(vt)",
+                   "p99(vt)"});
+  std::vector<std::string> rows;
+  bool digest_stable = true;
+  double base_rps = 0.0;  // 1 shard × 1 worker floor
+  double peak_rps = 0.0;
+
+  for (const u32 shards : shard_counts) {
+    u64 shard_digest = 0;
+    bool have_digest = false;
+    for (const u32 workers : worker_counts) {
+      const serve::ServeResult r =
+          serve::ShardServer(BenchConfig(shards, workers)).Serve(log);
+
+      if (have_digest && r.response_digest != shard_digest) {
+        std::cerr << "DIGEST MISMATCH: shards=" << shards << " workers=" << workers
+                  << " changed the response+state digest — host workers must be "
+                     "semantically invisible\n";
+        digest_stable = false;
+      }
+      shard_digest = r.response_digest;
+      have_digest = true;
+
+      std::vector<u64> lat;
+      lat.reserve(r.requests);
+      for (const serve::ShardResult& s : r.shards) {
+        lat.insert(lat.end(), s.latencies.begin(), s.latencies.end());
+      }
+      const double wall_ms = static_cast<double>(r.wall_ns) / 1e6;
+      const double rps =
+          wall_ms > 0.0 ? static_cast<double>(r.requests) / (wall_ms / 1e3) : 0.0;
+      const u64 p50 = Percentile(lat, 50.0);
+      const u64 p95 = Percentile(lat, 95.0);
+      const u64 p99 = Percentile(lat, 99.0);
+      if (shards == 1 && workers == 1) {
+        base_rps = rps;
+      }
+      peak_rps = std::max(peak_rps, rps);
+
+      tp.AddRow({std::to_string(shards), std::to_string(workers), std::to_string(r.requests),
+                 TablePrinter::Fmt(wall_ms), TablePrinter::Fmt(rps / 1e3),
+                 std::to_string(p50), std::to_string(p95), std::to_string(p99)});
+      bench::JsonObj row;
+      row.Int("shards", shards)
+          .Int("serve_threads", workers)
+          .Int("requests", r.requests)
+          .Num("wall_ms", wall_ms)
+          .Num("rps", rps)
+          .Int("latency_p50_vt", p50)
+          .Int("latency_p95_vt", p95)
+          .Int("latency_p99_vt", p99);
+      rows.push_back(row.Render());
+    }
+  }
+
+  tp.Print(std::cout);
+  std::cout << (digest_stable ? "digests stable across host worker counts\n"
+                              : "DIGESTS UNSTABLE — see above\n");
+
+  bench::JsonObj report;
+  report.Int("requests", log.size())
+      .Int("sessions", spec.sessions)
+      .Int("tenants", spec.tenants)
+      .Bool("quick", quick)
+      .Bool("digest_stable", digest_stable)
+      .Num("base_rps", base_rps)
+      .Num("peak_rps", peak_rps)
+      .Num("multi_shard_scaling", base_rps > 0.0 ? peak_rps / base_rps : 0.0)
+      .Raw("rows", bench::JsonArr(rows));
+  bench::WriteReport("serve_shards", std::move(report));
+
+  return digest_stable ? 0 : 1;
+}

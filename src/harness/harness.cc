@@ -10,9 +10,13 @@
 
 namespace csq::harness {
 
-std::vector<u32> ThreadCounts() {
+bool QuickMode() {
   const char* quick = std::getenv("CSQ_QUICK");
-  if (quick != nullptr && quick[0] == '1') {
+  return quick != nullptr && quick[0] == '1';
+}
+
+std::vector<u32> ThreadCounts() {
+  if (QuickMode()) {
     return {2, 4, 8};
   }
   return {2, 4, 8, 16, 32};

@@ -19,6 +19,10 @@
 
 namespace csq::harness {
 
+// True when CSQ_QUICK=1 asks for a smoke-sized run (shared by every bench
+// that scales its sweep down for CI).
+bool QuickMode();
+
 // Thread counts to sweep (honours CSQ_QUICK).
 std::vector<u32> ThreadCounts();
 

@@ -57,6 +57,15 @@ class ThreadApi {
   // The configured worker-count hint (RuntimeConfig::nthreads).
   virtual u32 NumThreads() const = 0;
 
+  // The calling thread's current virtual time — a zero-cost probe of its own
+  // simulated clock (the serving layer's latency instrumentation; think
+  // CLOCK_THREAD_CPUTIME_ID). Deterministic across engines and worker counts
+  // for a fixed config, but jitter-seed-DEPENDENT: values move with the cost
+  // model's timing perturbation. Workloads that fold Now() into program
+  // *output* therefore trade away cross-seed bit-identity; record it into
+  // side channels (latency samples) instead.
+  virtual u64 Now() const = 0;
+
   // Performs `units` of pure computation (advances the logical clock and
   // virtual time; models the program's own instructions).
   virtual void Work(u64 units) = 0;
@@ -180,6 +189,12 @@ struct RuntimeConfig {
   // baseline ignores this knob — its threads memcpy shared pages directly,
   // so it has no isolated local segments to parallelize.
   u32 host_workers = 1;
+
+  // Stack bytes per simulated thread (SimConfig::stack_size). Serving-style
+  // universes with hundreds of short-lived session threads (src/serve) shrink
+  // this to keep per-universe memory proportional to the live-session window
+  // rather than the total connection count.
+  usize sim_stack_bytes = 256 * 1024;
 
   // Batched floor grants (DESIGN.md §14): on the host-parallel engine, grant
   // the shared-op floor with a lease up to the next competitor's key so runs

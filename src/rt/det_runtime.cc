@@ -124,6 +124,7 @@ struct State {
   static sim::SimConfig MakeSimConfig(const RuntimeConfig& c) {
     sim::SimConfig sc;
     sc.costs = c.costs;
+    sc.stack_size = c.sim_stack_bytes;
     sc.host_workers = c.host_workers;
     sc.floor_lease = c.floor_lease;
     return sc;
@@ -172,6 +173,7 @@ class DApi final : public ThreadApi {
 
   u32 Tid() const override { return tid_; }
   u32 NumThreads() const override { return st_.cfg.nthreads; }
+  u64 Now() const override { return st_.eng.Now(); }
 
   void Work(u64 units) override {
     // A coarsened chunk whose *actual* length overruns the max-chunk budget is

@@ -42,7 +42,7 @@ struct PtThread {
 
 struct State {
   explicit State(const RuntimeConfig& cfg)
-      : eng(sim::SimConfig{cfg.costs}),
+      : eng(sim::SimConfig{cfg.costs, cfg.sim_stack_bytes}),
         flat(cfg.segment.size_bytes, 0),
         alloc(cfg.segment.size_bytes) {}
 
@@ -63,6 +63,7 @@ class PtApi final : public ThreadApi {
 
   u32 Tid() const override { return tid_; }
   u32 NumThreads() const override { return cfg_.nthreads; }
+  u64 Now() const override { return st_.eng.Now(); }
 
   void Work(u64 units) override {
     st_.eng.Charge(units * st_.eng.Costs().work_unit, TimeCat::kChunk);

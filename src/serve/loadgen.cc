@@ -1,0 +1,97 @@
+#include "src/serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/util/check.h"
+
+namespace csq::serve {
+
+ZipfSampler::ZipfSampler(u64 n, double s) {
+  CSQ_CHECK_MSG(n > 0, "Zipf sampler over an empty domain");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (u64 k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) {
+    c /= acc;
+  }
+}
+
+u64 ZipfSampler::Sample(DetRng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<u64>(std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                                                   static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+namespace {
+
+// One not-yet-drained connection in the active window.
+struct LiveSession {
+  u64 session = 0;
+  u64 tenant = 0;
+  u64 remaining = 0;
+};
+
+}  // namespace
+
+std::vector<Request> GenerateLoad(const LoadSpec& spec) {
+  CSQ_CHECK(spec.min_requests >= 1 && spec.max_requests >= spec.min_requests);
+  CSQ_CHECK(spec.put_pct + spec.scan_pct <= 100);
+  DetRng rng(spec.seed);
+  const ZipfSampler tenant_zipf(spec.tenants, spec.tenant_zipf_s);
+  const ZipfSampler key_zipf(spec.keys_per_tenant, spec.key_zipf_s);
+
+  std::vector<Request> log;
+  std::deque<LiveSession> live;
+  u64 arrivals = 0;
+
+  auto admit = [&] {
+    // Session identity: a logical user id plus an arrival nonce, so a user
+    // reconnecting later is a NEW session (fresh connection state) even
+    // though it hits the same tenant data.
+    const u64 user = rng.Below(spec.users);
+    LiveSession s;
+    s.session = (arrivals << 40) | user;
+    s.tenant = tenant_zipf.Sample(rng);
+    s.remaining = rng.Range(spec.min_requests, spec.max_requests);
+    ++arrivals;
+    live.push_back(s);
+  };
+
+  while (arrivals < spec.sessions || !live.empty()) {
+    while (live.size() < spec.churn_window && arrivals < spec.sessions) {
+      admit();
+    }
+    // Pick a deterministic "whichever connection speaks next" — uniform over
+    // the live window, so hot tenants interleave with cold ones.
+    const usize pick = static_cast<usize>(rng.Below(live.size()));
+    LiveSession& s = live[pick];
+    Request r;
+    r.tenant = s.tenant;
+    r.session = s.session;
+    r.key = key_zipf.Sample(rng);
+    const u64 roll = rng.Below(100);
+    if (roll < spec.put_pct) {
+      r.op = Op::kPut;
+      r.value = rng.Next() | 1;  // nonzero payload: 0 means "absent"
+    } else if (roll < spec.put_pct + spec.scan_pct) {
+      r.op = Op::kScan;
+      r.value = rng.Range(2, 16);  // span
+      r.key = r.key < 8 ? 0 : r.key - 8;
+    } else {
+      r.op = Op::kGet;
+    }
+    log.push_back(r);
+    if (--s.remaining == 0) {
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  return log;
+}
+
+}  // namespace csq::serve

@@ -1,0 +1,52 @@
+// Deterministic Zipf-skewed request-log generator for the serving layer.
+//
+// Models a multi-tenant population: millions of logical users spread over a
+// tenant set with Zipfian popularity (a few hot tenants take most of the
+// traffic), sessions (connections) arriving and leaving through a bounded
+// active window (connection churn), and a get/put/scan op mix with hot-key
+// skew inside each tenant's keyspace. Everything is driven by DetRng from a
+// single seed — the same spec always produces the byte-identical log, so the
+// log itself can stand in for the durable request journal in record/replay
+// tests.
+#pragma once
+
+#include <vector>
+
+#include "src/serve/serve.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace csq::serve {
+
+struct LoadSpec {
+  u64 tenants = 64;
+  double tenant_zipf_s = 1.1;  // tenant popularity skew exponent
+  u64 users = 1 << 20;         // logical user population (session identity space)
+  u64 sessions = 256;          // connections over the run
+  u64 min_requests = 4;        // per-session request count range
+  u64 max_requests = 24;
+  u64 keys_per_tenant = 512;
+  double key_zipf_s = 0.9;  // hot-key skew inside a tenant
+  u32 put_pct = 20;         // op mix (remainder after put+scan is gets)
+  u32 scan_pct = 5;
+  u64 churn_window = 32;  // sessions concurrently interleaving in the log
+  u64 seed = 42;
+};
+
+// Zipf(s) sampler over {0..n-1} via a precomputed CDF + binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(u64 n, double s);
+
+  u64 Sample(DetRng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// The full interleaved request log: sessions are admitted in arrival order
+// into a `churn_window`-sized active set and their requests are interleaved
+// (deterministically) until each session drains and the next one is admitted.
+std::vector<Request> GenerateLoad(const LoadSpec& spec);
+
+}  // namespace csq::serve

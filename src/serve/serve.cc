@@ -1,0 +1,450 @@
+#include "src/serve/serve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/rt/rw_lock.h"
+#include "src/rt/shared_heap.h"
+#include "src/util/check.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace csq::serve {
+namespace {
+
+// ---- Routing hash ----------------------------------------------------------
+
+u64 MixTenant(u64 tenant) {
+  u64 s = tenant ^ 0x7e57ab1e5eed5ULL;
+  return SplitMix64(s);
+}
+
+// ---- The shard KV store ----------------------------------------------------
+//
+// Bucket-chained map in the shard's shared memory, same construction as
+// examples/kv_store.cpp but multi-tenant: entries are keyed by a packed
+// (tenant, key) word so tenants share the store without sharing keys. Entry
+// layout (heap-allocated): [tkey u64][value u64][next u64]. A single
+// writer-preference RwLock covers the store — gets (the common case) run
+// concurrently, puts serialize; either way the grant order is deterministic.
+
+constexpr u32 kTenantBits = 24;
+constexpr u32 kKeyBits = 40;
+
+u64 PackKey(u64 tenant, u64 key) {
+  CSQ_CHECK_MSG(tenant < (1ULL << kTenantBits), "tenant id exceeds " << kTenantBits << " bits");
+  CSQ_CHECK_MSG(key < (1ULL << kKeyBits), "key exceeds " << kKeyBits << " bits");
+  return (tenant << kKeyBits) | key;
+}
+
+struct KvStore {
+  KvStore(rt::ThreadApi& api, rt::SharedHeap* h, u32 nbuckets)
+      : heap(h),
+        buckets(nbuckets),
+        base(api.SharedAlloc(static_cast<usize>(nbuckets) * 8, 4096, "serve.buckets")),
+        lock(api) {}
+
+  u64 Head(u64 tkey) const {
+    u64 s = tkey ^ 0x9e3779b97f4a7c15ULL;
+    return base + 8 * (SplitMix64(s) % buckets);
+  }
+
+  // Returns the previous value (0 on fresh insert).
+  u64 Put(rt::ThreadApi& t, u64 tenant, u64 key, u64 value) {
+    const u64 tkey = PackKey(tenant, key);
+    const u64 head = Head(tkey);
+    u64 old = 0;
+    lock.WriteLock(t);
+    u64 e = t.Load<u64>(head);
+    for (; e != 0; e = t.Load<u64>(e + 16)) {
+      if (t.Load<u64>(e) == tkey) {
+        old = t.Load<u64>(e + 8);
+        t.Store<u64>(e + 8, value);
+        break;
+      }
+    }
+    if (e == 0) {
+      const u64 fresh = heap->Malloc(t, 24);
+      t.Store<u64>(fresh, tkey);
+      t.Store<u64>(fresh + 8, value);
+      t.Store<u64>(fresh + 16, t.Load<u64>(head));
+      t.Store<u64>(head, fresh);
+    }
+    lock.WriteUnlock(t);
+    return old;
+  }
+
+  u64 LookupLocked(rt::ThreadApi& t, u64 tenant, u64 key) const {
+    const u64 tkey = PackKey(tenant, key);
+    for (u64 e = t.Load<u64>(Head(tkey)); e != 0; e = t.Load<u64>(e + 16)) {
+      if (t.Load<u64>(e) == tkey) {
+        return t.Load<u64>(e + 8);
+      }
+    }
+    return 0;
+  }
+
+  u64 Get(rt::ThreadApi& t, u64 tenant, u64 key) {
+    lock.ReadLock(t);
+    const u64 v = LookupLocked(t, tenant, key);
+    lock.ReadUnlock(t);
+    return v;
+  }
+
+  // Sums values over [key, key + span) under one read lock: a consistent
+  // range read against concurrent puts.
+  u64 Scan(rt::ThreadApi& t, u64 tenant, u64 key, u64 span) {
+    lock.ReadLock(t);
+    u64 sum = 0;
+    for (u64 k = 0; k < span; ++k) {
+      sum += LookupLocked(t, tenant, key + k);
+    }
+    lock.ReadUnlock(t);
+    return sum;
+  }
+
+  rt::SharedHeap* heap;
+  u64 buckets;
+  u64 base;
+  rt::RwLock lock;
+};
+
+// ---- Session grouping ------------------------------------------------------
+
+struct Session {
+  u64 id = 0;
+  std::vector<u32> reqs;  // indices into the shard log, in log order
+};
+
+std::vector<Session> GroupSessions(const std::vector<Request>& log) {
+  std::vector<Session> out;
+  std::unordered_map<u64, usize> index;
+  for (u32 i = 0; i < log.size(); ++i) {
+    auto [it, fresh] = index.emplace(log[i].session, out.size());
+    if (fresh) {
+      out.push_back(Session{log[i].session, {}});
+    }
+    out[it->second].reqs.push_back(i);
+  }
+  return out;
+}
+
+// ---- The shard workload ----------------------------------------------------
+//
+// Runs inside the deterministic simulation. Host-side result slots are safe
+// without host synchronization: each slot is written by exactly one simulated
+// thread, vectors are pre-sized (no reallocation), and the engine's
+// join/completion edges give the reader happens-before.
+
+struct ShardUniverse {
+  const ServeConfig* cfg = nullptr;
+  const std::vector<Request>* log = nullptr;
+  const std::vector<Session>* sessions = nullptr;
+  ShardResult* out = nullptr;
+
+  u64 SessionTag(u64 session_id) const {
+    u64 s = session_id ^ 0x5e551011c0ffeeULL;
+    return SplitMix64(s) | 1;  // never 0: freshly carved scratch reads as 0
+  }
+
+  void RunSession(rt::ThreadApi& t, KvStore* kv, rt::SharedHeap* heap, usize si) const {
+    const Session& s = (*sessions)[si];
+    out->session_tids[si] = t.Tid();
+    // Connection-scoped scratch: allocated on arrival, freed on departure.
+    // The tag probe catches any cross-session aliasing of LIVE scratch; the
+    // recorded address pins the allocator's deterministic reuse order.
+    const u64 scratch = heap->Malloc(t, 64);
+    out->session_scratch[si] = scratch;
+    const u64 tag = SessionTag(s.id);
+    t.Store<u64>(scratch, tag);
+    for (const u32 ri : s.reqs) {
+      const Request& rq = (*log)[ri];
+      t.Work(cfg->work_per_request);  // parse / dispatch
+      const u64 start = t.Now();
+      u64 resp = 0;
+      switch (rq.op) {
+        case Op::kGet:
+          resp = kv->Get(t, rq.tenant, rq.key);
+          break;
+        case Op::kPut:
+          resp = kv->Put(t, rq.tenant, rq.key, rq.value);
+          break;
+        case Op::kScan:
+          resp = kv->Scan(t, rq.tenant, rq.key, std::clamp<u64>(rq.value, 1, 64));
+          break;
+      }
+      out->responses[ri] = resp;
+      out->latencies[ri] = t.Now() - start;
+      if (t.Load<u64>(scratch) != tag) {
+        out->session_leaks[si] = 1;
+      }
+    }
+    heap->Free(t, scratch);
+  }
+
+  // The universe's main thread: the acceptor. Admits sessions in arrival
+  // order through a bounded live window (joining the oldest when full — the
+  // churn that cycles the runtime's thread-reuse pool), then digests the
+  // final store state.
+  u64 operator()(rt::ThreadApi& api) const {
+    rt::SharedHeap heap(api, cfg->heap_bytes);
+    KvStore kv(api, &heap, cfg->kv_buckets);
+    std::vector<rt::ThreadHandle> live;  // FIFO window of unjoined sessions
+    usize oldest = 0;
+    for (usize si = 0; si < sessions->size(); ++si) {
+      if (live.size() - oldest >= cfg->max_live_sessions) {
+        api.JoinThread(live[oldest++]);
+      }
+      const ShardUniverse* u = this;
+      KvStore* kvp = &kv;
+      rt::SharedHeap* hp = &heap;
+      live.push_back(api.SpawnThread(
+          [u, kvp, hp, si](rt::ThreadApi& t) { u->RunSession(t, kvp, hp, si); }));
+    }
+    for (; oldest < live.size(); ++oldest) {
+      api.JoinThread(live[oldest]);
+    }
+
+    // Final state digest: walk every bucket chain. Chain order is part of the
+    // digested state — it is a deterministic function of the insert order.
+    Fnv1a state;
+    for (u64 b = 0; b < kv.buckets; ++b) {
+      for (u64 e = api.Load<u64>(kv.base + 8 * b); e != 0; e = api.Load<u64>(e + 16)) {
+        state.Mix(api.Load<u64>(e));
+        state.Mix(api.Load<u64>(e + 8));
+      }
+    }
+    out->state_digest = state.Digest();
+
+    // The workload checksum folds state and responses so RunResult::checksum
+    // alone pins the full serving surface.
+    Fnv1a all;
+    all.Mix(state.Digest());
+    for (const u64 r : out->responses) {
+      all.Mix(r);
+    }
+    return all.Digest();
+  }
+};
+
+rt::RuntimeConfig BuildRuntimeConfig(const ServeConfig& cfg) {
+  rt::RuntimeConfig rc;
+  rc.nthreads = cfg.max_live_sessions + 1;
+  rc.segment.size_bytes = cfg.segment_bytes;
+  rc.sim_stack_bytes = cfg.stack_bytes;
+  rc.host_workers = cfg.host_workers;
+  rc.thread_reuse = cfg.thread_reuse;
+  rc.costs.jitter_seed = cfg.jitter_seed;
+  rc.costs.jitter_bp = cfg.jitter_bp;
+  return rc;
+}
+
+std::string Hex(u64 v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+// ---- Routing ---------------------------------------------------------------
+
+u32 ShardFor(u64 tenant, u32 shards) {
+  CSQ_CHECK_MSG(shards > 0, "router needs at least one shard");
+  return static_cast<u32>(MixTenant(tenant) % shards);
+}
+
+std::vector<std::vector<Request>> RouteLog(const std::vector<Request>& log, u32 shards) {
+  std::vector<std::vector<Request>> out(shards);
+  for (const Request& r : log) {
+    out[ShardFor(r.tenant, shards)].push_back(r);
+  }
+  return out;
+}
+
+// ---- Shard -----------------------------------------------------------------
+
+Shard::Shard(u32 id, ServeConfig cfg) : id_(id), cfg_(std::move(cfg)) {}
+
+ShardResult Shard::Serve(const std::vector<Request>& log) const {
+  ShardResult out;
+  out.shard = id_;
+  out.requests = log.size();
+  out.responses.assign(log.size(), 0);
+  out.latencies.assign(log.size(), 0);
+  const std::vector<Session> sessions = GroupSessions(log);
+  out.session_tids.assign(sessions.size(), 0);
+  out.session_scratch.assign(sessions.size(), 0);
+  out.session_leaks.assign(sessions.size(), 0);
+
+  rt::RuntimeConfig rc = BuildRuntimeConfig(cfg_);
+  tso::TraceRecorder recorder;
+  if (cfg_.record_trace) {
+    rc.observer = &recorder;
+  }
+  ShardUniverse universe;
+  universe.cfg = &cfg_;
+  universe.log = &log;
+  universe.sessions = &sessions;
+  universe.out = &out;
+  out.run = rt::MakeRuntime(cfg_.backend, rc)->Run(universe);
+  if (cfg_.record_trace) {
+    out.trace = recorder.TakeTrace();
+  }
+
+  Fnv1a resp;
+  for (const u64 r : out.responses) {
+    resp.Mix(r);
+  }
+  out.response_digest = resp.Digest();
+  return out;
+}
+
+// ---- Record / replay -------------------------------------------------------
+
+std::vector<std::pair<u32, u64>> CommitOrder(const tso::TsoTrace& t) {
+  std::vector<std::pair<u32, u64>> order;
+  for (const auto& stream : t.per_thread) {
+    for (const tso::TsoEvent& e : stream) {
+      if (e.kind == tso::TsoEventKind::kCommit) {
+        order.emplace_back(e.tid, e.a);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return order;
+}
+
+std::string EncodeRecording(const ShardResult& r) {
+  std::ostringstream os;
+  os << "shard " << r.shard << " requests " << r.requests << "\n";
+  for (usize t = 0; t < r.trace.per_thread.size(); ++t) {
+    os << "thread " << t << " (" << r.trace.per_thread[t].size() << " events)\n";
+    for (const tso::TsoEvent& e : r.trace.per_thread[t]) {
+      os << "  " << e.ToString() << "\n";
+    }
+  }
+  os << "grants (" << r.trace.grants.size() << ")\n";
+  for (const tso::TsoEvent& e : r.trace.grants) {
+    os << "  " << e.ToString() << "\n";
+  }
+  os << "commit-order\n";
+  for (const auto& [tid, version] : CommitOrder(r.trace)) {
+    os << "  tid=" << tid << " version=" << version << "\n";
+  }
+  os << "responses\n";
+  for (usize i = 0; i < r.responses.size(); ++i) {
+    os << "  " << i << "=" << Hex(r.responses[i]) << "\n";
+  }
+  os << "session-scratch\n";
+  for (usize i = 0; i < r.session_scratch.size(); ++i) {
+    os << "  " << i << "=" << Hex(r.session_scratch[i]) << " tid=" << r.session_tids[i]
+       << "\n";
+  }
+  os << "response-digest " << Hex(r.response_digest) << "\n";
+  os << "state-digest " << Hex(r.state_digest) << "\n";
+  return os.str();
+}
+
+ReplayDiff CompareRecordings(const ShardResult& recorded, const ShardResult& replayed) {
+  const tso::TraceDiff td = tso::DiffTraces(recorded.trace, replayed.trace);
+  if (td.diverged) {
+    return {false, "trace: " + td.description};
+  }
+  const auto ca = CommitOrder(recorded.trace);
+  const auto cb = CommitOrder(replayed.trace);
+  for (usize i = 0; i < std::min(ca.size(), cb.size()); ++i) {
+    if (ca[i] != cb[i]) {
+      std::ostringstream os;
+      os << "commit-order[" << i << "]: recorded tid=" << ca[i].first
+         << " version=" << ca[i].second << ", replayed tid=" << cb[i].first
+         << " version=" << cb[i].second;
+      return {false, os.str()};
+    }
+  }
+  if (ca.size() != cb.size()) {
+    std::ostringstream os;
+    os << "commit-order length: recorded " << ca.size() << ", replayed " << cb.size();
+    return {false, os.str()};
+  }
+  if (recorded.responses.size() != replayed.responses.size()) {
+    std::ostringstream os;
+    os << "response count: recorded " << recorded.responses.size() << ", replayed "
+       << replayed.responses.size();
+    return {false, os.str()};
+  }
+  for (usize i = 0; i < recorded.responses.size(); ++i) {
+    if (recorded.responses[i] != replayed.responses[i]) {
+      std::ostringstream os;
+      os << "response[" << i << "]: recorded " << Hex(recorded.responses[i]) << ", replayed "
+         << Hex(replayed.responses[i]);
+      return {false, os.str()};
+    }
+  }
+  if (recorded.response_digest != replayed.response_digest) {
+    return {false, "response digest mismatch with equal responses (digest bug)"};
+  }
+  if (recorded.state_digest != replayed.state_digest) {
+    std::ostringstream os;
+    os << "state digest: recorded " << Hex(recorded.state_digest) << ", replayed "
+       << Hex(replayed.state_digest);
+    return {false, os.str()};
+  }
+  return {true, {}};
+}
+
+// ---- ShardServer -----------------------------------------------------------
+
+ShardServer::ShardServer(ServeConfig cfg) : cfg_(std::move(cfg)) {}
+
+ServeResult ShardServer::Serve(const std::vector<Request>& log) const {
+  ServeResult out;
+  out.requests = log.size();
+  std::vector<std::vector<Request>> queues = RouteLog(log, cfg_.shards);
+  out.shards.resize(cfg_.shards);
+
+  WallTimer wall;
+  std::atomic<u32> next{0};
+  const u32 workers = std::max(1u, std::min(cfg_.serve_threads, cfg_.shards));
+  auto drain = [&] {
+    for (;;) {
+      const u32 shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= cfg_.shards) {
+        return;
+      }
+      out.shards[shard] = Shard(shard, cfg_).Serve(queues[shard]);
+    }
+  };
+  if (workers == 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (u32 w = 0; w < workers; ++w) {
+      pool.emplace_back(drain);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  out.wall_ns = static_cast<u64>(wall.ElapsedNs());
+
+  Fnv1a digest;
+  for (const ShardResult& s : out.shards) {
+    digest.Mix(static_cast<u64>(s.shard));
+    digest.Mix(s.response_digest);
+    digest.Mix(s.state_digest);
+  }
+  out.response_digest = digest.Digest();
+  return out;
+}
+
+}  // namespace csq::serve

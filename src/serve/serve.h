@@ -1,0 +1,186 @@
+// Deterministic multi-tenant serving shards (DESIGN.md §15).
+//
+// The production-scale consumer of the whole stack: the runtime is sharded
+// into independent deterministic universes — one `sim::Engine` + segment set
+// per shard — and request traffic is pushed through them. A stateless router
+// hashes every request's TENANT to a shard (all of a tenant's sessions land
+// in the same universe, so its data never straddles shards), and host-side
+// worker threads drain per-shard request queues by running each shard's
+// request handlers as simulated threads over the public rt::ThreadApi:
+// sessions (logical connections) arrive in log order, execute their KV
+// get/put/scan requests against the shard's shared-memory store, and leave —
+// churning through the runtime's §3.3 thread-reuse pool.
+//
+// Determinism is the product feature. Given a shard's request log, the
+// shard's synchronization trace, response stream, commit order and final
+// state digest are bit-identical across engines (serial/threaded), host
+// worker counts and timing jitter. That buys, for free:
+//
+//   * record/replay — the durable request log plus the recorded canonical
+//     trace IS the recovery story: re-executing the log after a crash
+//     reproduces the universe byte-for-byte (CompareRecordings names the
+//     first divergent event if it ever does not);
+//   * SMR-style failover — two hosts feeding the same log to the same shard
+//     config hold identical replicas with no state shipping.
+//
+// Per-request latency is probed with ThreadApi::Now() (virtual time, so it
+// includes deterministic lock-wait/queueing delay inside the universe) and
+// kept OUT of the recorded bytes: latency samples are jitter-dependent by
+// design, responses and traces are not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/rt/api.h"
+#include "src/tso/trace.h"
+#include "src/util/types.h"
+
+namespace csq::serve {
+
+enum class Op : u8 {
+  kGet,   // response: stored value (0 when absent)
+  kPut,   // response: previous value (0 on fresh insert)
+  kScan,  // response: sum of values over [key, key + value) — `value` is the span
+};
+
+// One request on one logical connection. `tenant` is the routing key (the
+// deterministic-universe id); `session` is the connection id — requests with
+// the same session id execute in log order on one simulated thread.
+struct Request {
+  u64 tenant = 0;
+  u64 session = 0;
+  Op op = Op::kGet;
+  u64 key = 0;
+  u64 value = 0;  // put payload, or scan span for kScan
+};
+
+struct ServeConfig {
+  u32 shards = 4;
+  // Host threads draining the shard queues in ShardServer::Serve. Purely a
+  // host-throughput knob: shards are independent universes, so results are
+  // bit-identical for every value.
+  u32 serve_threads = 1;
+  // Per-shard window of concurrently live sessions. The acceptor (the
+  // universe's main thread) admits sessions in log order and joins the
+  // oldest when the window is full — connection churn through the runtime's
+  // thread-reuse pool is bounded by this.
+  u32 max_live_sessions = 8;
+
+  // Shard universe sizing.
+  u32 kv_buckets = 256;
+  usize heap_bytes = 2 << 20;
+  usize segment_bytes = 16 << 20;
+  usize stack_bytes = 128 * 1024;  // sessions are shallow; see sim_stack_bytes
+
+  // Runtime selection inside each shard.
+  rt::Backend backend = rt::Backend::kConsequenceIC;
+  u32 host_workers = 1;  // engine workers per shard universe
+  bool thread_reuse = true;
+  u64 jitter_seed = 1;
+  u32 jitter_bp = 1200;
+
+  // Modeled per-request parse/dispatch cost (ThreadApi::Work units).
+  u64 work_per_request = 300;
+
+  // Record the canonical tso::TraceRecorder trace for each shard (the
+  // record/replay artifact). Off for throughput-only bench sweeps.
+  bool record_trace = true;
+};
+
+// ---- Routing ---------------------------------------------------------------
+
+// Stateless router: tenant -> shard. All sessions of a tenant map to the same
+// shard for any fixed shard count, so a tenant's universe is self-contained.
+u32 ShardFor(u64 tenant, u32 shards);
+
+// Partitions a request log into per-shard logs, preserving relative order.
+std::vector<std::vector<Request>> RouteLog(const std::vector<Request>& log, u32 shards);
+
+// ---- Shard execution -------------------------------------------------------
+
+// Everything one shard produced from draining its log. The deterministic
+// record/replay surface is `responses`, `trace`, the commit order derived
+// from the trace, `response_digest` and `state_digest`; `latencies` (virtual
+// time, jitter-dependent) and `run` host fields are observability only.
+struct ShardResult {
+  u32 shard = 0;
+  usize requests = 0;
+
+  std::vector<u64> responses;  // indexed by shard-log order
+  std::vector<u64> latencies;  // vtime delta per request (incl. lock waits)
+
+  // Per-session facts in arrival order: the simulated thread that served the
+  // session, its scratch-buffer address (SharedHeap reuse order is part of
+  // the determinism contract), and whether the cross-session leak probe
+  // fired (another live session's bytes observed in this session's scratch).
+  std::vector<u32> session_tids;
+  std::vector<u64> session_scratch;
+  std::vector<u8> session_leaks;
+
+  u64 response_digest = 0;
+  u64 state_digest = 0;  // final KV contents (== run.checksum contribution)
+
+  rt::RunResult run;
+  tso::TsoTrace trace;  // empty unless ServeConfig::record_trace
+};
+
+// One deterministic universe. Serve() runs the whole log to completion on a
+// fresh simulation; calling it again with the same log IS replay.
+class Shard {
+ public:
+  Shard(u32 id, ServeConfig cfg);
+
+  ShardResult Serve(const std::vector<Request>& log) const;
+
+ private:
+  u32 id_;
+  ServeConfig cfg_;
+};
+
+// ---- Record / replay -------------------------------------------------------
+
+// Canonical byte encoding of a shard's deterministic surface: per-thread sync
+// event streams, the global token-grant order, the version-ordered commit
+// order, every response, and the digests. Two runs of the same shard config +
+// log must produce byte-identical encodings; latency samples and host fields
+// are deliberately excluded.
+std::string EncodeRecording(const ShardResult& r);
+
+// Global commit order of a shard trace: (tid, version) pairs sorted by the
+// install-ordered commit version.
+std::vector<std::pair<u32, u64>> CommitOrder(const tso::TsoTrace& t);
+
+struct ReplayDiff {
+  bool identical = true;
+  std::string description;  // names the FIRST divergence when not identical
+};
+
+// Diffs a replayed shard against the recorded one: first divergent trace
+// event (via tso::DiffTraces), first divergent commit-order entry, first
+// divergent response index, then the digests.
+ReplayDiff CompareRecordings(const ShardResult& recorded, const ShardResult& replayed);
+
+// ---- The front end ---------------------------------------------------------
+
+struct ServeResult {
+  std::vector<ShardResult> shards;  // indexed by shard id
+  usize requests = 0;
+  u64 wall_ns = 0;          // host wall-clock of the whole drain
+  u64 response_digest = 0;  // mixed over shards in shard order
+};
+
+// Router + host worker pool: routes the log, then `serve_threads` host
+// threads drain the per-shard queues (one shard is owned by exactly one
+// worker at a time; shards are claimed in id order).
+class ShardServer {
+ public:
+  explicit ShardServer(ServeConfig cfg);
+
+  ServeResult Serve(const std::vector<Request>& log) const;
+
+ private:
+  ServeConfig cfg_;
+};
+
+}  // namespace csq::serve

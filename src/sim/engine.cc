@@ -205,6 +205,14 @@ void Engine::RunSerial() {
     threads_[next]->fiber->SwitchInto(&main_ctx_);
     current_ = kInvalidThread;
     cur_thread_ = nullptr;
+    if (threads_[next]->state == SimThreadState::kFinished) {
+      // Eager stack reclamation: the fiber's on_exit switched back onto the
+      // scheduler's context, so its stack is quiescent and will never be
+      // resumed. Churn-heavy universes (the serving layer spawns one thread
+      // per connection) would otherwise hold every dead session's stack until
+      // the whole Run finishes.
+      threads_[next]->fiber.reset();
+    }
   }
   for (usize i = 0; i < threads_.size(); ++i) {
     if (threads_[i]->state != SimThreadState::kFinished) {

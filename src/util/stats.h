@@ -36,6 +36,20 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Nearest-rank percentile of a sample set (p in [0, 100]); sorts a copy so
+// callers can keep their samples in arrival order. 0 on an empty set. Used by
+// the serving bench for per-request latency p50/p95/p99.
+inline u64 Percentile(std::vector<u64> xs, double p) {
+  if (xs.empty()) {
+    return 0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const double rank = (p / 100.0) * static_cast<double>(xs.size());
+  usize idx = rank <= 1.0 ? 0 : static_cast<usize>(std::ceil(rank)) - 1;
+  idx = std::min(idx, xs.size() - 1);
+  return xs[idx];
+}
+
 // Running min/max/mean/stddev over double samples.
 class RunningStats {
  public:

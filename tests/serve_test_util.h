@@ -1,0 +1,73 @@
+// Shared fixtures for the serving-layer test suites: one small-but-busy load
+// spec and a shard config sized so the suites run in seconds while still
+// exercising multi-tenant routing, session concurrency and connection churn.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/serve/loadgen.h"
+#include "src/serve/serve.h"
+
+namespace csq::serve {
+
+inline LoadSpec SmallLoad(u64 seed = 42) {
+  LoadSpec spec;
+  spec.tenants = 16;
+  spec.users = 1 << 20;
+  spec.sessions = 48;
+  spec.min_requests = 3;
+  spec.max_requests = 14;
+  spec.keys_per_tenant = 64;
+  spec.put_pct = 30;  // write-heavy so commit order is interesting
+  spec.scan_pct = 10;
+  spec.churn_window = 10;
+  spec.seed = seed;
+  return spec;
+}
+
+inline ServeConfig SmallConfig() {
+  ServeConfig cfg;
+  cfg.shards = 3;
+  cfg.serve_threads = 1;
+  cfg.max_live_sessions = 6;
+  cfg.kv_buckets = 64;
+  cfg.heap_bytes = 1 << 20;
+  cfg.segment_bytes = 8 << 20;
+  cfg.work_per_request = 120;
+  return cfg;
+}
+
+// Canonical bytes of a whole serve result: every shard's recording
+// concatenated in shard order.
+inline std::string EncodeAll(const ServeResult& r) {
+  std::string out;
+  for (const ShardResult& s : r.shards) {
+    out += EncodeRecording(s);
+  }
+  return out;
+}
+
+// First index where two recordings differ, with surrounding context — so a
+// byte-inequality failure names the divergent line instead of dumping both
+// blobs.
+inline std::string FirstByteDivergence(const std::string& a, const std::string& b) {
+  if (a == b) {
+    return "identical";
+  }
+  usize i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) {
+    ++i;
+  }
+  const auto line_around = [](const std::string& s, usize pos) {
+    usize lo = s.rfind('\n', pos == 0 ? 0 : pos - 1);
+    lo = lo == std::string::npos ? 0 : lo + 1;
+    usize hi = s.find('\n', pos);
+    hi = hi == std::string::npos ? s.size() : hi;
+    return s.substr(lo, hi - lo);
+  };
+  return "first divergence at byte " + std::to_string(i) + ": expected line \"" +
+         line_around(a, i) + "\" vs got line \"" + line_around(b, i) + "\"";
+}
+
+}  // namespace csq::serve

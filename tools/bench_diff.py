@@ -44,18 +44,93 @@ CHECKS = [
         "best_speedup_4plus_committers_large_footprint",
         "vtimes_identical",
     ),
+    ("BENCH_serve_shards.json", "multi_shard_scaling", "digest_stable"),
 ]
 
 
 def load(path: str):
+    """Returns the parsed dict, None when the file does not exist, or the
+    sentinel "invalid" (with a clean FAIL line already printed) for anything
+    unparseable — a malformed report must produce a countable failure, never
+    an uncaught stack trace."""
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
+            doc = json.load(f)
     except FileNotFoundError:
         return None
+    except OSError as e:
+        # NotADirectoryError / IsADirectoryError / PermissionError: a report
+        # path component is wrong or unreadable. Treat like a broken report.
+        print(f"FAIL  {path}: unreadable ({e})")
+        return "invalid"
     except json.JSONDecodeError as e:
         print(f"FAIL  {path}: invalid JSON ({e})")
         return "invalid"
+    if not isinstance(doc, dict):
+        print(f"FAIL  {path}: top-level JSON is {type(doc).__name__}, expected an object")
+        return "invalid"
+    return doc
+
+
+def check_one(name: str, perf_key: str, ok_key: str, args) -> int:
+    """Runs one registry entry; returns its failure count."""
+    fresh_path = os.path.join(args.fresh, name)
+    base_path = os.path.join(args.baseline, name)
+    failures = 0
+    fresh = load(fresh_path)
+    if fresh is None:
+        print(f"FAIL  {name}: fresh report missing at {fresh_path} (bench did not run?)")
+        return 1
+    if fresh == "invalid":
+        return 1
+
+    # Correctness gate: unconditional.
+    if fresh.get(ok_key) is not True:
+        print(f"FAIL  {name}: {ok_key}={fresh.get(ok_key)!r} (must be true)")
+        failures += 1
+    else:
+        print(f"ok    {name}: {ok_key}=true")
+
+    base = load(base_path)
+    if base is None:
+        # A bench's first PR lands the bench before any baseline exists: that
+        # is a clean, loudly-announced skip, never a crash or a failure.
+        print(
+            f"warn  {name}: no committed baseline at {base_path} — skipping perf gate "
+            "(first run? commit the fresh report under bench/baselines/)"
+        )
+        return failures
+    if base == "invalid":
+        return failures + 1
+
+    # Perf gate: only meaningful multi-core vs multi-core.
+    fresh_caveat = fresh.get("single_core_caveat", True)
+    base_caveat = base.get("single_core_caveat", True)
+    if fresh_caveat or base_caveat:
+        who = []
+        if fresh_caveat:
+            who.append(f"fresh host_cores={fresh.get('host_cores', '?')}")
+        if base_caveat:
+            who.append(f"baseline host_cores={base.get('host_cores', '?')}")
+        print(f"skip  {name}: {perf_key} comparison ({'; '.join(who)}: single-core wall-clock is noise)")
+        return failures
+
+    fresh_v = fresh.get(perf_key)
+    base_v = base.get(perf_key)
+    if not isinstance(fresh_v, (int, float)) or isinstance(fresh_v, bool) or \
+            not isinstance(base_v, (int, float)) or isinstance(base_v, bool):
+        print(f"FAIL  {name}: {perf_key} missing or non-numeric (fresh={fresh_v!r}, baseline={base_v!r})")
+        return failures + 1
+    floor = base_v * (1.0 - args.max_regression)
+    if fresh_v < floor:
+        print(
+            f"FAIL  {name}: {perf_key} regressed {fresh_v:.3f} < {floor:.3f} "
+            f"(baseline {base_v:.3f}, tolerance {args.max_regression:.0%})"
+        )
+        failures += 1
+    else:
+        print(f"ok    {name}: {perf_key} {fresh_v:.3f} vs baseline {base_v:.3f} (floor {floor:.3f})")
+    return failures
 
 
 def main() -> int:
@@ -72,60 +147,11 @@ def main() -> int:
 
     failures = 0
     for name, perf_key, ok_key in CHECKS:
-        fresh_path = os.path.join(args.fresh, name)
-        base_path = os.path.join(args.baseline, name)
-        fresh = load(fresh_path)
-        if fresh is None:
-            print(f"FAIL  {name}: fresh report missing at {fresh_path} (bench did not run?)")
+        try:
+            failures += check_one(name, perf_key, ok_key, args)
+        except Exception as e:  # noqa: BLE001 — one broken report must not kill the gate
+            print(f"FAIL  {name}: internal error while checking ({type(e).__name__}: {e})")
             failures += 1
-            continue
-        if fresh == "invalid":
-            failures += 1
-            continue
-
-        # Correctness gate: unconditional.
-        if fresh.get(ok_key) is not True:
-            print(f"FAIL  {name}: {ok_key}={fresh.get(ok_key)!r} (must be true)")
-            failures += 1
-        else:
-            print(f"ok    {name}: {ok_key}=true")
-
-        base = load(base_path)
-        if base is None:
-            print(f"skip  {name}: no committed baseline at {base_path}")
-            continue
-        if base == "invalid":
-            failures += 1
-            continue
-
-        # Perf gate: only meaningful multi-core vs multi-core.
-        fresh_caveat = fresh.get("single_core_caveat", True)
-        base_caveat = base.get("single_core_caveat", True)
-        if fresh_caveat or base_caveat:
-            who = []
-            if fresh_caveat:
-                who.append(f"fresh host_cores={fresh.get('host_cores', '?')}")
-            if base_caveat:
-                who.append(f"baseline host_cores={base.get('host_cores', '?')}")
-            print(f"skip  {name}: {perf_key} comparison ({'; '.join(who)}: single-core wall-clock is noise)")
-            continue
-
-        fresh_v = fresh.get(perf_key)
-        base_v = base.get(perf_key)
-        if not isinstance(fresh_v, (int, float)) or not isinstance(base_v, (int, float)):
-            print(f"FAIL  {name}: {perf_key} missing or non-numeric (fresh={fresh_v!r}, baseline={base_v!r})")
-            failures += 1
-            continue
-        floor = base_v * (1.0 - args.max_regression)
-        if fresh_v < floor:
-            print(
-                f"FAIL  {name}: {perf_key} regressed {fresh_v:.3f} < {floor:.3f} "
-                f"(baseline {base_v:.3f}, tolerance {args.max_regression:.0%})"
-            )
-            failures += 1
-        else:
-            print(f"ok    {name}: {perf_key} {fresh_v:.3f} vs baseline {base_v:.3f} (floor {floor:.3f})")
-
     print(f"bench_diff: {failures} failure(s)")
     return failures
 

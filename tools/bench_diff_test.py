@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Pins tools/bench_diff.py's failure-handling contract (run from ctest).
+
+The gate script must never die with a stack trace on degenerate input — every
+degenerate report shape maps to a clean per-check line and a countable exit
+status:
+
+  * missing fresh report            -> FAIL (the bench did not run)
+  * missing committed baseline      -> warn + skip (a bench's first PR)
+  * unparseable / non-object JSON   -> FAIL, no traceback
+  * baseline path is a directory    -> FAIL, no traceback
+  * correctness key false           -> FAIL
+  * perf regression beyond floor    -> FAIL (multi-core vs multi-core only)
+  * single-core host on either side -> skip
+"""
+
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+spec = importlib.util.spec_from_file_location("bench_diff", os.path.join(TOOLS_DIR, "bench_diff.py"))
+bench_diff = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_diff)
+
+
+class Args:
+    def __init__(self, fresh, baseline, max_regression=0.10):
+        self.fresh = fresh
+        self.baseline = baseline
+        self.max_regression = max_regression
+
+
+def write(path, doc):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        if isinstance(doc, str):
+            f.write(doc)
+        else:
+            json.dump(doc, f)
+
+
+def run_check(fresh_dir, base_dir, name="BENCH_x.json", perf="ratio", ok="ok_flag", tol=0.10):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        failures = bench_diff.check_one(name, perf, ok, Args(fresh_dir, base_dir, tol))
+    return failures, out.getvalue()
+
+
+GOOD = {"ok_flag": True, "ratio": 2.0, "single_core_caveat": False, "host_cores": 8}
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.fresh = os.path.join(self.tmp.name, "fresh")
+        self.base = os.path.join(self.tmp.name, "base")
+        os.makedirs(self.fresh)
+        os.makedirs(self.base)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_missing_fresh_report_fails(self):
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 1)
+        self.assertIn("fresh report missing", out)
+
+    def test_missing_baseline_is_clean_warn_skip(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), GOOD)
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 0)
+        self.assertIn("warn", out)
+        self.assertIn("no committed baseline", out)
+        self.assertIn("commit the fresh report", out)
+
+    def test_invalid_json_fails_without_traceback(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), "{not json!")
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 1)
+        self.assertIn("invalid JSON", out)
+
+    def test_non_object_top_level_fails_cleanly(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), [1, 2, 3])
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 1)
+        self.assertIn("expected an object", out)
+
+    def test_baseline_path_is_a_directory_fails_cleanly(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), GOOD)
+        os.makedirs(os.path.join(self.base, "BENCH_x.json"))  # a DIRECTORY
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 1, out)
+        self.assertIn("unreadable", out)
+
+    def test_fresh_dir_component_not_a_directory(self):
+        # --fresh pointing THROUGH a file: NotADirectoryError path.
+        write(os.path.join(self.fresh, "plainfile"), GOOD)
+        failures, out = run_check(os.path.join(self.fresh, "plainfile"), self.base)
+        self.assertEqual(failures, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_correctness_flag_false_fails(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), dict(GOOD, ok_flag=False))
+        write(os.path.join(self.base, "BENCH_x.json"), GOOD)
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 1)
+        self.assertIn("must be true", out)
+
+    def test_regression_beyond_floor_fails(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), dict(GOOD, ratio=1.0))
+        write(os.path.join(self.base, "BENCH_x.json"), dict(GOOD, ratio=2.0))
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 1)
+        self.assertIn("regressed", out)
+
+    def test_within_tolerance_passes(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), dict(GOOD, ratio=1.85))
+        write(os.path.join(self.base, "BENCH_x.json"), dict(GOOD, ratio=2.0))
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 0, out)
+
+    def test_single_core_side_skips_perf_gate(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"),
+              dict(GOOD, ratio=0.1, single_core_caveat=True, host_cores=1))
+        write(os.path.join(self.base, "BENCH_x.json"), GOOD)
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 0)
+        self.assertIn("single-core wall-clock is noise", out)
+
+    def test_boolean_perf_value_is_non_numeric(self):
+        write(os.path.join(self.fresh, "BENCH_x.json"), dict(GOOD, ratio=True))
+        write(os.path.join(self.base, "BENCH_x.json"), GOOD)
+        failures, out = run_check(self.fresh, self.base)
+        self.assertEqual(failures, 1)
+        self.assertIn("non-numeric", out)
+
+    def test_serve_shards_registered(self):
+        self.assertIn(
+            ("BENCH_serve_shards.json", "multi_shard_scaling", "digest_stable"),
+            bench_diff.CHECKS,
+        )
+
+    def test_main_survives_degenerate_registry_inputs(self):
+        # End-to-end: main() over the real registry with an empty fresh dir
+        # exits with one countable failure per check and no traceback.
+        argv = sys.argv
+        sys.argv = ["bench_diff.py", "--fresh", self.fresh, "--baseline", self.base]
+        try:
+            out = io.StringIO()
+            with redirect_stdout(out):
+                rc = bench_diff.main()
+        finally:
+            sys.argv = argv
+        self.assertEqual(rc, len(bench_diff.CHECKS))
+        self.assertIn("failure(s)", out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()
