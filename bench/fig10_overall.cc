@@ -71,11 +71,19 @@ Headline Sweep(const std::vector<u32>& threads, bool print_table, u32 host_worke
         floor_sum->floor.wakeup_free_handoffs += f.wakeup_free_handoffs;
         floor_sum->floor.condvar_handoffs += f.condvar_handoffs;
         floor_sum->floor.gate_reevals += f.gate_reevals;
+        const sim::EngineSchedStats& sc = br->result.sched;
+        floor_sum->sched.slot_acquires += sc.slot_acquires;
+        floor_sum->sched.affinity_hits += sc.affinity_hits;
+        floor_sum->sched.hint_grants += sc.hint_grants;
+        floor_sum->sched.steals += sc.steals;
+        floor_sum->sched.cold_starts += sc.cold_starts;
+        floor_sum->sched.host_slots = std::max(floor_sum->sched.host_slots, sc.host_slots);
         for (const sim::EngineDomainFloorStat& d : br->result.domain_floors) {
           bool merged = false;
           for (sim::EngineDomainFloorStat& acc : floor_sum->domain_floors) {
             if (acc.label == d.label) {
               acc.grants += d.grants;
+              acc.lease_hits += d.lease_hits;
               acc.floor_held_ns += d.floor_held_ns;
               merged = true;
               break;
@@ -202,6 +210,17 @@ int main() {
       .Int("wakeup_free_handoffs", floor_sum.floor.wakeup_free_handoffs)
       .Int("condvar_handoffs", floor_sum.floor.condvar_handoffs)
       .Int("gate_reevals", floor_sum.floor.gate_reevals)
+      .Int("sched_host_slots", floor_sum.sched.host_slots)
+      .Int("sched_slot_acquires", floor_sum.sched.slot_acquires)
+      .Int("sched_affinity_hits", floor_sum.sched.affinity_hits)
+      .Int("sched_hint_grants", floor_sum.sched.hint_grants)
+      .Int("sched_steals", floor_sum.sched.steals)
+      .Int("sched_cold_starts", floor_sum.sched.cold_starts)
+      .Num("affinity_hit_rate",
+           floor_sum.sched.slot_acquires > 0
+               ? static_cast<double>(floor_sum.sched.affinity_hits) /
+                     static_cast<double>(floor_sum.sched.slot_acquires)
+               : 0.0)
       .Num("worst_ic_slowdown", full.worst_ic)
       .Int("at_or_below_2_5x", full.at_or_below_25)
       .Num("vs_dthreads_5_hardest", full.vs_dthreads)

@@ -5,6 +5,13 @@
 // global coordination phase), compared against the adaptive policy. The paper
 // shows the level matters a lot even statically, and that the adaptive policy
 // beats the best static choice.
+//
+// When CSQ_HOST_WORKERS>1 the runs execute on the host-parallel engine and
+// the table gains §16 locality columns: the affinity-hit rate of the slot
+// scheduler (how often a simulated thread re-acquired the host-worker slot it
+// last ran on) and the steal count. Coarsened chunks are exactly the case the
+// affinity map targets — long runs between sync points with warm per-slot
+// state — so the hit rate should be high (>=80% at 4 workers).
 #include <cstdio>
 #include <iostream>
 
@@ -19,30 +26,63 @@ int main() {
   const u32 levels[] = {0, 1, 2, 4, 8, 16, 32, 64};
   std::printf("Fig 14: static coarsening level vs adaptive (virtual Mcycles, %u threads)\n\n",
               kThreads);
+  const u32 host_workers = DefaultConfig(kThreads).host_workers;
+  const bool parallel = host_workers > 1;
   std::vector<std::string> headers = {"benchmark"};
   for (u32 l : levels) {
     headers.push_back("lvl" + std::to_string(l));
   }
   headers.push_back("adaptive");
+  if (parallel) {
+    headers.push_back("aff%");
+    headers.push_back("steals");
+  }
   headers.push_back("wall(ms)");
   TablePrinter tp(headers);
+  u64 total_acquires = 0;
+  u64 total_hits = 0;
   for (const char* name : {"reverse_index", "ferret"}) {
     const wl::WorkloadInfo* w = wl::FindWorkload(name);
     std::vector<std::string> row = {std::string(name)};
     WallTimer row_wall;
+    sim::EngineSchedStats sched;
     for (u32 l : levels) {
       rt::RuntimeConfig cfg = DefaultConfig(kThreads);
       cfg.adaptive_coarsening = false;
       cfg.static_coarsen_level = l;
       const rt::RunResult r = RunOne(*w, rt::Backend::kConsequenceIC, kThreads, &cfg);
       row.push_back(TablePrinter::Fmt(static_cast<double>(r.vtime) / 1e6));
+      sched.slot_acquires += r.sched.slot_acquires;
+      sched.affinity_hits += r.sched.affinity_hits;
+      sched.steals += r.sched.steals;
     }
     const rt::RunResult adaptive = RunOne(*w, rt::Backend::kConsequenceIC, kThreads);
     row.push_back(TablePrinter::Fmt(static_cast<double>(adaptive.vtime) / 1e6));
+    sched.slot_acquires += adaptive.sched.slot_acquires;
+    sched.affinity_hits += adaptive.sched.affinity_hits;
+    sched.steals += adaptive.sched.steals;
+    if (parallel) {
+      const double rate = sched.slot_acquires > 0
+                              ? 100.0 * static_cast<double>(sched.affinity_hits) /
+                                    static_cast<double>(sched.slot_acquires)
+                              : 0.0;
+      row.push_back(TablePrinter::Fmt(rate, 1));
+      row.push_back(std::to_string(sched.steals));
+    }
+    total_acquires += sched.slot_acquires;
+    total_hits += sched.affinity_hits;
     row.push_back(TablePrinter::Fmt(row_wall.ElapsedNs() / 1e6, 1));
     tp.AddRow(std::move(row));
   }
   tp.Print(std::cout);
+  if (parallel && total_acquires > 0) {
+    const double rate =
+        100.0 * static_cast<double>(total_hits) / static_cast<double>(total_acquires);
+    std::printf("\nslot locality (%u host workers): %.1f%% affinity-hit rate over %llu acquires"
+                " — target >=80%% %s\n",
+                host_workers, rate, static_cast<unsigned long long>(total_acquires),
+                rate >= 80.0 ? "MET" : "not met");
+  }
   std::printf(
       "\nExpected shapes (paper): runtime falls steeply from level 0, bottoms out at a\n"
       "benchmark-specific level, and rises again when chunks get too long; the adaptive\n"

@@ -36,6 +36,7 @@ struct ModeResult {
   u64 offfloor_pages = 0;
   u64 gc_reclaimed = 0;
   sim::EngineFloorStats floor;
+  sim::EngineSchedStats sched;
 };
 
 ModeResult RunMode(u32 committers, u32 dirty_pages, u32 reps, bool offfloor) {
@@ -85,10 +86,71 @@ ModeResult RunMode(u32 committers, u32 dirty_pages, u32 reps, bool offfloor) {
   eng.Run();
   r.wall_ns = timer.ElapsedNs();
   r.floor = eng.FloorStats();
+  r.sched = eng.SchedStats();
   r.commits = seg.Stats().commits;
   r.pages_committed = seg.Stats().pages_committed;
   r.offfloor_pages = seg.Stats().offfloor_pages_installed;
   r.gc_reclaimed = seg.Stats().gc_reclaimed_pages;
+  wss.clear();
+  return r;
+}
+
+// Two-segment sharded-domain configuration (DESIGN.md §16): committers split
+// across two segments, each with its own floor domain, so the per-domain
+// leases and the sharded floors exercise each other — the config the
+// composed machinery exists for. Returns per-domain floor stats (lease
+// engagement) plus the slot-locality counters.
+struct ShardedResult {
+  std::vector<u64> final_vtimes;
+  std::vector<sim::EngineDomainFloorStat> domains;
+  sim::EngineSchedStats sched;
+};
+
+ShardedResult RunSharded(u32 committers, u32 dirty_pages, u32 reps) {
+  sim::SimConfig sc;
+  sc.host_workers = committers;
+  sc.force_threaded = true;
+  sim::Engine eng(sc);
+  const u32 dom_a = eng.CreateFloorDomain("segA");
+  const u32 dom_b = eng.CreateFloorDomain("segB");
+  conv::SegmentConfig cfg;
+  cfg.size_bytes = 16 * 1024 * 1024;
+  cfg.multithreaded_gc = true;
+  cfg.offfloor_commit = true;
+  conv::SegmentConfig cfg_a = cfg;
+  cfg_a.floor_domain = dom_a;
+  conv::SegmentConfig cfg_b = cfg;
+  cfg_b.floor_domain = dom_b;
+  conv::Segment seg_a(eng, cfg_a);
+  conv::Segment seg_b(eng, cfg_b);
+
+  ShardedResult r;
+  r.final_vtimes.resize(committers);
+  std::vector<std::unique_ptr<conv::Workspace>> wss;
+  wss.reserve(committers);
+  for (u32 t = 0; t < committers; ++t) {
+    conv::Segment& seg = (t % 2 == 0) ? seg_a : seg_b;
+    wss.push_back(std::make_unique<conv::Workspace>(seg, t));
+  }
+  for (u32 t = 0; t < committers; ++t) {
+    conv::Segment* seg = (t % 2 == 0) ? &seg_a : &seg_b;
+    const sim::ThreadId tid = eng.Spawn([&, t, seg] {
+      conv::Workspace& w = *wss[t];
+      const u64 base_page = static_cast<u64>(t / 2) * dirty_pages;
+      for (u32 rep = 0; rep < reps; ++rep) {
+        for (u32 p = 0; p < dirty_pages; ++p) {
+          w.Store<u64>((base_page + p) * seg->PageSize(), (static_cast<u64>(rep) << 32) | p);
+        }
+        w.CommitAndUpdate();
+        eng.EndShared();
+      }
+      r.final_vtimes[t] = eng.Now();
+    });
+    eng.SetDomainAffinity(tid, 1ULL << ((t % 2 == 0) ? dom_a : dom_b));
+  }
+  eng.Run();
+  r.domains = eng.DomainFloorStats();
+  r.sched = eng.SchedStats();
   wss.clear();
   return r;
 }
@@ -110,6 +172,7 @@ int main() {
   double best_speedup_4p = 0.0;   // best at >= 4 committers, >= 64 dirty pages
   bool vtimes_ok = true;
   sim::EngineFloorStats floor_total;  // off-floor modes, summed over the sweep
+  sim::EngineSchedStats sched_total;  // slot-locality counters, same scope
   for (u32 committers : {1u, 2u, 4u, 8u}) {
     for (u32 dirty : {1u, 8u, 64u, 512u}) {
       if (const char* only = std::getenv("CSQ_ONLY")) {
@@ -190,6 +253,9 @@ int main() {
           .Int("wakeup_free_handoffs", off_floor.floor.wakeup_free_handoffs)
           .Int("condvar_handoffs", off_floor.floor.condvar_handoffs)
           .Int("gate_reevals", off_floor.floor.gate_reevals)
+          .Int("sched_slot_acquires", off_floor.sched.slot_acquires)
+          .Int("sched_affinity_hits", off_floor.sched.affinity_hits)
+          .Int("sched_steals", off_floor.sched.steals)
           .Num("speedup", speedup, 3);
       rows.push_back(row.Render());
       floor_total.floor_grants += off_floor.floor.floor_grants;
@@ -199,6 +265,12 @@ int main() {
       floor_total.wakeup_free_handoffs += off_floor.floor.wakeup_free_handoffs;
       floor_total.condvar_handoffs += off_floor.floor.condvar_handoffs;
       floor_total.gate_reevals += off_floor.floor.gate_reevals;
+      sched_total.slot_acquires += off_floor.sched.slot_acquires;
+      sched_total.affinity_hits += off_floor.sched.affinity_hits;
+      sched_total.hint_grants += off_floor.sched.hint_grants;
+      sched_total.steals += off_floor.sched.steals;
+      sched_total.cold_starts += off_floor.sched.cold_starts;
+      sched_total.host_slots = std::max(sched_total.host_slots, off_floor.sched.host_slots);
     }
   }
   std::printf("best commit-throughput speedup at >=4 committers, >=64 dirty pages: %.2fx\n",
@@ -214,6 +286,40 @@ int main() {
       static_cast<unsigned long long>(floor_total.wakeup_free_handoffs),
       static_cast<unsigned long long>(floor_total.condvar_handoffs),
       static_cast<unsigned long long>(floor_total.gate_reevals));
+
+  std::printf(
+      "sched (off-floor modes): %u slots, %llu acquires, %llu affinity hits, "
+      "%llu hint grants, %llu steals, %llu cold starts\n",
+      sched_total.host_slots, static_cast<unsigned long long>(sched_total.slot_acquires),
+      static_cast<unsigned long long>(sched_total.affinity_hits),
+      static_cast<unsigned long long>(sched_total.hint_grants),
+      static_cast<unsigned long long>(sched_total.steals),
+      static_cast<unsigned long long>(sched_total.cold_starts));
+
+  // Two-segment sharded-domain config: per-domain leases must engage under
+  // sharded floors (DESIGN.md §16) and the schedule must stay deterministic.
+  const u32 sharded_reps = quick ? 128 : 512;
+  const ShardedResult sharded = RunSharded(/*committers=*/4, /*dirty_pages=*/8, sharded_reps);
+  const ShardedResult sharded2 = RunSharded(/*committers=*/4, /*dirty_pages=*/8, sharded_reps);
+  if (sharded.final_vtimes != sharded2.final_vtimes) {
+    std::fprintf(stderr, "FAIL: sharded two-segment config nondeterministic across reruns\n");
+    vtimes_ok = false;
+  }
+  bool sharded_leases_engaged = true;
+  std::vector<std::string> sharded_rows;
+  for (const sim::EngineDomainFloorStat& d : sharded.domains) {
+    if (d.label != "global" && (d.grants == 0 || d.lease_hits == 0)) {
+      sharded_leases_engaged = false;
+    }
+    std::printf("sharded domain '%s': %llu grants, %llu lease hits\n", d.label.c_str(),
+                static_cast<unsigned long long>(d.grants),
+                static_cast<unsigned long long>(d.lease_hits));
+    bench::JsonObj dom_row;
+    dom_row.Str("label", d.label).Int("grants", d.grants).Int("lease_hits", d.lease_hits);
+    sharded_rows.push_back(dom_row.Render());
+  }
+  std::printf("sharded per-domain leases engaged: %s\n",
+              sharded_leases_engaged ? "yes" : "NO");
 
   // Overlap needs host parallelism: on a single-core host the pipeline can
   // only remove floor convoying, so the speedup target is unreachable there.
@@ -232,6 +338,19 @@ int main() {
       .Int("wakeup_free_handoffs", floor_total.wakeup_free_handoffs)
       .Int("condvar_handoffs", floor_total.condvar_handoffs)
       .Int("gate_reevals", floor_total.gate_reevals)
+      .Int("sched_host_slots", sched_total.host_slots)
+      .Int("sched_slot_acquires", sched_total.slot_acquires)
+      .Int("sched_affinity_hits", sched_total.affinity_hits)
+      .Int("sched_hint_grants", sched_total.hint_grants)
+      .Int("sched_steals", sched_total.steals)
+      .Int("sched_cold_starts", sched_total.cold_starts)
+      .Num("affinity_hit_rate",
+           sched_total.slot_acquires > 0
+               ? static_cast<double>(sched_total.affinity_hits) /
+                     static_cast<double>(sched_total.slot_acquires)
+               : 0.0)
+      .Raw("sharded_domains", bench::JsonArr(sharded_rows))
+      .Bool("sharded_leases_engaged", sharded_leases_engaged)
       .Num("best_speedup_4plus_committers_large_footprint", best_speedup_4p, 3)
       .Bool("meets_1p5x_target", best_speedup_4p >= 1.5)
       .Bool("vtimes_identical", vtimes_ok);

@@ -171,8 +171,11 @@ class DetClock {
     u64 overflow_period = 5000;
     // Per-thread token wait channel (wakeup-free handoff, DESIGN.md §14):
     // eligibility events wake exactly the unique next-eligible waiter instead
-    // of broadcasting to every parked thread.
-    sim::WaitChannel token_ch{{}, "clock.token"};
+    // of broadcasting to every parked thread. affinity_hint opts the channel
+    // into slot-locality seeding (DESIGN.md §16): a token handoff is exactly
+    // the notifier-blocks-next pattern where the woken thread profits from
+    // inheriting the notifier's warm execution slot.
+    sim::WaitChannel token_ch{{}, "clock.token", /*affinity_hint=*/true};
   };
 
   bool Eligible(u32 tid) const;

@@ -21,7 +21,11 @@ struct CountedDeleter {
 }  // namespace
 
 Segment::Segment(sim::Engine& eng, SegmentConfig cfg)
-    : eng_(eng), cfg_(cfg), page_count_(static_cast<u32>(cfg.size_bytes / cfg.page_size)) {
+    : eng_(eng),
+      cfg_(cfg),
+      page_count_(static_cast<u32>(cfg.size_bytes / cfg.page_size)),
+      pool_parts_(eng.HostWorkerSlots()),
+      pool_part_cap_(std::max<usize>(1, kMaxPooledBufs / eng.HostWorkerSlots())) {
   CSQ_CHECK_MSG((cfg.page_size & (cfg.page_size - 1)) == 0, "page size must be a power of 2");
   CSQ_CHECK(cfg.size_bytes % cfg.page_size == 0);
   chains_.resize(page_count_);
@@ -434,12 +438,17 @@ void Segment::NotePageFree() {
 }
 
 std::unique_ptr<PageBuf> Segment::AcquireCopyOf(const PageBuf& src, bool* from_pool) {
+  // Worker-local partition first (same slot = warm, recently touched
+  // buffers); steal round-robin from the neighbours only when it is dry, so
+  // buffers stay slot-resident under steady load.
+  const usize home = eng_.HostWorkerHint() % pool_parts_.size();
   std::unique_ptr<PageBuf> buf;
-  {
-    std::lock_guard<std::mutex> lk(pool_mu_);
-    if (!pool_.empty()) {
-      buf = std::move(pool_.back());
-      pool_.pop_back();
+  for (usize i = 0; i < pool_parts_.size() && !buf; ++i) {
+    PoolPart& part = pool_parts_[(home + i) % pool_parts_.size()];
+    std::lock_guard<std::mutex> lk(part.mu);
+    if (!part.bufs.empty()) {
+      buf = std::move(part.bufs.back());
+      part.bufs.pop_back();
     }
   }
   if (buf) {
@@ -459,11 +468,12 @@ void Segment::ReleasePageBuf(std::unique_ptr<PageBuf> buf) {
   if (!buf) {
     return;
   }
-  std::lock_guard<std::mutex> lk(pool_mu_);
-  if (pool_.size() >= kMaxPooledBufs) {
-    return;  // pool full: let the host allocator take it
+  PoolPart& part = pool_parts_[eng_.HostWorkerHint() % pool_parts_.size()];
+  std::lock_guard<std::mutex> lk(part.mu);
+  if (part.bufs.size() >= pool_part_cap_) {
+    return;  // partition full: let the host allocator take it
   }
-  pool_.push_back(std::move(buf));
+  part.bufs.push_back(std::move(buf));
 }
 
 void Segment::RecyclePageBuf(const PageBuf* buf) {

@@ -28,10 +28,12 @@
 // lock protects the chain *vectors* (push_back may reallocate under a reader);
 // the page buffers themselves are immutable once installed and the values read
 // are deterministic because a snapshot never exceeds the reader's gate-ordered
-// update point. The buffer pool and the page-byte accounting take `pool_mu_`:
-// CoW faults and workspace page drops hit them from local (un-gated) code, so
-// `peak_page_bytes` depends on host scheduling when host_workers > 1 — it is
-// excluded from cross-engine equivalence comparisons.
+// update point. The page-byte accounting takes `pool_mu_` and the buffer pool
+// is partitioned per engine execution slot (DESIGN.md §16) with a mutex per
+// partition: CoW faults and workspace page drops hit them from local
+// (un-gated) code, so `peak_page_bytes` depends on host scheduling when
+// host_workers > 1 — it is excluded from cross-engine equivalence
+// comparisons.
 #pragma once
 
 #include <atomic>
@@ -322,9 +324,20 @@ class Segment {
     u64 cum_revs = 0;              // total page-revisions in versions <= this
   };
 
-  // Upper bound on pooled buffers (4 MiB of 4 KiB pages); beyond this,
-  // retired buffers go back to the host allocator.
+  // Upper bound on pooled buffers (4 MiB of 4 KiB pages) across all
+  // partitions; beyond each partition's share, retired buffers go back to
+  // the host allocator.
   static constexpr usize kMaxPooledBufs = 1024;
+
+  // Worker-local buffer-pool partition (DESIGN.md §16): one per engine
+  // execution slot, keyed by sim::Engine::HostWorkerHint(), so a thread's
+  // consecutive chunks on the same slot recycle the same warm buffers
+  // without contending on a global pool lock. Buffer identity never feeds
+  // simulated metrics, so partitioning is invisible to the simulation.
+  struct PoolPart {
+    std::mutex mu;
+    std::vector<std::unique_ptr<PageBuf>> bufs;
+  };
 
   // Splices a revision into the page chain at the gate-ordered protocol
   // point. `data` may be null: a placeholder whose bytes the off-floor work
@@ -348,10 +361,12 @@ class Segment {
   std::set<u64> installed_ahead_;   // out-of-order completions > installed_upto_
   u32 gc_cursor_ = 0;
   u32 populated_pages_ = 0;
-  // stats_ and pool_ are declared before chains_/zero_page_ so they outlive
-  // the committed revisions, whose deleters recycle buffers into the pool.
+  // stats_ and pool_parts_ are declared before chains_/zero_page_ so they
+  // outlive the committed revisions, whose deleters recycle buffers into the
+  // pool. pool_parts_ is sized once at construction (PoolPart is immovable).
   SegmentStats stats_;
-  std::vector<std::unique_ptr<PageBuf>> pool_;  // retired page buffers
+  std::vector<PoolPart> pool_parts_;  // retired page buffers, per slot
+  usize pool_part_cap_ = kMaxPooledBufs;  // per-partition share of the cap
   std::vector<u64> page_reserved_tail_;  // per page: last reserved version
   std::vector<std::vector<PageRev>> chains_;
   std::vector<VersionInfo> by_version_;  // index: version number (0 = baseline)

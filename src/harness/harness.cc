@@ -110,8 +110,18 @@ void PrintFloorStats(std::ostream& os, const rt::RunResult& r) {
      << f.wakeup_free_handoffs << " wakeup-free + " << f.condvar_handoffs
      << " condvar handoffs, " << f.gate_reevals << " re-evals\n";
   for (const sim::EngineDomainFloorStat& d : r.domain_floors) {
-    os << "  domain '" << d.label << "': " << d.grants << " grants, floor held "
-       << (static_cast<double>(d.floor_held_ns) / 1e6) << " ms\n";
+    os << "  domain '" << d.label << "': " << d.grants << " grants, " << d.lease_hits
+       << " lease hits, floor held " << (static_cast<double>(d.floor_held_ns) / 1e6)
+       << " ms\n";
+  }
+  const sim::EngineSchedStats& s = r.sched;
+  if (s.slot_acquires > 0) {
+    os << "sched: " << s.host_slots << " slots, " << s.slot_acquires << " acquires: "
+       << s.affinity_hits << " affinity hits ("
+       << (100.0 * static_cast<double>(s.affinity_hits) /
+           static_cast<double>(s.slot_acquires))
+       << "%), " << s.hint_grants << " hint grants, " << s.steals << " steals, "
+       << s.cold_starts << " cold starts\n";
   }
 }
 

@@ -57,8 +57,10 @@ double GeoMean(const std::vector<double>& xs);
 void PrintRaceReport(std::ostream& os, const rt::RunResult& r);
 
 // Renders a run's floor-handoff statistics (DESIGN.md §14): grant/lease/
-// handoff counters plus per-domain floor occupancy. Prints a one-line note
-// for serial-engine runs (all counters zero there).
+// handoff counters plus per-domain floor occupancy (including per-domain
+// lease hits) and the §16 slot-locality line (affinity hits / hint grants /
+// steals). Prints a one-line note for serial-engine runs (all counters zero
+// there).
 void PrintFloorStats(std::ostream& os, const rt::RunResult& r);
 
 }  // namespace csq::harness

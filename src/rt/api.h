@@ -282,6 +282,12 @@ struct RunResult {
   sim::EngineFloorStats floor;
   std::vector<sim::EngineDomainFloorStat> domain_floors;
 
+  // Locality-aware slot scheduling observability (DESIGN.md §16): slot
+  // affinity hits / hint grants / steals. Host-engine scheduling facts (all
+  // zero on the serial engine), excluded from determinism and
+  // engine-equivalence comparisons like host_wall_ns.
+  sim::EngineSchedStats sched;
+
   u64 pages_propagated = 0;  // TSO inter-thread page propagation (Fig 16)
   u64 commits = 0;
   u64 pages_committed = 0;

@@ -1046,6 +1046,7 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
   res.offfloor_pages_installed = st.seg.Stats().offfloor_pages_installed;
   res.floor = st.eng.FloorStats();
   res.domain_floors = st.eng.DomainFloorStats();
+  res.sched = st.eng.SchedStats();
   res.token_acquires = st.clock.Stats().token_acquires;
   res.fast_forwards = st.clock.Stats().fast_forwards;
   res.overflows = st.clock.Stats().overflows;

@@ -412,24 +412,38 @@ ServeResult ShardServer::Serve(const std::vector<Request>& log) const {
   out.shards.resize(cfg_.shards);
 
   WallTimer wall;
-  std::atomic<u32> next{0};
   const u32 workers = std::max(1u, std::min(cfg_.serve_threads, cfg_.shards));
-  auto drain = [&] {
-    for (;;) {
-      const u32 shard = next.fetch_add(1, std::memory_order_relaxed);
-      if (shard >= cfg_.shards) {
-        return;
-      }
-      out.shards[shard] = Shard(shard, cfg_).Serve(queues[shard]);
+  // Affinity-first claiming (DESIGN.md §16): worker w drains its affine
+  // stripe (shard % workers == w) in id order before stealing unclaimed
+  // shards, so consecutive shards of a worker reuse its warm host state and
+  // steals happen only once a worker's own stripe is exhausted. Claiming is
+  // host scheduling only — each shard is still one deterministic universe
+  // whose results are independent of which worker runs it.
+  std::vector<std::atomic<bool>> claimed(cfg_.shards);
+  for (auto& c : claimed) {
+    c.store(false, std::memory_order_relaxed);
+  }
+  auto try_run = [&](u32 shard) {
+    if (claimed[shard].exchange(true, std::memory_order_relaxed)) {
+      return;
+    }
+    out.shards[shard] = Shard(shard, cfg_).Serve(queues[shard]);
+  };
+  auto drain = [&](u32 wid) {
+    for (u32 shard = wid; shard < cfg_.shards; shard += workers) {
+      try_run(shard);  // affine stripe first
+    }
+    for (u32 shard = 0; shard < cfg_.shards; ++shard) {
+      try_run(shard);  // then steal whatever is left, in id order
     }
   };
   if (workers == 1) {
-    drain();
+    drain(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (u32 w = 0; w < workers; ++w) {
-      pool.emplace_back(drain);
+      pool.emplace_back(drain, w);
     }
     for (std::thread& t : pool) {
       t.join();

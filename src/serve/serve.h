@@ -171,8 +171,11 @@ struct ServeResult {
 };
 
 // Router + host worker pool: routes the log, then `serve_threads` host
-// threads drain the per-shard queues (one shard is owned by exactly one
-// worker at a time; shards are claimed in id order).
+// threads drain the per-shard queues. One shard is owned by exactly one
+// worker at a time; worker w claims its affine stripe (shard % workers == w)
+// in id order first and steals other unclaimed shards only after its stripe
+// is drained (DESIGN.md §16) — claiming affects host placement only, never
+// shard results.
 class ShardServer {
  public:
   explicit ShardServer(ServeConfig cfg);

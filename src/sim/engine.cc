@@ -45,9 +45,21 @@ Engine::Engine(SimConfig cfg) : cfg_(cfg) {
   threaded_ = cfg_.host_workers > 1 || cfg_.force_threaded;
 #endif
   free_slots_ = std::max<u32>(1, cfg_.host_workers);
+  slot_free_.assign(free_slots_, 1);
+  sstats_.host_slots = threaded_ ? free_slots_ : 1;
   domains_.push_back(FloorDomain{});
   lease_on_ = threaded_ && cfg_.floor_lease;
   spin_handoff_ = threaded_ && std::thread::hardware_concurrency() > 1;
+  // Minimum possible jittered wake latency (Jitter's smallest factor is
+  // (10000 - jitter_bp) / 10000). >= 1 means every NotifyOne admission lands
+  // strictly after its waker's vtime, which LeaseBoundLocked's tie-break
+  // adjustment relies on.
+  const u64 wake_floor =
+      cfg_.costs.jitter_bp == 0
+          ? cfg_.costs.wake_latency
+          : cfg_.costs.wake_latency *
+                (10000ULL - std::min<u64>(10000ULL, cfg_.costs.jitter_bp)) / 10000ULL;
+  wake_floor_ge1_ = wake_floor >= 1;
 }
 
 Engine::~Engine() {
@@ -85,10 +97,10 @@ u32 Engine::CreateFloorDomain(const char* label) {
   FloorDomain d;
   d.label = label != nullptr ? label : "domain";
   domains_.push_back(d);
-  // The batched-grant lease is sound only with a single domain: a domain-e
-  // holder's wakeups could otherwise admit competitors below a domain-d
-  // lease bound with nobody positioned to revoke it (DESIGN.md §14).
-  lease_on_ = threaded_ && cfg_.floor_lease && domains_.size() == 1;
+  // Leases stay on under sharding (DESIGN.md §16): each domain's lease is
+  // bounded by the min competitor key within that domain, and cross-domain
+  // admissions (Spawn, NotifyOne under a foreign floor) clamp the affected
+  // holders through lease_clamp.
   return static_cast<u32>(domains_.size() - 1);
 }
 
@@ -120,6 +132,9 @@ ThreadId Engine::Spawn(std::function<void()> fn) {
       cur->lease_until =
           std::min(cur->lease_until, raw->vtime.load(std::memory_order_relaxed) + 1);
     }
+    // Cross-domain clamp (DESIGN.md §16): other domains' floor holders may
+    // hold leases whose bound was computed before the child existed.
+    ClampForeignLeasesLocked(*raw, raw->vtime.load(std::memory_order_relaxed));
     LaunchHostThread(raw);
     return raw->id;
   }
@@ -327,7 +342,7 @@ void Engine::HostThreadBody(SimThread* t) {
   if (t->has_floor.load(std::memory_order_relaxed)) {
     ReleaseFloorLocked(*t);
   } else {
-    ReleaseSlotLocked();
+    ReleaseSlotLocked(*t);
   }
   t->state = SimThreadState::kFinished;
   t->finish_vtime = t->vtime.load(std::memory_order_relaxed);
@@ -337,10 +352,46 @@ void Engine::HostThreadBody(SimThread* t) {
 
 void Engine::AcquireSlotLocked(std::unique_lock<std::mutex>& lk, SimThread& t) {
   slot_cv_.wait(lk, [&] { return free_slots_ > 0; });
+  // Locality-aware slot pick (DESIGN.md §16): prefer the thread's previous
+  // slot (warm per-slot resources: conv buffer-pool partition), then the
+  // wake-affinity hint seeded by the notifier on opted-in channels, then
+  // deterministically steal the lowest-numbered free slot. Placement is pure
+  // host scheduling — it never feeds simulated time or ordering.
+  CSQ_DCHECK(t.cur_slot == kInvalidSlot);
+  u32 slot = kInvalidSlot;
+  ++sstats_.slot_acquires;
+  if (t.last_slot != kInvalidSlot && slot_free_[t.last_slot] != 0) {
+    slot = t.last_slot;
+    ++sstats_.affinity_hits;
+  } else if (t.wake_slot_hint != kInvalidSlot && t.wake_slot_hint != t.last_slot &&
+             slot_free_[t.wake_slot_hint] != 0) {
+    slot = t.wake_slot_hint;
+    ++sstats_.hint_grants;
+  } else {
+    for (u32 s = 0; s < slot_free_.size(); ++s) {
+      if (slot_free_[s] != 0) {
+        slot = s;
+        break;
+      }
+    }
+    CSQ_DCHECK(slot != kInvalidSlot);
+    if (t.last_slot != kInvalidSlot) {
+      ++sstats_.steals;
+    } else {
+      ++sstats_.cold_starts;
+    }
+  }
+  t.wake_slot_hint = kInvalidSlot;
+  t.cur_slot = slot;
+  t.last_slot = slot;
+  slot_free_[slot] = 0;
   --free_slots_;
 }
 
-void Engine::ReleaseSlotLocked() {
+void Engine::ReleaseSlotLocked(SimThread& t) {
+  CSQ_DCHECK(t.cur_slot != kInvalidSlot && slot_free_[t.cur_slot] == 0);
+  slot_free_[t.cur_slot] = 1;
+  t.cur_slot = kInvalidSlot;
   ++free_slots_;
   slot_cv_.notify_one();
 }
@@ -352,6 +403,7 @@ void Engine::ReleaseFloorLocked(SimThread& t) {
   t.has_floor.store(false, std::memory_order_relaxed);
   t.lazy_floor.store(false, std::memory_order_relaxed);
   t.lease_until = 0;
+  t.lease_clamp.store(kNoTrigger, std::memory_order_relaxed);
   t.floor_dom = kInvalidFloorDomain;
   dom.held = false;
   dom.holder = kInvalidThread;
@@ -392,6 +444,12 @@ void Engine::GrantFloorLocked(u32 d, SimThread& w, u64 lease) {
   gate_waiters_.fetch_sub(1, std::memory_order_seq_cst);
   w.floor_dom = d;
   w.lease_until = lease_on_ ? lease : 0;
+  // The lease was computed from every thread visible now, so any previously
+  // folded admission clamp is already accounted for.
+  w.lease_clamp.store(kNoTrigger, std::memory_order_relaxed);
+  if (w.lease_hits_by_dom.size() <= d) {
+    w.lease_hits_by_dom.resize(d + 1, 0);
+  }
   w.lazy_floor.store(false, std::memory_order_relaxed);
   w.state = SimThreadState::kRunning;
   dom.held = true;
@@ -472,7 +530,7 @@ void Engine::ReEvalDomainLocked(u32 d) {
     if (u.want_dom == d) {
       // A losing same-domain waiter is frozen at its key: it cannot overtake
       // the grant, but it bounds the winner's lease.
-      lease = std::min(lease, uv + (u.id > w->id ? 1 : 0));
+      lease = std::min(lease, LeaseBoundLocked(u, uv, *w, d));
       continue;
     }
     const u64 trigger = wv + (u.id < w->id ? 1 : 0);
@@ -481,7 +539,7 @@ void Engine::ReEvalDomainLocked(u32 d) {
       ArmTriggerLocked(u, trigger);
     } else {
       // U's key already exceeds W's and can only grow: it bounds the lease.
-      lease = std::min(lease, uv + (u.id > w->id ? 1 : 0));
+      lease = std::min(lease, LeaseBoundLocked(u, uv, *w, d));
     }
   }
   if (!blocked) {
@@ -549,15 +607,18 @@ void Engine::GateSharedSlow(u32 domain) {
         still_min = false;
         break;
       }
-      lease = std::min(lease, uv + (u.id > t.id ? 1 : 0));
+      lease = std::min(lease, LeaseBoundLocked(u, uv, t, domain));
     }
     if (still_min) {
       t.lease_until = lease_on_ ? lease : 0;
+      // Fresh scan under pmu_: every admitted competitor is visible, so any
+      // folded admission clamp is subsumed by the new bound.
+      t.lease_clamp.store(kNoTrigger, std::memory_order_relaxed);
       return;
     }
     ReleaseFloorLocked(t);
   } else {
-    ReleaseSlotLocked();
+    ReleaseSlotLocked(t);
   }
   t.want_dom = domain;
   ++domains_[domain].waiters;
@@ -610,7 +671,7 @@ bool Engine::BeginHostWait() {
   if (t->has_floor.load(std::memory_order_relaxed)) {
     return false;
   }
-  ReleaseSlotLocked();
+  ReleaseSlotLocked(*t);
   return true;
 }
 
@@ -642,7 +703,7 @@ u64 Engine::Wait(WaitChannel& ch, TimeCat cat) {
   if (t.has_floor.load(std::memory_order_relaxed)) {
     ReleaseFloorLocked(t);
   } else {
-    ReleaseSlotLocked();
+    ReleaseSlotLocked(t);
   }
   ch.waiters.push_back(t.id);
   t.state = SimThreadState::kBlocked;
@@ -696,16 +757,48 @@ usize Engine::NotifyOneLocked(WaitChannel& ch) {
   t.wait_ch = nullptr;
   t.state = SimThreadState::kRunnable;  // active again; runs once it has a slot
   t.woken = true;
+  // Locality hint (DESIGN.md §16): on opted-in handoff channels the woken
+  // thread inherits the notifier's slot preference — the notifier typically
+  // blocks right after (token passing), freeing exactly that slot.
+  if (ch.affinity_hint) {
+    const SimThread* me = CurPtr();
+    if (me != nullptr) {
+      t.wake_slot_hint = me->cur_slot != kInvalidSlot ? me->cur_slot : me->last_slot;
+    }
+  }
   t.cv.notify_one();
   // The woken thread re-enters competition at wake_vt: if we hold a lease,
-  // it must not extend past the new competitor's key.
+  // it must not extend past the new competitor's key; other domains' leased
+  // holders get the same bound through the cross-domain admission clamp.
   if (lease_on_) {
     SimThread* me = CurPtr();
     if (me != nullptr && me->has_floor.load(std::memory_order_relaxed)) {
       me->lease_until = std::min(me->lease_until, wake_vt + (t.id > me->id ? 1 : 0));
     }
+    ClampForeignLeasesLocked(t, wake_vt);
   }
   return 1;
+}
+
+void Engine::ClampForeignLeasesLocked(const SimThread& admitted, u64 key_vtime) {
+  if (!lease_on_) {
+    return;
+  }
+  const SimThread* me = CurPtr();
+  for (u32 d = 0; d < domains_.size(); ++d) {
+    const FloorDomain& dom = domains_[d];
+    if (!dom.held || (admitted.domain_affinity & (1ULL << d)) == 0) {
+      continue;
+    }
+    SimThread& h = *threads_[dom.holder];
+    if (&h == me || &h == &admitted) {
+      continue;  // self-clamps on lease_until cover the admitter's own floor
+    }
+    const u64 b = key_vtime + (admitted.id > h.id ? 1 : 0);
+    if (b < h.lease_clamp.load(std::memory_order_relaxed)) {
+      h.lease_clamp.store(b, std::memory_order_relaxed);
+    }
+  }
 }
 
 usize Engine::NotifyAll(WaitChannel& ch) {
@@ -747,7 +840,9 @@ u64 Engine::CompletionVtime() const {
 EngineFloorStats Engine::FloorStats() const {
   EngineFloorStats s = fstats_;
   for (usize i = 0; i < threads_.size(); ++i) {
-    s.lease_hits += threads_[i]->lease_hits;
+    for (const u64 hits : threads_[i]->lease_hits_by_dom) {
+      s.lease_hits += hits;
+    }
     s.lazy_retains += threads_[i]->lazy_retains;
   }
   return s;
@@ -756,14 +851,24 @@ EngineFloorStats Engine::FloorStats() const {
 std::vector<EngineDomainFloorStat> Engine::DomainFloorStats() const {
   std::vector<EngineDomainFloorStat> out;
   out.reserve(domains_.size());
-  for (const FloorDomain& d : domains_) {
+  for (usize d = 0; d < domains_.size(); ++d) {
     EngineDomainFloorStat s;
-    s.label = d.label;
-    s.grants = d.grants;
-    s.floor_held_ns = d.held_ns;
+    s.label = domains_[d].label;
+    s.grants = domains_[d].grants;
+    for (usize i = 0; i < threads_.size(); ++i) {
+      const std::vector<u64>& hits = threads_[i]->lease_hits_by_dom;
+      if (d < hits.size()) {
+        s.lease_hits += hits[d];
+      }
+    }
+    s.floor_held_ns = domains_[d].held_ns;
     out.push_back(std::move(s));
   }
   return out;
+}
+
+EngineSchedStats Engine::SchedStats() const {
+  return sstats_;
 }
 
 }  // namespace csq::sim

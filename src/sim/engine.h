@@ -39,7 +39,8 @@
 //
 //   * batched grants — a floor grant carries a *lease* up to the next
 //     competitor's key, so consecutive shared ops of the same thread skip
-//     re-arbitration entirely while the lease is live;
+//     re-arbitration entirely while the lease is live; leases are computed
+//     per floor domain and compose with sharding (DESIGN.md §16);
 //   * sharded floor domains — layers may partition shared ops into
 //     independently ordered domains (one per segment); threads touching
 //     disjoint domains hold disjoint floors concurrently, and the
@@ -49,11 +50,21 @@
 //     an atomic flag, skipping the condvar round-trip, and wake notifications
 //     are targeted per-thread instead of broadcast.
 //
+// Execution slots are *identified* (0..host_workers-1) and handed out with a
+// locality preference (DESIGN.md §16): a thread re-acquiring a slot gets its
+// previous slot when free, falling back to a wake-affinity hint seeded by the
+// notifier on opted-in channels, and only then deterministically "steals" the
+// lowest-numbered free slot. Layers key worker-local resources (the conv
+// buffer-pool partitions) off the slot id, so a thread's consecutive chunks
+// reuse warm per-slot state. Slot placement is pure host scheduling: it never
+// feeds a simulated quantity, so results stay bit-identical under any policy.
+//
 // Under ThreadSanitizer the engine always uses the threaded substrate (TSan
 // cannot follow ucontext stack switches); with host_workers == 1 that is a
 // one-slot pool with semantics identical to the serial reference.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <condition_variable>
@@ -86,6 +97,7 @@ namespace csq::sim {
 
 using ThreadId = u32;
 inline constexpr ThreadId kInvalidThread = 0xffffffffu;
+inline constexpr u32 kInvalidSlot = 0xffffffffu;
 
 // Floor domains (DESIGN.md §14). Domain 0 always exists and is the global
 // default; layers carve out additional domains with Engine::CreateFloorDomain
@@ -101,6 +113,12 @@ inline constexpr u32 kMaxFloorDomains = 64;
 struct WaitChannel {
   std::vector<ThreadId> waiters;
   const char* label = nullptr;
+  // Opt-in locality hint (DESIGN.md §16): a notify on this channel seeds the
+  // woken thread's slot preference with the notifier's slot. Meant for
+  // handoff-shaped channels (the clock's token channel) where the notifier
+  // blocks right after waking its successor, so the successor inherits the
+  // warm slot. Pure host placement — never affects simulated results.
+  bool affinity_hint = false;
 
   bool Empty() const { return waiters.empty(); }
 };
@@ -114,13 +132,15 @@ struct SimConfig {
   u32 host_workers = 1;
   // Tests only: use the threaded substrate even at host_workers == 1.
   bool force_threaded = false;
-  // Batched floor grants (DESIGN.md §14): grant the floor together with a
-  // lease up to the next competitor's key so a run of same-thread shared ops
-  // amortizes one grant arbitration instead of re-arbitrating per op. A pure
-  // host-scheduling optimization — simulated results are bit-identical with
-  // the lease on or off (the equivalence suite toggles it). Active only on
-  // the threaded substrate with a single floor domain: a multi-domain lease
-  // would race against cross-domain wakeups, so sharding disables it.
+  // Batched floor grants (DESIGN.md §14, §16): grant the floor together with
+  // a lease up to the next competitor's key so a run of same-thread shared
+  // ops amortizes one grant arbitration instead of re-arbitrating per op. A
+  // pure host-scheduling optimization — simulated results are bit-identical
+  // with the lease on or off (the equivalence suite toggles it). Leases are
+  // per floor domain: each domain's lease is bounded by the min competitor
+  // key *within that domain*, and cross-domain admissions (Spawn, NotifyOne
+  // from a foreign domain's floor) clamp the affected holders (§16's
+  // cross-domain clamp rule), so leases compose with sharded domains.
   bool floor_lease = true;
 };
 
@@ -148,7 +168,20 @@ struct EngineFloorStats {
 struct EngineDomainFloorStat {
   std::string label;
   u64 grants = 0;
+  u64 lease_hits = 0;     // lock-free GateShared hits on this domain's lease
   u64 floor_held_ns = 0;  // host wall time this domain's floor was held
+};
+
+// Locality-aware slot scheduling observability (DESIGN.md §16). Host-engine
+// scheduling facts like EngineFloorStats: all zero on the serial substrate
+// and excluded from determinism / equivalence comparisons.
+struct EngineSchedStats {
+  u64 slot_acquires = 0;   // total slot handouts
+  u64 affinity_hits = 0;   // thread got the same slot as its previous chunk
+  u64 hint_grants = 0;     // affine slot busy; wake-affinity hint slot taken
+  u64 steals = 0;          // affine slot busy, no usable hint: stole lowest free
+  u64 cold_starts = 0;     // first acquire of a thread (no affinity yet)
+  u32 host_slots = 0;      // identified execution slots (= max(1, host_workers))
 };
 
 class Engine {
@@ -234,14 +267,20 @@ class Engine {
   // Batched-grant fast path: while the floor lease is live (this thread's
   // vtime is below the next competitor's key at grant time), minimality
   // cannot have been lost, so the re-check — and its lock — is skipped.
+  // `lease_clamp` is the cross-domain admission bound (DESIGN.md §16): an
+  // admitter that injects a competitor below this domain's lease bound
+  // tightens it from outside, and the fast path honours the tighter of the
+  // two.
   void GateShared(u32 domain = kGlobalFloorDomain) {
     if (lease_on_) {
       SimThread& t = Cur();
-      if (t.has_floor.load(std::memory_order_relaxed) && t.floor_dom == domain &&
-          t.vtime.load(std::memory_order_relaxed) < t.lease_until) {
-        t.lazy_floor.store(false, std::memory_order_relaxed);
-        ++t.lease_hits;
-        return;
+      if (t.has_floor.load(std::memory_order_relaxed) && t.floor_dom == domain) {
+        const u64 v = t.vtime.load(std::memory_order_relaxed);
+        if (v < t.lease_until && v < t.lease_clamp.load(std::memory_order_relaxed)) {
+          t.lazy_floor.store(false, std::memory_order_relaxed);
+          ++t.lease_hits_by_dom[domain];
+          return;
+        }
       }
     }
     GateSharedSlow(domain);
@@ -265,14 +304,16 @@ class Engine {
       return;
     }
     SimThread& t = Cur();
-    if (lease_on_ && t.has_floor.load(std::memory_order_relaxed) &&
-        t.vtime.load(std::memory_order_relaxed) < t.lease_until) {
-      t.lazy_floor.store(true, std::memory_order_seq_cst);
-      if (gate_waiters_.load(std::memory_order_seq_cst) == 0) {
-        ++t.lazy_retains;
-        return;
+    if (lease_on_ && t.has_floor.load(std::memory_order_relaxed)) {
+      const u64 v = t.vtime.load(std::memory_order_relaxed);
+      if (v < t.lease_until && v < t.lease_clamp.load(std::memory_order_relaxed)) {
+        t.lazy_floor.store(true, std::memory_order_seq_cst);
+        if (gate_waiters_.load(std::memory_order_seq_cst) == 0) {
+          ++t.lazy_retains;
+          return;
+        }
+        t.lazy_floor.store(false, std::memory_order_relaxed);
       }
-      t.lazy_floor.store(false, std::memory_order_relaxed);
     }
     EndSharedSlow();
   }
@@ -321,6 +362,32 @@ class Engine {
   // host threads have been joined).
   EngineFloorStats FloorStats() const;
   std::vector<EngineDomainFloorStat> DomainFloorStats() const;
+
+  // Locality-aware slot scheduling statistics. Call after Run().
+  EngineSchedStats SchedStats() const;
+
+  // Number of identified execution slots (1 on the serial substrate).
+  u32 HostWorkerSlots() const {
+    return threaded_ ? std::max<u32>(1, cfg_.host_workers) : 1;
+  }
+
+  // The calling thread's current (or, while floor-held and slotless, most
+  // recent) execution slot — the partition key for worker-local resources
+  // like the conv buffer-pool partitions. 0 outside the simulation and on
+  // the serial substrate; always < HostWorkerSlots().
+  u32 HostWorkerHint() const {
+    if (!threaded_) {
+      return 0;
+    }
+    const SimThread* t = CurPtr();
+    if (t == nullptr) {
+      return 0;
+    }
+    if (t->cur_slot != kInvalidSlot) {
+      return t->cur_slot;
+    }
+    return t->last_slot != kInvalidSlot ? t->last_slot : 0;
+  }
 
   // Deterministic schedule fingerprinting. Layers above mix every ordering
   // decision (sync op grants, commit order, ...) into this digest; determinism
@@ -387,9 +454,18 @@ class Engine {
     std::atomic<bool> has_floor{false};
     // Batched-grant lease. `lease_until` is written by the granter under
     // pmu_ before the has_floor handoff (the release/acquire pair orders it)
-    // and clamped by the owner when it wakes or spawns a competitor;
-    // owner-read on the lock-free fast paths — no other thread reads it.
+    // and clamped by the owner when it wakes or spawns a competitor. All
+    // writes happen under pmu_, so cross-thread hint reads under pmu_ are
+    // race-free; the lock-free fast paths are owner-only reads.
     u64 lease_until = 0;
+    // Cross-domain admission clamp (DESIGN.md §16): an admitter (Spawn,
+    // NotifyOne) that injects a competitor into this holder's domain from
+    // outside it min-folds the competitor's key here, under pmu_; the
+    // owner's lease fast paths read it lock-free and honour the tighter
+    // bound. Reset to kNoTrigger whenever a fresh lease is computed under
+    // pmu_ (grant, renewal, release) — at that point every admitted
+    // competitor is visible to the scan.
+    std::atomic<u64> lease_clamp{~0ULL};
     // Floor retained across EndShared under a live lease. Owner-written
     // lock-free; read by revokers under pmu_ (see EndShared for the seq_cst
     // pairing with gate_waiters_).
@@ -399,8 +475,16 @@ class Engine {
     u64 domain_affinity = ~0ULL;  // domains this thread may gate on
     bool gate_parked = false;     // parked on cv awaiting the floor
     bool woken = false;           // Wait() wake handshake
-    // Owner-written fast-path counters; summed by FloorStats() after Run().
-    u64 lease_hits = 0;
+    // Locality-aware slot scheduling (DESIGN.md §16). Guarded by pmu_.
+    u32 cur_slot = kInvalidSlot;   // held execution slot (invalid while
+                                   // floor-held, host-waiting or parked)
+    u32 last_slot = kInvalidSlot;  // previous slot: the affinity preference
+    u32 wake_slot_hint = kInvalidSlot;  // seeded by NotifyOne on hint channels
+    // Owner-written fast-path counters; summed by FloorStats() /
+    // DomainFloorStats() after Run(). lease_hits_by_dom is sized by the
+    // granter (under pmu_, before the has_floor handoff) so the fast path
+    // indexes it unconditionally.
+    std::vector<u64> lease_hits_by_dom;
     u64 lazy_retains = 0;
   };
 
@@ -447,9 +531,19 @@ class Engine {
   void GrantFloorLocked(u32 d, SimThread& w, u64 lease);
   void ArmTriggerLocked(SimThread& u, u64 trigger);
   void AcquireSlotLocked(std::unique_lock<std::mutex>& lk, SimThread& t);
-  void ReleaseSlotLocked();
+  void ReleaseSlotLocked(SimThread& t);
   void ReleaseFloorLocked(SimThread& t);
   void ParkEpilogueLocked();  // re-eval grants + deadlock/done detection
+  // Per-domain lease bound contributed by competitor `u` against winner `w`
+  // (DESIGN.md §16): u's key frozen-or-growing at `uv` bounds the lease at
+  // uv, +1 when u's id loses the tie-break — unless u could admit a
+  // competitor at its own vtime (wake_floor_ge1_ false), where the tie
+  // adjustment is dropped for admission-capable (non-gate-waiting) threads.
+  u64 LeaseBoundLocked(const SimThread& u, u64 uv, const SimThread& w, u32 d) const {
+    const bool tie_adj = u.id > w.id && (wake_floor_ge1_ || u.want_dom == d);
+    return uv + (tie_adj ? 1 : 0);
+  }
+  void ClampForeignLeasesLocked(const SimThread& admitted, u64 key_vtime);
   usize NotifyOneLocked(WaitChannel& ch);
 
   u64 WakeVtimeLocked(SimThread& waiter);
@@ -477,9 +571,16 @@ class Engine {
   std::condition_variable run_cv_;    // Run() waits for completion/deadlock
   std::condition_variable slot_cv_;   // local-segment slot pool
   u32 free_slots_ = 0;
+  std::vector<u8> slot_free_;         // per-slot availability (1 = free)
+  EngineSchedStats sstats_;           // slot-locality counters (pmu_)
   std::vector<FloorDomain> domains_;  // [0] = global; created before Run()
-  bool lease_on_ = false;       // threaded && floor_lease && single domain
+  bool lease_on_ = false;       // threaded && floor_lease
   bool spin_handoff_ = false;   // multi-core host: spin before parking
+  // True when the minimum possible jittered wake_latency is >= 1: a woken
+  // competitor's vtime then strictly exceeds its waker's, which is what
+  // makes the lease tie-break adjustment (+1 for larger-id competitors)
+  // admission-safe. See LeaseBoundLocked and DESIGN.md §16.
+  bool wake_floor_ge1_ = false;
   // Threads currently in GateSharedSlow between enqueue and grant, any
   // domain. Read lock-free by EndShared's lazy fast path (seq_cst, paired
   // with lazy_floor).

@@ -397,7 +397,19 @@ struct ConvRun {
   std::vector<std::string> races;  // CanonicalLines per segment
 };
 
-ConvRun RunTwoSegmentConv(u32 host_workers, bool threaded, bool sharded, bool overlap_words) {
+// Engine/segment knobs the equivalence matrix toggles on top of the topology
+// arguments. All of them are required to be invisible in simulated results
+// (lease, offfloor) or to change results identically on every substrate
+// (jitter seed — each seeded universe gets its own serial reference).
+struct ConvOpts {
+  bool lease = true;       // SimConfig::floor_lease
+  bool offfloor = true;    // SegmentConfig::offfloor_commit
+  u32 jitter_bp = 0;       // CostModel::jitter_bp
+  u64 jitter_seed = 0;     // CostModel::jitter_seed
+};
+
+ConvRun RunTwoSegmentConv(u32 host_workers, bool threaded, bool sharded, bool overlap_words,
+                          const ConvOpts& opts = {}) {
   constexpr u32 kSegs = 2;
   constexpr u32 kPerSeg = 2;
   constexpr u32 kThreads = kSegs * kPerSeg;
@@ -407,6 +419,9 @@ ConvRun RunTwoSegmentConv(u32 host_workers, bool threaded, bool sharded, bool ov
   sim::SimConfig sc;
   sc.host_workers = host_workers;
   sc.force_threaded = threaded;
+  sc.floor_lease = opts.lease;
+  sc.costs.jitter_bp = opts.jitter_bp;
+  sc.costs.jitter_seed = opts.jitter_seed;
   sim::Engine eng(sc);
 
   std::vector<u32> dom(kSegs, sim::kGlobalFloorDomain);
@@ -424,6 +439,7 @@ ConvRun RunTwoSegmentConv(u32 host_workers, bool threaded, bool sharded, bool ov
     conv::SegmentConfig cfg;
     cfg.size_bytes = 1 << 20;
     cfg.floor_domain = dom[s];
+    cfg.offfloor_commit = opts.offfloor;
     segs.push_back(std::make_unique<conv::Segment>(eng, cfg));
     conv::Segment& seg = *segs.back();
     seg.SetCommitObserver([&eng, &out, s](const conv::CommitRecord& rec) {
@@ -521,6 +537,65 @@ TEST(EngineEquivalence, ShardedDomainsMergeRuleBitIdentical) {
       ASSERT_EQ(run.domain_floors.size(), 3u) << label.str();
       EXPECT_GT(run.domain_floors[1].grants, 0u) << label.str();  // segA
       EXPECT_GT(run.domain_floors[2].grants, 0u) << label.str();  // segB
+    }
+  }
+}
+
+TEST(EngineEquivalence, LeaseComposesWithShardedDomains) {
+  // §16's per-domain lease rule: floor leases stay enabled under sharded
+  // domains, with cross-domain admissions clamped. This matrix pins, for
+  // every (jitter universe × offfloor) pair, that serial / threaded × worker
+  // counts × lease-on/off × sharded all produce byte-identical observer
+  // streams, merged cross-domain stream, and final per-thread vtimes — and
+  // that when sharded + threaded + lease the per-domain lease machinery
+  // actually engaged (lease_hits > 0 in both sharded domains).
+  struct JitterCfg {
+    u32 bp;
+    u64 seed;
+  };
+  const JitterCfg jitters[] = {{0, 0}, {500, 1}, {500, 99}};
+  for (const JitterCfg& j : jitters) {
+    for (bool offfloor : {false, true}) {
+      ConvOpts ref_opts;
+      ref_opts.offfloor = offfloor;
+      ref_opts.jitter_bp = j.bp;
+      ref_opts.jitter_seed = j.seed;
+      // Serial unsharded run defines this jitter universe's reference.
+      const ConvRun ref = RunTwoSegmentConv(1, /*threaded=*/false, /*sharded=*/false,
+                                            /*overlap_words=*/false, ref_opts);
+      const std::vector<CommitEvt> ref_merged = MergeByVtimeDomainTid(ref);
+      for (u32 workers : {1u, 2u, 4u}) {
+        for (bool lease : {false, true}) {
+          ConvOpts opts = ref_opts;
+          opts.lease = lease;
+          const ConvRun run = RunTwoSegmentConv(workers, /*threaded=*/true,
+                                                /*sharded=*/true,
+                                                /*overlap_words=*/false, opts);
+          std::ostringstream label;
+          label << "workers=" << workers << " lease=" << lease << " offfloor=" << offfloor
+                << " jitter_bp=" << j.bp << " seed=" << j.seed;
+          for (u32 s = 0; s < 2; ++s) {
+            EXPECT_EQ(run.per_seg[s], ref.per_seg[s])
+                << label.str() << " seg=" << s << "\nref: " << EvtString(ref.per_seg[s])
+                << "\ngot: " << EvtString(run.per_seg[s]);
+          }
+          EXPECT_EQ(MergeByVtimeDomainTid(run), ref_merged) << label.str();
+          EXPECT_EQ(run.final_vtimes, ref.final_vtimes) << label.str();
+          ASSERT_EQ(run.domain_floors.size(), 3u) << label.str();
+          EXPECT_GT(run.domain_floors[1].grants, 0u) << label.str();  // segA
+          EXPECT_GT(run.domain_floors[2].grants, 0u) << label.str();  // segB
+          if (lease) {
+            // Per-domain leases engaged inside each sharded domain.
+            EXPECT_GT(run.domain_floors[1].lease_hits, 0u) << label.str();
+            EXPECT_GT(run.domain_floors[2].lease_hits, 0u) << label.str();
+          } else {
+            // Lease off: the fast path must never fire.
+            EXPECT_EQ(run.floor.lease_hits + run.floor.lazy_retains, 0u) << label.str();
+            EXPECT_EQ(run.domain_floors[1].lease_hits, 0u) << label.str();
+            EXPECT_EQ(run.domain_floors[2].lease_hits, 0u) << label.str();
+          }
+        }
+      }
     }
   }
 }

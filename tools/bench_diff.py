@@ -19,6 +19,13 @@ For each report the tool checks two things:
 
       * fig10_overall:  "speedup" (serial wall / parallel wall)
       * micro_commit:   "best_speedup_4plus_committers_large_footprint"
+      * fig10_overall / micro_commit: "affinity_hit_rate" — the §16 slot
+        scheduler's locality rate (affinity hits / slot acquires).  A drop
+        means simulated threads stopped landing on their last host worker,
+        i.e. warm per-slot state (page-TLB, dirty bitmaps, pooled buffers)
+        is being thrown away.  Gated like the wall-clock ratios: multi-core
+        hosts only, because a single-core run's scheduler interleaving is
+        not representative.
 
     A fresh ratio more than --max-regression (default 10%) below the
     baseline ratio is a regression.
@@ -45,6 +52,8 @@ CHECKS = [
         "vtimes_identical",
     ),
     ("BENCH_serve_shards.json", "multi_shard_scaling", "digest_stable"),
+    ("BENCH_fig10_overall.json", "affinity_hit_rate", "parallel_matches_serial"),
+    ("BENCH_micro_commit.json", "affinity_hit_rate", "sharded_leases_engaged"),
 ]
 
 

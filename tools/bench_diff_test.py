@@ -146,6 +146,21 @@ class BenchDiffTest(unittest.TestCase):
             bench_diff.CHECKS,
         )
 
+    def test_affinity_hit_rate_registered(self):
+        # §16 locality gate: the slot scheduler's affinity-hit rate is a
+        # first-class perf ratio on both reporting benches.  The correctness
+        # key rides along — fig10 re-asserts bit-identity, micro_commit
+        # asserts the two-segment sharded config actually engaged per-domain
+        # leases (lease_hits > 0 in every sharded domain).
+        self.assertIn(
+            ("BENCH_fig10_overall.json", "affinity_hit_rate", "parallel_matches_serial"),
+            bench_diff.CHECKS,
+        )
+        self.assertIn(
+            ("BENCH_micro_commit.json", "affinity_hit_rate", "sharded_leases_engaged"),
+            bench_diff.CHECKS,
+        )
+
     def test_main_survives_degenerate_registry_inputs(self):
         # End-to-end: main() over the real registry with an empty fresh dir
         # exits with one countable failure per check and no traceback.

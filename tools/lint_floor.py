@@ -36,7 +36,10 @@ line directly above it suppresses that emission. Use it only with a reason
 that explains why the floor is actually held (or why the domain is global).
 
 Exit status: number of violations (0 = clean). Run from anywhere; scans the
-src/ tree next to this script's repository root.
+explicit SCAN_ROOTS list under the src/ tree next to this script's repository
+root. The list is closed-world: a src/ subdirectory that is not listed fails
+the lint outright, so new subsystems (src/serve was the near-miss) cannot
+silently escape floor-discipline coverage.
 """
 
 import re
@@ -147,14 +150,51 @@ def scan_file(path: Path):
     return violations
 
 
+# Every src/ subsystem the lint covers, by name. Deliberately exhaustive
+# rather than a rglob over src/: main() fails when an unlisted subdirectory
+# appears, forcing the author of a new subsystem to either add it here or
+# consciously argue it emits no observer/trace streams (there is no such
+# subsystem today — everything that touches the engine is listed).
+SCAN_ROOTS = [
+    "clock",
+    "conv",
+    "harness",
+    "lrc",
+    "race",
+    "rt",
+    "serve",
+    "sim",
+    "tso",
+    "util",
+    "wl",
+]
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     src = root / "src"
     if not src.is_dir():
         print(f"lint_floor: no src/ under {root}", file=sys.stderr)
         return 1
+    unlisted = sorted(
+        d.name for d in src.iterdir() if d.is_dir() and d.name not in SCAN_ROOTS
+    )
+    if unlisted:
+        print(
+            f"lint_floor: src/ subdirectories not in SCAN_ROOTS: {', '.join(unlisted)} — "
+            "add them to tools/lint_floor.py so floor-discipline coverage stays complete",
+            file=sys.stderr,
+        )
+        return 1
     violations = []
-    for path in sorted(src.rglob("*.cc")) + sorted(src.rglob("*.h")):
+    for sub in SCAN_ROOTS:
+        d = src / sub
+        if not d.is_dir():
+            continue
+        violations.extend(v for path in sorted(d.rglob("*.cc")) + sorted(d.rglob("*.h"))
+                          for v in scan_file(path))
+    # Top-level src/ files (there are none today, but keep honest if one appears).
+    for path in sorted(src.glob("*.cc")) + sorted(src.glob("*.h")):
         violations.extend(scan_file(path))
     for path, lineno, why, text in violations:
         print(f"{path.relative_to(root)}:{lineno}: {why}: {text}")

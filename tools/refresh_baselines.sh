@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Rebuild the bench binaries and re-emit every committed perf baseline in one
+# step, so bench/baselines/*.json can never drift out of sync with the bench
+# code that produces them.
+#
+# Usage:  tools/refresh_baselines.sh [build-dir]
+#
+#   * configures + builds <build-dir> (default: build/) with CMake;
+#   * runs each baseline-producing bench in a scratch directory (the benches
+#     write BENCH_<name>.json into their CWD);
+#   * self-checks the fresh reports against the *old* committed baselines via
+#     tools/bench_diff.py — a regression prints loudly but does not block the
+#     refresh (you are looking at the diff precisely because numbers moved);
+#   * copies the fresh reports into bench/baselines/.
+#
+# Honours CSQ_QUICK=1 for a smoke-sized refresh (do NOT commit quick-mode
+# baselines: they carry "quick": true and measure a smaller sweep). Honours
+# CSQ_HOST_WORKERS for benches that read it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+baseline_dir="$repo_root/bench/baselines"
+
+# The benches whose reports are committed as baselines (must stay in sync
+# with tools/bench_diff.py's CHECKS registry).
+benches=(fig10_overall micro_commit serve_shards)
+
+echo "== refresh_baselines: configure + build (${build_dir})"
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target "${benches[@]}"
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+for b in "${benches[@]}"; do
+  echo "== refresh_baselines: running $b"
+  (cd "$scratch" && "$build_dir/bench/$b" > "$b.log" 2>&1) || {
+    echo "refresh_baselines: $b FAILED; log follows" >&2
+    cat "$scratch/$b.log" >&2
+    exit 1
+  }
+  if [[ ! -f "$scratch/BENCH_$b.json" ]]; then
+    echo "refresh_baselines: $b did not emit BENCH_$b.json" >&2
+    exit 1
+  fi
+done
+
+echo "== refresh_baselines: diff against old baselines (informational)"
+python3 "$repo_root/tools/bench_diff.py" --fresh "$scratch" --baseline "$baseline_dir" || true
+
+mkdir -p "$baseline_dir"
+for b in "${benches[@]}"; do
+  cp "$scratch/BENCH_$b.json" "$baseline_dir/BENCH_$b.json"
+  echo "== refresh_baselines: updated $baseline_dir/BENCH_$b.json"
+done
+
+if [[ "${CSQ_QUICK:-}" == "1" ]]; then
+  echo "refresh_baselines: WARNING — CSQ_QUICK=1 baselines are smoke-sized; do not commit." >&2
+fi
+echo "refresh_baselines: done"
