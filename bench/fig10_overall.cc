@@ -78,6 +78,7 @@ Headline Sweep(const std::vector<u32>& threads, bool print_table, u32 host_worke
         floor_sum->sched.steals += sc.steals;
         floor_sum->sched.cold_starts += sc.cold_starts;
         floor_sum->sched.host_slots = std::max(floor_sum->sched.host_slots, sc.host_slots);
+        floor_sum->simd_level = br->result.simd_level;
         for (const sim::EngineDomainFloorStat& d : br->result.domain_floors) {
           bool merged = false;
           for (sim::EngineDomainFloorStat& acc : floor_sum->domain_floors) {
@@ -216,6 +217,7 @@ int main() {
       .Int("sched_hint_grants", floor_sum.sched.hint_grants)
       .Int("sched_steals", floor_sum.sched.steals)
       .Int("sched_cold_starts", floor_sum.sched.cold_starts)
+      .Str("simd_level", floor_sum.simd_level)
       .Num("affinity_hit_rate",
            floor_sum.sched.slot_acquires > 0
                ? static_cast<double>(floor_sum.sched.affinity_hits) /

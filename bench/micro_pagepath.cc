@@ -11,16 +11,22 @@
 //   * update — a reader with a large cached working set pulling in a small
 //     writer's commits every round: the UpdateTo path, dominated by the
 //     changed-page enumeration (index vs full cached-set scan).
+//   * kernels — raw diff/merge/copy throughput of every simd dispatch level
+//     the host can execute (scalar/SSE2/AVX2, DESIGN.md §17), with a
+//     cross-level count-identity check.
 //
 // Prints one JSON line with ns/op per phase plus the fast-path cache
 // counters, so successive PRs have a perf trajectory to compare against. The
 // workload is deterministic; only the wall-clock timings vary run to run.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/report.h"
 #include "src/conv/segment.h"
 #include "src/conv/workspace.h"
 #include "src/sim/engine.h"
+#include "src/simd/kernels.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
@@ -150,6 +156,103 @@ PhaseResult RunUpdate() {
   return out;
 }
 
+// Phase 4: raw commit-kernel throughput, per dispatch level the host can
+// execute (DESIGN.md §17). Measures the three byte-movers of the commit path
+// in isolation — twin diff, run-coalesced merge, pooled-buffer copy — over an
+// L2-resident working set, so the numbers are kernel speed, not DRAM
+// bandwidth. Every level must report identical diff/merge counts (the
+// determinism claim in microcosm); `counts_identical` gates that in CI.
+struct KernelLevelResult {
+  simd::Level level;
+  double diff_mbps = 0.0;
+  double merge_mbps = 0.0;
+  double copy_mbps = 0.0;
+  usize diff_set_words = 0;
+  usize merge_bytes = 0;
+  usize merge_words = 0;
+};
+
+std::vector<KernelLevelResult> RunKernelPhase() {
+  constexpr usize kPage = 4096;
+  constexpr usize kPages = 16;  // 3 buffers x 64 KiB: L2-resident
+  constexpr usize kBytes = kPage * kPages;
+  constexpr u32 kDiffReps = 4000;
+  constexpr u32 kMergeReps = 2000;
+  constexpr u32 kCopyReps = 4000;
+  const usize blocks = simd::BitmapBlocks(kBytes);
+
+  // mine/twin: a commit-shaped diff — most words clean, 6 dirty words per
+  // page (matches the merge phase's write density) so the twin diff is
+  // compare-bound. The dense pair (dmine) differs in ~half its bytes in
+  // every word, so the merge blend path does real byte work per vector.
+  std::vector<u8> twin(kBytes);
+  std::vector<u8> mine(kBytes);
+  std::vector<u8> dmine(kBytes);
+  std::vector<u8> base(kBytes);
+  DetRng rng(44);
+  for (usize i = 0; i < kBytes; ++i) {
+    twin[i] = static_cast<u8>(rng.Next());
+    mine[i] = twin[i];
+    dmine[i] = (rng.Below(2) == 0) ? static_cast<u8>(twin[i] ^ (1 + rng.Below(255))) : twin[i];
+    base[i] = static_cast<u8>(rng.Next());
+  }
+  for (usize p = 0; p < kPages; ++p) {
+    for (u32 k = 0; k < 6; ++k) {
+      mine[p * kPage + (rng.Below(kPage) & ~7ULL)] ^= static_cast<u8>(1 + rng.Below(255));
+    }
+  }
+  std::vector<u64> all_dirty(blocks, ~0ULL);
+  const usize tail_words = ((kBytes + 7) / 8) & 63;
+  if (tail_words != 0) {
+    all_dirty.back() = ~0ULL >> (64 - tail_words);
+  }
+  std::vector<u64> diff_bits(blocks);
+  std::vector<u8> copy_dst(kBytes);
+
+  std::vector<KernelLevelResult> out;
+  for (simd::Level l : {simd::Level::kScalar, simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (l > simd::DetectedLevel()) {
+      continue;
+    }
+    const simd::PageKernels& k = simd::KernelsFor(l);
+    KernelLevelResult r;
+    r.level = l;
+
+    usize sink = 0;
+    WallTimer diff_timer;
+    for (u32 rep = 0; rep < kDiffReps; ++rep) {
+      sink += k.diff_words(mine.data(), twin.data(), kBytes, nullptr, diff_bits.data());
+    }
+    r.diff_mbps = static_cast<double>(kBytes) * kDiffReps / (diff_timer.ElapsedNs() / 1e9) / 1e6;
+    r.diff_set_words = sink / kDiffReps;
+
+    // Merge is idempotent after the first rep (the same bytes re-apply), so
+    // every rep does identical load/blend/store work without a reset copy in
+    // the timed loop.
+    std::vector<u8> merge_base = base;
+    simd::DiffMergeCounts mc;
+    WallTimer merge_timer;
+    for (u32 rep = 0; rep < kMergeReps; ++rep) {
+      mc = k.merge_runs(merge_base.data(), dmine.data(), twin.data(), kBytes, all_dirty.data());
+    }
+    r.merge_mbps =
+        static_cast<double>(kBytes) * kMergeReps / (merge_timer.ElapsedNs() / 1e9) / 1e6;
+    r.merge_bytes = mc.bytes;
+    r.merge_words = mc.words;
+
+    WallTimer copy_timer;
+    for (u32 rep = 0; rep < kCopyReps; ++rep) {
+      k.copy_bytes(copy_dst.data(), (rep & 1) ? twin.data() : dmine.data(), kBytes);
+    }
+    r.copy_mbps = static_cast<double>(kBytes) * kCopyReps / (copy_timer.ElapsedNs() / 1e9) / 1e6;
+    if (copy_dst[0] == 0 && sink == 0xdeadbeef) {
+      std::printf("unlikely\n");  // keep the timed loops observable
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace csq
 
@@ -158,7 +261,37 @@ int main() {
   const PhaseResult ls = RunLoadStore();
   const PhaseResult mg = RunMerge();
   const PhaseResult up = RunUpdate();
+  const std::vector<KernelLevelResult> kr = RunKernelPhase();
   const conv::WorkspaceStats& s = ls.stats;
+
+  // Per-kernel columns: every usable dispatch level, scalar first. Counts
+  // must be identical at every level — the kernels change how bytes move,
+  // never which.
+  bool counts_identical = true;
+  for (const KernelLevelResult& r : kr) {
+    counts_identical = counts_identical && r.diff_set_words == kr.front().diff_set_words &&
+                       r.merge_bytes == kr.front().merge_bytes &&
+                       r.merge_words == kr.front().merge_words;
+  }
+  const char* active = simd::LevelName(simd::ActiveLevel());
+  std::printf("kernel   diff MB/s  merge MB/s   copy MB/s\n");
+  for (const KernelLevelResult& r : kr) {
+    std::printf("%-6s %11.0f %11.0f %11.0f%s\n", simd::LevelName(r.level), r.diff_mbps,
+                r.merge_mbps, r.copy_mbps,
+                r.level == simd::ActiveLevel() ? "   <- active" : "");
+  }
+  double diff_speedup = 1.0;
+  double merge_speedup = 1.0;
+  for (const KernelLevelResult& r : kr) {
+    if (r.level == simd::ActiveLevel() && kr.front().diff_mbps > 0 &&
+        kr.front().merge_mbps > 0) {
+      diff_speedup = r.diff_mbps / kr.front().diff_mbps;
+      merge_speedup = r.merge_mbps / kr.front().merge_mbps;
+    }
+  }
+  std::printf("simd: active %s (detected %s), diff %.2fx / merge %.2fx vs scalar, counts %s\n",
+              active, simd::LevelName(simd::DetectedLevel()), diff_speedup, merge_speedup,
+              counts_identical ? "identical" : "DIVERGED");
   std::printf(
       "{\"bench\":\"micro_pagepath\","
       "\"loadstore_ns_per_op\":%.2f,"
@@ -185,7 +318,18 @@ int main() {
       .Int("tlb_misses", s.tlb_misses)
       .Int("merge_words_merged", mg.stats.words_merged)
       .Int("merge_pool_reuses", mg.stats.pool_reuses)
-      .Int("update_pool_reuses", up.stats.pool_reuses);
+      .Int("update_pool_reuses", up.stats.pool_reuses)
+      .Str("simd_level", active)
+      .Str("simd_detected", simd::LevelName(simd::DetectedLevel()))
+      .Num("diff_speedup_vs_scalar", diff_speedup, 3)
+      .Num("merge_speedup_vs_scalar", merge_speedup, 3)
+      .Bool("simd_counts_identical", counts_identical);
+  for (const KernelLevelResult& r : kr) {
+    const std::string suffix = simd::LevelName(r.level);
+    report.Num("diff_mbps_" + suffix, r.diff_mbps, 1)
+        .Num("merge_mbps_" + suffix, r.merge_mbps, 1)
+        .Num("copy_mbps_" + suffix, r.copy_mbps, 1);
+  }
   bench::WriteReport("micro_pagepath", report);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/simd/kernels.h"
 #include "src/util/check.h"
 #include "src/util/types.h"
 
@@ -29,7 +30,10 @@ namespace csq::conv {
 using PageBuf = std::vector<u8>;
 using PageRef = std::shared_ptr<const PageBuf>;
 
-// Diff/merge granularity of the word fast path (bytes).
+// Diff/merge granularity of the word fast path (bytes). The simd kernel
+// layer hardcodes the same 8-byte word (bit w of a bitmap covers bytes
+// [8w, 8w+8)); the two must agree for DirtyWords bitmaps to be passable to
+// the kernels directly.
 inline constexpr usize kMergeWordBytes = 8;
 
 // Copies `src` into a fresh writable page buffer.
@@ -64,13 +68,20 @@ class DirtyWords {
  public:
   // Sizes the bitmap for a page of `page_bytes` bytes and clears it.
   void Reset(usize page_bytes) {
-    const usize words = (page_bytes + kMergeWordBytes - 1) / kMergeWordBytes;
-    bits_.assign((words + 63) / 64, 0);
+    bits_.assign(simd::BitmapBlocks(page_bytes), 0);
+    set_count_ = 0;
   }
 
-  void Clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+  void Clear() {
+    if (set_count_ == 0) {
+      return;
+    }
+    std::fill(bits_.begin(), bits_.end(), 0);
+    set_count_ = 0;
+  }
 
-  // Marks every word overlapping byte range [off, off + len).
+  // Marks every word overlapping byte range [off, off + len). Maintains the
+  // set-word count so Empty()/SetWordCount() are O(1).
   void MarkRange(usize off, usize len) {
     if (len == 0) {
       return;
@@ -82,14 +93,14 @@ class DirtyWords {
     const u64 first = ~0ULL << (w0 & 63);
     const u64 last = ~0ULL >> (63 - (w1 & 63));
     if (i0 == i1) {
-      bits_[i0] |= first & last;
+      Or(i0, first & last);
       return;
     }
-    bits_[i0] |= first;
+    Or(i0, first);
     for (usize i = i0 + 1; i < i1; ++i) {
-      bits_[i] = ~0ULL;
+      Or(i, ~0ULL);
     }
-    bits_[i1] |= last;
+    Or(i1, last);
   }
 
   // Returns whether word `w` is marked. Out-of-range words read as unmarked.
@@ -98,18 +109,22 @@ class DirtyWords {
     return i < bits_.size() && ((bits_[i] >> (w & 63)) & 1) != 0;
   }
 
-  bool Empty() const {
-    for (u64 b : bits_) {
-      if (b) {
-        return false;
-      }
-    }
-    return true;
-  }
+  // O(1): the set-word count is maintained by MarkRange()/Clear()/Reset()
+  // instead of scanning the bitmap.
+  bool Empty() const { return set_count_ == 0; }
+  usize SetWordCount() const { return set_count_; }
+
+  // Raw bitmap blocks (u64 little-endian, bit (w & 63) of block (w >> 6)),
+  // in the exact layout the simd kernels consume.
+  const u64* BitsData() const { return bits_.data(); }
+  usize BlockCount() const { return bits_.size(); }
 
   // Calls fn(word_index) for every marked word, in ascending order.
   template <typename Fn>
   void ForEachSetWord(Fn&& fn) const {
+    if (set_count_ == 0) {
+      return;
+    }
     for (usize i = 0; i < bits_.size(); ++i) {
       u64 b = bits_[i];
       while (b) {
@@ -119,8 +134,48 @@ class DirtyWords {
     }
   }
 
+  // Calls fn(first_word, run_len) for every maximal run of marked words, in
+  // ascending order — the run-coalesced form of ForEachSetWord for consumers
+  // that can process contiguous word spans in one step.
+  template <typename Fn>
+  void ForEachSetRun(Fn&& fn) const {
+    if (set_count_ == 0) {
+      return;
+    }
+    usize run_start = 0;
+    usize run_len = 0;
+    for (usize i = 0; i < bits_.size(); ++i) {
+      u64 b = bits_[i];
+      while (b) {
+        const unsigned tz = static_cast<unsigned>(std::countr_zero(b));
+        const unsigned ones = static_cast<unsigned>(std::countr_one(b >> tz));
+        const usize w0 = (i << 6) + tz;
+        if (run_len != 0 && run_start + run_len == w0) {
+          run_len += ones;
+        } else {
+          if (run_len != 0) {
+            fn(run_start, run_len);
+          }
+          run_start = w0;
+          run_len = ones;
+        }
+        b = (tz + ones >= 64) ? 0 : (b & ~(((1ULL << ones) - 1) << tz));
+      }
+    }
+    if (run_len != 0) {
+      fn(run_start, run_len);
+    }
+  }
+
  private:
+  void Or(usize i, u64 mask) {
+    const u64 added = mask & ~bits_[i];
+    bits_[i] |= mask;
+    set_count_ += static_cast<usize>(std::popcount(added));
+  }
+
   std::vector<u64> bits_;
+  usize set_count_ = 0;
 };
 
 struct MergeResult {
@@ -128,40 +183,44 @@ struct MergeResult {
   usize words = 0;  // 8-byte words containing at least one applied byte
 };
 
-// Word-granularity fast path of MergeInto. Precondition (maintained by
-// Workspace): every byte where `mine` differs from `twin` lies in a word
-// marked in `dirty`. Under that precondition this applies exactly the same
-// bytes as MergeInto and returns the same applied-byte count.
+// Word-granularity fast path of MergeInto, on the simd kernel layer.
+// Precondition (maintained by Workspace): every byte where `mine` differs
+// from `twin` lies in a word marked in `dirty`. Under that precondition this
+// applies exactly the same bytes as MergeInto and returns the same
+// applied-byte count — the kernels are pure byte functions pinned against
+// MergeInto by tests/simd_kernels_test.cc at every dispatch level.
+//
+// Two stages: (a) vectorized twin-diff narrows the dirty mask to words that
+// actually differ (so the merge touches no clean word even when stores wrote
+// back unchanged values), then (b) run-coalesced merge applies maximal runs
+// of differing words as masked vector stores.
 inline MergeResult MergeIntoWords(PageBuf& base, const PageBuf& mine, const PageBuf& twin,
                                   const DirtyWords& dirty) {
   CSQ_CHECK(base.size() == mine.size() && mine.size() == twin.size());
   MergeResult r;
+  if (dirty.Empty()) {
+    return r;
+  }
   const usize n = mine.size();
-  dirty.ForEachSetWord([&](usize w) {
-    const usize off = w * kMergeWordBytes;
-    if (off >= n) {
-      return;
-    }
-    const usize span = std::min(kMergeWordBytes, n - off);
-    // memcmp over 8 aligned bytes compiles to one u64 compare.
-    if (std::memcmp(mine.data() + off, twin.data() + off, span) == 0) {
-      return;
-    }
-    ++r.words;
-    for (usize i = off; i < off + span; ++i) {
-      if (mine[i] != twin[i]) {
-        base[i] = mine[i];
-        ++r.bytes;
-      }
-    }
-  });
+  const usize blocks = simd::BitmapBlocks(n);
+  CSQ_CHECK(dirty.BlockCount() == blocks);
+  const simd::PageKernels& k = simd::Kernels();
+  thread_local std::vector<u64> diff_bits;
+  diff_bits.resize(blocks);
+  if (k.diff_words(mine.data(), twin.data(), n, dirty.BitsData(), diff_bits.data()) == 0) {
+    return r;
+  }
+  const simd::DiffMergeCounts c = k.merge_runs(base.data(), mine.data(), twin.data(), n,
+                                               diff_bits.data());
+  r.bytes = c.bytes;
+  r.words = c.words;
   return r;
 }
 
 // Returns true if any byte differs.
 inline bool PagesDiffer(const PageBuf& a, const PageBuf& b) {
   CSQ_CHECK(a.size() == b.size());
-  return a != b;
+  return !a.empty() && !simd::Kernels().bytes_equal(a.data(), b.data(), a.size());
 }
 
 }  // namespace csq::conv

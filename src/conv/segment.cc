@@ -4,6 +4,7 @@
 
 #include "src/conv/race_sink.h"
 #include "src/conv/workspace.h"
+#include "src/simd/kernels.h"
 #include "src/util/stats.h"
 
 namespace csq::conv {
@@ -452,7 +453,10 @@ std::unique_ptr<PageBuf> Segment::AcquireCopyOf(const PageBuf& src, bool* from_p
     }
   }
   if (buf) {
-    *buf = src;  // vector assignment reuses the existing capacity
+    // Pooled buffers were Reset() to page size at birth and never resized, so
+    // this is a pure byte copy at the active kernel's vector width.
+    CSQ_CHECK(buf->size() == src.size());
+    simd::Kernels().copy_bytes(buf->data(), src.data(), src.size());
     if (from_pool) {
       *from_pool = true;
     }

@@ -123,6 +123,10 @@ void PrintFloorStats(std::ostream& os, const rt::RunResult& r) {
        << "%), " << s.hint_grants << " hint grants, " << s.steals << " steals, "
        << s.cold_starts << " cold starts\n";
   }
+  if (!r.simd_level.empty()) {
+    os << "simd: " << r.simd_level
+       << " commit kernels (host fact; merged bytes identical at every level)\n";
+  }
 }
 
 }  // namespace csq::harness

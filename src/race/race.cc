@@ -33,19 +33,21 @@ std::vector<Analyzer::Span> Analyzer::CollectWriteSpans(const PageBuf& mine, con
                                                         const DirtyWords& dirty) {
   std::vector<Analyzer::Span> spans;
   const usize n = mine.size();
-  dirty.ForEachSetWord([&](usize w) {
-    const usize off = w * kMergeWordBytes;
+  // Walk maximal runs of dirty words instead of one callback per word; the
+  // byte scan inside a run is unchanged, so the spans stay byte-exact.
+  dirty.ForEachSetRun([&](usize w0, usize wlen) {
+    const usize off = w0 * kMergeWordBytes;
     if (off >= n) {
       return;
     }
-    const usize end = std::min(off + kMergeWordBytes, n);
+    const usize end = std::min(off + wlen * kMergeWordBytes, n);
     for (usize i = off; i < end; ++i) {
       if (mine[i] == twin[i]) {
         continue;
       }
       if (!spans.empty() &&
           static_cast<usize>(spans.back().off) + spans.back().len == i) {
-        ++spans.back().len;  // words arrive ascending: adjacent runs coalesce
+        ++spans.back().len;  // runs arrive ascending: adjacent spans coalesce
       } else {
         spans.push_back({static_cast<u32>(i), 1});
       }

@@ -24,6 +24,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -287,6 +288,12 @@ struct RunResult {
   // zero on the serial engine), excluded from determinism and
   // engine-equivalence comparisons like host_wall_ns.
   sim::EngineSchedStats sched;
+
+  // Active commit-kernel dispatch level ("scalar"/"sse2"/"avx2", DESIGN.md
+  // §17). A host fact like host_wall_ns — the kernels change how bytes move,
+  // never which — so it is excluded from determinism and engine-equivalence
+  // comparisons.
+  std::string simd_level;
 
   u64 pages_propagated = 0;  // TSO inter-thread page propagation (Fig 16)
   u64 commits = 0;

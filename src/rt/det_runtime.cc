@@ -4,6 +4,7 @@
 
 #include "src/conv/alloc.h"
 #include "src/conv/workspace.h"
+#include "src/simd/kernels.h"
 #include "src/util/check.h"
 #include "src/util/stable_vec.h"
 #include "src/util/stats.h"
@@ -1047,6 +1048,7 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
   res.floor = st.eng.FloorStats();
   res.domain_floors = st.eng.DomainFloorStats();
   res.sched = st.eng.SchedStats();
+  res.simd_level = simd::LevelName(simd::ActiveLevel());
   res.token_acquires = st.clock.Stats().token_acquires;
   res.fast_forwards = st.clock.Stats().fast_forwards;
   res.overflows = st.clock.Stats().overflows;

@@ -1,0 +1,565 @@
+#include "src/simd/kernels.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CSQ_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace csq::simd {
+
+namespace {
+
+// ---- Shared bit machinery ---------------------------------------------------
+
+inline u64 LoadWord(const u8* p) {
+  u64 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreWord(u8* p, u64 v) { std::memcpy(p, &v, sizeof(v)); }
+
+// High bit of each byte of `d` set iff that byte is nonzero. Exact per byte:
+// the add is masked to 7 bits so no carry crosses byte lanes.
+inline u64 NonzeroByteHighBits(u64 d) {
+  u64 m = (d & 0x7f7f7f7f7f7f7f7fULL) + 0x7f7f7f7f7f7f7f7fULL;
+  m |= d;
+  return m & 0x8080808080808080ULL;
+}
+
+// Expands a NonzeroByteHighBits mask (0x80 per differing byte) to 0xFF per
+// differing byte. Per-byte exact: 0x80 - 0x01 = 0x7F has no borrow across
+// lanes, and zero bytes stay zero.
+inline u64 ExpandHighBitsToBytes(u64 m) { return m | (m - (m >> 7)); }
+
+// Iterates the maximal runs of set bits of a u64-block bitmap. Plain bit
+// logic (countr_zero to find a run's start, countr_one to measure it) kept
+// out of the vector kernels so each target-attributed function holds only
+// its own intrinsics.
+class RunCursor {
+ public:
+  RunCursor(const u64* bits, usize nblocks) : bits_(bits), nblocks_(nblocks) {
+    cur_ = nblocks_ > 0 ? bits_[0] : 0;
+  }
+
+  // Next maximal run of set bits: *w0 = first bit index, *len = run length.
+  bool Next(usize* w0, usize* len) {
+    while (cur_ == 0) {
+      if (++block_ >= nblocks_) {
+        return false;
+      }
+      cur_ = bits_[block_];
+    }
+    const unsigned tz = static_cast<unsigned>(std::countr_zero(cur_));
+    const unsigned ones = static_cast<unsigned>(std::countr_one(cur_ >> tz));
+    *w0 = block_ * 64 + tz;
+    *len = ones;
+    // Clear the consumed bits (tz + ones <= 64 by construction).
+    if (tz + ones >= 64) {
+      cur_ = 0;
+    } else {
+      cur_ &= ~(((1ULL << ones) - 1) << tz);
+    }
+    // A run touching the block's top bit may continue into later blocks.
+    bool at_end = (tz + ones == 64);
+    while (at_end && block_ + 1 < nblocks_) {
+      const u64 nb = bits_[block_ + 1];
+      const unsigned o2 = static_cast<unsigned>(std::countr_one(nb));
+      if (o2 == 0) {
+        break;
+      }
+      ++block_;
+      cur_ = o2 == 64 ? 0 : (nb & ~((1ULL << o2) - 1));
+      *len += o2;
+      at_end = (o2 == 64);
+    }
+    return true;
+  }
+
+ private:
+  const u64* bits_;
+  usize nblocks_;
+  usize block_ = 0;
+  u64 cur_ = 0;
+};
+
+// Per-byte reference loop over [off, end): applies mine where it differs from
+// twin and counts exactly. Shared tail path of every merge kernel (the final
+// short word and sub-vector leftovers).
+inline void MergeTailBytes(u8* base, const u8* mine, const u8* twin, usize off, usize end,
+                           DiffMergeCounts* c) {
+  while (off < end) {
+    const usize word_end = end < (off | 7) + 1 ? end : (off | 7) + 1;
+    bool word_hit = false;
+    for (usize i = off; i < word_end; ++i) {
+      if (mine[i] != twin[i]) {
+        base[i] = mine[i];
+        ++c->bytes;
+        word_hit = true;
+      }
+    }
+    c->words += word_hit ? 1 : 0;
+    off = word_end;
+  }
+}
+
+// Sets `count` bits of `bits` starting at bit index `w` (ORs; count <= 32).
+inline void OrBitsAt(u64* out, usize w, u64 bits, unsigned count) {
+  const usize b = w >> 6;
+  const unsigned sh = w & 63;
+  out[b] |= bits << sh;
+  if (sh != 0 && sh + count > 64) {
+    out[b + 1] |= bits >> (64 - sh);
+  }
+}
+
+// Diffs the single (possibly short) word at byte offset `off`; returns true
+// if any byte differs.
+inline bool DiffOneWord(const u8* mine, const u8* twin, usize n, usize off) {
+  const usize span = n - off < 8 ? n - off : 8;
+  if (span == 8) {
+    return LoadWord(mine + off) != LoadWord(twin + off);
+  }
+  return std::memcmp(mine + off, twin + off, span) != 0;
+}
+
+// ---- Scalar kernels (the pinned baseline) -----------------------------------
+
+usize ScalarDiffWords(const u8* mine, const u8* twin, usize n, const u64* mask, u64* out) {
+  const usize words = (n + 7) / 8;
+  const usize blocks = BitmapBlocks(n);
+  std::memset(out, 0, blocks * sizeof(u64));
+  if (mask == nullptr) {
+    for (usize w = 0; w < words; ++w) {
+      if (DiffOneWord(mine, twin, n, w * 8)) {
+        out[w >> 6] |= 1ULL << (w & 63);
+      }
+    }
+  } else {
+    RunCursor rc(mask, blocks);
+    usize w0 = 0;
+    usize len = 0;
+    while (rc.Next(&w0, &len)) {
+      const usize w_end = w0 + len < words ? w0 + len : words;
+      for (usize w = w0; w < w_end; ++w) {
+        if (DiffOneWord(mine, twin, n, w * 8)) {
+          out[w >> 6] |= 1ULL << (w & 63);
+        }
+      }
+    }
+  }
+  usize count = 0;
+  for (usize b = 0; b < blocks; ++b) {
+    count += static_cast<usize>(std::popcount(out[b]));
+  }
+  return count;
+}
+
+DiffMergeCounts ScalarMergeRuns(u8* base, const u8* mine, const u8* twin, usize n,
+                                const u64* bits) {
+  DiffMergeCounts c;
+  RunCursor rc(bits, BitmapBlocks(n));
+  usize w0 = 0;
+  usize len = 0;
+  while (rc.Next(&w0, &len)) {
+    usize off = w0 * 8;
+    if (off >= n) {
+      break;
+    }
+    usize end = off + len * 8;
+    end = end < n ? end : n;
+    for (; off + 8 <= end; off += 8) {
+      const u64 x = LoadWord(mine + off);
+      const u64 t = LoadWord(twin + off);
+      const u64 d = x ^ t;
+      if (d == 0) {
+        continue;
+      }
+      const u64 hb = NonzeroByteHighBits(d);
+      const u64 bytemask = ExpandHighBitsToBytes(hb);
+      StoreWord(base + off, (LoadWord(base + off) & ~bytemask) | (x & bytemask));
+      c.bytes += static_cast<usize>(std::popcount(hb));
+      ++c.words;
+    }
+    MergeTailBytes(base, mine, twin, off, end, &c);
+  }
+  return c;
+}
+
+void ScalarCopyBytes(u8* dst, const u8* src, usize n) { std::memcpy(dst, src, n); }
+
+bool ScalarBytesEqual(const u8* a, const u8* b, usize n) { return std::memcmp(a, b, n) == 0; }
+
+constexpr PageKernels kScalarKernels = {Level::kScalar, &ScalarDiffWords, &ScalarMergeRuns,
+                                        &ScalarCopyBytes, &ScalarBytesEqual};
+
+#if defined(CSQ_SIMD_X86)
+
+// ---- SSE2 kernels (16 bytes / 2 words per step) -----------------------------
+
+// Collapses a 16-bit per-byte diff mask to one bit per 8-byte word (2 bits).
+inline u64 WordBits16(u32 diff16) {
+  return static_cast<u64>((diff16 & 0xffu) != 0) | (static_cast<u64>((diff16 >> 8) != 0) << 1);
+}
+
+__attribute__((target("sse2"))) usize Sse2DiffRange(const u8* mine, const u8* twin, usize n,
+                                                    usize w0, usize wlen, u64* out) {
+  // Diffs words [w0, w0+wlen) of [0, n), ORing word bits into `out`.
+  // Returns nothing the caller can't recount; kept void-like (always 0).
+  usize off = w0 * 8;
+  const usize words = (n + 7) / 8;
+  const usize w_end = w0 + wlen < words ? w0 + wlen : words;
+  usize end = w_end * 8;
+  end = end < n ? end : n;
+  usize w = w0;
+  for (; off + 16 <= end; off += 16, w += 2) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mine + off));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(twin + off));
+    const u32 eq = static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(a, b)));
+    const u32 diff = ~eq & 0xffffu;
+    if (diff != 0) {
+      OrBitsAt(out, w, WordBits16(diff), 2);
+    }
+  }
+  for (; w < w_end; ++w, off += 8) {
+    if (DiffOneWord(mine, twin, n, w * 8)) {
+      out[w >> 6] |= 1ULL << (w & 63);
+    }
+  }
+  return 0;
+}
+
+__attribute__((target("sse2"))) usize Sse2DiffWords(const u8* mine, const u8* twin, usize n,
+                                                    const u64* mask, u64* out) {
+  const usize words = (n + 7) / 8;
+  const usize blocks = BitmapBlocks(n);
+  std::memset(out, 0, blocks * sizeof(u64));
+  if (mask == nullptr) {
+    Sse2DiffRange(mine, twin, n, 0, words, out);
+  } else {
+    RunCursor rc(mask, blocks);
+    usize w0 = 0;
+    usize len = 0;
+    while (rc.Next(&w0, &len)) {
+      Sse2DiffRange(mine, twin, n, w0, len, out);
+    }
+  }
+  usize count = 0;
+  for (usize b = 0; b < blocks; ++b) {
+    count += static_cast<usize>(std::popcount(out[b]));
+  }
+  return count;
+}
+
+__attribute__((target("sse2"))) DiffMergeCounts Sse2MergeRuns(u8* base, const u8* mine,
+                                                              const u8* twin, usize n,
+                                                              const u64* bits) {
+  DiffMergeCounts c;
+  RunCursor rc(bits, BitmapBlocks(n));
+  usize w0 = 0;
+  usize len = 0;
+  while (rc.Next(&w0, &len)) {
+    usize off = w0 * 8;
+    if (off >= n) {
+      break;
+    }
+    usize end = off + len * 8;
+    end = end < n ? end : n;
+    for (; off + 16 <= end; off += 16) {
+      const __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mine + off));
+      const __m128i t = _mm_loadu_si128(reinterpret_cast<const __m128i*>(twin + off));
+      const __m128i eq = _mm_cmpeq_epi8(m, t);
+      const u32 eqm = static_cast<u32>(_mm_movemask_epi8(eq));
+      const u32 diff = ~eqm & 0xffffu;
+      if (diff == 0) {
+        continue;
+      }
+      // Masked vector store: keep base where mine == twin, take mine where
+      // it differs (last-writer-wins blend). SSE2 has no blendv; and/andnot
+      // compose the same select.
+      const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + off));
+      const __m128i blended = _mm_or_si128(_mm_and_si128(eq, b), _mm_andnot_si128(eq, m));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(base + off), blended);
+      c.bytes += static_cast<usize>(std::popcount(diff));
+      c.words += ((diff & 0xffu) != 0 ? 1 : 0) + ((diff >> 8) != 0 ? 1 : 0);
+    }
+    MergeTailBytes(base, mine, twin, off, end, &c);
+  }
+  return c;
+}
+
+__attribute__((target("sse2"))) void Sse2CopyBytes(u8* dst, const u8* src, usize n) {
+  usize i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    const __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 32));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 48));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), a);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), b);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 32), c);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 48), d);
+  }
+  if (i < n) {
+    std::memcpy(dst + i, src + i, n - i);
+  }
+}
+
+__attribute__((target("sse2"))) bool Sse2BytesEqual(const u8* a, const u8* b, usize n) {
+  usize i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(x, y)) != 0xffff) {
+      return false;
+    }
+  }
+  return i == n || std::memcmp(a + i, b + i, n - i) == 0;
+}
+
+constexpr PageKernels kSse2Kernels = {Level::kSse2, &Sse2DiffWords, &Sse2MergeRuns,
+                                      &Sse2CopyBytes, &Sse2BytesEqual};
+
+// ---- AVX2 kernels (32 bytes / 4 words per step) -----------------------------
+
+inline u64 WordBits32(u32 diff32) {
+  return static_cast<u64>((diff32 & 0xffu) != 0) |
+         (static_cast<u64>(((diff32 >> 8) & 0xffu) != 0) << 1) |
+         (static_cast<u64>(((diff32 >> 16) & 0xffu) != 0) << 2) |
+         (static_cast<u64>((diff32 >> 24) != 0) << 3);
+}
+
+__attribute__((target("avx2"))) usize Avx2DiffRange(const u8* mine, const u8* twin, usize n,
+                                                    usize w0, usize wlen, u64* out) {
+  usize off = w0 * 8;
+  const usize words = (n + 7) / 8;
+  const usize w_end = w0 + wlen < words ? w0 + wlen : words;
+  usize end = w_end * 8;
+  end = end < n ? end : n;
+  usize w = w0;
+  for (; off + 32 <= end; off += 32, w += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mine + off));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twin + off));
+    const u32 eq = static_cast<u32>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(a, b)));
+    const u32 diff = ~eq;
+    if (diff != 0) {
+      OrBitsAt(out, w, WordBits32(diff), 4);
+    }
+  }
+  for (; w < w_end; ++w, off += 8) {
+    if (DiffOneWord(mine, twin, n, w * 8)) {
+      out[w >> 6] |= 1ULL << (w & 63);
+    }
+  }
+  return 0;
+}
+
+__attribute__((target("avx2"))) usize Avx2DiffWords(const u8* mine, const u8* twin, usize n,
+                                                    const u64* mask, u64* out) {
+  const usize words = (n + 7) / 8;
+  const usize blocks = BitmapBlocks(n);
+  std::memset(out, 0, blocks * sizeof(u64));
+  if (mask == nullptr) {
+    Avx2DiffRange(mine, twin, n, 0, words, out);
+  } else {
+    RunCursor rc(mask, blocks);
+    usize w0 = 0;
+    usize len = 0;
+    while (rc.Next(&w0, &len)) {
+      Avx2DiffRange(mine, twin, n, w0, len, out);
+    }
+  }
+  usize count = 0;
+  for (usize b = 0; b < blocks; ++b) {
+    count += static_cast<usize>(std::popcount(out[b]));
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) DiffMergeCounts Avx2MergeRuns(u8* base, const u8* mine,
+                                                              const u8* twin, usize n,
+                                                              const u64* bits) {
+  DiffMergeCounts c;
+  RunCursor rc(bits, BitmapBlocks(n));
+  usize w0 = 0;
+  usize len = 0;
+  while (rc.Next(&w0, &len)) {
+    usize off = w0 * 8;
+    if (off >= n) {
+      break;
+    }
+    usize end = off + len * 8;
+    end = end < n ? end : n;
+    for (; off + 32 <= end; off += 32) {
+      const __m256i m = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mine + off));
+      const __m256i t = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twin + off));
+      const __m256i eq = _mm256_cmpeq_epi8(m, t);
+      const u32 eqm = static_cast<u32>(_mm256_movemask_epi8(eq));
+      const u32 diff = ~eqm;
+      if (diff == 0) {
+        continue;
+      }
+      const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + off));
+      // vpblendvb selects b where eq's byte high bit is set, m elsewhere —
+      // one masked vector store per 32 bytes of run.
+      const __m256i blended = _mm256_blendv_epi8(m, b, eq);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(base + off), blended);
+      c.bytes += static_cast<usize>(std::popcount(diff));
+      c.words += static_cast<usize>(std::popcount(WordBits32(diff)));
+    }
+    for (; off + 16 <= end; off += 16) {
+      const __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mine + off));
+      const __m128i t = _mm_loadu_si128(reinterpret_cast<const __m128i*>(twin + off));
+      const __m128i eq = _mm_cmpeq_epi8(m, t);
+      const u32 diff = ~static_cast<u32>(_mm_movemask_epi8(eq)) & 0xffffu;
+      if (diff == 0) {
+        continue;
+      }
+      const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + off));
+      const __m128i blended = _mm_or_si128(_mm_and_si128(eq, b), _mm_andnot_si128(eq, m));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(base + off), blended);
+      c.bytes += static_cast<usize>(std::popcount(diff));
+      c.words += ((diff & 0xffu) != 0 ? 1 : 0) + ((diff >> 8) != 0 ? 1 : 0);
+    }
+    MergeTailBytes(base, mine, twin, off, end, &c);
+  }
+  return c;
+}
+
+__attribute__((target("avx2"))) void Avx2CopyBytes(u8* dst, const u8* src, usize n) {
+  usize i = 0;
+  for (; i + 128 <= n; i += 128) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 64));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 96));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 64), c);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 96), d);
+  }
+  if (i < n) {
+    std::memcpy(dst + i, src + i, n - i);
+  }
+}
+
+__attribute__((target("avx2"))) bool Avx2BytesEqual(const u8* a, const u8* b, usize n) {
+  usize i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (static_cast<u32>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(x, y))) != 0xffffffffu) {
+      return false;
+    }
+  }
+  return i == n || std::memcmp(a + i, b + i, n - i) == 0;
+}
+
+constexpr PageKernels kAvx2Kernels = {Level::kAvx2, &Avx2DiffWords, &Avx2MergeRuns,
+                                      &Avx2CopyBytes, &Avx2BytesEqual};
+
+#endif  // CSQ_SIMD_X86
+
+// ---- Dispatch ---------------------------------------------------------------
+
+// CSQ_SIMD override, clamped to what the host can execute. Unknown values
+// warn once and fall back to autodetect rather than silently running scalar.
+Level ResolveLevel() {
+  Level l = DetectedLevel();
+  const char* env = std::getenv("CSQ_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    Level want = Level::kScalar;
+    if (ParseLevel(env, &want)) {
+      l = want < l ? want : l;
+    } else {
+      std::fprintf(stderr, "simd: unknown CSQ_SIMD value '%s' (want scalar|sse2|avx2); using %s\n",
+                   env, LevelName(l));
+    }
+  }
+  return l;
+}
+
+// Test-only override installed by ScopedLevelForTest (single-threaded use).
+const PageKernels* g_test_override = nullptr;
+
+}  // namespace
+
+bool ParseLevel(const char* s, Level* out) {
+  if (s == nullptr) {
+    return false;
+  }
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "sse2") == 0) {
+    *out = Level::kSse2;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    *out = Level::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+Level DetectedLevel() {
+#if defined(CSQ_SIMD_X86)
+  static const Level detected = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2")) {
+      return Level::kAvx2;
+    }
+    if (__builtin_cpu_supports("sse2")) {
+      return Level::kSse2;
+    }
+    return Level::kScalar;
+  }();
+  return detected;
+#else
+  return Level::kScalar;
+#endif
+}
+
+const PageKernels& KernelsFor(Level level) {
+  const Level detected = DetectedLevel();
+  const Level l = level < detected ? level : detected;
+#if defined(CSQ_SIMD_X86)
+  switch (l) {
+    case Level::kAvx2:
+      return kAvx2Kernels;
+    case Level::kSse2:
+      return kSse2Kernels;
+    case Level::kScalar:
+      break;
+  }
+#else
+  (void)l;
+#endif
+  return kScalarKernels;
+}
+
+const PageKernels& Kernels() {
+  if (g_test_override != nullptr) {
+    return *g_test_override;
+  }
+  // Resolved exactly once (thread-safe static init); CSQ_SIMD is never
+  // re-read, so the dispatch level is a startup constant.
+  static const PageKernels& resolved = KernelsFor(ResolveLevel());
+  return resolved;
+}
+
+Level ActiveLevel() { return Kernels().level; }
+
+ScopedLevelForTest::ScopedLevelForTest(Level l) : saved_(g_test_override) {
+  g_test_override = &KernelsFor(l);
+}
+
+ScopedLevelForTest::~ScopedLevelForTest() { g_test_override = saved_; }
+
+}  // namespace csq::simd

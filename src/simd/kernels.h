@@ -1,0 +1,135 @@
+// Vectorized commit kernels: the byte-moving primitives of the Conversion
+// commit step (twin diff, run-coalesced merge, page copy, page compare),
+// behind one runtime-dispatched table (DESIGN.md §17).
+//
+// The commit step — diff the private workspace against its twin and merge the
+// changed bytes into the shared base — is the off-floor WORK phase's dominant
+// cost. These kernels move those bytes at vector width (16 bytes under SSE2,
+// 32 under AVX2) instead of a scalar per-word loop, without changing WHICH
+// bytes move: every kernel is a pure byte function with an exact scalar
+// semantics (pinned by tests/simd_kernels_test.cc against the reference
+// conv::MergeInto oracle), so simulated virtual time, checksums, traces and
+// race reports are bit-identical at every dispatch level.
+//
+// Dispatch: the level is resolved once, on first use, from CPU feature
+// detection (best of scalar < SSE2 < AVX2 the host supports), overridable for
+// testing via CSQ_SIMD=scalar|sse2|avx2 — an override above the host's
+// support is clamped down, never trusted. Non-x86 builds compile the scalar
+// table only and every level aliases it.
+//
+// Layering: src/simd depends only on src/util. conv sits on top of it; the
+// kernels know nothing about pages, segments or the engine — they never
+// charge, wait or notify, which is what makes them legal in the off-floor
+// publish path.
+#pragma once
+
+#include "src/util/types.h"
+
+namespace csq::simd {
+
+// Dispatch levels, in strength order. Numeric order is meaningful: a level
+// is usable iff it is <= DetectedLevel().
+enum class Level : u8 {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+inline constexpr const char* LevelName(Level l) {
+  switch (l) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+// Parses a CSQ_SIMD value. Returns true and sets *out on success; unknown
+// strings (and null) return false and leave *out untouched.
+bool ParseLevel(const char* s, Level* out);
+
+// Best level this host's CPU can execute (scalar on non-x86 builds).
+Level DetectedLevel();
+
+// The level the dispatch table was resolved to: min(DetectedLevel, CSQ_SIMD
+// override if set and parseable). Resolved once, on first call.
+Level ActiveLevel();
+
+// Exact counts of a diff/merge pass — mirrors conv::MergeResult without
+// depending on conv (conv depends on simd, not the reverse).
+struct DiffMergeCounts {
+  usize bytes = 0;  // bytes where mine[i] != twin[i] (applied by merge)
+  usize words = 0;  // 8-byte words containing at least one such byte
+};
+
+// One dispatch level's kernel table. All pointers are non-null at every
+// level. `n` is the buffer length in bytes; buffers may overlap only where a
+// parameter aliases itself (dst==src is not supported). Word w covers bytes
+// [8w, min(8w+8, n)) — the final word may be short.
+struct PageKernels {
+  Level level;
+
+  // (a) Twin diff. For every 8-byte word w of [0, n) whose bit is set in
+  // `mask` (mask == nullptr means "all words"), sets bit w of `out` iff
+  // mine/twin differ somewhere in that word; every other bit of `out`
+  // (including bits of words not in the mask and bits beyond the last word)
+  // is cleared. `mask` and `out` are u64 little-endian bitmap blocks, bit
+  // (w & 63) of block (w >> 6), covering ceil(ceil(n/8)/64) blocks. Returns
+  // the number of set bits written to `out`.
+  usize (*diff_words)(const u8* mine, const u8* twin, usize n, const u64* mask, u64* out);
+
+  // (b) Run-coalesced merge. Walks `bits` (same bitmap layout) for maximal
+  // runs of set words and, for every byte of those words where mine differs
+  // from twin, stores mine's byte into base (last-writer-wins blend). Bytes
+  // inside a set word where mine equals twin are left untouched — base may
+  // hold other committers' bytes there. Returns exact counts: bytes applied
+  // and words that contained at least one applied byte (a set word with no
+  // differing byte counts zero, so passing an un-diffed dirty bitmap still
+  // yields the reference counts).
+  DiffMergeCounts (*merge_runs)(u8* base, const u8* mine, const u8* twin, usize n,
+                                const u64* bits);
+
+  // (c) Bulk byte copy (the pooled page-buffer copy in the publish path).
+  // dst and src must not overlap.
+  void (*copy_bytes)(u8* dst, const u8* src, usize n);
+
+  // Whole-buffer equality (conv::PagesDiffer).
+  bool (*bytes_equal)(const u8* a, const u8* b, usize n);
+};
+
+// The active dispatch table (resolved once with ActiveLevel()).
+const PageKernels& Kernels();
+
+// A specific level's table, for tests and per-kernel benchmarking. Asking
+// for a level above DetectedLevel() returns the detected level's table
+// instead of handing back instructions the host cannot execute.
+const PageKernels& KernelsFor(Level level);
+
+// Number of u64 bitmap blocks covering a buffer of `n_bytes` bytes at 8-byte
+// word granularity (what diff_words writes and merge_runs reads).
+inline constexpr usize BitmapBlocks(usize n_bytes) {
+  const usize words = (n_bytes + 7) / 8;
+  return (words + 63) / 64;
+}
+
+// TEST ONLY. Forces Kernels()/ActiveLevel() to a specific level for the
+// current scope so a single process can sweep every dispatch level (the
+// CSQ_SIMD override is read once at startup and cannot be re-read). Clamped
+// to DetectedLevel() like the env override. Not thread-safe: construct only
+// from single-threaded test/bench setup code.
+class ScopedLevelForTest {
+ public:
+  explicit ScopedLevelForTest(Level l);
+  ~ScopedLevelForTest();
+
+  ScopedLevelForTest(const ScopedLevelForTest&) = delete;
+  ScopedLevelForTest& operator=(const ScopedLevelForTest&) = delete;
+
+ private:
+  const PageKernels* saved_;
+};
+
+}  // namespace csq::simd

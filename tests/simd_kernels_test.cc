@@ -1,0 +1,408 @@
+// Pins every simd dispatch level to the scalar MergeInto reference oracle.
+//
+// The kernels are only legal in the commit path because they are pure byte
+// functions: for any (base, mine, twin, dirty-mask) input, every level must
+// produce byte-identical merged pages and identical {bytes, words} counts.
+// These tests sweep random page sizes (including non-multiples of the 8-byte
+// word and of the vector widths), unaligned buffer offsets, and
+// all-dirty/all-clean/sparse/clustered bitmaps across every level the host
+// can execute — plus the level-independent dispatch plumbing (ParseLevel,
+// clamping, ScopedLevelForTest) and the O(1) DirtyWords set-word count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/conv/page.h"
+#include "src/simd/kernels.h"
+#include "src/util/rng.h"
+
+namespace csq::simd {
+namespace {
+
+using conv::DirtyWords;
+using conv::kMergeWordBytes;
+using conv::MergeInto;
+using conv::MergeIntoWords;
+using conv::MergeResult;
+using conv::PageBuf;
+
+std::vector<Level> UsableLevels() {
+  std::vector<Level> ls = {Level::kScalar};
+  if (DetectedLevel() >= Level::kSse2) {
+    ls.push_back(Level::kSse2);
+  }
+  if (DetectedLevel() >= Level::kAvx2) {
+    ls.push_back(Level::kAvx2);
+  }
+  return ls;
+}
+
+// Reference diff/merge on raw buffers: applies mine where it differs from
+// twin, restricted to words marked in `mask`, counting exactly like
+// MergeResult. Mirrors MergeInto but honors the word mask, so it is usable
+// as the oracle for merge_runs called with an arbitrary (un-diffed) bitmap.
+DiffMergeCounts ReferenceMerge(u8* base, const u8* mine, const u8* twin, usize n,
+                               const u64* mask) {
+  DiffMergeCounts c;
+  const usize words = (n + 7) / 8;
+  for (usize w = 0; w < words; ++w) {
+    if (mask != nullptr && ((mask[w >> 6] >> (w & 63)) & 1) == 0) {
+      continue;
+    }
+    const usize end = std::min(n, w * 8 + 8);
+    bool hit = false;
+    for (usize i = w * 8; i < end; ++i) {
+      if (mine[i] != twin[i]) {
+        base[i] = mine[i];
+        ++c.bytes;
+        hit = true;
+      }
+    }
+    c.words += hit ? 1 : 0;
+  }
+  return c;
+}
+
+// One randomized scenario: buffers of `n` bytes at byte offset `align` into
+// their backing stores (so vector loads hit genuinely unaligned addresses),
+// `mode` selects the dirty-bitmap shape and the mine-vs-twin diff density.
+struct Scenario {
+  usize n;
+  usize align;
+  int mode;  // 0 all-clean, 1 all-dirty, 2 sparse, 3 clustered runs
+  u64 seed;
+};
+
+void FillScenario(const Scenario& sc, DetRng& rng, std::vector<u8>* mine_store,
+                  std::vector<u8>* twin_store, std::vector<u8>* base_store,
+                  std::vector<u64>* mask) {
+  const usize total = sc.n + sc.align;
+  mine_store->assign(total, 0);
+  twin_store->assign(total, 0);
+  base_store->assign(total, 0);
+  for (usize i = 0; i < total; ++i) {
+    const u8 v = static_cast<u8>(rng.Next());
+    (*twin_store)[i] = v;
+    (*mine_store)[i] = v;
+    (*base_store)[i] = static_cast<u8>(rng.Next());
+  }
+  u8* mine = mine_store->data() + sc.align;
+  const usize words = (sc.n + 7) / 8;
+  mask->assign(BitmapBlocks(sc.n), 0);
+  auto mark = [&](usize w) { (*mask)[w >> 6] |= 1ULL << (w & 63); };
+  switch (sc.mode) {
+    case 0:
+      // All-clean: full mask, zero diffs — merge must touch nothing.
+      for (usize w = 0; w < words; ++w) {
+        mark(w);
+      }
+      break;
+    case 1:
+      // All-dirty: full mask, every word differs somewhere.
+      for (usize w = 0; w < words; ++w) {
+        mark(w);
+        const usize off = w * 8 + rng.Below(std::min<usize>(8, sc.n - w * 8));
+        mine[off] ^= static_cast<u8>(1 + rng.Below(255));
+      }
+      break;
+    case 2:
+      // Sparse: a few isolated dirty words, some marked words left clean
+      // (merge must not count or touch them).
+      for (usize k = 0; k < words / 8 + 1; ++k) {
+        const usize w = rng.Below(words);
+        mark(w);
+        if (rng.Below(2) == 0) {
+          const usize off = w * 8 + rng.Below(std::min<usize>(8, sc.n - w * 8));
+          mine[off] ^= static_cast<u8>(1 + rng.Below(255));
+        }
+      }
+      break;
+    default: {
+      // Clustered: maximal runs spanning u64-block boundaries, dense diffs
+      // inside each run so the vector blend path does real work.
+      usize w = rng.Below(std::max<usize>(1, words / 4));
+      while (w < words) {
+        const usize len = 1 + rng.Below(130);  // runs longer than one block
+        for (usize j = w; j < std::min(words, w + len); ++j) {
+          mark(j);
+          const usize end = std::min(sc.n, j * 8 + 8);
+          for (usize i = j * 8; i < end; ++i) {
+            if (rng.Below(3) != 0) {
+              mine[i] ^= static_cast<u8>(1 + rng.Below(255));
+            }
+          }
+        }
+        w += len + 1 + rng.Below(40);
+      }
+      break;
+    }
+  }
+}
+
+class KernelLevels : public ::testing::TestWithParam<Scenario> {};
+
+// diff_words and merge_runs at every usable level produce exactly the
+// reference bytes and counts, for masked and unmasked (nullptr) diffs.
+TEST_P(KernelLevels, DiffAndMergeMatchReferenceAtEveryLevel) {
+  const Scenario sc = GetParam();
+  DetRng rng(sc.seed);
+  std::vector<u8> mine_s;
+  std::vector<u8> twin_s;
+  std::vector<u8> base_s;
+  std::vector<u64> mask;
+  FillScenario(sc, rng, &mine_s, &twin_s, &base_s, &mask);
+  const u8* mine = mine_s.data() + sc.align;
+  const u8* twin = twin_s.data() + sc.align;
+  const u8* base0 = base_s.data() + sc.align;
+  const usize n = sc.n;
+  const usize blocks = BitmapBlocks(n);
+
+  // Reference: diff bits by per-word scan, merge by byte loop.
+  std::vector<u64> ref_bits(blocks, 0);
+  usize ref_set = 0;
+  const usize words = (n + 7) / 8;
+  for (usize w = 0; w < words; ++w) {
+    if (((mask[w >> 6] >> (w & 63)) & 1) == 0) {
+      continue;
+    }
+    const usize end = std::min(n, w * 8 + 8);
+    if (std::memcmp(mine + w * 8, twin + w * 8, end - w * 8) != 0) {
+      ref_bits[w >> 6] |= 1ULL << (w & 63);
+      ++ref_set;
+    }
+  }
+  std::vector<u8> ref_base(base0, base0 + n);
+  const DiffMergeCounts ref_counts =
+      ReferenceMerge(ref_base.data(), mine, twin, n, mask.data());
+
+  for (Level l : UsableLevels()) {
+    const PageKernels& k = KernelsFor(l);
+    ASSERT_EQ(k.level, l);
+
+    // (a) masked diff
+    std::vector<u64> got_bits(blocks, 0xffffffffffffffffULL);  // must be fully overwritten
+    EXPECT_EQ(k.diff_words(mine, twin, n, mask.data(), got_bits.data()), ref_set)
+        << LevelName(l);
+    EXPECT_EQ(got_bits, ref_bits) << LevelName(l);
+
+    // unmasked diff == diff with an all-ones mask
+    std::vector<u64> full_mask(blocks, 0);
+    for (usize w = 0; w < words; ++w) {
+      full_mask[w >> 6] |= 1ULL << (w & 63);
+    }
+    std::vector<u64> bits_null(blocks, 0);
+    std::vector<u64> bits_full(blocks, 0);
+    const usize c_null = k.diff_words(mine, twin, n, nullptr, bits_null.data());
+    const usize c_full = k.diff_words(mine, twin, n, full_mask.data(), bits_full.data());
+    EXPECT_EQ(c_null, c_full) << LevelName(l);
+    EXPECT_EQ(bits_null, bits_full) << LevelName(l);
+
+    // (b) merge over the raw (un-diffed) mask must still blend byte-exactly
+    // and count only words that actually differ.
+    std::vector<u8> got_base(base0, base0 + n);
+    const DiffMergeCounts got = k.merge_runs(got_base.data(), mine, twin, n, mask.data());
+    EXPECT_EQ(got.bytes, ref_counts.bytes) << LevelName(l);
+    EXPECT_EQ(got.words, ref_counts.words) << LevelName(l);
+    EXPECT_EQ(got_base, ref_base) << LevelName(l);
+
+    // merge over the diffed bits: same result (diff loses no differing word).
+    std::vector<u8> base2(base0, base0 + n);
+    const DiffMergeCounts got2 = k.merge_runs(base2.data(), mine, twin, n, ref_bits.data());
+    EXPECT_EQ(got2.bytes, ref_counts.bytes) << LevelName(l);
+    EXPECT_EQ(got2.words, ref_counts.words) << LevelName(l);
+    EXPECT_EQ(base2, ref_base) << LevelName(l);
+
+    // (c) copy + equality
+    std::vector<u8> dst(n, 0);
+    k.copy_bytes(dst.data(), mine, n);
+    EXPECT_EQ(0, std::memcmp(dst.data(), mine, n)) << LevelName(l);
+    EXPECT_EQ(k.bytes_equal(mine, twin, n), std::memcmp(mine, twin, n) == 0) << LevelName(l);
+    EXPECT_TRUE(k.bytes_equal(mine, mine, n)) << LevelName(l);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelLevels,
+    ::testing::Values(
+        // page-size edges: sub-word, sub-vector, word-but-not-vector multiples
+        Scenario{1, 0, 1, 1}, Scenario{7, 1, 1, 2}, Scenario{8, 3, 1, 3},
+        Scenario{15, 0, 1, 4}, Scenario{16, 5, 1, 5}, Scenario{31, 2, 1, 6},
+        Scenario{33, 7, 1, 7}, Scenario{63, 1, 1, 8}, Scenario{65, 3, 1, 9},
+        // typical pages, every bitmap shape, aligned and unaligned
+        Scenario{4096, 0, 0, 10}, Scenario{4096, 1, 1, 11}, Scenario{4096, 3, 2, 12},
+        Scenario{4096, 7, 3, 13}, Scenario{4096, 9, 3, 14},
+        // short trailing word + >512-word pages (multi-block bitmaps)
+        Scenario{4093, 5, 3, 15}, Scenario{8191, 11, 3, 16}, Scenario{8200, 13, 2, 17},
+        // exactly one bitmap block boundary (512 words = 4096B handled above;
+        // 520 words crosses into block 2)
+        Scenario{4160, 2, 3, 18}));
+
+// Randomized fuzz sweep: many random (size, align, mode, seed) draws beyond
+// the curated list, checked through the full conv-facing MergeIntoWords path
+// against the MergeInto oracle at every level via ScopedLevelForTest.
+TEST(KernelFuzz, MergeIntoWordsMatchesMergeIntoOracleAtEveryLevel) {
+  DetRng rng(0xC0FFEE);
+  for (int iter = 0; iter < 200; ++iter) {
+    const usize n = 1 + rng.Below(6000);
+    PageBuf twin(n);
+    PageBuf mine(n);
+    PageBuf base(n);
+    for (usize i = 0; i < n; ++i) {
+      twin[i] = static_cast<u8>(rng.Next());
+      mine[i] = twin[i];
+      base[i] = static_cast<u8>(rng.Next());
+    }
+    DirtyWords dirty;
+    dirty.Reset(n);
+    const usize writes = rng.Below(40);
+    for (usize wr = 0; wr < writes; ++wr) {
+      const usize off = rng.Below(n);
+      const usize len = 1 + rng.Below(std::min<usize>(n - off, 200));
+      dirty.MarkRange(off, len);
+      // Half the marked ranges actually change bytes; the rest store back
+      // identical values (dirty word, clean diff).
+      if (rng.Below(2) == 0) {
+        for (usize i = off; i < off + len; ++i) {
+          if (rng.Below(2) == 0) {
+            mine[i] ^= static_cast<u8>(1 + rng.Below(255));
+          }
+        }
+      }
+    }
+
+    // Oracle: reference byte merge (precondition holds — every diff byte was
+    // marked), plus reference counts from the masked byte loop.
+    PageBuf want_base = base;
+    const usize want_bytes = MergeInto(want_base, mine, twin);
+    std::vector<u64> mask(dirty.BlockCount());
+    std::memcpy(mask.data(), dirty.BitsData(), mask.size() * sizeof(u64));
+    PageBuf scratch = base;
+    const DiffMergeCounts want =
+        ReferenceMerge(scratch.data(), mine.data(), twin.data(), n, mask.data());
+    ASSERT_EQ(want.bytes, want_bytes);
+
+    for (Level l : UsableLevels()) {
+      ScopedLevelForTest scoped(l);
+      ASSERT_EQ(ActiveLevel(), l);
+      PageBuf got_base = base;
+      const MergeResult r = MergeIntoWords(got_base, mine, twin, dirty);
+      EXPECT_EQ(r.bytes, want.bytes) << LevelName(l) << " n=" << n << " iter=" << iter;
+      EXPECT_EQ(r.words, want.words) << LevelName(l) << " n=" << n << " iter=" << iter;
+      EXPECT_EQ(got_base, want_base) << LevelName(l) << " n=" << n << " iter=" << iter;
+    }
+  }
+}
+
+TEST(Dispatch, ParseLevelAcceptsExactlyTheDocumentedNames) {
+  Level l = Level::kAvx2;
+  EXPECT_TRUE(ParseLevel("scalar", &l));
+  EXPECT_EQ(l, Level::kScalar);
+  EXPECT_TRUE(ParseLevel("sse2", &l));
+  EXPECT_EQ(l, Level::kSse2);
+  EXPECT_TRUE(ParseLevel("avx2", &l));
+  EXPECT_EQ(l, Level::kAvx2);
+  l = Level::kSse2;
+  EXPECT_FALSE(ParseLevel("", &l));
+  EXPECT_FALSE(ParseLevel("AVX2", &l));
+  EXPECT_FALSE(ParseLevel("sse4", &l));
+  EXPECT_FALSE(ParseLevel(nullptr, &l));
+  EXPECT_EQ(l, Level::kSse2);  // failures leave *out untouched
+}
+
+TEST(Dispatch, KernelsForClampsAboveDetectedLevel) {
+  for (Level req : {Level::kScalar, Level::kSse2, Level::kAvx2}) {
+    const PageKernels& k = KernelsFor(req);
+    EXPECT_EQ(k.level, std::min(req, DetectedLevel()));
+    EXPECT_NE(k.diff_words, nullptr);
+    EXPECT_NE(k.merge_runs, nullptr);
+    EXPECT_NE(k.copy_bytes, nullptr);
+    EXPECT_NE(k.bytes_equal, nullptr);
+  }
+}
+
+TEST(Dispatch, ScopedLevelForTestRestoresOnExit) {
+  const Level before = ActiveLevel();
+  {
+    ScopedLevelForTest scoped(Level::kScalar);
+    EXPECT_EQ(ActiveLevel(), Level::kScalar);
+    {
+      ScopedLevelForTest nested(DetectedLevel());
+      EXPECT_EQ(ActiveLevel(), DetectedLevel());
+    }
+    EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  }
+  EXPECT_EQ(ActiveLevel(), before);
+}
+
+TEST(DirtyWordsCount, SetWordCountTracksMarksClearsAndResets) {
+  DirtyWords d;
+  d.Reset(4096);
+  EXPECT_TRUE(d.Empty());
+  EXPECT_EQ(d.SetWordCount(), 0u);
+  d.MarkRange(0, 8);
+  EXPECT_EQ(d.SetWordCount(), 1u);
+  d.MarkRange(0, 8);  // re-marking the same word must not double-count
+  EXPECT_EQ(d.SetWordCount(), 1u);
+  d.MarkRange(4, 8);  // spans words 0 and 1; word 0 already set
+  EXPECT_EQ(d.SetWordCount(), 2u);
+  d.MarkRange(504, 16);  // words 63-64: crosses the u64 block boundary
+  EXPECT_EQ(d.SetWordCount(), 4u);
+  EXPECT_FALSE(d.Empty());
+  d.Clear();
+  EXPECT_TRUE(d.Empty());
+  EXPECT_EQ(d.SetWordCount(), 0u);
+  d.MarkRange(0, 4096);
+  EXPECT_EQ(d.SetWordCount(), 512u);
+  d.Reset(16);
+  EXPECT_TRUE(d.Empty());
+  EXPECT_EQ(d.SetWordCount(), 0u);
+
+  // Count agrees with a ForEachSetWord scan under random marking.
+  DetRng rng(77);
+  DirtyWords r;
+  r.Reset(4099);
+  for (int i = 0; i < 300; ++i) {
+    const usize off = rng.Below(4099);
+    r.MarkRange(off, 1 + rng.Below(4099 - off));
+    usize scan = 0;
+    r.ForEachSetWord([&](usize) { ++scan; });
+    ASSERT_EQ(scan, r.SetWordCount());
+  }
+}
+
+TEST(DirtyWordsRuns, ForEachSetRunCoalescesExactlyTheSetWords) {
+  DetRng rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    const usize n = 1 + rng.Below(9000);
+    DirtyWords d;
+    d.Reset(n);
+    for (usize k = 0; k < rng.Below(12); ++k) {
+      const usize off = rng.Below(n);
+      d.MarkRange(off, 1 + rng.Below(n - off));
+    }
+    std::vector<usize> from_words;
+    d.ForEachSetWord([&](usize w) { from_words.push_back(w); });
+    std::vector<usize> from_runs;
+    usize prev_end = 0;
+    bool first = true;
+    d.ForEachSetRun([&](usize w0, usize len) {
+      ASSERT_GT(len, 0u);
+      // Runs are maximal and ascending: a gap before every run but the first.
+      if (!first) {
+        ASSERT_GT(w0, prev_end);
+      }
+      first = false;
+      prev_end = w0 + len;
+      for (usize w = w0; w < w0 + len; ++w) {
+        from_runs.push_back(w);
+      }
+    });
+    ASSERT_EQ(from_words, from_runs);
+  }
+}
+
+}  // namespace
+}  // namespace csq::simd

@@ -10,6 +10,8 @@ For each report the tool checks two things:
 1.  Correctness flags — always enforced, on every host:
       * fig10_overall:  parallel_matches_serial must be true
       * micro_commit:   vtimes_identical must be true
+      * micro_pagepath: simd_counts_identical must be true (every simd
+        dispatch level reports the same diff/merge byte+word counts)
 
 2.  Parallel-vs-serial wall-clock ratios — enforced only when BOTH the fresh
     report and the baseline were produced on multi-core hosts
@@ -19,6 +21,8 @@ For each report the tool checks two things:
 
       * fig10_overall:  "speedup" (serial wall / parallel wall)
       * micro_commit:   "best_speedup_4plus_committers_large_footprint"
+      * micro_pagepath: "diff_speedup_vs_scalar" / "merge_speedup_vs_scalar"
+        (§17 vector kernels vs the pinned scalar baseline)
       * fig10_overall / micro_commit: "affinity_hit_rate" — the §16 slot
         scheduler's locality rate (affinity hits / slot acquires).  A drop
         means simulated threads stopped landing on their last host worker,
@@ -54,6 +58,11 @@ CHECKS = [
     ("BENCH_serve_shards.json", "multi_shard_scaling", "digest_stable"),
     ("BENCH_fig10_overall.json", "affinity_hit_rate", "parallel_matches_serial"),
     ("BENCH_micro_commit.json", "affinity_hit_rate", "sharded_leases_engaged"),
+    # §17 commit kernels: counts must match across every dispatch level on
+    # every host; the vector-vs-scalar throughput ratios are wall-clock and
+    # follow the usual single-core skip.
+    ("BENCH_micro_pagepath.json", "diff_speedup_vs_scalar", "simd_counts_identical"),
+    ("BENCH_micro_pagepath.json", "merge_speedup_vs_scalar", "simd_counts_identical"),
 ]
 
 

@@ -161,6 +161,20 @@ class BenchDiffTest(unittest.TestCase):
             bench_diff.CHECKS,
         )
 
+    def test_simd_kernel_gate_registered(self):
+        # §17 commit kernels: every dispatch level must report identical
+        # diff/merge counts (simd_counts_identical, enforced on every host);
+        # the vector-vs-scalar throughput ratios are wall-clock and follow
+        # the usual single-core skip.
+        self.assertIn(
+            ("BENCH_micro_pagepath.json", "diff_speedup_vs_scalar", "simd_counts_identical"),
+            bench_diff.CHECKS,
+        )
+        self.assertIn(
+            ("BENCH_micro_pagepath.json", "merge_speedup_vs_scalar", "simd_counts_identical"),
+            bench_diff.CHECKS,
+        )
+
     def test_main_survives_degenerate_registry_inputs(self):
         # End-to-end: main() over the real registry with an empty fresh dir
         # exits with one countable failure per check and no traceback.

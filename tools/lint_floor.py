@@ -164,6 +164,7 @@ SCAN_ROOTS = [
     "rt",
     "serve",
     "sim",
+    "simd",
     "tso",
     "util",
     "wl",
