@@ -1,18 +1,22 @@
-// Race-analyzer bench (DESIGN.md §13): determinism identity + overhead.
+// Race-analyzer bench (DESIGN.md §13, §18): determinism identity + overhead.
 //
 // Runs canneal — the intentionally racy PARSEC workload whose lock-free swaps
 // the byte-granularity merge silently resolves — with the commit-time race
 // analyzer attached, and
 //
-//   1. asserts the canonical race report is byte-identical across the serial
-//      and host-parallel engines (1/2/4 workers), off-floor commit on/off —
-//      exits nonzero on any divergence, so CI catches nondeterminism;
+//   1. asserts the canonical classified race report is byte-identical across
+//      the serial and host-parallel engines (1/2/4 workers), off-floor commit
+//      on/off — exits nonzero on any divergence, so CI catches
+//      nondeterminism;
 //   2. measures analyzer overhead: median-of-3 wall clock for analyzer off,
 //      WW-only, and WW+RW (track_reads) on the same configuration;
 //   3. writes BENCH_race_analyzer.json and the RACE_race_analyzer.json
-//      artifact, and prints the report table (the README quickstart).
+//      artifact, and prints the report table + per-site heatmap (the README
+//      quickstart). `--gen-suppressions` additionally prints a ready-to-paste
+//      suppression block per surviving record.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,6 +24,7 @@
 #include "bench/report.h"
 #include "src/harness/harness.h"
 #include "src/race/report.h"
+#include "src/race/suppress.h"
 #include "src/rt/api.h"
 #include "src/wl/workloads.h"
 
@@ -50,8 +55,14 @@ double MedianOf3Ms(const rt::RuntimeConfig& cfg) {
   return ms[1];
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   const u32 nthreads = 8;
+  bool gen_suppressions = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gen-suppressions") == 0) {
+      gen_suppressions = true;
+    }
+  }
 
   // 1. Identity across engines / worker counts / off-floor commit.
   const rt::RunResult ref = RunCanneal(Cfg(nthreads, 1, true, true, true));
@@ -65,15 +76,19 @@ int Main() {
     for (bool offfloor : {true, false}) {
       const rt::RunResult r = RunCanneal(Cfg(nthreads, workers, offfloor, true, true));
       if (race::CanonicalLines(r.races) != canon || r.race_ww != ref.race_ww ||
-          r.race_rw != ref.race_rw) {
+          r.race_rw != ref.race_rw || r.race_racy != ref.race_racy ||
+          r.race_ordered != ref.race_ordered) {
         std::fprintf(stderr,
                      "race_analyzer: DIVERGED at host_workers=%u offfloor=%d "
-                     "(records %zu vs %zu, ww %llu vs %llu, rw %llu vs %llu)\n",
+                     "(records %zu vs %zu, ww %llu vs %llu, rw %llu vs %llu, "
+                     "racy %llu vs %llu)\n",
                      workers, offfloor ? 1 : 0, r.races.size(), ref.races.size(),
                      static_cast<unsigned long long>(r.race_ww),
                      static_cast<unsigned long long>(ref.race_ww),
                      static_cast<unsigned long long>(r.race_rw),
-                     static_cast<unsigned long long>(ref.race_rw));
+                     static_cast<unsigned long long>(ref.race_rw),
+                     static_cast<unsigned long long>(r.race_racy),
+                     static_cast<unsigned long long>(ref.race_racy));
         ++divergences;
       }
     }
@@ -86,9 +101,11 @@ int Main() {
   const double rw_ms = MedianOf3Ms(Cfg(nthreads, 1, true, true, true));
 
   // 3. Artifacts + quickstart table.
-  std::printf("canneal, %u threads: %zu deduped race records "
-              "(%llu WW / %llu RW dynamic occurrences)\n",
-              nthreads, ref.races.size(), static_cast<unsigned long long>(ref.race_ww),
+  std::printf("canneal, %u threads: %zu deduped race records, %llu racy / %llu "
+              "lock-ordered (%llu WW / %llu RW dynamic occurrences)\n",
+              nthreads, ref.races.size(), static_cast<unsigned long long>(ref.race_racy),
+              static_cast<unsigned long long>(ref.race_ordered),
+              static_cast<unsigned long long>(ref.race_ww),
               static_cast<unsigned long long>(ref.race_rw));
   // Show a digestible slice; RACE_race_analyzer.json carries the full set.
   constexpr usize kShown = 24;
@@ -97,16 +114,27 @@ int Main() {
     race::RenderTable(std::cout,
                       {ref.races.begin(), ref.races.begin() + static_cast<std::ptrdiff_t>(kShown)});
   } else {
-    harness::PrintRaceReport(std::cout, ref);
+    race::RenderTable(std::cout, ref.races);
   }
+  std::printf("site heatmap:\n");
+  race::RenderHeatmap(std::cout, race::BuildHeatmap(ref.races));
   std::printf("analyzer off %.2f ms | WW-only %.2f ms (%.3fx) | WW+RW %.2f ms (%.3fx)\n",
               off_ms, ww_ms, ww_ms / off_ms, rw_ms, rw_ms / off_ms);
+  if (gen_suppressions) {
+    // Ready-to-paste blocks (the README flow: save as canneal.supp, point
+    // CSQ_RACE_SUPPRESSIONS at it, and the next run reports zero records).
+    std::printf("# --gen-suppressions output: one block per surviving record\n%s",
+                race::GenSuppressions(ref.races).c_str());
+  }
 
   race::Report rep;
   rep.records = ref.races;
   rep.ww = ref.race_ww;
   rep.rw = ref.race_rw;
   rep.dropped = ref.race_dropped;
+  rep.racy_records = ref.race_racy;
+  rep.ordered_records = ref.race_ordered;
+  rep.suppressed_records = ref.race_suppressed;
   race::WriteRaceReport("race_analyzer", rep);
 
   bench::JsonObj obj;
@@ -115,6 +143,8 @@ int Main() {
       .Int("nthreads", nthreads)
       .Bool("identity_ok", divergences == 0)
       .Int("records", ref.races.size())
+      .Int("racy_records", ref.race_racy)
+      .Int("ordered_records", ref.race_ordered)
       .Int("ww_occurrences", ref.race_ww)
       .Int("rw_occurrences", ref.race_rw)
       .Int("dropped", ref.race_dropped)
@@ -122,7 +152,11 @@ int Main() {
       .Num("ww_only_ms", ww_ms, 3)
       .Num("ww_rw_ms", rw_ms, 3)
       .Num("ww_overhead_x", ww_ms / off_ms, 4)
-      .Num("ww_rw_overhead_x", rw_ms / off_ms, 4);
+      .Num("ww_rw_overhead_x", rw_ms / off_ms, 4)
+      // Higher-is-better ratios for the bench_diff.py gate: baseline / with-
+      // analyzer wall time, so analyzer slowdowns regress the gated metric.
+      .Num("ww_efficiency", off_ms / ww_ms, 4)
+      .Num("ww_rw_efficiency", off_ms / rw_ms, 4);
   bench::WriteReport("race_analyzer", obj);
   return divergences == 0 ? 0 : 1;
 }
@@ -130,4 +164,4 @@ int Main() {
 }  // namespace
 }  // namespace csq
 
-int main() { return csq::Main(); }
+int main(int argc, char** argv) { return csq::Main(argc, argv); }

@@ -1,0 +1,96 @@
+// First-exit CI fixture (DESIGN.md §18): proves the DRD-style
+// CSQ_RACE_FIRST_EXIT mode does what CI relies on, in both directions.
+//
+//   --inject   runs a deliberately racy kernel; the analyzer's first-exit
+//              default handler must terminate the process with
+//              race::kFirstExitCode (66) and one canonical record on stderr.
+//              Reaching main's epilogue means the mode is broken: exit 1.
+//   (default)  runs a lock-disciplined kernel with disjoint per-worker
+//              writes; the run must complete cleanly (exit 0) with zero racy
+//              records even with CSQ_RACE_FIRST_EXIT=1 exported.
+//
+// The config comes from harness::DefaultConfig so the env plumbing
+// (CSQ_RACE_FIRST_EXIT, CSQ_RACE_SUPPRESSIONS) is exercised end to end; when
+// the env var is absent (manual runs) the fixture arms the mode itself.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/harness/harness.h"
+#include "src/race/race.h"
+#include "src/rt/api.h"
+
+namespace csq {
+namespace {
+
+u64 RacyKernel(rt::ThreadApi& api) {
+  const u64 shared = api.SharedAlloc(256, 4096, "fixture.shared");
+  std::vector<rt::ThreadHandle> hs;
+  for (u32 w = 0; w < 2; ++w) {
+    hs.push_back(api.SpawnThread([shared, w](rt::ThreadApi& t) {
+      u8 buf[64];
+      std::memset(buf, 0x40 + static_cast<int>(w), sizeof(buf));
+      for (int i = 0; i < 8; ++i) {
+        t.StoreBytes(shared, buf, sizeof(buf));
+        t.Fence();
+        t.Work(500);
+      }
+    }));
+  }
+  for (const rt::ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+  return api.Load<u64>(shared);
+}
+
+u64 CleanKernel(rt::ThreadApi& api) {
+  const u64 slots = api.SharedAlloc(4096, 4096, "fixture.slots");
+  const u64 counter = api.SharedAlloc(8, 4096, "fixture.counter");
+  const rt::MutexId m = api.CreateMutex();
+  std::vector<rt::ThreadHandle> hs;
+  for (u32 w = 0; w < 2; ++w) {
+    hs.push_back(api.SpawnThread([slots, counter, m, w](rt::ThreadApi& t) {
+      for (int i = 0; i < 8; ++i) {
+        t.Lock(m);
+        t.Store<u64>(counter, t.Load<u64>(counter) + 1);
+        t.Unlock(m);
+        t.Store<u64>(slots + w * 2048, static_cast<u64>(i));
+        t.Fence();
+        t.Work(500);
+      }
+    }));
+  }
+  for (const rt::ThreadHandle h : hs) {
+    api.JoinThread(h);
+  }
+  return api.Load<u64>(counter);
+}
+
+int Main(int argc, char** argv) {
+  const bool inject = argc > 1 && std::strcmp(argv[1], "--inject") == 0;
+  rt::RuntimeConfig cfg = harness::DefaultConfig(4);
+  if (!cfg.race.first_exit) {
+    std::fprintf(stderr,
+                 "race_first_exit: CSQ_RACE_FIRST_EXIT not set; arming first-exit directly\n");
+    cfg.race.enabled = true;
+    cfg.race.track_reads = true;
+    cfg.race.first_exit = true;
+  }
+  const rt::RunResult r =
+      rt::MakeRuntime(rt::Backend::kConsequenceIC, cfg)->Run(inject ? RacyKernel : CleanKernel);
+  if (inject) {
+    // The injected race seals mid-run; the default handler should have
+    // _Exit(kFirstExitCode)ed long before this line.
+    std::fprintf(stderr, "race_first_exit: injected race did not trigger first-exit\n");
+    return 1;
+  }
+  std::printf("race_first_exit: clean run ok, checksum=%llu, %zu records (%llu racy)\n",
+              static_cast<unsigned long long>(r.checksum), r.races.size(),
+              static_cast<unsigned long long>(r.race_racy));
+  return r.race_racy == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace csq
+
+int main(int argc, char** argv) { return csq::Main(argc, argv); }

@@ -61,6 +61,13 @@ class RaceSink {
   // in (from_version, to_version].
   virtual void OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_version,
                                 const DirtyWords& reads, u32 page_bytes) = 0;
+
+  // `version` sealed: fires floor-held from both FinishCommit completion
+  // blocks, after the watermark advance — every one of the version's page
+  // resolves (and their OnCommitPageResolved calls) has completed. This is
+  // the earliest floor-ordered point at which the analyzer's record set for
+  // the version is final, so it anchors the first-exit mode (DESIGN.md §18).
+  virtual void OnCommitSealed(u64 version, u32 tid) {}
 };
 
 }  // namespace csq::conv

@@ -149,6 +149,9 @@ void Segment::FinishCommit(const PreparedCommit& pc, const CommitOps& ops) {
     ++stats_.commits;
     stats_.pages_committed += pc.pages.size();
     eng_.NotifyAll(install_order_);
+    if (race_ != nullptr) {
+      race_->OnCommitSealed(pc.version, pc.tid);
+    }
     if (ops.fence) {
       ops.fence();
     }
@@ -217,6 +220,9 @@ void Segment::FinishCommit(const PreparedCommit& pc, const CommitOps& ops) {
   const u64 total_ns = static_cast<u64>(commit_wall.ElapsedNs());
   stats_.floor_held_commit_ns += total_ns > work_ns ? total_ns - work_ns : 0;
   eng_.NotifyAll(install_order_);
+  if (race_ != nullptr) {
+    race_->OnCommitSealed(pc.version, pc.tid);
+  }
   if (ops.fence) {
     ops.fence();
   }

@@ -34,6 +34,21 @@ rt::RuntimeConfig DefaultConfig(u32 nthreads) {
   if (hw != nullptr && hw[0] != '\0') {
     cfg.host_workers = static_cast<u32>(std::max(1, std::atoi(hw)));
   }
+  // CSQ_RACE_FIRST_EXIT=1 arms the DRD-style CI mode (DESIGN.md §18): the
+  // analyzer runs with read tracking, and the first unsuppressed racy
+  // conflict prints its canonical record and exits race::kFirstExitCode.
+  const char* fe = std::getenv("CSQ_RACE_FIRST_EXIT");
+  if (fe != nullptr && fe[0] == '1') {
+    cfg.race.enabled = true;
+    cfg.race.track_reads = true;
+    cfg.race.first_exit = true;
+  }
+  // CSQ_RACE_SUPPRESSIONS=<path> loads a suppression file for any run with
+  // the analyzer enabled.
+  const char* sup = std::getenv("CSQ_RACE_SUPPRESSIONS");
+  if (sup != nullptr && sup[0] != '\0') {
+    cfg.race.suppressions_path = sup;
+  }
   return cfg;
 }
 
@@ -86,17 +101,26 @@ double GeoMean(const std::vector<double>& xs) {
 }
 
 void PrintRaceReport(std::ostream& os, const rt::RunResult& r) {
-  if (r.races.empty() && r.race_ww == 0 && r.race_rw == 0) {
+  if (r.races.empty() && r.race_ww == 0 && r.race_rw == 0 && r.race_suppressed == 0) {
     os << "races: none detected (or analyzer disabled)\n";
     return;
   }
   race::RenderTable(os, r.races);
-  os << "races: " << r.races.size() << " distinct (" << r.race_ww << " WW + " << r.race_rw
+  os << "races: " << r.races.size() << " distinct (" << r.race_racy << " racy + "
+     << r.race_ordered << " lock-ordered; " << r.race_ww << " WW + " << r.race_rw
      << " RW dynamic occurrences";
+  if (r.race_suppressed > 0) {
+    os << ", " << r.race_suppressed << " records suppressed";
+  }
   if (r.race_dropped > 0) {
     os << ", " << r.race_dropped << " records dropped — report is partial";
   }
   os << ")\n";
+  const std::vector<race::SiteHeat> heat = race::BuildHeatmap(r.races);
+  if (!heat.empty()) {
+    os << "site heatmap:\n";
+    race::RenderHeatmap(os, heat);
+  }
 }
 
 void PrintFloorStats(std::ostream& os, const rt::RunResult& r) {

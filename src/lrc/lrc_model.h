@@ -7,6 +7,10 @@
 // operation, the pages that would have to travel along happens-before edges
 // were counted. This class is that instrumentation.
 //
+// The vector-clock type itself (race::VClock) is shared with the race
+// analyzer's happens-before classifier (src/race/hb.h), which grew out of this
+// model's representation.
+//
 // Implementation: the vector-clock component for thread T counts T's commits.
 //   * OnCommit(T, pages):   T's clock ticks; the commit (and its page set) is
 //                           appended to T's commit log.
@@ -24,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/race/vclock.h"
 #include "src/rt/api.h"
 #include "src/util/types.h"
 
@@ -36,15 +41,12 @@ class LrcModel : public rt::SyncObserver {
   void OnCommit(u32 tid, const std::vector<u32>& pages) override {
     Grow(tid);
     commit_log_[tid].push_back(pages);
-    if (threads_[tid].size() <= tid) {
-      threads_[tid].resize(tid + 1, 0);
-    }
-    threads_[tid][tid] = commit_log_[tid].size();
+    threads_[tid].Set(tid, commit_log_[tid].size());
   }
 
   void OnRelease(u32 tid, u64 object) override {
     Grow(tid);
-    Join(objects_[object], threads_[tid]);
+    objects_[object].Join(threads_[tid]);
   }
 
   void OnAcquire(u32 tid, u64 object) override {
@@ -53,23 +55,23 @@ class LrcModel : public rt::SyncObserver {
     if (it == objects_.end()) {
       return;  // nothing was ever released through this object
     }
-    std::vector<u64>& mine = threads_[tid];
+    race::VClock& mine = threads_[tid];
     const bool is_thread_obj =
         (object >> 32) == static_cast<u64>(rt::SyncObjKind::kThread);
-    if (is_thread_obj && mine.empty() && commit_log_[tid].empty()) {
+    if (is_thread_obj && mine.Empty() && commit_log_[tid].empty()) {
       // A brand-new thread's first acquire is its birth edge: fork copies the
       // parent's mapping wholesale, so nothing travels as page propagation
       // under either consistency model. Inherit visibility without counting.
-      Join(mine, it->second);
+      mine.Join(it->second);
       ++acquires_;
       return;
     }
-    const std::vector<u64>& ovc = it->second;
+    const race::VClock& ovc = it->second;
     // Pages from commits that just became visible, deduplicated per acquire.
     std::unordered_set<u32> fresh;
-    for (usize t = 0; t < ovc.size(); ++t) {
-      const u64 upto = ovc[t];
-      const u64 from = (t < mine.size()) ? mine[t] : 0;
+    for (usize t = 0; t < ovc.Size(); ++t) {
+      const u64 upto = ovc.Get(t);
+      const u64 from = mine.Get(t);
       if (t == tid || upto <= from) {
         continue;
       }
@@ -80,7 +82,7 @@ class LrcModel : public rt::SyncObserver {
     }
     pages_propagated_ += fresh.size();
     ++acquires_;
-    Join(mine, ovc);
+    mine.Join(ovc);
   }
 
   // Total pages an LRC system would have shipped along happens-before edges.
@@ -95,18 +97,9 @@ class LrcModel : public rt::SyncObserver {
     }
   }
 
-  static void Join(std::vector<u64>& into, const std::vector<u64>& from) {
-    if (into.size() < from.size()) {
-      into.resize(from.size(), 0);
-    }
-    for (usize i = 0; i < from.size(); ++i) {
-      into[i] = std::max(into[i], from[i]);
-    }
-  }
-
-  std::vector<std::vector<u64>> threads_;                 // per-thread vector clocks
+  std::vector<race::VClock> threads_;                     // per-thread vector clocks
   std::vector<std::vector<std::vector<u32>>> commit_log_; // per-thread commit page sets
-  std::unordered_map<u64, std::vector<u64>> objects_;     // per-sync-object vector clocks
+  std::unordered_map<u64, race::VClock> objects_;         // per-sync-object vector clocks
   u64 pages_propagated_ = 0;
   u64 acquires_ = 0;
 };

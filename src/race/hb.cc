@@ -1,0 +1,65 @@
+#include "src/race/hb.h"
+
+#include <algorithm>
+
+namespace csq::race {
+
+void HbTracker::OnAcquire(u32 tid, u64 object) {
+  Grow(tid);
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return;  // nothing was ever released through this object
+  }
+  threads_[tid].Join(it->second);
+}
+
+void HbTracker::OnRelease(u32 tid, u64 object, bool deferred) {
+  Grow(tid);
+  objects_[object].Join(threads_[tid]);
+  if (deferred) {
+    // The covering commit has not reserved yet; re-join at FlushDeferred so
+    // the release clock includes the chunk's own version. Joining the current
+    // (pre-commit) clock above is already sound — it only under-approximates.
+    std::vector<u64>& d = deferred_[tid];
+    if (std::find(d.begin(), d.end(), object) == d.end()) {
+      d.push_back(object);
+    }
+  }
+}
+
+void HbTracker::FlushDeferred(u32 tid) {
+  if (deferred_.size() <= tid || deferred_[tid].empty()) {
+    return;
+  }
+  for (const u64 object : deferred_[tid]) {
+    objects_[object].Join(threads_[tid]);
+  }
+  deferred_[tid].clear();
+}
+
+void HbTracker::OnReserve(u64 version, u32 tid) {
+  Grow(tid);
+  const u64 index = ++counts_[tid];
+  threads_[tid].Set(tid, index);
+  labels_[version] = VLabel{tid, index};
+  snapshots_[version] = threads_[tid];  // post-tick: the snapshot covers itself
+}
+
+bool HbTracker::OrderedBeforeVersion(u64 va, u64 vb) const {
+  const auto lit = labels_.find(va);
+  const auto sit = snapshots_.find(vb);
+  if (lit == labels_.end() || sit == snapshots_.end()) {
+    return false;  // unknown versions classify racy, never ordered
+  }
+  return sit->second.Covers(lit->second.tid, lit->second.index);
+}
+
+bool HbTracker::OrderedBeforeCurrent(u64 va, u32 tid_b) const {
+  const auto lit = labels_.find(va);
+  if (lit == labels_.end() || threads_.size() <= tid_b) {
+    return false;
+  }
+  return threads_[tid_b].Covers(lit->second.tid, lit->second.index);
+}
+
+}  // namespace csq::race

@@ -1,0 +1,76 @@
+// Happens-before tracker for the race analyzer (DESIGN.md §18).
+//
+// Consumes the runtime's sync-edge stream — lock acquire/release, condvar
+// release/reacquire, barrier commit/release, spawn/join — plus the commit
+// reserve stream, and answers the one question the classifier asks: is
+// committed version `va` happens-before-ordered before a given access by
+// another thread? Token grants are deliberately NOT edges: the global token
+// serializes *everything*, so treating grants as synchronization would order
+// every conflict and demote every genuine race.
+//
+// Representation (DRD lineage): one VClock per thread and per sync object.
+//   * reserve(v, tid): thread tid's component ticks (its per-thread commit
+//     index), version v is labeled (tid, index), and the thread's post-tick
+//     clock is snapshotted under v — so "va ordered before vb" is a pure
+//     lookup against an immutable snapshot, safe from concurrent resolve
+//     threads and independent of host scheduling.
+//   * acquire(tid, o): threads[tid] |= objects[o].
+//   * release(tid, o): objects[o] |= threads[tid]. A release emitted inside a
+//     coarsened chunk precedes the chunk's covering commit; it is recorded as
+//     deferred and FlushDeferred(tid) re-joins the post-commit clock once that
+//     version exists. Sound because the releasing thread holds the token for
+//     the whole chunk: no foreign acquire can observe the object in between.
+//
+// Determinism: every mutation happens at a floor- or token-ordered point of
+// the mutating thread, and a thread's clock is only ever mutated by its own
+// events — so each query sees a host-schedule-independent state. Not
+// internally locked; the Analyzer calls everything under its own mutex.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/race/vclock.h"
+#include "src/util/types.h"
+
+namespace csq::race {
+
+class HbTracker {
+ public:
+  void OnAcquire(u32 tid, u64 object);
+  void OnRelease(u32 tid, u64 object, bool deferred);
+  // Re-joins tid's current clock into every object it released deferred
+  // (coarsened chunks): called after the chunk's covering commit reserves.
+  void FlushDeferred(u32 tid);
+  void OnReserve(u64 version, u32 tid);
+
+  // va happens-before vb's reserve point (queried at vb's resolve, possibly
+  // off-floor: reads only vb's immutable reserve-time snapshot).
+  bool OrderedBeforeVersion(u64 va, u64 vb) const;
+  // va happens-before tid_b's current point (queried during one of tid_b's
+  // own token/floor-held operations: rebases and read validations).
+  bool OrderedBeforeCurrent(u64 va, u32 tid_b) const;
+
+ private:
+  struct VLabel {
+    u32 tid = 0;
+    u64 index = 0;  // 1-based per-thread reserve count
+  };
+
+  void Grow(u32 tid) {
+    if (threads_.size() <= tid) {
+      threads_.resize(tid + 1);
+      counts_.resize(tid + 1, 0);
+      deferred_.resize(tid + 1);
+    }
+  }
+
+  std::vector<VClock> threads_;
+  std::vector<u64> counts_;
+  std::vector<std::vector<u64>> deferred_;  // per-tid objects awaiting re-join
+  std::unordered_map<u64, VClock> objects_;
+  std::unordered_map<u64, VLabel> labels_;     // version -> (tid, index)
+  std::unordered_map<u64, VClock> snapshots_;  // version -> reserver's clock
+};
+
+}  // namespace csq::race

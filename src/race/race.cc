@@ -1,7 +1,11 @@
 #include "src/race/race.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
+#include "src/race/report.h"
+#include "src/race/suppress.h"
 #include "src/util/check.h"
 
 namespace csq::race {
@@ -27,7 +31,25 @@ std::string_view KindName(AccessKind k) {
   return k == AccessKind::kWriteWrite ? "WW" : "RW";
 }
 
-Analyzer::Analyzer(RaceConfig cfg) : cfg_(cfg) {}
+Analyzer::Analyzer(RaceConfig cfg) : cfg_(std::move(cfg)) {}
+
+Analyzer::~Analyzer() = default;
+
+bool Analyzer::LoadSuppressions(const std::string& path, std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!sups_) {
+    sups_ = std::make_unique<SuppressionSet>();
+  }
+  return sups_->LoadFile(path, err);
+}
+
+bool Analyzer::ParseSuppressions(std::string_view text, std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!sups_) {
+    sups_ = std::make_unique<SuppressionSet>();
+  }
+  return sups_->Parse(text, err);
+}
 
 std::vector<Analyzer::Span> Analyzer::CollectWriteSpans(const PageBuf& mine, const PageBuf& twin,
                                                         const DirtyWords& dirty) {
@@ -56,9 +78,34 @@ std::vector<Analyzer::Span> Analyzer::CollectWriteSpans(const PageBuf& mine, con
   return spans;
 }
 
+void Analyzer::OnSyncAcquire(u32 tid, u64 object) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hb_.OnAcquire(tid, object);
+}
+
+void Analyzer::OnSyncRelease(u32 tid, u64 object, bool deferred) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hb_.OnRelease(tid, object, deferred);
+}
+
+void Analyzer::FlushDeferredReleases(u32 tid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hb_.FlushDeferred(tid);
+}
+
 void Analyzer::OnVersionReserved(u64 version, u32 tid, u64 vtime) {
   std::lock_guard<std::mutex> lk(mu_);
   vmeta_[version] = VersionMeta{tid, vtime};
+  hb_.OnReserve(version, tid);
+  if (cfg_.first_exit) {
+    // Rebase/RW conflicts this thread emitted since its last commit become
+    // final when this version seals: migrate them to the version bucket.
+    const auto tit = tid_pending_.find(tid);
+    if (tit != tid_pending_.end() && !tit->second.empty()) {
+      pending_by_version_[version].insert(tit->second.begin(), tit->second.end());
+      tit->second.clear();
+    }
+  }
 }
 
 u64 Analyzer::VtimeOfLocked(u64 version) const {
@@ -66,14 +113,95 @@ u64 Analyzer::VtimeOfLocked(u64 version) const {
   return it == vmeta_.end() ? 0 : it->second.vtime;
 }
 
+std::string Analyzer::ResolveSiteLocked(u64 offset) const {
+  if (site_resolver_) {
+    std::string s = site_resolver_(offset);
+    if (!s.empty()) {
+      return s;
+    }
+  }
+  return "<untagged>";  // canonical bucket: heatmap totals always reconcile
+}
+
+void Analyzer::PendFirstExitLocked(const Key& k, u64 version_b) {
+  // WW commit records become final at version_b's seal. Rebase records
+  // (version_b == 0) and RW records (version_b is another thread's committed
+  // version, possibly already sealed) become final at the emitting thread's
+  // next reserve — they pend per-thread until then.
+  if (k.kind == static_cast<u8>(AccessKind::kWriteWrite) && k.rebase == 0) {
+    pending_by_version_[version_b].insert(k);
+  } else {
+    tid_pending_[k.tid_b].insert(k);
+  }
+}
+
+void Analyzer::FireFirstExitLocked(const Key& k) {
+  if (fired_) {
+    return;
+  }
+  fired_ = true;
+  const auto it = records_.find(k);
+  CSQ_DCHECK(it != records_.end());  // pended keys are always kept records
+  if (it == records_.end()) {
+    return;
+  }
+  const RaceRecord& r = it->second;
+  if (cfg_.first_exit_handler) {
+    cfg_.first_exit_handler(r);
+    return;
+  }
+  std::fprintf(stderr, "csq-race: first unsuppressed racy conflict: %s\n",
+               CanonicalLine(r).c_str());
+  std::fflush(stderr);
+  std::_Exit(kFirstExitCode);
+}
+
+void Analyzer::OnCommitSealed(u64 version, u32 tid) {
+  (void)tid;
+  if (!cfg_.first_exit) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = pending_by_version_.find(version);
+  if (it == pending_by_version_.end()) {
+    return;
+  }
+  if (!fired_ && !it->second.empty()) {
+    // Seals are floor-held and the bucket's min key is fold-order
+    // independent, so the fired record is deterministic across engines,
+    // workers and jitter.
+    FireFirstExitLocked(*it->second.begin());
+  }
+  pending_by_version_.erase(it);
+}
+
+void Analyzer::EndOfRunFlush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!cfg_.first_exit || fired_) {
+    return;
+  }
+  std::set<Key> all;
+  for (const auto& [version, keys] : pending_by_version_) {
+    all.insert(keys.begin(), keys.end());
+  }
+  for (const auto& [tid, keys] : tid_pending_) {
+    all.insert(keys.begin(), keys.end());
+  }
+  if (!all.empty()) {
+    FireFirstExitLocked(*all.begin());
+  }
+}
+
 void Analyzer::EmitLocked(const Key& k, u64 version_a, u64 version_b, u64 winner_hash) {
-  (k.kind == static_cast<u8>(AccessKind::kWriteWrite) ? ww_ : rw_) += 1;
+  if (suppressed_keys_.count(k) != 0) {
+    ++suppressed_occurrences_;
+    return;
+  }
   auto it = records_.find(k);
   if (it == records_.end()) {
-    if (cfg_.max_records != 0 && records_.size() >= cfg_.max_records) {
-      ++dropped_;
-      return;
-    }
+    // New distinct record: build it (sites resolve at emission so suppression
+    // patterns can match them) and consult the suppression set once — the
+    // verdict is memoized per key.
     RaceRecord r;
     r.kind = static_cast<AccessKind>(k.kind);
     r.rebase = k.rebase != 0;
@@ -88,9 +216,25 @@ void Analyzer::EmitLocked(const Key& k, u64 version_a, u64 version_b, u64 winner
     r.vtime_b = version_b == 0 ? 0 : VtimeOfLocked(version_b);
     r.winner_hash = winner_hash;
     r.count = 1;
+    r.hb_ordered = k.ordered != 0;
+    r.site = ResolveSiteLocked(r.offset);
+    if (sups_ && sups_->Matches(r)) {
+      suppressed_keys_.insert(k);
+      ++suppressed_occurrences_;
+      return;
+    }
+    (k.kind == static_cast<u8>(AccessKind::kWriteWrite) ? ww_ : rw_) += 1;
+    if (cfg_.max_records != 0 && records_.size() >= cfg_.max_records) {
+      ++dropped_;
+      return;
+    }
     records_.emplace(k, std::move(r));
+    if (cfg_.first_exit && k.ordered == 0) {
+      PendFirstExitLocked(k, version_b);
+    }
     return;
   }
+  (k.kind == static_cast<u8>(AccessKind::kWriteWrite) ? ww_ : rw_) += 1;
   RaceRecord& r = it->second;
   ++r.count;
   r.winner_hash += winner_hash;  // wrapping sum: order-independent fold
@@ -101,6 +245,9 @@ void Analyzer::EmitLocked(const Key& k, u64 version_a, u64 version_b, u64 winner
   if (version_b != 0 && (r.version_b == 0 || version_b < r.version_b)) {
     r.version_b = version_b;
     r.vtime_b = VtimeOfLocked(version_b);
+  }
+  if (cfg_.first_exit && k.ordered == 0) {
+    PendFirstExitLocked(k, version_b);
   }
 }
 
@@ -121,6 +268,12 @@ void Analyzer::CheckWriteWindowLocked(u32 page, u32 tid, u64 base_version, u64 u
     if (wit->tid == tid) {
       continue;  // a thread never races with its own committed writes
     }
+    // Happens-before classification (DESIGN.md §18). Commits query the
+    // committing version's immutable reserve-time snapshot; rebases query the
+    // rebasing thread's current clock (this is one of its own token-held
+    // events, so the clock is stable and deterministic here).
+    const bool ordered = rebase ? hb_.OrderedBeforeCurrent(wit->version, tid)
+                                : hb_.OrderedBeforeVersion(wit->version, version);
     // Two-pointer intersection of the sorted, disjoint span lists.
     auto a = wit->spans.begin();
     auto b = spans.begin();
@@ -136,6 +289,7 @@ void Analyzer::CheckWriteWindowLocked(u32 page, u32 tid, u64 base_version, u64 u
         k.len = hi_off - lo_off;
         k.tid_a = wit->tid;
         k.tid_b = tid;
+        k.ordered = ordered ? 1 : 0;
         EmitLocked(k, wit->version, rebase ? 0 : version,
                    Fnv1a(mine.data() + lo_off, hi_off - lo_off));
       }
@@ -185,6 +339,10 @@ void Analyzer::OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_vers
     if (wit->tid == tid) {
       continue;
     }
+    // Read validation is one of the reader's own floor-held events: its
+    // current clock already holds every edge that could order wit->version
+    // before these reads.
+    const bool ordered = hb_.OrderedBeforeCurrent(wit->version, tid);
     for (const Span& s : wit->spans) {
       // Clip the writer's span to the words the reader touched. Reads are
       // word-granular (the load path marks whole words), so the reported
@@ -208,6 +366,7 @@ void Analyzer::OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_vers
           k.len = run_len;
           k.tid_a = wit->tid;
           k.tid_b = tid;
+          k.ordered = ordered ? 1 : 0;
           EmitLocked(k, wit->version, to_version, 0);
           run_len = 0;
         }
@@ -220,6 +379,7 @@ void Analyzer::OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_vers
         k.len = run_len;
         k.tid_a = wit->tid;
         k.tid_b = tid;
+        k.ordered = ordered ? 1 : 0;
         EmitLocked(k, wit->version, to_version, 0);
       }
     }
@@ -232,12 +392,12 @@ Report Analyzer::Finalize() const {
   rep.ww = ww_;
   rep.rw = rw_;
   rep.dropped = dropped_;
+  rep.suppressed_records = suppressed_keys_.size();
+  rep.suppressed_occurrences = suppressed_occurrences_;
   rep.records.reserve(records_.size());
   for (const auto& [key, rec] : records_) {
     rep.records.push_back(rec);
-    if (site_resolver_) {
-      rep.records.back().site = site_resolver_(rec.offset);
-    }
+    (rec.hb_ordered ? rep.ordered_records : rep.racy_records) += 1;
   }
   return rep;
 }

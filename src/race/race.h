@@ -1,4 +1,4 @@
-// Deterministic commit-time race analyzer (DESIGN.md §13).
+// Deterministic commit-time race analyzer (DESIGN.md §13, §18).
 //
 // Consequence's byte-granularity last-writer-wins merge makes racy programs
 // deterministic but *silently* resolves every data race. This subsystem turns
@@ -12,20 +12,32 @@
 //   * read-write races (opt-in, RaceConfig::track_reads): a thread read words
 //     that a commit concurrent with the read's snapshot interval wrote.
 //
+// Each record is further classified by happens-before (DESIGN.md §18): a
+// conflict whose two accesses are separated by a chain of sync edges (lock
+// release/acquire, condvar signal/wait, barrier, spawn/join — never token
+// grants, which order everything) is **ordered** and demoted to an
+// informational bucket; the rest are **racy**. Suppression files
+// (RaceConfig::suppressions_path, src/race/suppress.h) silence known records,
+// and first-exit mode (RaceConfig::first_exit) stops the run with exit code
+// kFirstExitCode at the first unsuppressed racy conflict's commit seal.
+//
 // Because the runtime is deterministic, every reported race is perfectly
 // reproducible — unlike TSan on native pthreads — and the report itself is
 // deterministic: records are deduped under an order-independent fold keyed by
-// (kind, rebase, segment offset, length, tid pair), so serial and
-// host-parallel engines, any worker count, and off-floor commit on/off all
-// produce byte-identical record sets. Commit vtimes are carried per record
-// but excluded from the canonical form: they are the one jitter-dependent
-// field (versions, tids, offsets and winning bytes are jitter-invariant
-// because token grant order uses unjittered instruction counts).
+// (kind, rebase, segment offset, length, tid pair, classification), so serial
+// and host-parallel engines, any worker count, and off-floor commit on/off
+// all produce byte-identical record sets. Commit vtimes are carried per
+// record but excluded from the canonical form: they are the one
+// jitter-dependent field (versions, tids, offsets, winning bytes and the
+// happens-before classification are jitter-invariant because token grant
+// order uses unjittered instruction counts).
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <tuple>
@@ -33,9 +45,17 @@
 #include <vector>
 
 #include "src/conv/race_sink.h"
+#include "src/race/hb.h"
 #include "src/util/types.h"
 
 namespace csq::race {
+
+struct RaceRecord;
+class SuppressionSet;
+
+// Process exit status of first-exit mode's default handler (DRD exits 1; we
+// pick a distinctive code so CI can tell "race found" from ordinary failure).
+inline constexpr int kFirstExitCode = 66;
 
 struct RaceConfig {
   // Master switch: when false, the runtime attaches no sink and the commit
@@ -50,6 +70,14 @@ struct RaceConfig {
   // set of *kept* records can depend on host scheduling (off-floor resolves
   // race to insert) — Report::dropped says the report is partial.
   usize max_records = usize{1} << 16;
+  // When nonempty, a DRD-style suppression file (src/race/suppress.h) loaded
+  // at wiring time; matching records are counted but not kept.
+  std::string suppressions_path;
+  // First-exit mode: when the first unsuppressed racy record's commit seals,
+  // invoke first_exit_handler with the canonical record — or, when no handler
+  // is set, print the canonical line to stderr and _Exit(kFirstExitCode).
+  bool first_exit = false;
+  std::function<void(const RaceRecord&)> first_exit_handler;
 };
 
 enum class AccessKind : u8 { kWriteWrite = 0, kReadWrite = 1 };
@@ -74,23 +102,33 @@ struct RaceRecord {
   u64 vtime_b = 0;    // excluded from the canonical form
   u64 winner_hash = 0;  // wrapping sum of FNV-1a over the winning bytes (WW only)
   u64 count = 0;        // dynamic occurrences folded into this record
-  std::string site;     // allocation-site tag covering `offset` ("" = untagged)
+  // Happens-before classification: true = a sync-edge chain orders access a
+  // before access b (lock-ordered conflict, informational); false = racy.
+  bool hb_ordered = false;
+  std::string site;  // allocation-site tag covering `offset` ("<untagged>" if none)
 };
 
 struct Report {
   std::vector<RaceRecord> records;  // sorted by the canonical dedupe key
-  u64 ww = 0;       // dynamic WW occurrences (sum of counts)
-  u64 rw = 0;       // dynamic RW occurrences
+  u64 ww = 0;       // dynamic WW occurrences (sum of counts, unsuppressed)
+  u64 rw = 0;       // dynamic RW occurrences (unsuppressed)
   u64 dropped = 0;  // distinct records not kept (RaceConfig::max_records hit)
+  u64 racy_records = 0;             // records with hb_ordered == false
+  u64 ordered_records = 0;          // records demoted by happens-before
+  u64 suppressed_records = 0;       // distinct records silenced by suppressions
+  u64 suppressed_occurrences = 0;   // dynamic occurrences folded into those
 };
 
 // The conv::RaceSink implementation. One instance per run; all hooks
 // synchronize on an internal mutex (OnCommitPageResolved runs concurrently on
 // committers' host threads under the off-floor pipeline). Determinism does
-// not depend on hook arrival order: the fold is commutative.
+// not depend on hook arrival order: the fold is commutative, and the
+// happens-before queries read only state that is immutable (per-version
+// snapshots) or owned by the querying thread's own floor/token-ordered event.
 class Analyzer final : public conv::RaceSink {
  public:
   explicit Analyzer(RaceConfig cfg = {});
+  ~Analyzer() override;
 
   const RaceConfig& Config() const { return cfg_; }
 
@@ -99,10 +137,25 @@ class Analyzer final : public conv::RaceSink {
   void SetPageSize(u32 bytes) { page_size_ = bytes; }
 
   // Maps a segment offset to an allocation-site tag (conv::BumpAllocator
-  // tags). Consulted once per distinct record, at Finalize.
+  // tags). Consulted once per distinct record, at emission time; must be
+  // thread-safe (off-floor resolves emit concurrently). Unset, or returning
+  // "", yields the canonical "<untagged>" bucket.
   void SetSiteResolver(std::function<std::string(u64 offset)> fn) {
     site_resolver_ = std::move(fn);
   }
+
+  // Suppression wiring (before the run). Load failures report via *err.
+  bool LoadSuppressions(const std::string& path, std::string* err);
+  bool ParseSuppressions(std::string_view text, std::string* err);
+
+  // Sync-edge stream feeding the happens-before classifier. Fired from the
+  // runtime's SyncObserver fanout at the emitting thread's own token/floor
+  // -ordered points. `deferred` marks a release emitted inside a coarsened
+  // chunk, before its covering commit reserves; FlushDeferredReleases(tid)
+  // fires once that commit exists (see HbTracker).
+  void OnSyncAcquire(u32 tid, u64 object);
+  void OnSyncRelease(u32 tid, u64 object, bool deferred);
+  void FlushDeferredReleases(u32 tid);
 
   // conv::RaceSink
   void OnVersionReserved(u64 version, u32 tid, u64 vtime) override;
@@ -113,9 +166,16 @@ class Analyzer final : public conv::RaceSink {
                 const conv::PageBuf& twin, const conv::DirtyWords& dirty) override;
   void OnReadsValidated(u32 page, u32 tid, u64 from_version, u64 to_version,
                         const conv::DirtyWords& reads, u32 page_bytes) override;
+  void OnCommitSealed(u64 version, u32 tid) override;
 
-  // Deterministic snapshot of the deduped records, sorted by key, with
-  // allocation sites resolved. Callable any time (takes the mutex).
+  // First-exit epilogue: fires the handler for the canonically-first pending
+  // racy record that never reached a seal (rebase/RW conflicts of threads
+  // that exited without committing again). Called once, after the engine
+  // drains; a no-op unless first_exit is set and nothing fired yet.
+  void EndOfRunFlush();
+
+  // Deterministic snapshot of the deduped records, sorted by key. Callable
+  // any time (takes the mutex).
   Report Finalize() const;
 
  private:
@@ -143,9 +203,10 @@ class Analyzer final : public conv::RaceSink {
     u32 len = 0;
     u32 tid_a = 0;
     u32 tid_b = 0;
+    u8 ordered = 0;  // last in the tie: racy sorts before ordered
     bool operator<(const Key& o) const {
-      return std::tie(kind, rebase, page, off, len, tid_a, tid_b) <
-             std::tie(o.kind, o.rebase, o.page, o.off, o.len, o.tid_a, o.tid_b);
+      return std::tie(kind, rebase, page, off, len, tid_a, tid_b, ordered) <
+             std::tie(o.kind, o.rebase, o.page, o.off, o.len, o.tid_a, o.tid_b, o.ordered);
     }
   };
 
@@ -158,7 +219,10 @@ class Analyzer final : public conv::RaceSink {
                                              const conv::DirtyWords& dirty);
 
   u64 VtimeOfLocked(u64 version) const;
+  std::string ResolveSiteLocked(u64 offset) const;
   void EmitLocked(const Key& k, u64 version_a, u64 version_b, u64 winner_hash);
+  void PendFirstExitLocked(const Key& k, u64 version_b);
+  void FireFirstExitLocked(const Key& k);
   // WW check of `spans` (belonging to `tid`, committing `version` or rebasing
   // with version 0) against the recorded write sets of versions in
   // (base_version, upto] on `page`.
@@ -170,12 +234,23 @@ class Analyzer final : public conv::RaceSink {
   RaceConfig cfg_;
   u32 page_size_ = 4096;
   std::function<std::string(u64)> site_resolver_;
+  HbTracker hb_;
+  std::unique_ptr<SuppressionSet> sups_;
   std::unordered_map<u64, VersionMeta> vmeta_;                // version -> reserve metadata
   std::unordered_map<u32, std::vector<VersionWrites>> writes_;  // page -> committed write sets
   std::map<Key, RaceRecord> records_;
+  std::set<Key> suppressed_keys_;  // memoized suppression verdicts
   u64 ww_ = 0;
   u64 rw_ = 0;
   u64 dropped_ = 0;
+  u64 suppressed_occurrences_ = 0;
+  // First-exit plumbing: racy unsuppressed keys pend under the version whose
+  // seal makes them final. WW commit records pend under version_b directly;
+  // rebase and RW records (emitted by tid_b before its covering commit
+  // exists) pend per-thread and migrate at tid_b's next reserve.
+  std::map<u64, std::set<Key>> pending_by_version_;
+  std::unordered_map<u32, std::set<Key>> tid_pending_;
+  bool fired_ = false;
 };
 
 }  // namespace csq::race

@@ -1,6 +1,7 @@
 #include "src/race/report.h"
 
 #include <cstdio>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -17,22 +18,33 @@ std::string HexU64(u64 v) {
   return buf;
 }
 
+std::string_view SiteOf(const RaceRecord& r) {
+  return r.site.empty() ? std::string_view("<untagged>") : std::string_view(r.site);
+}
+
+std::string_view ClassOf(const RaceRecord& r) { return r.hb_ordered ? "ordered" : "racy"; }
+
 }  // namespace
 
-std::string CanonicalLines(const std::vector<RaceRecord>& records, bool include_vtimes) {
+std::string CanonicalLine(const RaceRecord& r, bool include_vtimes) {
   std::ostringstream oss;
-  for (const RaceRecord& r : records) {
-    oss << KindName(r.kind) << (r.rebase ? "/rebase" : "") << " page=" << r.page
-        << " off=" << r.offset << " len=" << r.len << " tids=" << r.tid_a << "->" << r.tid_b
-        << " versions=" << r.version_a << "->" << r.version_b
-        << " winner=" << HexU64(r.winner_hash) << " count=" << r.count << " site="
-        << (r.site.empty() ? "-" : r.site);
-    if (include_vtimes) {
-      oss << " vtimes=" << r.vtime_a << "->" << r.vtime_b;
-    }
-    oss << "\n";
+  oss << KindName(r.kind) << (r.rebase ? "/rebase" : "") << " page=" << r.page
+      << " off=" << r.offset << " len=" << r.len << " tids=" << r.tid_a << "->" << r.tid_b
+      << " versions=" << r.version_a << "->" << r.version_b << " class=" << ClassOf(r)
+      << " winner=" << HexU64(r.winner_hash) << " count=" << r.count << " site=" << SiteOf(r);
+  if (include_vtimes) {
+    oss << " vtimes=" << r.vtime_a << "->" << r.vtime_b;
   }
   return oss.str();
+}
+
+std::string CanonicalLines(const std::vector<RaceRecord>& records, bool include_vtimes) {
+  std::string out;
+  for (const RaceRecord& r : records) {
+    out += CanonicalLine(r, include_vtimes);
+    out += "\n";
+  }
+  return out;
 }
 
 void RenderTable(std::ostream& os, const std::vector<RaceRecord>& records) {
@@ -40,7 +52,7 @@ void RenderTable(std::ostream& os, const std::vector<RaceRecord>& records) {
     os << "no races detected\n";
     return;
   }
-  TablePrinter t({"kind", "offset", "len", "tid a->b", "versions a->b", "count", "site"});
+  TablePrinter t({"kind", "offset", "len", "tid a->b", "versions a->b", "class", "count", "site"});
   for (const RaceRecord& r : records) {
     std::string kind(KindName(r.kind));
     if (r.rebase) {
@@ -49,7 +61,38 @@ void RenderTable(std::ostream& os, const std::vector<RaceRecord>& records) {
     t.AddRow({kind, std::to_string(r.offset), std::to_string(r.len),
               std::to_string(r.tid_a) + "->" + std::to_string(r.tid_b),
               std::to_string(r.version_a) + "->" + std::to_string(r.version_b),
-              std::to_string(r.count), r.site.empty() ? "-" : r.site});
+              std::string(ClassOf(r)), std::to_string(r.count), std::string(SiteOf(r))});
+  }
+  t.Print(os);
+}
+
+std::vector<SiteHeat> BuildHeatmap(const std::vector<RaceRecord>& records) {
+  std::map<std::string, SiteHeat> by_site;  // ordered: deterministic row order
+  for (const RaceRecord& r : records) {
+    SiteHeat& h = by_site[std::string(SiteOf(r))];
+    h.records += 1;
+    (r.hb_ordered ? h.ordered : h.racy) += 1;
+    h.occurrences += r.count;
+    h.bytes += r.len;
+  }
+  std::vector<SiteHeat> out;
+  out.reserve(by_site.size());
+  for (auto& [site, heat] : by_site) {
+    heat.site = site;
+    out.push_back(std::move(heat));
+  }
+  return out;
+}
+
+void RenderHeatmap(std::ostream& os, const std::vector<SiteHeat>& heat) {
+  if (heat.empty()) {
+    return;
+  }
+  TablePrinter t({"site", "records", "racy", "ordered", "occurrences", "bytes"});
+  for (const SiteHeat& h : heat) {
+    t.AddRow({h.site, std::to_string(h.records), std::to_string(h.racy),
+              std::to_string(h.ordered), std::to_string(h.occurrences),
+              std::to_string(h.bytes)});
   }
   t.Print(os);
 }
@@ -66,6 +109,14 @@ std::string ReportJson(std::string_view name, const Report& rep) {
   out += ":" + std::to_string(rep.rw) + ",";
   out += util::JsonQuote("dropped");
   out += ":" + std::to_string(rep.dropped) + ",";
+  out += util::JsonQuote("racy_records");
+  out += ":" + std::to_string(rep.racy_records) + ",";
+  out += util::JsonQuote("ordered_records");
+  out += ":" + std::to_string(rep.ordered_records) + ",";
+  out += util::JsonQuote("suppressed_records");
+  out += ":" + std::to_string(rep.suppressed_records) + ",";
+  out += util::JsonQuote("suppressed_occurrences");
+  out += ":" + std::to_string(rep.suppressed_occurrences) + ",";
   out += util::JsonQuote("records");
   out += ":[";
   for (usize i = 0; i < rep.records.size(); ++i) {
@@ -104,9 +155,39 @@ std::string ReportJson(std::string_view name, const Report& rep) {
     out += ",";
     out += util::JsonQuote("count");
     out += ":" + std::to_string(r.count) + ",";
+    out += util::JsonQuote("class");
+    out += ":";
+    out += util::JsonQuote(ClassOf(r));
+    out += ",";
     out += util::JsonQuote("site");
     out += ":";
-    out += util::JsonQuote(r.site);
+    out += util::JsonQuote(SiteOf(r));
+    out += "}";
+  }
+  out += "],";
+  out += util::JsonQuote("heatmap");
+  out += ":[";
+  const std::vector<SiteHeat> heat = BuildHeatmap(rep.records);
+  for (usize i = 0; i < heat.size(); ++i) {
+    const SiteHeat& h = heat[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{";
+    out += util::JsonQuote("site");
+    out += ":";
+    out += util::JsonQuote(h.site);
+    out += ",";
+    out += util::JsonQuote("records");
+    out += ":" + std::to_string(h.records) + ",";
+    out += util::JsonQuote("racy");
+    out += ":" + std::to_string(h.racy) + ",";
+    out += util::JsonQuote("ordered");
+    out += ":" + std::to_string(h.ordered) + ",";
+    out += util::JsonQuote("occurrences");
+    out += ":" + std::to_string(h.occurrences) + ",";
+    out += util::JsonQuote("bytes");
+    out += ":" + std::to_string(h.bytes);
     out += "}";
   }
   out += "]}";

@@ -1,6 +1,6 @@
-// Race-report rendering: canonical text form, harness-style table, and the
-// RACE_<name>.json artifact (the BENCH_*.json convention applied to race
-// reports, so CI uploads them side by side).
+// Race-report rendering: canonical text form, harness-style table, per-site
+// conflict heatmaps, and the RACE_<name>.json artifact (the BENCH_*.json
+// convention applied to race reports, so CI uploads them side by side).
 #pragma once
 
 #include <iosfwd>
@@ -12,17 +12,37 @@
 
 namespace csq::race {
 
-// One line per record, sorted (records come sorted from Analyzer::Finalize).
-// Deliberately EXCLUDES vtimes: every field in the canonical form is
-// jitter-invariant and engine-invariant, so two runs of the same program
+// The canonical single-record line. Deliberately EXCLUDES vtimes: every field
+// is jitter-invariant and engine-invariant, so two runs of the same program
 // either produce byte-identical canonical strings or genuinely diverged.
 // `include_vtimes` appends them for human consumption.
+std::string CanonicalLine(const RaceRecord& r, bool include_vtimes = false);
+
+// One line per record, sorted (records come sorted from Analyzer::Finalize).
 std::string CanonicalLines(const std::vector<RaceRecord>& records, bool include_vtimes = false);
 
 // Harness-style table of the deduped records.
 void RenderTable(std::ostream& os, const std::vector<RaceRecord>& records);
 
-// Full report as a JSON object string (includes vtimes and totals).
+// Per-allocation-site conflict aggregate (DESIGN.md §18). Untagged records
+// land in the canonical "<untagged>" site, so summing `records` over the
+// heatmap always reconciles with Report::records.size().
+struct SiteHeat {
+  std::string site;
+  u64 records = 0;      // distinct records at this site
+  u64 racy = 0;         // of which classified racy
+  u64 ordered = 0;      // of which demoted by happens-before
+  u64 occurrences = 0;  // dynamic occurrences (sum of counts)
+  u64 bytes = 0;        // sum of record byte spans (len)
+};
+
+// Aggregates by site tag; rows sorted by site name (deterministic).
+std::vector<SiteHeat> BuildHeatmap(const std::vector<RaceRecord>& records);
+
+// Harness-style table of the heatmap.
+void RenderHeatmap(std::ostream& os, const std::vector<SiteHeat>& heat);
+
+// Full report as a JSON object string (includes vtimes, totals and heatmap).
 std::string ReportJson(std::string_view name, const Report& rep);
 
 // Writes ReportJson to RACE_<name>.json in the working directory.

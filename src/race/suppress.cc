@@ -1,0 +1,250 @@
+#include "src/race/suppress.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace csq::race {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseError(std::string* err, usize lineno, std::string_view what) {
+  if (err != nullptr) {
+    std::ostringstream os;
+    os << "suppressions: line " << lineno << ": " << what;
+    *err = os.str();
+  }
+  return false;
+}
+
+bool ValidKind(std::string_view v) {
+  return v == "*" || v == "WW" || v == "RW" || v == "WW/rebase" || v == "RW/rebase";
+}
+
+bool ValidClass(std::string_view v) { return v == "*" || v == "racy" || v == "ordered"; }
+
+bool TidSideValid(std::string_view side) {
+  if (side == "*") {
+    return true;
+  }
+  if (side.empty()) {
+    return false;
+  }
+  for (const char c : side) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidTids(std::string_view v) {
+  if (v == "*") {
+    return true;
+  }
+  const usize arrow = v.find("->");
+  if (arrow == std::string_view::npos) {
+    return false;
+  }
+  return TidSideValid(v.substr(0, arrow)) && TidSideValid(v.substr(arrow + 2));
+}
+
+bool TidSideMatches(std::string_view side, u32 tid) {
+  if (side == "*") {
+    return true;
+  }
+  u64 v = 0;
+  for (const char c : side) {
+    v = v * 10 + static_cast<u64>(c - '0');
+  }
+  return v == tid;
+}
+
+bool KindMatches(const std::string& pat, const RaceRecord& r) {
+  if (pat == "*") {
+    return true;
+  }
+  std::string_view p = pat;
+  const usize slash = p.find('/');
+  if (slash != std::string_view::npos) {
+    if (!r.rebase) {
+      return false;  // `/rebase` suffix pins rebase records only
+    }
+    p = p.substr(0, slash);
+  }
+  return p == KindName(r.kind);
+}
+
+bool TidsMatches(const std::string& pat, const RaceRecord& r) {
+  if (pat == "*") {
+    return true;
+  }
+  const std::string_view v = pat;
+  const usize arrow = v.find("->");
+  return TidSideMatches(v.substr(0, arrow), r.tid_a) &&
+         TidSideMatches(v.substr(arrow + 2), r.tid_b);
+}
+
+}  // namespace
+
+bool SuppressionSet::GlobMatch(std::string_view pat, std::string_view s) {
+  usize p = 0;
+  usize i = 0;
+  usize star = std::string_view::npos;
+  usize mark = 0;
+  while (i < s.size()) {
+    if (p < pat.size() && (pat[p] == '?' || pat[p] == s[i])) {
+      ++p;
+      ++i;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = i;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;  // backtrack: let the last `*` absorb one more byte
+      i = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') {
+    ++p;
+  }
+  return p == pat.size();
+}
+
+bool SuppressionSet::Parse(std::string_view text, std::string* err) {
+  std::vector<Suppression> parsed;
+  Suppression cur;
+  bool in_block = false;
+  bool have_name = false;
+  usize lineno = 0;
+  usize pos = 0;
+  while (pos <= text.size()) {
+    const usize nl = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    if (!in_block) {
+      if (line != "{") {
+        return ParseError(err, lineno, "expected '{'");
+      }
+      in_block = true;
+      have_name = false;
+      cur = Suppression{};
+      continue;
+    }
+    if (line == "}") {
+      if (!have_name) {
+        return ParseError(err, lineno, "block is missing a name line");
+      }
+      parsed.push_back(cur);
+      in_block = false;
+      continue;
+    }
+    if (!have_name) {
+      cur.name = std::string(line);
+      have_name = true;
+      continue;
+    }
+    const usize colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return ParseError(err, lineno, "expected 'key:value'");
+    }
+    const std::string_view key = Trim(line.substr(0, colon));
+    const std::string_view val = Trim(line.substr(colon + 1));
+    if (key == "race") {
+      if (!ValidKind(val)) {
+        return ParseError(err, lineno, "race: must be WW|RW[/rebase]|*");
+      }
+      cur.kind = std::string(val);
+    } else if (key == "site") {
+      cur.site = std::string(val);
+    } else if (key == "tids") {
+      if (!ValidTids(val)) {
+        return ParseError(err, lineno, "tids: must be A->B (decimal or *) or *");
+      }
+      cur.tids = std::string(val);
+    } else if (key == "class") {
+      if (!ValidClass(val)) {
+        return ParseError(err, lineno, "class: must be racy|ordered|*");
+      }
+      cur.cls = std::string(val);
+    } else {
+      // A typo'd key that silently matched nothing would un-suppress a CI
+      // gate; reject the file instead, like DRD does.
+      return ParseError(err, lineno, "unknown key (want race|site|tids|class)");
+    }
+  }
+  if (in_block) {
+    return ParseError(err, lineno, "unterminated '{' block");
+  }
+  sups_.insert(sups_.end(), parsed.begin(), parsed.end());
+  return true;
+}
+
+bool SuppressionSet::LoadFile(const std::string& path, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (err != nullptr) {
+      *err = "suppressions: cannot read " + path;
+    }
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return Parse(os.str(), err);
+}
+
+bool SuppressionSet::Matches(const RaceRecord& r) const {
+  const std::string_view site = r.site.empty() ? std::string_view("<untagged>") : r.site;
+  const std::string_view cls = r.hb_ordered ? "ordered" : "racy";
+  for (const Suppression& s : sups_) {
+    if (!KindMatches(s.kind, r)) {
+      continue;
+    }
+    if (s.cls != "*" && s.cls != cls) {
+      continue;
+    }
+    if (!TidsMatches(s.tids, r)) {
+      continue;
+    }
+    if (s.site != "*" && !GlobMatch(s.site, site)) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string GenSuppressions(const std::vector<RaceRecord>& records) {
+  std::ostringstream os;
+  usize n = 0;
+  for (const RaceRecord& r : records) {
+    const std::string_view site = r.site.empty() ? std::string_view("<untagged>") : r.site;
+    const std::string_view cls = r.hb_ordered ? "ordered" : "racy";
+    os << "{\n";
+    os << "  race-" << ++n << "-" << cls << "-" << site << "\n";
+    os << "  race:" << KindName(r.kind) << (r.rebase ? "/rebase" : "") << "\n";
+    os << "  site:" << site << "\n";
+    os << "  tids:" << r.tid_a << "->" << r.tid_b << "\n";
+    os << "  class:" << cls << "\n";
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace csq::race

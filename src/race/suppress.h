@@ -1,0 +1,75 @@
+// DRD-style suppression files for the race analyzer (DESIGN.md §18).
+//
+// A suppression file is a sequence of brace blocks, in the lineage of
+// Valgrind/DRD suppressions but matched against this analyzer's canonical
+// record fields instead of stack traces (the runtime has no native stacks —
+// allocation-site tags are the stable, deterministic identity here):
+//
+//   # comment
+//   {
+//     canneal-accepted-flag
+//     race:WW
+//     site:canneal.accepted*
+//     tids:1->*
+//     class:racy
+//   }
+//
+// Block grammar: the first non-comment line names the suppression (free
+// form); the remaining lines are `key:value` with keys
+//   race:  WW | RW | * — optionally suffixed `/rebase` to match only
+//          update-time rebase records (bare kinds match both).
+//   site:  glob over the allocation-site tag (`*` and `?`); untagged records
+//          match as the canonical `<untagged>` bucket.
+//   tids:  `A->B` where each side is a decimal tid or `*`.
+//   class: racy | ordered | * — which classification bucket to match.
+// Every key is optional and defaults to `*`. Unknown keys are parse errors:
+// a typo'd suppression that silently matches nothing would un-suppress a CI
+// gate, the same reason DRD rejects malformed blocks.
+//
+// Matching is pure (no state), so suppression cannot perturb the analyzer's
+// determinism: the same canonical record set yields the same suppressed set
+// on every engine, worker count, and jitter seed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/race/race.h"
+#include "src/util/types.h"
+
+namespace csq::race {
+
+struct Suppression {
+  std::string name;
+  std::string kind = "*";  // "WW", "RW", "WW/rebase", "RW/rebase", or "*"
+  std::string site = "*";  // glob over the site tag
+  std::string tids = "*";  // "A->B" with numeric-or-* sides, or "*"
+  std::string cls = "*";   // "racy", "ordered", or "*"
+};
+
+class SuppressionSet {
+ public:
+  // Parses suppression-file text, appending to the set. Returns false and
+  // fills *err (with a line number) on malformed input.
+  bool Parse(std::string_view text, std::string* err);
+  // Reads and parses `path`. Unreadable file => false.
+  bool LoadFile(const std::string& path, std::string* err);
+
+  bool Matches(const RaceRecord& r) const;
+
+  usize Size() const { return sups_.size(); }
+
+  // `*` matches any run (including empty), `?` any single byte.
+  static bool GlobMatch(std::string_view pat, std::string_view s);
+
+ private:
+  std::vector<Suppression> sups_;
+};
+
+// Renders one ready-to-paste suppression block per record, exact-valued so a
+// generated file suppresses precisely the records it was generated from
+// (the --gen-suppressions flow; see README).
+std::string GenSuppressions(const std::vector<RaceRecord>& records);
+
+}  // namespace csq::race

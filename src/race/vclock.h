@@ -1,0 +1,53 @@
+// Vector clocks for happens-before reasoning (DESIGN.md §18).
+//
+// Extracted from the LRC what-if model (src/lrc/lrc_model.h), which pioneered
+// the representation in this tree: one u64 component per thread, grown on
+// demand, joined by elementwise max. Both the LRC page-propagation model and
+// the race analyzer's happens-before classifier build on this type; keeping it
+// in src/race (the lower layer of the two) lets csq_lrc reuse it without a
+// dependency cycle.
+//
+// Components are indexed by thread id and count that thread's events (commits
+// for the LRC model, reserved commit versions for the classifier). A clock
+// covers (tid, n) when it has seen at least thread tid's n-th event.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace csq::race {
+
+class VClock {
+ public:
+  u64 Get(usize i) const { return i < c_.size() ? c_[i] : 0; }
+
+  void Set(usize i, u64 v) {
+    if (c_.size() <= i) {
+      c_.resize(i + 1, 0);
+    }
+    c_[i] = v;
+  }
+
+  // this := join(this, o), elementwise max.
+  void Join(const VClock& o) {
+    if (c_.size() < o.c_.size()) {
+      c_.resize(o.c_.size(), 0);
+    }
+    for (usize i = 0; i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+
+  // Has this clock seen thread `tid`'s `n`-th event?
+  bool Covers(usize tid, u64 n) const { return Get(tid) >= n; }
+
+  bool Empty() const { return c_.empty(); }
+  usize Size() const { return c_.size(); }
+
+ private:
+  std::vector<u64> c_;
+};
+
+}  // namespace csq::race

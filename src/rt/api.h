@@ -314,9 +314,12 @@ struct RunResult {
   // vtimes are the one jitter-dependent field; see race::CanonicalLines).
   // Attaching the analyzer never perturbs vtime/checksum/trace_digest.
   std::vector<race::RaceRecord> races;
-  u64 race_ww = 0;       // dynamic WW occurrences
-  u64 race_rw = 0;       // dynamic RW occurrences
+  u64 race_ww = 0;       // dynamic WW occurrences (unsuppressed)
+  u64 race_rw = 0;       // dynamic RW occurrences (unsuppressed)
   u64 race_dropped = 0;  // distinct records dropped at RaceConfig::max_records
+  u64 race_racy = 0;     // distinct records classified racy (DESIGN.md §18)
+  u64 race_ordered = 0;  // distinct records demoted by happens-before
+  u64 race_suppressed = 0;  // distinct records silenced by the suppression file
 };
 
 // A workload entry point: runs on the main logical thread, may spawn workers,

@@ -1,6 +1,8 @@
 #include "src/rt/det_runtime.h"
 
+#include <cstdio>
 #include <memory>
+#include <mutex>
 
 #include "src/conv/alloc.h"
 #include "src/conv/workspace.h"
@@ -166,6 +168,11 @@ struct State {
   u32 pool_available = 0;                    // §3.3 thread-reuse pool
   u64 lock_seq = 0;
   StableVec<std::vector<u32>> deferred;      // per-parent children awaiting release
+  // Race-analyzer plumbing (set in Run when cfg.race.enabled). alloc_mu
+  // shields BumpAllocator's tag list: the analyzer's site resolver reads it
+  // from off-floor resolve threads while gate-held SharedAlloc appends.
+  race::Analyzer* race_an = nullptr;
+  std::mutex alloc_mu;
 };
 
 class DApi final : public ThreadApi {
@@ -283,7 +290,11 @@ class DApi final : public ThreadApi {
 
   u64 SharedAlloc(usize n, usize align, std::string_view tag) override {
     st_.eng.GateShared();
-    const u64 addr = st_.alloc.Alloc(n, align, tag);
+    u64 addr;
+    {
+      std::lock_guard<std::mutex> lk(st_.alloc_mu);
+      addr = st_.alloc.Alloc(n, align, tag);
+    }
     st_.eng.EndShared();
     return addr;
   }
@@ -668,6 +679,12 @@ class DApi final : public ThreadApi {
     // (floor-ordered stream), the done flag and the wake loop (a joiner parks
     // on done_ch holding only the floor) all need an explicit gate.
     st_.eng.GateShared();
+    if (st_.race_an != nullptr) {
+      // The final commit (possibly covering a coarsened chunk) has reserved:
+      // re-join any releases the chunk deferred before the thread's own
+      // exit-release edge below.
+      st_.race_an->FlushDeferredReleases(tid_);
+    }
     if (st_.cfg.race.enabled && st_.cfg.race.track_reads) {
       // Final read sweep (floor-held): reads since the thread's last sync op
       // are validated against everything committed so far. For synchronous
@@ -860,6 +877,11 @@ class DApi final : public ThreadApi {
   void EndCoarsenCommitRelease() {
     CSQ_CHECK(Rec().coarsen_active);
     CommitUpdateGc();
+    if (st_.race_an != nullptr) {
+      // The chunk's covering commit now exists: re-join releases the chunk
+      // emitted before it reserved, so their edges carry it (race::HbTracker).
+      st_.race_an->FlushDeferredReleases(tid_);
+    }
     st_.clock.ReleaseToken(tid_);
     Rec().coarsen_active = false;
   }
@@ -971,6 +993,77 @@ class DApi final : public ThreadApi {
   u32 tid_;
 };
 
+// Interposes on the run's SyncObserver stream to feed the race analyzer's
+// happens-before classifier, forwarding every event to the user's observer
+// unchanged. Installed into st.cfg.observer AFTER State construction, so the
+// token grant/release hooks (bound to the original observer in
+// MakeClockConfig) bypass it: token grants are deliberately not
+// happens-before edges (see src/race/hb.h).
+class RaceSyncFanout final : public SyncObserver {
+ public:
+  RaceSyncFanout(State& st, race::Analyzer& an, SyncObserver* user)
+      : st_(st), an_(an), user_(user) {}
+
+  void OnAcquire(u32 tid, u64 object) override {
+    an_.OnSyncAcquire(tid, object);
+    if (user_ != nullptr) {
+      user_->OnAcquire(tid, object);
+    }
+  }
+
+  void OnRelease(u32 tid, u64 object) override {
+    // A release emitted inside a coarsened chunk precedes its covering
+    // commit; the analyzer re-joins it at the chunk-ending flush
+    // (FlushDeferredReleases).
+    an_.OnSyncRelease(tid, object, st_.threads[tid].coarsen_active);
+    if (user_ != nullptr) {
+      user_->OnRelease(tid, object);
+    }
+  }
+
+  void OnCommit(u32 tid, const std::vector<u32>& pages) override {
+    if (user_ != nullptr) {
+      user_->OnCommit(tid, pages);
+    }
+  }
+
+  void OnTokenGrant(u32 tid, u64 count, u64 seq) override {
+    if (user_ != nullptr) {
+      user_->OnTokenGrant(tid, count, seq);
+    }
+  }
+
+  void OnTokenRelease(u32 tid, u64 count, u64 seq) override {
+    if (user_ != nullptr) {
+      user_->OnTokenRelease(tid, count, seq);
+    }
+  }
+
+  void OnCommitVersion(u32 tid, u64 version, const std::vector<u32>& pages) override {
+    if (user_ != nullptr) {
+      user_->OnCommitVersion(tid, version, pages);
+    }
+  }
+
+  void OnUpdate(u32 tid, u64 from, u64 to, u64 pages_refreshed) override {
+    if (user_ != nullptr) {
+      user_->OnUpdate(tid, from, to, pages_refreshed);
+    }
+  }
+
+  void OnMergeDecision(u32 tid, u32 page, u64 version, u64 base_version, u64 bytes,
+                       bool rebase) override {
+    if (user_ != nullptr) {
+      user_->OnMergeDecision(tid, page, version, base_version, bytes, rebase);
+    }
+  }
+
+ private:
+  State& st_;
+  race::Analyzer& an_;
+  SyncObserver* user_;
+};
+
 }  // namespace
 
 DetRuntime::DetRuntime(Backend b, RuntimeConfig cfg)
@@ -1010,10 +1103,32 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
     st.seg.SetTraceHooks(std::move(hooks));
   }
   std::unique_ptr<race::Analyzer> analyzer;
+  std::unique_ptr<RaceSyncFanout> race_fanout;
   if (cfg_.race.enabled) {
     analyzer = std::make_unique<race::Analyzer>(cfg_.race);
     analyzer->SetPageSize(cfg_.segment.page_size);
+    // Sites resolve at emission time (off-floor resolve threads), so the
+    // resolver must be wired before the run and guard the allocator's tag
+    // list against concurrent gate-held SharedAlloc appends.
+    analyzer->SetSiteResolver([&st](u64 offset) {
+      std::lock_guard<std::mutex> lk(st.alloc_mu);
+      return std::string(st.alloc.TagAt(offset));
+    });
+    if (!cfg_.race.suppressions_path.empty()) {
+      std::string err;
+      if (!analyzer->LoadSuppressions(cfg_.race.suppressions_path, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        CSQ_CHECK_MSG(false, "race suppression file failed to load");
+      }
+    }
     st.seg.SetRaceSink(analyzer.get());
+    st.race_an = analyzer.get();
+    // The fanout feeds lock/condvar/barrier/spawn-join edges to the
+    // classifier; DApi reads st.cfg.observer dynamically, so swapping it here
+    // reaches every emission site. GateShared/EndShared charge no virtual
+    // time, so attaching it never perturbs vtime/checksum/trace_digest.
+    race_fanout = std::make_unique<RaceSyncFanout>(st, *analyzer, cfg_.observer);
+    st.cfg.observer = race_fanout.get();
   }
   st.clock.RegisterThread(0, 0);
   ThreadRec& main_rec = st.threads.EmplaceBack();
@@ -1068,8 +1183,9 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
     }
   }
   if (analyzer) {
-    analyzer->SetSiteResolver(
-        [&st](u64 offset) { return std::string(st.alloc.TagAt(offset)); });
+    // Rebase/RW conflicts of threads that never committed again have no seal
+    // to fire at; first-exit mode resolves them here, after the engine drains.
+    analyzer->EndOfRunFlush();
     race::Report rep = analyzer->Finalize();
     u64 ww_records = 0;
     u64 rw_records = 0;
@@ -1081,6 +1197,9 @@ RunResult DetRuntime::Run(const WorkloadFn& fn) {
     res.race_ww = rep.ww;
     res.race_rw = rep.rw;
     res.race_dropped = rep.dropped;
+    res.race_racy = rep.racy_records;
+    res.race_ordered = rep.ordered_records;
+    res.race_suppressed = rep.suppressed_records;
   }
   res.host_wall_ns = static_cast<u64>(wall.ElapsedNs());
   return res;

@@ -13,6 +13,9 @@
 //     checksum or the canonical TSO trace.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +24,7 @@
 #include "src/conv/workspace.h"
 #include "src/race/race.h"
 #include "src/race/report.h"
+#include "src/race/suppress.h"
 #include "src/rt/api.h"
 #include "src/tso/trace.h"
 #include "src/tso/tso_model.h"
@@ -79,8 +83,12 @@ TEST(RaceAnalyzerConv, WriteWriteSameBytesOneExactRecord) {
   EXPECT_EQ(r.version_a, 1u);
   EXPECT_EQ(r.version_b, 2u);
   EXPECT_EQ(r.count, 1u);
+  EXPECT_FALSE(r.hb_ordered);  // no sync edges: racy
+  EXPECT_EQ(r.site, "<untagged>");  // no resolver: canonical bucket
   EXPECT_EQ(rep.ww, 1u);
   EXPECT_EQ(rep.rw, 0u);
+  EXPECT_EQ(rep.racy_records, 1u);
+  EXPECT_EQ(rep.ordered_records, 0u);
   EXPECT_EQ(seg.Stats().race_ww_records, 0u);  // runtime fills this, not conv
 }
 
@@ -151,6 +159,7 @@ TEST(RaceAnalyzerConv, ReadWriteRaceWordGranular) {
   EXPECT_EQ(r.tid_a, 0u);  // the writer
   EXPECT_EQ(r.tid_b, 1u);  // the reader
   EXPECT_EQ(r.version_a, 1u);
+  EXPECT_FALSE(r.hb_ordered);
   EXPECT_EQ(rep.rw, 1u);
   EXPECT_EQ(rep.ww, 0u);
 }
@@ -207,6 +216,7 @@ TEST(RaceAnalyzerConv, RebaseWriteWriteCaughtAtUpdate) {
   EXPECT_EQ(r.tid_b, 1u);
   EXPECT_EQ(r.version_a, 1u);
   EXPECT_EQ(r.version_b, 0u);  // b's write is not a committed version yet
+  EXPECT_FALSE(r.hb_ordered);
 }
 
 TEST(RaceAnalyzerConv, DuplicateOccurrencesFoldIntoOneRecord) {
@@ -329,6 +339,8 @@ TEST(RaceAnalyzerRt, CanonicalReportIdenticalAcrossEnginesWorkersOffFloorAndJitt
         EXPECT_EQ(CanonicalLines(r.races), canon) << label.str();
         EXPECT_EQ(r.race_ww, ref.race_ww) << label.str();
         EXPECT_EQ(r.race_rw, ref.race_rw) << label.str();
+        EXPECT_EQ(r.race_racy, ref.race_racy) << label.str();
+        EXPECT_EQ(r.race_ordered, ref.race_ordered) << label.str();
         EXPECT_EQ(r.race_dropped, 0u) << label.str();
       }
     }
@@ -412,6 +424,603 @@ TEST(RaceAnalyzerRt, QuietWorkloadReportsNothing) {
   EXPECT_TRUE(r.races.empty());
   EXPECT_EQ(r.race_ww, 0u);
   EXPECT_EQ(r.race_rw, 0u);
+}
+
+// ---- happens-before classification (hand-fed sync edges) -------------------
+//
+// These drive the classifier's edge stream directly (the runtime's fanout
+// calls the same OnSyncAcquire/OnSyncRelease), so the demotion rules are
+// pinned byte-exactly: a conflict whose accesses are separated by a
+// release->acquire chain is `ordered`; remove the chain and the *same*
+// conflict is `racy`.
+
+constexpr u64 kLockObj = 0x51;
+
+TEST(RaceAnalyzerHb, LockOrderedConflictDemotedToOrdered) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(64, kAllBytes1);
+    a.Commit();                                         // version 1 (tid 0)
+    an.OnSyncRelease(0, kLockObj, /*deferred=*/false);  // release carries v1
+    an.OnSyncAcquire(1, kLockObj);                      // b's clock now covers v1
+    b.Store<u64>(64, kAllBytes2);
+    b.Commit();  // window (0,1] still contains v1: a conflict...
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_TRUE(rep.records[0].hb_ordered);  // ...but it is lock-ordered
+  EXPECT_EQ(rep.racy_records, 0u);
+  EXPECT_EQ(rep.ordered_records, 1u);
+  EXPECT_EQ(rep.ww, 1u);  // dynamic occurrences count either way
+  EXPECT_NE(CanonicalLines(rep.records).find(" class=ordered "), std::string::npos);
+}
+
+TEST(RaceAnalyzerHb, RemovingTheLockFlipsTheSameConflictToRacy) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(64, kAllBytes1);
+    a.Commit();
+    // No release/acquire pair: identical accesses, no ordering chain.
+    b.Store<u64>(64, kAllBytes2);
+    b.Commit();
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_FALSE(rep.records[0].hb_ordered);
+  EXPECT_EQ(rep.racy_records, 1u);
+  EXPECT_EQ(rep.ordered_records, 0u);
+  EXPECT_NE(CanonicalLines(rep.records).find(" class=racy "), std::string::npos);
+}
+
+TEST(RaceAnalyzerHb, ReleaseBeforeReserveDoesNotOrder) {
+  // The edge must carry the version: a release emitted before a's commit
+  // reserves cannot order that commit before b (DRD soundness: the object
+  // clock is a snapshot of the releasing thread at release time).
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(64, kAllBytes1);
+    an.OnSyncRelease(0, kLockObj, /*deferred=*/false);  // predates version 1
+    a.Commit();
+    an.OnSyncAcquire(1, kLockObj);
+    b.Store<u64>(64, kAllBytes2);
+    b.Commit();
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_FALSE(rep.records[0].hb_ordered);
+}
+
+TEST(RaceAnalyzerHb, DeferredReleaseFlushCarriesTheCoveringCommit) {
+  // Coarsened chunks emit the release before the chunk's covering commit
+  // reserves; FlushDeferredReleases re-joins so the edge carries it (sound
+  // because the releasing thread held the token for the whole chunk).
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(64, kAllBytes1);
+    an.OnSyncRelease(0, kLockObj, /*deferred=*/true);  // inside a coarsened chunk
+    a.Commit();                                        // the covering commit
+    an.FlushDeferredReleases(0);                       // edge now carries v1
+    an.OnSyncAcquire(1, kLockObj);
+    b.Store<u64>(64, kAllBytes2);
+    b.Commit();
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_TRUE(rep.records[0].hb_ordered);
+  EXPECT_EQ(rep.ordered_records, 1u);
+}
+
+TEST(RaceAnalyzerHb, ReadWriteConflictDemotedByLockEdge) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.SetTrackReads(true);
+    (void)b.Load<u64>(128);  // read against snapshot 0
+    a.Store<u64>(128, kAllBytes1);
+    a.Commit();  // version 1
+    an.OnSyncRelease(0, kLockObj, /*deferred=*/false);
+    an.OnSyncAcquire(1, kLockObj);
+    b.Update();  // validation point: v1 is ordered before b's current point
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_EQ(rep.records[0].kind, AccessKind::kReadWrite);
+  EXPECT_TRUE(rep.records[0].hb_ordered);
+  EXPECT_EQ(rep.ordered_records, 1u);
+}
+
+TEST(RaceAnalyzerHb, RebaseConflictDemotedByLockEdge) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.Store<u64>(64, kAllBytes2);  // pending, uncommitted
+    a.Store<u64>(64, kAllBytes1);
+    a.Commit();  // version 1
+    an.OnSyncRelease(0, kLockObj, /*deferred=*/false);
+    an.OnSyncAcquire(1, kLockObj);
+    b.Update();  // rebases b's page onto version 1
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_TRUE(rep.records[0].rebase);
+  EXPECT_TRUE(rep.records[0].hb_ordered);
+}
+
+TEST(RaceAnalyzerHb, OrderedAndRacyOccurrencesSplitIntoSeparateRecords) {
+  // The classification is part of the dedupe key: the same byte range racing
+  // in round 1 and lock-ordered in round 2 yields two records, racy first in
+  // the canonical sort.
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  Analyzer an;
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(64, 0x11 * kAllBytes1);  // round 1: no edges
+    b.Store<u64>(64, 0x21 * kAllBytes1);
+    a.Commit();
+    b.Commit();
+    a.Update();
+    b.Update();
+    a.Store<u64>(64, 0x12 * kAllBytes1);  // round 2: release->acquire chain
+    a.Commit();
+    an.OnSyncRelease(0, kLockObj, /*deferred=*/false);
+    an.OnSyncAcquire(1, kLockObj);
+    b.Store<u64>(64, 0x22 * kAllBytes1);
+    b.Commit();
+  });
+  const Report rep = an.Finalize();
+  ASSERT_EQ(rep.records.size(), 2u);
+  EXPECT_FALSE(rep.records[0].hb_ordered);  // racy sorts before ordered
+  EXPECT_TRUE(rep.records[1].hb_ordered);
+  EXPECT_EQ(rep.records[0].offset, rep.records[1].offset);
+  EXPECT_EQ(rep.racy_records, 1u);
+  EXPECT_EQ(rep.ordered_records, 1u);
+  EXPECT_EQ(rep.ww, 2u);
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+// One WW conflict on a fresh segment; `an` must be wired by the caller.
+Report RunWwScenario(Analyzer& an) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    a.Store<u64>(3 * 4096 + 64, kAllBytes1);
+    b.Store<u64>(3 * 4096 + 64, kAllBytes2);
+    a.Commit();
+    b.Commit();
+  });
+  return an.Finalize();
+}
+
+TEST(RaceSuppress, GeneratedSuppressionsRoundTripSilenceEverything) {
+  Analyzer plain;
+  const Report before = RunWwScenario(plain);
+  ASSERT_EQ(before.records.size(), 1u);
+  const std::string text = GenSuppressions(before.records);
+  EXPECT_NE(text.find("race:WW"), std::string::npos) << text;
+  EXPECT_NE(text.find("site:<untagged>"), std::string::npos) << text;
+  EXPECT_NE(text.find("class:racy"), std::string::npos) << text;
+
+  Analyzer suppressed;
+  std::string err;
+  ASSERT_TRUE(suppressed.ParseSuppressions(text, &err)) << err;
+  const Report after = RunWwScenario(suppressed);
+  EXPECT_TRUE(after.records.empty());
+  EXPECT_EQ(after.suppressed_records, 1u);
+  EXPECT_EQ(after.suppressed_occurrences, 1u);
+  EXPECT_EQ(after.ww, 0u);  // dynamic totals count unsuppressed only
+  EXPECT_EQ(after.racy_records, 0u);
+}
+
+TEST(RaceSuppress, LoadFromFileAndMissingFileFails) {
+  const std::string path = ::testing::TempDir() + "/csq_race_all.supp";
+  {
+    std::ofstream out(path);
+    out << "# suppress everything\n{\n  all\n}\n";
+  }
+  Analyzer an;
+  std::string err;
+  ASSERT_TRUE(an.LoadSuppressions(path, &err)) << err;
+  const Report rep = RunWwScenario(an);
+  EXPECT_TRUE(rep.records.empty());
+  EXPECT_EQ(rep.suppressed_records, 1u);
+  std::remove(path.c_str());
+
+  Analyzer missing;
+  err.clear();
+  EXPECT_FALSE(missing.LoadSuppressions(path + ".nope", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(RaceSuppress, ParseRejectsUnknownKeysAndBadValues) {
+  // A typo'd suppression that silently matched nothing would un-suppress a CI
+  // gate: malformed blocks are hard errors, with the offending line number.
+  SuppressionSet s;
+  std::string err;
+  EXPECT_FALSE(s.Parse("{\n  name\n  stack:foo\n}\n", &err));
+  EXPECT_NE(err.find("3"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(s.Parse("{\n  name\n  race:XX\n}\n", &err));
+  err.clear();
+  EXPECT_FALSE(s.Parse("{\n  name\n  class:maybe\n}\n", &err));
+  err.clear();
+  EXPECT_FALSE(s.Parse("{\n  name\n  tids:1->x\n}\n", &err));
+  err.clear();
+  EXPECT_FALSE(s.Parse("{\n", &err));  // unterminated block
+  EXPECT_EQ(s.Size(), 0u);
+  EXPECT_TRUE(s.Parse("# just a comment\n", &err)) << err;
+}
+
+TEST(RaceSuppress, MatchingSemantics) {
+  RaceRecord ww;
+  ww.kind = AccessKind::kWriteWrite;
+  ww.tid_a = 1;
+  ww.tid_b = 2;
+  ww.site = "canneal.pos";
+  RaceRecord reb = ww;
+  reb.rebase = true;
+  RaceRecord rw = ww;
+  rw.kind = AccessKind::kReadWrite;
+  RaceRecord ordered = ww;
+  ordered.hb_ordered = true;
+  RaceRecord untagged = ww;
+  untagged.site.clear();
+
+  auto parse = [](std::string_view text) {
+    SuppressionSet s;
+    std::string err;
+    EXPECT_TRUE(s.Parse(text, &err)) << err;
+    return s;
+  };
+  const SuppressionSet bare_ww = parse("{\n n\n race:WW\n}\n");
+  EXPECT_TRUE(bare_ww.Matches(ww));
+  EXPECT_TRUE(bare_ww.Matches(reb));  // bare kind matches rebase records too
+  EXPECT_FALSE(bare_ww.Matches(rw));
+  const SuppressionSet only_rebase = parse("{\n n\n race:WW/rebase\n}\n");
+  EXPECT_FALSE(only_rebase.Matches(ww));
+  EXPECT_TRUE(only_rebase.Matches(reb));
+  const SuppressionSet site_glob = parse("{\n n\n site:canneal.*\n}\n");
+  EXPECT_TRUE(site_glob.Matches(ww));
+  EXPECT_FALSE(site_glob.Matches(untagged));
+  const SuppressionSet untag = parse("{\n n\n site:<untagged>\n}\n");
+  EXPECT_TRUE(untag.Matches(untagged));  // empty site matches as the bucket
+  EXPECT_FALSE(untag.Matches(ww));
+  const SuppressionSet tids = parse("{\n n\n tids:1->*\n}\n");
+  EXPECT_TRUE(tids.Matches(ww));
+  const SuppressionSet wrong_tids = parse("{\n n\n tids:*->3\n}\n");
+  EXPECT_FALSE(wrong_tids.Matches(ww));
+  const SuppressionSet racy_only = parse("{\n n\n class:racy\n}\n");
+  EXPECT_TRUE(racy_only.Matches(ww));
+  EXPECT_FALSE(racy_only.Matches(ordered));
+}
+
+TEST(RaceSuppress, GlobMatchSemantics) {
+  EXPECT_TRUE(SuppressionSet::GlobMatch("*", ""));
+  EXPECT_TRUE(SuppressionSet::GlobMatch("*", "anything"));
+  EXPECT_TRUE(SuppressionSet::GlobMatch("a*c", "abc"));
+  EXPECT_TRUE(SuppressionSet::GlobMatch("a*c", "ac"));
+  EXPECT_TRUE(SuppressionSet::GlobMatch("a*b*c", "aXbYc"));
+  EXPECT_FALSE(SuppressionSet::GlobMatch("a*c", "abd"));
+  EXPECT_TRUE(SuppressionSet::GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(SuppressionSet::GlobMatch("a?c", "ac"));
+  EXPECT_TRUE(SuppressionSet::GlobMatch("*.pos", "canneal.pos"));
+  EXPECT_FALSE(SuppressionSet::GlobMatch("", "x"));
+  EXPECT_TRUE(SuppressionSet::GlobMatch("", ""));
+}
+
+// ---- first-exit mode -------------------------------------------------------
+
+TEST(RaceFirstExit, HandlerFiresOnceAtTheSealingCommit) {
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RaceConfig cfg;
+  cfg.enabled = true;
+  cfg.first_exit = true;
+  std::vector<std::string> fired;
+  cfg.first_exit_handler = [&](const RaceRecord& r) { fired.push_back(CanonicalLine(r)); };
+  Analyzer an(cfg);
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    // Two distinct conflicting ranges sealed by the same commit: the handler
+    // still fires exactly once, with the canonically-first record.
+    a.Store<u64>(0, kAllBytes1);
+    a.Store<u64>(256, kAllBytes1);
+    b.Store<u64>(0, kAllBytes2);
+    b.Store<u64>(256, kAllBytes2);
+    a.Commit();
+    EXPECT_TRUE(fired.empty());  // no conflict sealed yet
+    b.Commit();
+  });
+  an.EndOfRunFlush();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NE(fired[0].find("WW page=0 off=0 len=8"), std::string::npos) << fired[0];
+  EXPECT_NE(fired[0].find(" class=racy "), std::string::npos) << fired[0];
+}
+
+TEST(RaceFirstExit, RebaseConflictFiresAtEndOfRunFlush) {
+  // A rebase conflict of a thread that never commits again has no sealing
+  // version; the end-of-run flush must still surface it.
+  Engine eng;
+  Segment seg(eng, SmallSeg());
+  RaceConfig cfg;
+  cfg.enabled = true;
+  cfg.first_exit = true;
+  std::vector<std::string> fired;
+  cfg.first_exit_handler = [&](const RaceRecord& r) { fired.push_back(CanonicalLine(r)); };
+  Analyzer an(cfg);
+  an.SetPageSize(seg.PageSize());
+  seg.SetRaceSink(&an);
+  RunSim(eng, [&] {
+    Workspace a(seg, 0);
+    Workspace b(seg, 1);
+    b.Store<u64>(64, kAllBytes2);  // pending, never committed
+    a.Store<u64>(64, kAllBytes1);
+    a.Commit();
+    b.Update();  // rebase conflict; b exits without committing
+  });
+  EXPECT_TRUE(fired.empty());
+  an.EndOfRunFlush();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NE(fired[0].find("WW/rebase"), std::string::npos) << fired[0];
+}
+
+TEST(RaceFirstExit, OrderedAndSuppressedConflictsNeverFire) {
+  for (const bool use_suppression : {false, true}) {
+    Engine eng;
+    Segment seg(eng, SmallSeg());
+    RaceConfig cfg;
+    cfg.enabled = true;
+    cfg.first_exit = true;
+    std::vector<std::string> fired;
+    cfg.first_exit_handler = [&](const RaceRecord& r) { fired.push_back(CanonicalLine(r)); };
+    Analyzer an(cfg);
+    if (use_suppression) {
+      std::string err;
+      ASSERT_TRUE(an.ParseSuppressions("{\n  all\n}\n", &err)) << err;
+    }
+    an.SetPageSize(seg.PageSize());
+    seg.SetRaceSink(&an);
+    RunSim(eng, [&] {
+      Workspace a(seg, 0);
+      Workspace b(seg, 1);
+      a.Store<u64>(64, kAllBytes1);
+      a.Commit();
+      if (!use_suppression) {
+        // Lock-ordered: demoted records must not trip the CI gate.
+        an.OnSyncRelease(0, kLockObj, /*deferred=*/false);
+        an.OnSyncAcquire(1, kLockObj);
+      }
+      b.Store<u64>(64, kAllBytes2);
+      b.Commit();
+    });
+    an.EndOfRunFlush();
+    EXPECT_TRUE(fired.empty()) << "use_suppression=" << use_suppression;
+    const Report rep = an.Finalize();
+    if (use_suppression) {
+      EXPECT_EQ(rep.suppressed_records, 1u);
+    } else {
+      EXPECT_EQ(rep.ordered_records, 1u);
+    }
+  }
+}
+
+TEST(RaceAnalyzerRt, FirstExitRecordIdenticalAcrossEnginesWorkersOffFloorAndJitter) {
+  auto run = [](u32 workers, u64 seed, bool offfloor) {
+    rt::RuntimeConfig cfg = RacyCfg(workers, seed, offfloor, true);
+    cfg.race.first_exit = true;
+    std::vector<std::string> fired;
+    cfg.race.first_exit_handler = [&fired](const RaceRecord& r) {
+      fired.push_back(CanonicalLine(r));
+    };
+    rt::MakeRuntime(rt::Backend::kConsequenceIC, cfg)->Run(RacyKernel(3));
+    EXPECT_EQ(fired.size(), 1u);  // latched: exactly one record per run
+    return fired.empty() ? std::string() : fired[0];
+  };
+  const std::string ref = run(1, 0, true);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_NE(ref.find(" class=racy "), std::string::npos) << ref;
+  EXPECT_NE(ref.find("site=racy."), std::string::npos) << ref;
+  for (u32 workers : {1u, 2u, 4u}) {
+    for (bool offfloor : {true, false}) {
+      for (u64 seed : {0ULL, 7ULL}) {
+        EXPECT_EQ(run(workers, seed, offfloor), ref)
+            << "host_workers=" << workers << " offfloor=" << offfloor << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(RaceAnalyzerRt, FirstExitSuppressionFileDisarmsTheGate) {
+  const std::string path = ::testing::TempDir() + "/csq_race_rt_all.supp";
+  {
+    std::ofstream out(path);
+    out << "{\n  all\n}\n";
+  }
+  rt::RuntimeConfig cfg = RacyCfg(1, 0, true, true);
+  cfg.race.first_exit = true;
+  cfg.race.suppressions_path = path;
+  std::vector<std::string> fired;
+  cfg.race.first_exit_handler = [&fired](const RaceRecord& r) {
+    fired.push_back(CanonicalLine(r));
+  };
+  const rt::RunResult r =
+      rt::MakeRuntime(rt::Backend::kConsequenceIC, cfg)->Run(RacyKernel(3));
+  std::remove(path.c_str());
+  EXPECT_TRUE(fired.empty());
+  EXPECT_TRUE(r.races.empty());
+  EXPECT_GT(r.race_suppressed, 0u);
+  EXPECT_EQ(r.race_ww, 0u);  // suppressed occurrences leave the totals
+}
+
+TEST(RaceAnalyzerRt, FirstExitCleanWorkloadNeverFires) {
+  rt::RuntimeConfig cfg = RacyCfg(1, 0, true, true);
+  cfg.race.first_exit = true;
+  bool fired = false;
+  cfg.race.first_exit_handler = [&fired](const RaceRecord&) { fired = true; };
+  auto quiet = [](rt::ThreadApi& api) -> u64 {
+    const u64 base = api.SharedAlloc(4 * 4096, 4096, "quiet.slots");
+    std::vector<rt::ThreadHandle> hs;
+    for (u32 t = 0; t < 3; ++t) {
+      hs.push_back(api.SpawnThread([base, t](rt::ThreadApi& a) {
+        for (u32 i = 0; i < 4; ++i) {
+          a.Store<u64>(base + 4096 * t, i);
+          a.Fence();
+        }
+      }));
+    }
+    for (rt::ThreadHandle h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(base);
+  };
+  const rt::RunResult r = rt::MakeRuntime(rt::Backend::kConsequenceIC, cfg)->Run(quiet);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(r.races.empty());
+}
+
+// ---- runtime sync edges: the async condvar demotion class ------------------
+//
+// In synchronous commit mode every commit updates to global latest, so a
+// conflict window only ever contains HB-concurrent versions — ordered records
+// cannot arise (DESIGN.md §18). Asynchronous lock commit (§6) breaks that
+// coupling: visibility follows scalar version knowledge K, so a commit window
+// can contain a version the thread is HB-after via a condvar edge that does
+// not carry K. This kernel builds exactly that shape.
+rt::WorkloadFn CondOrderedKernel() {
+  return [](rt::ThreadApi& api) -> u64 {
+    const u64 flag = api.SharedAlloc(8, 4096, "ord.flag");
+    const u64 data = api.SharedAlloc(64, 4096, "ord.data");
+    const rt::MutexId m = api.CreateMutex();
+    const rt::CondId cv = api.CreateCond();
+    std::vector<rt::ThreadHandle> hs;
+    // Producer: publish the flag under the lock, then write `data` and commit
+    // it only at CondSignal — after its last mutex op, so the data version
+    // never enters the mutex's K and the waking consumer stays behind it.
+    hs.push_back(api.SpawnThread([flag, data, m, cv](rt::ThreadApi& t) {
+      t.Work(50000);  // let the consumer reach CondWait first
+      t.Lock(m);
+      t.Store<u64>(flag, 1);
+      t.Unlock(m);
+      t.Store<u64>(data, kAllBytes1);
+      t.CondSignal(cv);  // commits `data`, then releases the cond edge
+    }));
+    // Consumer: wake via the condvar (joining the producer's clock incl. the
+    // data version), then overwrite the same bytes. Its window still contains
+    // the producer's data version — a conflict — but the cond edge orders it.
+    hs.push_back(api.SpawnThread([flag, data, m, cv](rt::ThreadApi& t) {
+      t.Lock(m);
+      while (t.Load<u64>(flag) == 0) {
+        t.CondWait(cv, m);
+      }
+      t.Unlock(m);
+      t.Store<u64>(data, kAllBytes2);
+      t.Fence();
+    }));
+    for (rt::ThreadHandle h : hs) {
+      api.JoinThread(h);
+    }
+    return api.Load<u64>(data);
+  };
+}
+
+rt::RuntimeConfig CondOrderedCfg(u32 host_workers, u64 jitter_seed, bool offfloor,
+                                 bool async_lock_commit) {
+  rt::RuntimeConfig cfg;
+  cfg.nthreads = 3;
+  cfg.segment.size_bytes = 1 << 20;
+  cfg.host_workers = host_workers;
+  cfg.segment.offfloor_commit = offfloor;
+  cfg.async_lock_commit = async_lock_commit;
+  cfg.adaptive_coarsening = false;  // keep the edge stream surgical
+  cfg.race.enabled = true;
+  if (jitter_seed != 0) {
+    cfg.costs.jitter_bp = 900;
+    cfg.costs.jitter_seed = jitter_seed;
+  }
+  return cfg;
+}
+
+TEST(RaceAnalyzerRt, AsyncCondEdgeDemotesTheConflictToOrdered) {
+  const rt::RunResult ref =
+      rt::MakeRuntime(rt::Backend::kConsequenceIC, CondOrderedCfg(1, 0, true, true))
+          ->Run(CondOrderedKernel());
+  ASSERT_EQ(ref.races.size(), 1u);
+  EXPECT_TRUE(ref.races[0].hb_ordered);
+  EXPECT_EQ(ref.races[0].site, "ord.data");
+  EXPECT_EQ(ref.races[0].len, 8u);
+  EXPECT_EQ(ref.race_ordered, 1u);
+  EXPECT_EQ(ref.race_racy, 0u);  // the demotion is what keeps CI green
+  const std::string canon = CanonicalLines(ref.races);
+  EXPECT_NE(canon.find(" class=ordered "), std::string::npos) << canon;
+  for (u32 workers : {1u, 2u, 4u}) {
+    for (bool offfloor : {true, false}) {
+      for (u64 seed : {0ULL, 7ULL}) {
+        const rt::RunResult r =
+            rt::MakeRuntime(rt::Backend::kConsequenceIC,
+                            CondOrderedCfg(workers, seed, offfloor, true))
+                ->Run(CondOrderedKernel());
+        EXPECT_EQ(CanonicalLines(r.races), canon)
+            << "host_workers=" << workers << " offfloor=" << offfloor << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(RaceAnalyzerRt, SyncModeWindowContainsOnlyConcurrentVersions) {
+  // The same kernel in synchronous mode: the consumer's wake-up update moves
+  // it past the producer's data version, so no conflict window survives at
+  // all — the structural reason ordered records need async mode.
+  const rt::RunResult r =
+      rt::MakeRuntime(rt::Backend::kConsequenceIC, CondOrderedCfg(1, 0, true, false))
+          ->Run(CondOrderedKernel());
+  EXPECT_TRUE(r.races.empty());
+  EXPECT_EQ(r.race_ordered, 0u);
+  EXPECT_EQ(r.race_racy, 0u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench/report.h"
 #include "src/race/race.h"
@@ -117,10 +118,87 @@ TEST(RaceReport, TableRendersEveryRecord) {
   const std::string out = os.str();
   EXPECT_NE(out.find("WW"), std::string::npos);
   EXPECT_NE(out.find("12352"), std::string::npos);
+  EXPECT_NE(out.find("racy"), std::string::npos);  // the class column
 
   std::ostringstream empty;
   race::RenderTable(empty, {});
   EXPECT_EQ(empty.str(), "no races detected\n");
+}
+
+TEST(RaceReport, CanonicalLineCarriesTheClassification) {
+  race::RaceRecord r = SampleReport().records[0];
+  const std::string racy = race::CanonicalLine(r);
+  // The class sits between versions and winner, so pre-classifier substring
+  // pins on "... versions=A->B" keep matching.
+  EXPECT_NE(racy.find("versions=4->5 class=racy winner="), std::string::npos) << racy;
+  r.hb_ordered = true;
+  const std::string ordered = race::CanonicalLine(r);
+  EXPECT_NE(ordered.find(" class=ordered "), std::string::npos) << ordered;
+}
+
+TEST(RaceReport, UntaggedSiteRendersAsCanonicalBucket) {
+  race::RaceRecord r = SampleReport().records[0];
+  r.site.clear();
+  EXPECT_NE(race::CanonicalLine(r).find("site=<untagged>"), std::string::npos);
+  std::ostringstream os;
+  race::RenderTable(os, {r});
+  EXPECT_NE(os.str().find("<untagged>"), std::string::npos);
+}
+
+TEST(RaceReport, HeatmapAggregatesPerSiteAndReconciles) {
+  race::RaceRecord a = SampleReport().records[0];  // site "wl \"tag\"", count 2, len 8
+  race::RaceRecord b = a;
+  b.offset += 64;
+  b.len = 4;
+  b.count = 3;
+  b.hb_ordered = true;
+  race::RaceRecord c = a;
+  c.site.clear();  // lands in <untagged>
+  c.count = 1;
+  const std::vector<race::SiteHeat> heat = race::BuildHeatmap({a, b, c});
+  ASSERT_EQ(heat.size(), 2u);
+  // std::map order: "<untagged>" sorts before "wl ...".
+  EXPECT_EQ(heat[0].site, "<untagged>");
+  EXPECT_EQ(heat[0].records, 1u);
+  EXPECT_EQ(heat[0].racy, 1u);
+  EXPECT_EQ(heat[0].occurrences, 1u);
+  EXPECT_EQ(heat[1].site, "wl \"tag\"");
+  EXPECT_EQ(heat[1].records, 2u);
+  EXPECT_EQ(heat[1].racy, 1u);
+  EXPECT_EQ(heat[1].ordered, 1u);
+  EXPECT_EQ(heat[1].occurrences, 5u);
+  EXPECT_EQ(heat[1].bytes, 12u);
+  // Totals reconcile with the record set.
+  u64 recs = 0;
+  u64 occ = 0;
+  for (const race::SiteHeat& h : heat) {
+    recs += h.records;
+    occ += h.occurrences;
+  }
+  EXPECT_EQ(recs, 3u);
+  EXPECT_EQ(occ, 6u);
+
+  std::ostringstream os;
+  race::RenderHeatmap(os, heat);
+  EXPECT_NE(os.str().find("<untagged>"), std::string::npos);
+  std::ostringstream empty;
+  race::RenderHeatmap(empty, {});
+  EXPECT_EQ(empty.str(), "");
+}
+
+TEST(RaceReport, JsonCarriesClassTotalsAndHeatmap) {
+  race::Report rep = SampleReport();
+  rep.racy_records = 1;
+  rep.suppressed_records = 4;
+  rep.suppressed_occurrences = 9;
+  const std::string json = race::ReportJson("unit", rep);
+  EXPECT_NE(json.find("\"class\":\"racy\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"racy_records\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ordered_records\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed_records\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed_occurrences\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"heatmap\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":8"), std::string::npos);
 }
 
 }  // namespace

@@ -23,6 +23,11 @@ For each report the tool checks two things:
       * micro_commit:   "best_speedup_4plus_committers_large_footprint"
       * micro_pagepath: "diff_speedup_vs_scalar" / "merge_speedup_vs_scalar"
         (§17 vector kernels vs the pinned scalar baseline)
+      * race_analyzer:  "ww_efficiency" / "ww_rw_efficiency" — §18 analyzer
+        overhead as higher-is-better ratios (analyzer-off wall / analyzer-on
+        wall), so a commit-path slowdown introduced by the race detector
+        regresses the gated metric.  Correctness key "identity_ok" pins the
+        classified report byte-identical across engines/workers/off-floor.
       * fig10_overall / micro_commit: "affinity_hit_rate" — the §16 slot
         scheduler's locality rate (affinity hits / slot acquires).  A drop
         means simulated threads stopped landing on their last host worker,
@@ -63,6 +68,11 @@ CHECKS = [
     # follow the usual single-core skip.
     ("BENCH_micro_pagepath.json", "diff_speedup_vs_scalar", "simd_counts_identical"),
     ("BENCH_micro_pagepath.json", "merge_speedup_vs_scalar", "simd_counts_identical"),
+    # §18 race analyzer: the identity flag is the determinism gate; the
+    # efficiency ratios keep detector overhead from creeping into the commit
+    # path (wall-clock, so the single-core skip applies as usual).
+    ("BENCH_race_analyzer.json", "ww_efficiency", "identity_ok"),
+    ("BENCH_race_analyzer.json", "ww_rw_efficiency", "identity_ok"),
 ]
 
 

@@ -175,6 +175,20 @@ class BenchDiffTest(unittest.TestCase):
             bench_diff.CHECKS,
         )
 
+    def test_race_analyzer_gate_registered(self):
+        # §18 race analyzer: identity_ok is the determinism gate (classified
+        # report byte-identical across engines/workers/off-floor); the
+        # efficiency ratios (analyzer-off wall / analyzer-on wall,
+        # higher-is-better) keep detector overhead off the commit path.
+        self.assertIn(
+            ("BENCH_race_analyzer.json", "ww_efficiency", "identity_ok"),
+            bench_diff.CHECKS,
+        )
+        self.assertIn(
+            ("BENCH_race_analyzer.json", "ww_rw_efficiency", "identity_ok"),
+            bench_diff.CHECKS,
+        )
+
     def test_main_survives_degenerate_registry_inputs(self):
         # End-to-end: main() over the real registry with an empty fresh dir
         # exits with one countable failure per check and no traceback.

@@ -24,7 +24,7 @@ baseline_dir="$repo_root/bench/baselines"
 
 # The benches whose reports are committed as baselines (must stay in sync
 # with tools/bench_diff.py's CHECKS registry).
-benches=(fig10_overall micro_commit serve_shards micro_pagepath)
+benches=(fig10_overall micro_commit serve_shards micro_pagepath race_analyzer)
 
 echo "== refresh_baselines: configure + build (${build_dir})"
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
